@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared plumbing for the figure/table regeneration harnesses: every bench
+// resolves a first-order pattern, simulates it, and prints rows matching
+// the paper's tables/figures. Simulation sizes default well below the
+// paper's 1000 x 1000 so the whole suite runs in minutes; pass
+// --runs/--patterns to reproduce at paper scale.
+
+#include <cstdint>
+#include <cstdio>
+
+#include "resilience/core/expected_time.hpp"
+#include "resilience/core/first_order.hpp"
+#include "resilience/core/platform.hpp"
+#include "resilience/sim/runner.hpp"
+#include "resilience/util/cli.hpp"
+#include "resilience/util/table.hpp"
+
+namespace resilience::bench {
+
+struct SimulatedPattern {
+  core::FirstOrderSolution solution;
+  double exact_overhead = 0.0;
+  sim::MonteCarloResult result;
+};
+
+/// Solves, evaluates exactly, and simulates one pattern family.
+inline SimulatedPattern simulate_family(core::PatternKind kind,
+                                        const core::ModelParams& params,
+                                        std::uint64_t runs, std::uint64_t patterns,
+                                        std::uint64_t seed) {
+  SimulatedPattern out;
+  out.solution = core::solve_first_order(kind, params);
+  const auto pattern = out.solution.to_pattern(params.costs.recall);
+  out.exact_overhead = core::evaluate_pattern(pattern, params).overhead;
+  sim::MonteCarloConfig config;
+  config.runs = runs;
+  config.patterns_per_run = patterns;
+  config.seed = seed;
+  out.result = sim::run_monte_carlo(pattern, params, config);
+  return out;
+}
+
+/// Standard --runs/--patterns/--seed flags shared by all harnesses.
+inline void add_simulation_flags(util::CliParser& cli, const char* default_runs,
+                                 const char* default_patterns) {
+  cli.add_flag("runs", default_runs, "Monte Carlo runs per configuration");
+  cli.add_flag("patterns", default_patterns, "patterns per run");
+  cli.add_flag("seed", "1", "base RNG seed");
+}
+
+inline void print_header(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace resilience::bench

@@ -1,0 +1,118 @@
+// Google-benchmark microbenchmarks: throughput of the analytical evaluator,
+// the optimizers, the simulation engine and the stencil kernel. These gate
+// performance regressions in the hot paths rather than reproducing a paper
+// figure.
+
+#include <benchmark/benchmark.h>
+
+#include "resilience/app/stencil.hpp"
+#include "resilience/core/expected_time.hpp"
+#include "resilience/core/first_order.hpp"
+#include "resilience/core/optimizer.hpp"
+#include "resilience/core/platform.hpp"
+#include "resilience/sim/engine.hpp"
+
+namespace rc = resilience::core;
+namespace rs = resilience::sim;
+namespace ra = resilience::app;
+namespace ru = resilience::util;
+
+namespace {
+
+const rc::ModelParams& hera_params() {
+  static const rc::ModelParams params = rc::hera().model_params();
+  return params;
+}
+
+void BM_SolveFirstOrder(benchmark::State& state) {
+  const auto kind = rc::all_pattern_kinds()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rc::solve_first_order(kind, hera_params()));
+  }
+}
+BENCHMARK(BM_SolveFirstOrder)->DenseRange(0, 5);
+
+void BM_EvaluatePatternExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 30000.0, n, m, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rc::evaluate_pattern(pattern, hera_params()));
+  }
+}
+BENCHMARK(BM_EvaluatePatternExact)->Args({1, 1})->Args({4, 4})->Args({16, 16});
+
+void BM_OptimizeWorkLength(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rc::optimize_work_length(rc::PatternKind::kDMV, 3, 3, hera_params()));
+  }
+}
+BENCHMARK(BM_OptimizeWorkLength);
+
+void BM_OptimizePatternFull(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rc::optimize_pattern(rc::PatternKind::kDMV, hera_params()));
+  }
+}
+BENCHMARK(BM_OptimizePatternFull)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatePatterns(benchmark::State& state) {
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, hera_params());
+  const auto pattern = solution.to_pattern(hera_params().costs.recall);
+  const auto patterns = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    rs::ErrorModel errors(hera_params().rates, ru::Xoshiro256(++seed));
+    rs::EngineConfig config;
+    config.patterns = patterns;
+    benchmark::DoNotOptimize(
+        rs::simulate_run(pattern, hera_params(), errors, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(patterns));
+}
+BENCHMARK(BM_SimulatePatterns)->Arg(100)->Arg(1000);
+
+void BM_SimulateHighErrorRegime(benchmark::State& state) {
+  const auto params = rc::hera().scaled_to(1u << 17).model_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    rs::ErrorModel errors(params.rates, ru::Xoshiro256(++seed));
+    rs::EngineConfig config;
+    config.patterns = 100;
+    benchmark::DoNotOptimize(rs::simulate_run(pattern, params, errors, config));
+  }
+}
+BENCHMARK(BM_SimulateHighErrorRegime)->Unit(benchmark::kMillisecond);
+
+void BM_StencilStep(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  ra::StencilConfig config;
+  config.nx = side;
+  config.ny = side;
+  ra::HeatField field(config);
+  for (auto _ : state) {
+    field.advance(1);
+    benchmark::DoNotOptimize(field.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(side * side));
+}
+BENCHMARK(BM_StencilStep)->Arg(64)->Arg(256);
+
+void BM_QuadraticForm(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto beta = rc::optimal_chunk_fractions(m, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rc::segment_quadratic_form(beta, 0.8));
+  }
+}
+BENCHMARK(BM_QuadraticForm)->Arg(4)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Figure 6 regeneration: for each of the four platforms and each of the six
+// pattern families, report
+//   (a) predicted vs simulated overhead,
+//   (b) optimal period W* in hours,
+//   (c) disk/memory checkpoints and verifications per hour,
+//   (d) checkpoint frequencies alone,
+//   (e) disk/memory recoveries per day.
+// Matches the five panels of the paper's Figure 6.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace rb = resilience::bench;
+namespace rc = resilience::core;
+namespace ru = resilience::util;
+
+int main(int argc, char** argv) {
+  ru::CliParser cli("fig6_platforms", "regenerate Figure 6 (a-e)");
+  rb::add_simulation_flags(cli, "100", "150");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  const auto runs = static_cast<std::uint64_t>(cli.get_int("runs"));
+  const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  for (const auto& platform : rc::all_platforms()) {
+    const auto params = platform.model_params();
+    std::printf("================ Platform %s ================\n\n",
+                platform.name.c_str());
+
+    std::vector<rb::SimulatedPattern> results;
+    for (const auto kind : rc::all_pattern_kinds()) {
+      results.push_back(rb::simulate_family(kind, params, runs, patterns, seed));
+    }
+
+    std::printf("Figure 6a: expected overhead (predicted vs simulated)\n");
+    {
+      ru::Table table({"pattern", "predicted H*", "exact-model H", "simulated H",
+                       "95% ci"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
+                       ru::format_percent(r.solution.overhead),
+                       ru::format_percent(r.exact_overhead),
+                       ru::format_percent(r.result.mean_overhead()),
+                       ru::format_percent(r.result.overhead_ci())});
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+
+    std::printf("Figure 6b: pattern period W*\n");
+    {
+      ru::Table table({"pattern", "period (h)"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
+                       ru::format_double(results[i].solution.work / 3600.0, 2)});
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+
+    std::printf("Figure 6c: checkpoints and verifications per hour (simulated)\n");
+    {
+      ru::Table table({"pattern", "disk ckpts/h", "mem ckpts/h", "verifs/h"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& agg = results[i].result.aggregate;
+        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
+                       ru::format_double(agg.disk_checkpoints_per_hour.mean(), 3),
+                       ru::format_double(agg.memory_checkpoints_per_hour.mean(), 3),
+                       ru::format_double(agg.verifications_per_hour.mean(), 2)});
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+
+    std::printf("Figure 6d: checkpoint frequencies alone\n");
+    {
+      ru::Table table({"pattern", "disk ckpts/h", "mem ckpts/h"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& agg = results[i].result.aggregate;
+        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
+                       ru::format_double(agg.disk_checkpoints_per_hour.mean(), 3),
+                       ru::format_double(agg.memory_checkpoints_per_hour.mean(), 3)});
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+
+    std::printf("Figure 6e: recoveries per day (simulated)\n");
+    {
+      ru::Table table({"pattern", "disk recoveries/day", "mem recoveries/day"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& agg = results[i].result.aggregate;
+        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
+                       ru::format_double(agg.disk_recoveries_per_day.mean(), 3),
+                       ru::format_double(agg.memory_recoveries_per_day.mean(), 3)});
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 7 regeneration: weak-scaling experiment on Hera with the nominal
+// disk checkpoint cost C_D = 300s, nodes 2^8 .. 2^18.
+
+#include "weak_scaling_common.hpp"
+
+int main(int argc, char** argv) {
+  return resilience::bench::run_weak_scaling(
+      "Figure 7: weak scaling on Hera (C_D = 300s, C_M = 15.4s)", 300.0, argc, argv);
+}

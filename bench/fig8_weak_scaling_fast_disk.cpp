@@ -1,0 +1,10 @@
+// Figure 8 regeneration: the weak-scaling experiment repeated with an
+// improved disk technology, C_D = 90s.
+
+#include "weak_scaling_common.hpp"
+
+int main(int argc, char** argv) {
+  return resilience::bench::run_weak_scaling(
+      "Figure 8: weak scaling on Hera with fast disk (C_D = 90s, C_M = 15.4s)", 90.0,
+      argc, argv);
+}

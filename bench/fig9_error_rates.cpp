@@ -1,0 +1,122 @@
+// Figure 9 regeneration: impact of the error rates on Hera scaled to 1e5
+// nodes. Three parts:
+//   (a-c) simulated overhead of P_DMV, P_D and their difference over a grid
+//         of (lambda_f, lambda_s) multipliers in [0.2, 2],
+//   (d-g) lambda_f sweep at nominal lambda_s: periods, checkpoint rates,
+//         recovery rates,
+//   (h-k) lambda_s sweep at nominal lambda_f: same series.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace rb = resilience::bench;
+namespace rc = resilience::core;
+namespace ru = resilience::util;
+
+namespace {
+
+constexpr std::size_t kNodes = 100000;
+
+struct SweepPoint {
+  double factor;
+  rb::SimulatedPattern pd;
+  rb::SimulatedPattern pdmv;
+};
+
+std::vector<double> sweep_factors(std::size_t points) {
+  std::vector<double> factors;
+  for (std::size_t i = 0; i < points; ++i) {
+    factors.push_back(0.2 + 1.8 * static_cast<double>(i) /
+                                static_cast<double>(points - 1));
+  }
+  return factors;
+}
+
+void print_rate_sweep(const char* label, const std::vector<SweepPoint>& points) {
+  std::printf("Periods and rates along the %s sweep\n", label);
+  ru::Table table({label, "PD W* (min)", "PDMV W* (min)", "PDMV disk ckpts/h",
+                   "PDMV mem ckpts/h", "PDMV verifs/h", "disk rec/day",
+                   "mem rec/day"});
+  for (const auto& point : points) {
+    const auto& agg = point.pdmv.result.aggregate;
+    table.add_row({ru::format_double(point.factor, 2),
+                   ru::format_double(point.pd.solution.work / 60.0, 1),
+                   ru::format_double(point.pdmv.solution.work / 60.0, 1),
+                   ru::format_double(agg.disk_checkpoints_per_hour.mean(), 2),
+                   ru::format_double(agg.memory_checkpoints_per_hour.mean(), 1),
+                   ru::format_double(agg.verifications_per_hour.mean(), 0),
+                   ru::format_double(agg.disk_recoveries_per_day.mean(), 1),
+                   ru::format_double(agg.memory_recoveries_per_day.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ru::CliParser cli("fig9_error_rates", "regenerate Figure 9 (a-k)");
+  rb::add_simulation_flags(cli, "24", "40");
+  cli.add_flag("grid", "5", "points per axis for the (a-c) surface");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  const auto runs = static_cast<std::uint64_t>(cli.get_int("runs"));
+  const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto grid = static_cast<std::size_t>(cli.get_int("grid"));
+
+  const auto base = rc::hera().scaled_to(kNodes);
+  rb::print_header("Figure 9: error-rate impact on Hera @ 100,000 nodes");
+
+  // ---- Panels (a-c): overhead surface over the multiplier grid ----
+  std::printf("Panels (a-c): simulated overhead over (lambda_f, lambda_s) factors\n");
+  {
+    ru::Table table({"lf factor", "ls factor", "PDMV H", "PD H", "PD - PDMV"});
+    for (const double lf : sweep_factors(grid)) {
+      for (const double ls : sweep_factors(grid)) {
+        const auto params = base.with_rate_factors(lf, ls).model_params();
+        const auto pdmv = rb::simulate_family(rc::PatternKind::kDMV, params, runs,
+                                              patterns, seed);
+        const auto pd =
+            rb::simulate_family(rc::PatternKind::kD, params, runs, patterns, seed);
+        table.add_row({ru::format_double(lf, 2), ru::format_double(ls, 2),
+                       ru::format_percent(pdmv.result.mean_overhead()),
+                       ru::format_percent(pd.result.mean_overhead()),
+                       ru::format_percent(pd.result.mean_overhead() -
+                                          pdmv.result.mean_overhead())});
+      }
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- Panels (d-g): lambda_f sweep at nominal lambda_s ----
+  {
+    std::vector<SweepPoint> points;
+    for (const double lf : sweep_factors(7)) {
+      const auto params = base.with_rate_factors(lf, 1.0).model_params();
+      points.push_back(
+          {lf,
+           rb::simulate_family(rc::PatternKind::kD, params, runs, patterns, seed),
+           rb::simulate_family(rc::PatternKind::kDMV, params, runs, patterns, seed)});
+    }
+    print_rate_sweep("lambda_f factor", points);
+  }
+
+  // ---- Panels (h-k): lambda_s sweep at nominal lambda_f ----
+  {
+    std::vector<SweepPoint> points;
+    for (const double ls : sweep_factors(7)) {
+      const auto params = base.with_rate_factors(1.0, ls).model_params();
+      points.push_back(
+          {ls,
+           rb::simulate_family(rc::PatternKind::kD, params, runs, patterns, seed),
+           rb::simulate_family(rc::PatternKind::kDMV, params, runs, patterns, seed)});
+    }
+    print_rate_sweep("lambda_s factor", points);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 1 + Table 2 regeneration: the platform parameter table and, for
+// each platform, the six pattern families' optimal parameters (W*, n*, m*)
+// and first-order overhead H* — the paper's summary of results
+// instantiated on real numbers.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace rc = resilience::core;
+namespace ru = resilience::util;
+
+int main(int argc, char** argv) {
+  ru::CliParser cli("table1_formulas", "regenerate Tables 1 and 2");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+
+  resilience::bench::print_header("Table 2: platform parameters (Moody et al. / SCR)");
+  {
+    ru::Table table({"platform", "#nodes", "lambda_f", "lambda_s", "C_D", "C_M"});
+    for (const auto& platform : rc::all_platforms()) {
+      table.add_row({platform.name, std::to_string(platform.nodes),
+                     ru::format_sci(platform.rates.fail_stop, 2),
+                     ru::format_sci(platform.rates.silent, 2),
+                     ru::format_double(platform.disk_checkpoint, 0) + "s",
+                     ru::format_double(platform.memory_checkpoint, 1) + "s"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  resilience::bench::print_header(
+      "Table 1 instantiated: optimal pattern parameters per platform");
+  for (const auto& platform : rc::all_platforms()) {
+    const auto params = platform.model_params();
+    std::printf("--- %s ---\n", platform.name.c_str());
+    ru::Table table({"pattern", "W* (s)", "W* (h)", "n*", "m*",
+                     "H* (first-order)", "H (exact model)"});
+    for (const auto kind : rc::all_pattern_kinds()) {
+      const auto solution = rc::solve_first_order(kind, params);
+      const double exact =
+          rc::evaluate_pattern(solution.to_pattern(params.costs.recall), params)
+              .overhead;
+      table.add_row({rc::pattern_name(kind), ru::format_double(solution.work, 0),
+                     ru::format_double(solution.work / 3600.0, 2),
+                     std::to_string(solution.segments_n),
+                     std::to_string(solution.chunks_m),
+                     ru::format_percent(solution.overhead),
+                     ru::format_percent(exact)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

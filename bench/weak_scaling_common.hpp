@@ -1,0 +1,136 @@
+#pragma once
+
+// Shared driver for the Figure 7 / Figure 8 weak-scaling experiments: scale
+// the Hera platform from 2^8 to 2^max nodes (per-node MTBF fixed), simulate
+// P_D and P_DMV at each size, and print the six panels' series.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace resilience::bench {
+
+inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
+                            int argc, char** argv) {
+  util::CliParser cli("weak_scaling", title);
+  add_simulation_flags(cli, "40", "60");
+  cli.add_flag("min-log2", "8", "smallest node count (log2)");
+  cli.add_flag("max-log2", "18", "largest node count (log2)");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  const auto runs = static_cast<std::uint64_t>(cli.get_int("runs"));
+  const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const int min_log2 = static_cast<int>(cli.get_int("min-log2"));
+  const int max_log2 = static_cast<int>(cli.get_int("max-log2"));
+
+  print_header(title);
+
+  struct Row {
+    int log2_nodes;
+    SimulatedPattern pd;
+    SimulatedPattern pdmv;
+  };
+  std::vector<Row> rows;
+  for (int log2_nodes = min_log2; log2_nodes <= max_log2; log2_nodes += 2) {
+    const auto platform = core::hera()
+                              .with_disk_checkpoint(disk_checkpoint_cost)
+                              .scaled_to(std::size_t{1} << log2_nodes);
+    const auto params = platform.model_params();
+    rows.push_back(
+        {log2_nodes,
+         simulate_family(core::PatternKind::kD, params, runs, patterns, seed),
+         simulate_family(core::PatternKind::kDMV, params, runs, patterns, seed)});
+  }
+
+  std::printf("Panel (a): expected overhead, predicted vs simulated\n");
+  {
+    util::Table table({"nodes", "PD predicted", "PD simulated", "PDMV predicted",
+                       "PDMV simulated"});
+    for (const auto& row : rows) {
+      table.add_row({"2^" + std::to_string(row.log2_nodes),
+                     util::format_percent(row.pd.solution.overhead),
+                     util::format_percent(row.pd.result.mean_overhead()),
+                     util::format_percent(row.pdmv.solution.overhead),
+                     util::format_percent(row.pdmv.result.mean_overhead())});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::printf("Panel (b): pattern period W* (hours)\n");
+  {
+    util::Table table({"nodes", "PD period", "PDMV period"});
+    for (const auto& row : rows) {
+      table.add_row({"2^" + std::to_string(row.log2_nodes),
+                     util::format_double(row.pd.solution.work / 3600.0, 3),
+                     util::format_double(row.pdmv.solution.work / 3600.0, 3)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::printf("Panel (c): recoveries per pattern (PDMV, simulated)\n");
+  {
+    util::Table table({"nodes", "disk recoveries/pattern", "mem recoveries/pattern"});
+    for (const auto& row : rows) {
+      const auto& agg = row.pdmv.result.aggregate;
+      table.add_row({"2^" + std::to_string(row.log2_nodes),
+                     util::format_double(agg.disk_recoveries_per_pattern.mean(), 4),
+                     util::format_double(agg.memory_recoveries_per_pattern.mean(), 4)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::printf("Panel (d): checkpoints / verifications per hour (PDMV)\n");
+  {
+    util::Table table({"nodes", "disk ckpts/h", "mem ckpts/h", "verifs/h"});
+    for (const auto& row : rows) {
+      const auto& agg = row.pdmv.result.aggregate;
+      table.add_row({"2^" + std::to_string(row.log2_nodes),
+                     util::format_double(agg.disk_checkpoints_per_hour.mean(), 3),
+                     util::format_double(agg.memory_checkpoints_per_hour.mean(), 2),
+                     util::format_double(agg.verifications_per_hour.mean(), 1)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::printf("Panel (e): checkpoint rates, PD vs PDMV\n");
+  {
+    util::Table table({"nodes", "PDMV disk ckpts/h", "PDMV mem ckpts/h",
+                       "PD disk ckpts/h"});
+    for (const auto& row : rows) {
+      table.add_row(
+          {"2^" + std::to_string(row.log2_nodes),
+           util::format_double(
+               row.pdmv.result.aggregate.disk_checkpoints_per_hour.mean(), 3),
+           util::format_double(
+               row.pdmv.result.aggregate.memory_checkpoints_per_hour.mean(), 2),
+           util::format_double(
+               row.pd.result.aggregate.disk_checkpoints_per_hour.mean(), 3)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::printf("Panel (f): recoveries per day (PDMV)\n");
+  {
+    util::Table table({"nodes", "disk recoveries/day", "mem recoveries/day"});
+    for (const auto& row : rows) {
+      const auto& agg = row.pdmv.result.aggregate;
+      table.add_row({"2^" + std::to_string(row.log2_nodes),
+                     util::format_double(agg.disk_recoveries_per_day.mean(), 2),
+                     util::format_double(agg.memory_recoveries_per_day.mean(), 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+}  // namespace resilience::bench

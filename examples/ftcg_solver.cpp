@@ -1,0 +1,65 @@
+// Fault-tolerant conjugate gradient demo: solves a 2D Poisson system under
+// injected bit flips, with the solver-specific two-level verification the
+// paper's conclusion proposes for sparse iterative methods — cheap scalar
+// recurrence checks as partial verifications, true-residual recomputation
+// as the guaranteed verification, and in-memory solver-state checkpoints.
+//
+//   ./ftcg_solver --grid 48 --fault-prob 0.05
+
+#include <cstdio>
+#include <vector>
+
+#include "resilience/app/ftcg.hpp"
+#include "resilience/util/cli.hpp"
+
+namespace ra = resilience::app;
+
+int main(int argc, char** argv) {
+  resilience::util::CliParser cli("ftcg_solver",
+                                  "fault-tolerant CG on a 2D Poisson system");
+  cli.add_flag("grid", "48", "grid side (system size = grid^2)");
+  cli.add_flag("fault-prob", "0.05", "bit-flip probability per iteration");
+  cli.add_flag("check-interval", "10", "iterations between verifications");
+  cli.add_flag("seed", "7", "RNG seed");
+  cli.add_bool_flag("unprotected", "disable protection (baseline CG)");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+
+  const auto grid = static_cast<std::size_t>(cli.get_int("grid"));
+  const auto a = ra::poisson_2d(grid);
+  std::vector<double> rhs(a.rows());
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    rhs[i] = 1.0;
+  }
+  std::vector<double> x(a.rows(), 0.0);
+
+  ra::FtCgConfig config;
+  config.fault_probability = cli.get_double("fault-prob");
+  config.check_interval = static_cast<std::uint64_t>(cli.get_int("check-interval"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.protection_enabled = !cli.get_bool("unprotected");
+
+  std::printf("Solving %zux%zu Poisson system (%zu unknowns), "
+              "fault probability %.3f/iter, protection %s...\n\n",
+              grid, grid, a.rows(), config.fault_probability,
+              config.protection_enabled ? "ON" : "OFF");
+
+  const auto report = ra::solve_ftcg(a, rhs, x, config);
+
+  std::printf("converged                 %s\n", report.converged ? "yes" : "NO");
+  std::printf("iterations                %llu\n",
+              static_cast<unsigned long long>(report.iterations));
+  std::printf("final true residual       %.3e (target %.0e)\n",
+              report.final_relative_residual, config.tolerance);
+  std::printf("faults injected           %llu\n",
+              static_cast<unsigned long long>(report.faults_injected));
+  std::printf("scalar alarms (partial)   %llu\n",
+              static_cast<unsigned long long>(report.scalar_alarms));
+  std::printf("residual alarms (guaranteed) %llu\n",
+              static_cast<unsigned long long>(report.residual_alarms));
+  std::printf("rollbacks / checkpoints   %llu / %llu\n",
+              static_cast<unsigned long long>(report.rollbacks),
+              static_cast<unsigned long long>(report.checkpoints));
+  return report.converged ? 0 : 1;
+}

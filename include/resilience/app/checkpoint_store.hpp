@@ -1,0 +1,76 @@
+#pragma once
+
+// Two-level checkpoint stores for the end-to-end application demo: a fast
+// in-memory store (SCR/FTI "level 1" analogue) and a durable disk store
+// (parallel-file-system analogue, implemented over a temp directory with
+// fsync). Both checksum their payload so restores detect torn writes.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace resilience::app {
+
+/// FNV-1a 64-bit checksum over a byte span (cheap, dependency-free).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept;
+[[nodiscard]] std::uint64_t checksum_doubles(std::span<const double> values) noexcept;
+
+/// A checkpoint payload: opaque field data plus the solver step counter.
+struct CheckpointPayload {
+  std::vector<double> data;
+  std::uint64_t step = 0;
+};
+
+/// Abstract checkpoint store (one live checkpoint, per the paper's
+/// single-valid-checkpoint property in Section 2.2).
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  /// Persists the payload, replacing any previous checkpoint.
+  virtual void save(const CheckpointPayload& payload) = 0;
+  /// Restores the last checkpoint; nullopt when none exists or the stored
+  /// checksum no longer matches (corruption / torn write).
+  [[nodiscard]] virtual std::optional<CheckpointPayload> load() const = 0;
+  /// Drops the stored checkpoint (simulates fail-stop memory loss for the
+  /// in-memory store).
+  virtual void invalidate() = 0;
+  [[nodiscard]] virtual bool has_checkpoint() const = 0;
+};
+
+/// Level-1 store: process-memory buffer copy.
+class MemoryCheckpointStore final : public CheckpointStore {
+ public:
+  void save(const CheckpointPayload& payload) override;
+  [[nodiscard]] std::optional<CheckpointPayload> load() const override;
+  void invalidate() override;
+  [[nodiscard]] bool has_checkpoint() const override;
+
+ private:
+  std::optional<CheckpointPayload> stored_;
+  std::uint64_t checksum_ = 0;
+};
+
+/// Level-2 store: binary file with a small header (magic, step, count,
+/// checksum), written to a fresh temp file and atomically renamed.
+class DiskCheckpointStore final : public CheckpointStore {
+ public:
+  /// `directory` is created if missing; the checkpoint lives at
+  /// directory/name.ckpt.
+  DiskCheckpointStore(std::filesystem::path directory, std::string name);
+
+  void save(const CheckpointPayload& payload) override;
+  [[nodiscard]] std::optional<CheckpointPayload> load() const override;
+  void invalidate() override;
+  [[nodiscard]] bool has_checkpoint() const override;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace resilience::app

@@ -1,0 +1,97 @@
+#pragma once
+
+// Concrete silent-error detectors for the end-to-end demo, mirroring the
+// two verification classes of the paper:
+//
+//  * TimeSeriesDetector — a *partial* verification: per-cell linear
+//    extrapolation from the two previous observations with an adaptive
+//    threshold, in the spirit of the lightweight data-analytics detectors
+//    the paper cites. Cheap (one pass over the field), recall < 1.
+//  * ChecksumDetector — a *guaranteed* verification: compares the field
+//    against a trusted shadow recomputation (dual-modular redundancy).
+//    Recall 1 by construction, cost proportional to the data size.
+//
+// Measured recall/cost of these detectors can be fed back into the model
+// through core::Detector (see measure_recall below).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "resilience/core/verification.hpp"
+
+namespace resilience::app {
+
+/// Common detector interface: observe clean states, then audit a state.
+class SilentErrorDetector {
+ public:
+  virtual ~SilentErrorDetector() = default;
+
+  /// Feeds a trusted observation of the field (called at verified points).
+  virtual void observe(std::span<const double> field) = 0;
+  /// Returns true when the field looks corrupted.
+  [[nodiscard]] virtual bool audit(std::span<const double> field) = 0;
+  /// Resets history (after a rollback the old observations are stale).
+  virtual void reset() = 0;
+};
+
+/// Partial verification via per-cell linear time-series extrapolation.
+///
+/// Keeps the last two trusted observations; a cell is suspicious when its
+/// value departs from the linear prediction by more than
+/// `relative_tolerance * scale`, where scale blends the local magnitude and
+/// the global field range. Fewer than two observations -> cannot predict
+/// -> audits pass (recall 0 until warmed up, like real data-driven filters).
+///
+/// Tolerance calibration: the prediction error on *clean* diffusion scales
+/// with the square of the observation stride (measured on the default
+/// workload: ~0.1% of scale at stride 1, ~0.4% at stride 2, ~10% at stride
+/// 16). The default of 0.02 is safe for per-step or per-few-steps
+/// observation; pass a larger tolerance when observing at long strides.
+class TimeSeriesDetector final : public SilentErrorDetector {
+ public:
+  explicit TimeSeriesDetector(double relative_tolerance = 0.02);
+
+  void observe(std::span<const double> field) override;
+  [[nodiscard]] bool audit(std::span<const double> field) override;
+  void reset() override;
+
+  [[nodiscard]] bool warmed_up() const noexcept { return history_count_ >= 2; }
+
+ private:
+  double tolerance_;
+  std::vector<double> previous_;
+  std::vector<double> before_previous_;
+  std::size_t history_count_ = 0;
+};
+
+/// Guaranteed verification by comparison against a trusted reference copy
+/// maintained by the caller (dual-modular redundancy style).
+class ChecksumDetector final : public SilentErrorDetector {
+ public:
+  void observe(std::span<const double> field) override;
+  [[nodiscard]] bool audit(std::span<const double> field) override;
+  void reset() override;
+
+ private:
+  std::vector<double> reference_;
+  bool has_reference_ = false;
+};
+
+/// Empirically measures a detector's recall on a stencil-like workload:
+/// runs `trials` single-fault inject-audit-repair experiments on an
+/// evolving heat field and reports the detected fraction packaged as a
+/// core::Detector (with the supplied cost). This is how the demo closes
+/// the loop from a *measured* detector to the *model's* pattern selection.
+///
+/// Fault model: one bit flip per trial, uniform over bits [44, 64) — i.e.
+/// perturbations above ~1e-3 relative magnitude. Flips below that are
+/// beneath the discretization error of the solver and indistinguishable
+/// from roundoff; recall is quoted over *observable* corruptions, the same
+/// convention the data-analytics detectors the paper cites use.
+[[nodiscard]] core::Detector measure_recall(SilentErrorDetector& detector,
+                                            double assumed_cost_seconds,
+                                            std::size_t trials = 200,
+                                            std::uint64_t seed = 42);
+
+}  // namespace resilience::app

@@ -1,0 +1,45 @@
+#pragma once
+
+// Silent-data-corruption injection for the end-to-end demo: flips one bit
+// of one IEEE-754 double in the protected field, the standard SDC fault
+// model of the literature the paper builds on.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "resilience/util/random.hpp"
+
+namespace resilience::app {
+
+/// Description of one injected fault (returned so tests can undo/inspect).
+struct InjectedFault {
+  std::size_t index = 0;   ///< which element was corrupted
+  int bit = 0;             ///< which of the 64 bits was flipped
+  double before = 0.0;
+  double after = 0.0;
+};
+
+/// Bit-flip injector over a field of doubles.
+class BitFlipInjector {
+ public:
+  explicit BitFlipInjector(util::Xoshiro256 rng) : rng_(rng) {}
+
+  /// Flips a uniformly random bit of a uniformly random element. `max_bit`
+  /// restricts the flip to bits [0, max_bit): e.g. 52 confines faults to
+  /// the mantissa (small perturbations), 64 allows sign/exponent flips.
+  InjectedFault inject(std::span<double> field, int max_bit = 64);
+
+  /// Flips a uniformly random bit within [min_bit, max_bit) of a random
+  /// element; used to restrict a campaign to observable (high-order)
+  /// corruptions.
+  InjectedFault inject_in_range(std::span<double> field, int min_bit, int max_bit);
+
+  /// Flips a specific (index, bit) — deterministic variant for tests.
+  static InjectedFault inject_at(std::span<double> field, std::size_t index, int bit);
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace resilience::app

@@ -1,0 +1,55 @@
+#pragma once
+
+// Minimal sparse linear-algebra substrate for the fault-tolerant conjugate
+// gradient demo: CSR matrices, a 5-point 2D Poisson builder, and the
+// BLAS-1/2 kernels CG needs, parallelized over the project thread pool.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "resilience/util/thread_pool.hpp"
+
+namespace resilience::app {
+
+/// Compressed-sparse-row matrix (square, double precision).
+class CsrMatrix {
+ public:
+  /// Builds from raw CSR arrays; validates shape consistency.
+  CsrMatrix(std::size_t rows, std::vector<std::size_t> row_offsets,
+            std::vector<std::size_t> column_indices, std::vector<double> values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  /// y = A x, thread-pool parallel over rows.
+  void multiply(std::span<const double> x, std::span<double> y,
+                util::ThreadPool* pool = nullptr) const;
+
+  /// Direct entry lookup (slow; tests only). Returns 0 for absent entries.
+  [[nodiscard]] double at(std::size_t row, std::size_t column) const;
+
+ private:
+  std::size_t rows_;
+  std::vector<std::size_t> row_offsets_;
+  std::vector<std::size_t> column_indices_;
+  std::vector<double> values_;
+};
+
+/// 5-point finite-difference Laplacian on an n-by-n grid (Dirichlet): the
+/// standard SPD test matrix for CG, size n^2.
+[[nodiscard]] CsrMatrix poisson_2d(std::size_t n);
+
+/// dot(x, y) with Kahan compensation (deterministic, order-fixed).
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// y = y + alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x = x * alpha.
+void scale(double alpha, std::span<double> x);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> x);
+
+}  // namespace resilience::app

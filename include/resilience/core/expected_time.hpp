@@ -1,0 +1,74 @@
+#pragma once
+
+// Exact expected execution time of an arbitrary pattern, solving the
+// recursive expectations of Propositions 1-4 (Eqs. (2), (17), (23)) in
+// closed linear form rather than truncating at first order. The evaluator
+// is the reference the first-order formulas and the Monte Carlo simulator
+// are both validated against:
+//
+//   first-order H*  --(lambda -> 0)-->  exact H  <--(runs -> inf)--  simulated H.
+
+#include <cstddef>
+#include <vector>
+
+#include "resilience/core/params.hpp"
+#include "resilience/core/pattern.hpp"
+
+namespace resilience::core {
+
+/// Evaluation options.
+struct EvaluationOptions {
+  /// When true, fail-stop errors may also strike the verification attached
+  /// to each chunk (Section 5: the chunk failure window becomes w + V).
+  bool faulty_verifications = false;
+  /// When true, replaces the raw checkpoint/recovery costs by their
+  /// fail-stop-aware expectations (Eqs. (30)-(33)), solved by fixed-point
+  /// iteration on the pattern re-execution time T_rec.
+  bool faulty_operations = false;
+};
+
+/// Result of an exact evaluation.
+struct ExpectedTime {
+  double total = 0.0;            ///< E(P), seconds
+  double overhead = 0.0;         ///< H(P) = E(P)/W - 1
+  std::vector<double> segment_expectations;  ///< E_i per segment
+};
+
+/// Exact E(P) and H(P) for a fully specified pattern.
+[[nodiscard]] ExpectedTime evaluate_pattern(const PatternSpec& pattern,
+                                            const ModelParams& params,
+                                            const EvaluationOptions& options = {});
+
+/// Closed-form exact E(P) for the base pattern P_D (single segment, single
+/// chunk) as derived in the proof of Proposition 1; used to cross-check the
+/// general recursive evaluator.
+[[nodiscard]] double evaluate_base_pattern_closed_form(double work,
+                                                       const ModelParams& params);
+
+/// Second-order approximate E(P) of Propositions 1-4:
+///   E(P) ~= W + oef + (lambda_s * sum_i beta_i^T A beta_i alpha_i^2 +
+///           lambda_f/2) W^2  (+ first-order recovery terms for P_D).
+/// Exposed so tests can check exact -> approximate convergence as
+/// lambda -> 0.
+[[nodiscard]] double evaluate_pattern_second_order(const PatternSpec& pattern,
+                                                   const ModelParams& params);
+
+/// The quadratic form beta^T A^(m) beta of Proposition 3, with
+/// A_ij = (1 + (1-r)^{|i-j|}) / 2. This is the silent-error re-execution
+/// fraction of one segment; minimized by the Eq. (18) chunk sizes.
+[[nodiscard]] double segment_quadratic_form(const std::vector<double>& beta,
+                                            double recall);
+
+/// Fail-stop-aware expected costs of the resilience operations
+/// (Section 5, Eqs. (30)-(33)) given an estimate of the pattern
+/// re-execution time T_rec.
+struct OperationCosts {
+  double disk_checkpoint = 0.0;
+  double memory_checkpoint = 0.0;
+  double disk_recovery = 0.0;
+  double memory_recovery = 0.0;
+};
+[[nodiscard]] OperationCosts expected_operation_costs(const ModelParams& params,
+                                                      double reexecution_time);
+
+}  // namespace resilience::core

@@ -1,0 +1,82 @@
+#pragma once
+
+// First-order optimal pattern parameters: the closed forms of Theorems 1-4
+// summarised in Table 1 of the paper. Every pattern family boils down to
+// the two overhead coefficients of Definition 1,
+//
+//   H(P) = oef / W + orw * W + O(lambda),
+//
+// with oef the error-free overhead (checkpoint/verification costs paid per
+// pattern) and orw the re-executed-work fraction. The optimum is
+// W* = sqrt(oef/orw), H* = 2*sqrt(oef*orw); integer n, m are chosen by
+// rounding the rational minimizer of F(n, m) = oef * orw in each direction.
+
+#include <cstddef>
+
+#include "resilience/core/params.hpp"
+#include "resilience/core/pattern.hpp"
+
+namespace resilience::core {
+
+/// The (oef, orw) pair of Definition 1 for a fixed (kind, n, m).
+struct OverheadCoefficients {
+  double error_free = 0.0;     ///< oef, seconds
+  double reexecuted_work = 0.0;  ///< orw, 1/seconds
+
+  /// W* = sqrt(oef/orw).
+  [[nodiscard]] double optimal_work() const noexcept;
+  /// H* = 2 sqrt(oef * orw) — the first-order overhead at W*.
+  [[nodiscard]] double optimal_overhead() const noexcept;
+  /// H(W) = oef/W + orw*W for an arbitrary period.
+  [[nodiscard]] double overhead_at(double work) const noexcept;
+};
+
+/// Fully resolved first-order solution for one pattern family.
+struct FirstOrderSolution {
+  PatternKind kind = PatternKind::kD;
+  std::size_t segments_n = 1;      ///< n*: memory checkpoints per pattern
+  std::size_t chunks_m = 1;        ///< m*: chunks per segment
+  double rational_n = 1.0;         ///< n-bar* before integer rounding
+  double rational_m = 1.0;         ///< m-bar* before integer rounding
+  double work = 0.0;               ///< W* (seconds)
+  double overhead = 0.0;           ///< H* (dimensionless)
+  OverheadCoefficients coefficients;
+
+  /// Materializes the concrete PatternSpec (equal segments, Eq. (18) chunk
+  /// fractions) realizing this solution.
+  [[nodiscard]] PatternSpec to_pattern(double recall) const;
+};
+
+/// oef/orw for a given family at fixed integer (n, m); n and m are ignored
+/// where the family pins them to 1. This is the building block both the
+/// closed forms and the brute-force cross-check tests use.
+[[nodiscard]] OverheadCoefficients overhead_coefficients(PatternKind kind,
+                                                         const ModelParams& params,
+                                                         std::size_t segments_n,
+                                                         std::size_t chunks_m);
+
+/// Closed-form rational minimizers (n-bar*, m-bar*) from Table 1. Families
+/// that pin n or m report 1.0 for the pinned quantity.
+struct RationalMinimizer {
+  double n = 1.0;
+  double m = 1.0;
+};
+[[nodiscard]] RationalMinimizer rational_minimizer(PatternKind kind,
+                                                   const ModelParams& params);
+
+/// Full first-order solution for one family: rational minimizers, integer
+/// rounding by direct F(n, m) comparison, W* and H*.
+[[nodiscard]] FirstOrderSolution solve_first_order(PatternKind kind,
+                                                   const ModelParams& params);
+
+/// The closed-form H* expressions of Table 1's last column (kept separate
+/// from solve_first_order so tests can verify the two derivations agree).
+[[nodiscard]] double closed_form_overhead(PatternKind kind, const ModelParams& params);
+
+/// Classical checkpointing limits used as sanity anchors in tests:
+/// Young/Daly W* = sqrt(2 C_D / lambda_f) (fail-stop only, Section 3.1
+/// remark) and W* = sqrt((V* + C_M)/lambda_s) (silent only).
+[[nodiscard]] double young_daly_period(const ModelParams& params) noexcept;
+[[nodiscard]] double silent_only_period(const ModelParams& params) noexcept;
+
+}  // namespace resilience::core

@@ -1,0 +1,51 @@
+#pragma once
+
+// Job-level planning on top of the pattern model (Section 2.4): given a
+// base execution time W_base, the expected makespan under a pattern is
+// W_final ~= (1 + H(P)) * W_base. This module turns a pattern solution into
+// the operational quantities a job owner asks about: wall-clock estimate,
+// number of patterns, checkpoint/IO budgets, and expected error counts.
+
+#include <cstdint>
+
+#include "resilience/core/expected_time.hpp"
+#include "resilience/core/first_order.hpp"
+#include "resilience/core/params.hpp"
+
+namespace resilience::core {
+
+/// Operational forecast for a job protected by a given pattern.
+struct JobPlan {
+  double base_time = 0.0;        ///< W_base: failure-free compute seconds
+  double expected_makespan = 0.0;  ///< W_final: expected wall-clock seconds
+  double expected_overhead = 0.0;  ///< exact-model H(P)
+  double pattern_period = 0.0;     ///< W of the pattern used
+  std::uint64_t patterns = 0;      ///< number of patterns executed
+  std::uint64_t disk_checkpoints = 0;    ///< committed disk checkpoints
+  std::uint64_t memory_checkpoints = 0;  ///< committed memory checkpoints
+  std::uint64_t verifications = 0;       ///< committed verifications
+  double disk_io_seconds = 0.0;    ///< time spent writing disk checkpoints
+  double expected_fail_stop_errors = 0.0;  ///< lambda_f * makespan
+  double expected_silent_errors = 0.0;     ///< lambda_s * makespan
+
+  /// Fraction of wall-clock spent on disk checkpoint I/O; the quantity that
+  /// becomes unsustainable at scale and motivates two-level schemes.
+  [[nodiscard]] double disk_io_fraction() const noexcept;
+};
+
+/// Builds the forecast for `base_time` seconds of useful work protected by
+/// the pattern realized by `solution`. Uses the exact evaluator (not the
+/// first-order approximation) for the overhead.
+[[nodiscard]] JobPlan plan_job(double base_time, const FirstOrderSolution& solution,
+                               const ModelParams& params);
+
+/// Convenience: plan with the optimal pattern of a family.
+[[nodiscard]] JobPlan plan_job(double base_time, PatternKind kind,
+                               const ModelParams& params);
+
+/// Expected *useful-work efficiency* of a pattern: W / E(P), i.e. the
+/// fraction of wall-clock that advances the application. Equals
+/// 1 / (1 + H(P)).
+[[nodiscard]] double efficiency(const PatternSpec& pattern, const ModelParams& params);
+
+}  // namespace resilience::core

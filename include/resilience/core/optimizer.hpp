@@ -1,0 +1,64 @@
+#pragma once
+
+// Numeric pattern optimization on top of the exact evaluator — no
+// first-order truncation. Used (1) to cross-validate the Table 1 closed
+// forms in the large-MTBF regime, and (2) to produce genuinely optimal
+// patterns when the MTBF is small and the first-order model degrades
+// (the regime the paper's weak-scaling experiment exposes).
+
+#include <cstddef>
+#include <functional>
+
+#include "resilience/core/expected_time.hpp"
+#include "resilience/core/params.hpp"
+#include "resilience/core/pattern.hpp"
+
+namespace resilience::core {
+
+/// Search-space bounds for the numeric optimizer.
+struct OptimizerOptions {
+  std::size_t max_segments = 64;       ///< upper bound on n
+  std::size_t max_chunks = 256;        ///< upper bound on m
+  double work_lo = 1.0;                ///< seconds; W search bracket
+  double work_hi = 1e7;                ///< seconds
+  double work_tolerance = 1e-3;        ///< absolute W tolerance (seconds)
+  EvaluationOptions evaluation;        ///< exact-evaluator switches
+  /// When true, also refines the chunk fractions numerically instead of
+  /// trusting the Eq. (18) closed form (slow; used by validation tests).
+  bool optimize_chunk_fractions = false;
+};
+
+/// A numerically optimized pattern and its exact overhead.
+struct NumericSolution {
+  PatternSpec pattern;
+  double overhead = 0.0;   ///< exact H(P) at the optimum
+  std::size_t segments_n = 1;
+  std::size_t chunks_m = 1;
+};
+
+/// Minimizes a unimodal function on [lo, hi] by golden-section search;
+/// returns the minimizer (helper exposed for tests).
+[[nodiscard]] double golden_section_minimize(const std::function<double(double)>& f,
+                                             double lo, double hi, double tolerance);
+
+/// Best work length W for a fixed pattern shape (n, m and chunk fractions),
+/// minimizing the exact overhead.
+[[nodiscard]] double optimize_work_length(PatternKind kind, std::size_t segments_n,
+                                          std::size_t chunks_m,
+                                          const ModelParams& params,
+                                          const OptimizerOptions& options = {});
+
+/// Full numeric optimization of one pattern family: exact-overhead search
+/// over W (golden section), n and m (monotone neighborhood descent from the
+/// first-order guess, falling back to exhaustive scan for small spaces).
+[[nodiscard]] NumericSolution optimize_pattern(PatternKind kind,
+                                               const ModelParams& params,
+                                               const OptimizerOptions& options = {});
+
+/// Numeric minimization of the segment quadratic form beta^T A beta over
+/// the probability simplex (projected coordinate descent); converges to the
+/// Eq. (18) fractions and is used to property-test them.
+[[nodiscard]] std::vector<double> optimize_chunk_fractions_numeric(
+    std::size_t chunks, double recall, std::size_t iterations = 2000);
+
+}  // namespace resilience::core

@@ -1,0 +1,71 @@
+#pragma once
+
+// Model parameters for the two-level checkpoint + verification framework of
+// Benoit, Cavelan, Robert & Sun (IPDPS 2016), Section 2.
+
+#include <stdexcept>
+#include <string>
+
+namespace resilience::core {
+
+/// Costs of the resilience operations (all in seconds of wall-clock time on
+/// the platform, matching the paper's notation in Section 2.3).
+struct CostParams {
+  double disk_checkpoint = 0.0;    ///< C_D: write a disk checkpoint
+  double memory_checkpoint = 0.0;  ///< C_M: write an in-memory checkpoint
+  double disk_recovery = 0.0;      ///< R_D: restore from the disk checkpoint
+  double memory_recovery = 0.0;    ///< R_M: restore from the memory copy
+  double guaranteed_verification = 0.0;  ///< V*: recall-1 verification
+  double partial_verification = 0.0;     ///< V: cheap partial verification
+  double recall = 1.0;  ///< r in (0,1]: fraction of silent errors V detects
+
+  /// Validates positivity/range constraints; throws std::invalid_argument
+  /// with a field-specific message on violation.
+  void validate() const;
+
+  /// The paper's default instantiation on top of measured checkpoint costs:
+  /// R_D = C_D, R_M = C_M, V* = C_M, V = V*/100, r = 0.8 (Section 6.1).
+  static CostParams paper_defaults(double disk_checkpoint_cost,
+                                   double memory_checkpoint_cost);
+};
+
+/// Arrival rates of the two independent Poisson error sources (per second).
+struct ErrorRates {
+  double fail_stop = 0.0;  ///< lambda_f
+  double silent = 0.0;     ///< lambda_s
+
+  void validate() const;
+
+  /// Combined rate lambda = lambda_f + lambda_s.
+  [[nodiscard]] double total() const noexcept { return fail_stop + silent; }
+
+  /// Platform MTBF mu = 1/lambda accounting for both sources; +inf if both
+  /// rates are zero.
+  [[nodiscard]] double platform_mtbf() const noexcept;
+
+  /// Rates scaled by independent multipliers (Figure 9 sweeps).
+  [[nodiscard]] ErrorRates scaled(double fail_stop_factor,
+                                  double silent_factor) const noexcept;
+};
+
+/// Probability of at least one error of rate `lambda` striking within a
+/// window of length `w`:  p = 1 - e^{-lambda w}  (numerically via expm1).
+[[nodiscard]] double error_probability(double lambda, double w) noexcept;
+
+/// Expected time lost within a window of length `w` given that a fail-stop
+/// error strikes it:  E[T_lost] = 1/lambda - w / (e^{lambda w} - 1), Eq. (3).
+/// Evaluates the stable limit w/2 as lambda*w -> 0.
+[[nodiscard]] double expected_time_lost(double lambda, double w) noexcept;
+
+/// Full model instantiation = operation costs + error rates.
+struct ModelParams {
+  CostParams costs;
+  ErrorRates rates;
+
+  void validate() const {
+    costs.validate();
+    rates.validate();
+  }
+};
+
+}  // namespace resilience::core

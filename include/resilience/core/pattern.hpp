@@ -1,0 +1,108 @@
+#pragma once
+
+// Pattern specification P(W, n, alpha, m, <beta_1..beta_n>) from Section 2.3
+// of the paper: W work units split into n segments (each terminated by a
+// guaranteed verification + memory checkpoint), each segment split into m_i
+// chunks separated by partial verifications; a disk checkpoint closes the
+// pattern.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "resilience/core/params.hpp"
+
+namespace resilience::core {
+
+/// The six pattern families analysed by the paper (Table 1).
+enum class PatternKind {
+  kD,     ///< P_D: single segment, single chunk (extended Young/Daly)
+  kDVg,   ///< P_DV*: one segment, m chunks, guaranteed verifications only
+  kDV,    ///< P_DV: one segment, m chunks, partial verifications
+  kDM,    ///< P_DM: n single-chunk segments (multiple memory checkpoints)
+  kDMVg,  ///< P_DMV*: n segments x m chunks, guaranteed verifications
+  kDMV,   ///< P_DMV: n segments x m chunks, partial verifications
+};
+
+/// All pattern kinds in the paper's presentation order.
+[[nodiscard]] const std::vector<PatternKind>& all_pattern_kinds();
+
+/// Human-readable name, e.g. "PDMV*".
+[[nodiscard]] std::string pattern_name(PatternKind kind);
+
+/// Parse "PD", "PDV*", "pdmv", ... back to a kind; throws on unknown names.
+[[nodiscard]] PatternKind pattern_kind_from_name(const std::string& name);
+
+/// Whether the family places multiple memory checkpoints per pattern.
+[[nodiscard]] bool uses_memory_checkpoints(PatternKind kind) noexcept;
+/// Whether the family places verifications between memory checkpoints.
+[[nodiscard]] bool uses_intermediate_verifications(PatternKind kind) noexcept;
+/// Whether those intermediate verifications are partial (recall r < 1).
+[[nodiscard]] bool uses_partial_verifications(PatternKind kind) noexcept;
+
+/// One segment: its share of the pattern work and its chunk subdivision.
+struct SegmentSpec {
+  double alpha = 1.0;               ///< segment work fraction (sums to 1)
+  std::vector<double> beta;         ///< chunk fractions within segment (sum to 1)
+
+  [[nodiscard]] std::size_t chunks() const noexcept { return beta.size(); }
+};
+
+/// Full pattern specification.
+class PatternSpec {
+ public:
+  /// Builds a spec and validates it (positive W, fractions summing to 1,
+  /// nonempty segments); throws std::invalid_argument on violation.
+  /// `guaranteed_intermediates` marks the P_DV*/P_DMV* families, whose
+  /// intermediate chunk-boundary verifications are guaranteed (cost V*,
+  /// recall 1) instead of partial (cost V, recall r).
+  PatternSpec(double work, std::vector<SegmentSpec> segments,
+              bool guaranteed_intermediates = false);
+
+  /// Whether intermediate verifications are guaranteed rather than partial.
+  [[nodiscard]] bool guaranteed_intermediates() const noexcept {
+    return guaranteed_intermediates_;
+  }
+
+  [[nodiscard]] double work() const noexcept { return work_; }
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+  [[nodiscard]] const SegmentSpec& segment(std::size_t i) const { return segments_.at(i); }
+  [[nodiscard]] const std::vector<SegmentSpec>& segments() const noexcept {
+    return segments_;
+  }
+
+  /// Total number of chunks across segments.
+  [[nodiscard]] std::size_t total_chunks() const noexcept;
+  /// Number of partial verifications in the pattern: sum_i (m_i - 1).
+  [[nodiscard]] std::size_t partial_verification_count() const noexcept;
+  /// Absolute work of chunk j of segment i (seconds at unit speed).
+  [[nodiscard]] double chunk_work(std::size_t segment, std::size_t chunk) const;
+  /// Absolute work of segment i.
+  [[nodiscard]] double segment_work(std::size_t segment) const;
+
+  /// Re-scales the pattern to a new total work, keeping all fractions.
+  [[nodiscard]] PatternSpec with_work(double new_work) const;
+
+  /// Compact description, e.g. "W=25200s n=3 m=[2,2,2]".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  double work_;
+  std::vector<SegmentSpec> segments_;
+  bool guaranteed_intermediates_ = false;
+};
+
+/// Optimal chunk-size vector of Theorem 3 / Eq. (18) for a segment with m
+/// chunks under recall r: boundary chunks get 1/((m-2)r + 2), interior
+/// chunks get r/((m-2)r + 2). For r = 1 this degenerates to equal chunks.
+[[nodiscard]] std::vector<double> optimal_chunk_fractions(std::size_t chunks,
+                                                          double recall);
+
+/// Builds the canonical pattern of a family: n equal segments, m chunks per
+/// segment with the optimal Eq. (18) fractions (m and n forced to 1 where
+/// the family fixes them).
+[[nodiscard]] PatternSpec make_pattern(PatternKind kind, double work,
+                                       std::size_t segments_n,
+                                       std::size_t chunks_m, double recall);
+
+}  // namespace resilience::core

@@ -1,0 +1,56 @@
+#pragma once
+
+// Catalog of the evaluation platforms (Table 2 of the paper: Hera, Atlas,
+// Coastal, Coastal SSD, as measured by Moody et al. for the SCR library)
+// plus the weak-scaling construction used in Figures 7-9.
+
+#include <string>
+#include <vector>
+
+#include "resilience/core/params.hpp"
+
+namespace resilience::core {
+
+/// One evaluation platform: name, node count, error rates and the two
+/// checkpoint costs; everything else is derived via the paper's Section 6.1
+/// assumptions (R_D = C_D, R_M = C_M, V* = C_M, V = V*/100, r = 0.8).
+struct Platform {
+  std::string name;
+  std::size_t nodes = 0;
+  ErrorRates rates;              ///< platform-level rates (per second)
+  double disk_checkpoint = 0.0;  ///< C_D (seconds)
+  double memory_checkpoint = 0.0;  ///< C_M (seconds)
+
+  /// Full model parameters with the paper's default cost derivations.
+  [[nodiscard]] ModelParams model_params() const;
+
+  /// Per-node error rates (platform rate / node count).
+  [[nodiscard]] ErrorRates per_node_rates() const;
+
+  /// Weak-scaling variant of this platform: same per-node rates, `nodes`
+  /// nodes, constant checkpoint costs (the paper's optimistic assumption of
+  /// an I/O bandwidth that scales with the machine).
+  [[nodiscard]] Platform scaled_to(std::size_t node_count) const;
+
+  /// Variant with a different disk checkpoint cost (Figure 8: C_D = 90s).
+  [[nodiscard]] Platform with_disk_checkpoint(double cost) const;
+
+  /// Variant with error-rate multipliers (Figure 9 sweeps).
+  [[nodiscard]] Platform with_rate_factors(double fail_stop_factor,
+                                           double silent_factor) const;
+};
+
+/// The four platforms of Table 2.
+[[nodiscard]] Platform hera();
+[[nodiscard]] Platform atlas();
+[[nodiscard]] Platform coastal();
+[[nodiscard]] Platform coastal_ssd();
+
+/// All catalog platforms in the paper's presentation order.
+[[nodiscard]] std::vector<Platform> all_platforms();
+
+/// Lookup by (case-insensitive) name; throws std::invalid_argument when the
+/// name is not in the catalog.
+[[nodiscard]] Platform platform_by_name(const std::string& name);
+
+}  // namespace resilience::core

@@ -1,0 +1,54 @@
+#pragma once
+
+// Partial-verification selection (Section 2.3): among a set of candidate
+// silent-error detectors, the best single detector to interleave between
+// memory checkpoints is the one maximizing the accuracy-to-cost ratio
+//
+//   a(D) = (r / (2 - r)) / (V / (V* + C_M)),
+//
+// where the guaranteed verification has r = 1 and thus a = (C_M + V*)/V*.
+
+#include <string>
+#include <vector>
+
+#include "resilience/core/params.hpp"
+
+namespace resilience::core {
+
+/// One candidate silent-error detector.
+struct Detector {
+  std::string name;
+  double cost = 0.0;   ///< V, seconds per invocation
+  double recall = 1.0; ///< r in (0, 1]
+
+  void validate() const;
+};
+
+/// Accuracy-to-cost ratio of a detector relative to the guaranteed
+/// verification cost V* and memory checkpoint cost C_M.
+[[nodiscard]] double accuracy_to_cost_ratio(const Detector& detector,
+                                            double guaranteed_cost,
+                                            double memory_checkpoint_cost);
+
+/// Ratio of the guaranteed verification itself (recall 1):
+/// (V* + C_M)/V* = C_M/V* + 1.
+[[nodiscard]] double guaranteed_accuracy_to_cost_ratio(double guaranteed_cost,
+                                                       double memory_checkpoint_cost);
+
+/// Picks the candidate with the highest accuracy-to-cost ratio; throws
+/// std::invalid_argument on an empty candidate list.
+[[nodiscard]] Detector select_best_detector(const std::vector<Detector>& candidates,
+                                            double guaranteed_cost,
+                                            double memory_checkpoint_cost);
+
+/// True when interleaving the detector is predicted to beat using only
+/// guaranteed verifications, i.e. its accuracy-to-cost ratio exceeds the
+/// guaranteed verification's own ratio.
+[[nodiscard]] bool partial_verification_worthwhile(const Detector& detector,
+                                                   double guaranteed_cost,
+                                                   double memory_checkpoint_cost);
+
+/// Installs the detector into a parameter set as the partial verification.
+[[nodiscard]] CostParams with_detector(CostParams costs, const Detector& detector);
+
+}  // namespace resilience::core

@@ -1,0 +1,53 @@
+#pragma once
+
+// Operation-level simulator of a resilience pattern. Mirrors the paper's
+// simulator (Section 6.1): fail-stop errors may strike computations,
+// verifications, checkpoints and recoveries; silent errors strike
+// computations only. Rollback semantics:
+//   fail-stop        -> disk recovery + memory recovery, restart the pattern;
+//   silent detected  -> memory recovery, restart the current segment;
+//   fail-stop during a memory recovery escalates to the disk path (the
+//   memory copy being restored is gone too).
+
+#include <cstdint>
+#include <functional>
+
+#include "resilience/core/params.hpp"
+#include "resilience/core/pattern.hpp"
+#include "resilience/sim/error_model.hpp"
+#include "resilience/sim/metrics.hpp"
+
+namespace resilience::sim {
+
+/// Simulation event stream, mainly for tests and debugging traces.
+enum class Event {
+  kChunkCompleted,
+  kFailStop,
+  kSilentInjected,
+  kPartialAlarm,
+  kGuaranteedAlarm,
+  kMemoryCheckpoint,
+  kDiskCheckpoint,
+  kMemoryRecovery,
+  kDiskRecovery,
+  kPatternCompleted,
+};
+
+/// Optional observer invoked after each event with the current simulation
+/// clock; keep it cheap, it sits on the hot path.
+using EventObserver = std::function<void(Event, double clock_seconds)>;
+
+struct EngineConfig {
+  std::uint64_t patterns = 1000;  ///< patterns to push to completion
+  EventObserver observer;        ///< optional event hook
+};
+
+/// Simulates `config.patterns` consecutive executions of `pattern` and
+/// returns the accumulated metrics. The error model carries the RNG stream,
+/// so two calls with identical models reproduce identical runs.
+[[nodiscard]] RunMetrics simulate_run(const core::PatternSpec& pattern,
+                                      const core::ModelParams& params,
+                                      ErrorModelBase& errors,
+                                      const EngineConfig& config = {});
+
+}  // namespace resilience::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+// Stochastic error injection for the simulator. The paper's model
+// (Section 2.1) uses homogeneous Poisson processes for both error sources,
+// for which per-operation sampling is exact by memorylessness: each
+// operation of length L independently suffers at least one fail-stop error
+// with probability 1 - e^{-lambda_f L}, and the position of the first
+// strike follows a truncated exponential.
+//
+// The abstract base lets the engine also run under non-Poisson renewal
+// processes (see renewal.hpp) to test the robustness of the optimal
+// patterns when real-world failure statistics (Weibull, lognormal) replace
+// the exponential assumption.
+
+#include "resilience/core/params.hpp"
+#include "resilience/util/random.hpp"
+
+namespace resilience::sim {
+
+/// Outcome of exposing an operation window to fail-stop errors.
+struct FailStopOutcome {
+  bool struck = false;
+  double time_survived = 0.0;  ///< full length if !struck, strike position if struck
+};
+
+/// Error-injection interface consumed by the engine.
+class ErrorModelBase {
+ public:
+  virtual ~ErrorModelBase() = default;
+
+  /// Samples fail-stop exposure of an operation lasting `length` seconds.
+  [[nodiscard]] virtual FailStopOutcome sample_fail_stop(double length) = 0;
+
+  /// Whether at least one silent error strikes a computation of `length`.
+  [[nodiscard]] virtual bool sample_silent(double length) = 0;
+
+  /// Whether a partial verification with the given recall raises an alarm
+  /// on a corrupted state.
+  [[nodiscard]] virtual bool sample_detection(double recall) = 0;
+};
+
+/// The paper's model: independent Poisson processes for both sources.
+class ErrorModel final : public ErrorModelBase {
+ public:
+  ErrorModel(core::ErrorRates rates, util::Xoshiro256 rng)
+      : rates_(rates), rng_(rng) {}
+
+  [[nodiscard]] FailStopOutcome sample_fail_stop(double length) override;
+  [[nodiscard]] bool sample_silent(double length) override;
+  [[nodiscard]] bool sample_detection(double recall) override;
+
+  [[nodiscard]] const core::ErrorRates& rates() const noexcept { return rates_; }
+  [[nodiscard]] util::Xoshiro256& rng() noexcept { return rng_; }
+
+ private:
+  core::ErrorRates rates_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace resilience::sim

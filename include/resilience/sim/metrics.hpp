@@ -1,0 +1,57 @@
+#pragma once
+
+// Simulation bookkeeping: per-run counters of every resilience event the
+// paper's Figures 6-9 report, plus aggregation across Monte Carlo runs.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "resilience/util/stats.hpp"
+
+namespace resilience::sim {
+
+/// Counters accumulated over one simulated run (all attempts included:
+/// checkpoints/verifications performed during re-executions count too,
+/// matching the paper's measurement convention in Section 6.2.4).
+struct RunMetrics {
+  double elapsed_seconds = 0.0;   ///< wall-clock time of the run
+  double useful_work_seconds = 0.0;  ///< committed work (= patterns x W)
+
+  std::uint64_t patterns_completed = 0;
+  std::uint64_t disk_checkpoints = 0;
+  std::uint64_t memory_checkpoints = 0;
+  std::uint64_t partial_verifications = 0;
+  std::uint64_t guaranteed_verifications = 0;
+  std::uint64_t disk_recoveries = 0;
+  std::uint64_t memory_recoveries = 0;
+  std::uint64_t fail_stop_errors = 0;
+  std::uint64_t silent_errors = 0;       ///< injected
+  std::uint64_t silent_detections_partial = 0;  ///< alarms raised by V
+  std::uint64_t silent_detections_guaranteed = 0;  ///< alarms raised by V*
+
+  /// Execution overhead of the run: elapsed/useful - 1.
+  [[nodiscard]] double overhead() const noexcept;
+  [[nodiscard]] std::uint64_t verifications() const noexcept {
+    return partial_verifications + guaranteed_verifications;
+  }
+
+  void merge(const RunMetrics& other) noexcept;
+};
+
+/// Cross-run aggregate: distribution of the overhead and mean event rates.
+struct AggregateMetrics {
+  util::RunningStats overhead;
+  util::RunningStats elapsed_seconds;
+  util::RunningStats disk_checkpoints_per_hour;
+  util::RunningStats memory_checkpoints_per_hour;
+  util::RunningStats verifications_per_hour;
+  util::RunningStats disk_recoveries_per_day;
+  util::RunningStats memory_recoveries_per_day;
+  util::RunningStats disk_recoveries_per_pattern;
+  util::RunningStats memory_recoveries_per_pattern;
+
+  void add_run(const RunMetrics& run);
+  void merge(const AggregateMetrics& other);
+};
+
+}  // namespace resilience::sim

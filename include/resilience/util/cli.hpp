@@ -1,0 +1,55 @@
+#pragma once
+
+// Minimal command-line flag parser shared by examples and bench harnesses.
+// Supports "--name value", "--name=value" and boolean "--name" forms plus
+// automatic --help generation; deliberately tiny, no external dependency.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace resilience::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers a flag with a default value; call before parse().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+  void add_bool_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; returns false (after printing usage) on --help or on an
+  /// unknown/malformed flag.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] bool was_set(const std::string& name) const;
+
+  /// Positional arguments left over after flag parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void print_usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    bool is_bool = false;
+    std::optional<std::string> value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace resilience::util

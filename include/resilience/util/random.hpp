@@ -1,0 +1,107 @@
+#pragma once
+
+// Deterministic random-number substrate for the resilience simulator.
+//
+// We implement our own engines instead of relying on std::mt19937 so that
+// (1) streams can be split cheaply for parallel Monte Carlo runs and
+// (2) the sequence is identical across standard-library implementations,
+// which keeps simulation-vs-model regression tests reproducible.
+
+#include <cstdint>
+#include <limits>
+
+namespace resilience::util {
+
+/// SplitMix64: tiny, statistically solid 64-bit generator used to seed and
+/// derive independent streams (Steele, Lea, Flood; public-domain algorithm).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna): fast all-purpose 64-bit engine with
+/// a 2^256-1 period and a 2^128 jump function for independent parallel
+/// sub-streams. Satisfies the UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a SplitMix64 stream, as recommended by
+  /// the xoshiro authors (avoids the all-zero state).
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Advances the state by 2^128 steps; calling jump() k times on copies of
+  /// one engine yields k non-overlapping sub-streams.
+  void jump() noexcept;
+
+  /// Convenience: engine for the i-th parallel stream derived from `seed`.
+  static Xoshiro256 stream(std::uint64_t seed, std::uint64_t stream_index) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Uniform double in [0, 1) with full 53-bit mantissa resolution.
+inline double uniform01(Xoshiro256& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in (0, 1] — safe as an argument to log().
+inline double uniform01_open_low(Xoshiro256& rng) noexcept {
+  return (static_cast<double>(rng() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+double uniform_range(Xoshiro256& rng, double lo, double hi) noexcept;
+
+/// Uniform integer in [0, n) without modulo bias (Lemire's method).
+std::uint64_t uniform_below(Xoshiro256& rng, std::uint64_t n) noexcept;
+
+/// Exponential variate with rate `lambda` (mean 1/lambda); lambda <= 0 yields
+/// +infinity, which conveniently models "this error source is disabled".
+double exponential(Xoshiro256& rng, double lambda) noexcept;
+
+/// Bernoulli trial with success probability p (clamped to [0, 1]).
+bool bernoulli(Xoshiro256& rng, double p) noexcept;
+
+/// Poisson variate with mean `mu`. Uses inversion by sequential search for
+/// small mu and the PTRS transformed-rejection method for large mu.
+std::uint64_t poisson(Xoshiro256& rng, double mu) noexcept;
+
+/// Truncated exponential on [0, w): the strike position of a fail-stop error
+/// conditioned on at least one error occurring within a window of length w
+/// (the distribution behind Eq. (3) of the paper).
+double truncated_exponential(Xoshiro256& rng, double lambda, double w) noexcept;
+
+}  // namespace resilience::util

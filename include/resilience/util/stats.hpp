@@ -1,0 +1,90 @@
+#pragma once
+
+// Streaming statistics substrate: Welford accumulators, confidence
+// intervals, histograms and event-rate bookkeeping used by the Monte Carlo
+// runner and the benchmark harnesses.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace resilience::util {
+
+/// Numerically stable streaming mean/variance accumulator (Welford's
+/// algorithm). Merging two accumulators uses Chan's parallel update, so
+/// per-thread accumulators can be combined without precision loss.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the normal-approximation confidence interval around the
+  /// mean, e.g. z = 1.96 for 95%. (The Monte Carlo sample counts used here
+  /// are large enough that the t-correction is negligible.)
+  [[nodiscard]] double ci_halfwidth(double z = 1.96) const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside the range land in
+/// saturating under/overflow bins. Used to inspect the distribution of
+/// per-pattern execution times in the simulator tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Linear-interpolated quantile estimate, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Converts an event count observed over `elapsed_seconds` into per-hour and
+/// per-day rates; the unit conversions the paper's Figures 6-9 report in.
+struct EventRate {
+  double count = 0.0;
+  double elapsed_seconds = 0.0;
+
+  [[nodiscard]] double per_second() const noexcept;
+  [[nodiscard]] double per_hour() const noexcept { return per_second() * 3600.0; }
+  [[nodiscard]] double per_day() const noexcept { return per_second() * 86400.0; }
+};
+
+/// Relative difference |a - b| / max(|a|, |b|, eps); used pervasively by the
+/// model-vs-simulation property tests.
+[[nodiscard]] double relative_difference(double a, double b) noexcept;
+
+/// Kahan-compensated sum of a vector (tests + table post-processing).
+[[nodiscard]] double compensated_sum(const std::vector<double>& values) noexcept;
+
+}  // namespace resilience::util

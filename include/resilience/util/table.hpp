@@ -1,0 +1,51 @@
+#pragma once
+
+// Lightweight tabular reporting: aligned ASCII tables for terminal output
+// and CSV emission for plotting. Every bench harness routes its rows
+// through this so the printed series match the paper's tables/figures
+// column-for-column.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resilience::util {
+
+/// Column alignment within an ASCII table.
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> alignments = {});
+
+  /// Appends a preformatted row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders with a header rule and per-column alignment.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers used when building table rows.
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+/// Scientific notation, e.g. 9.46e-07.
+[[nodiscard]] std::string format_sci(double value, int precision = 3);
+/// Percentage with a '%' suffix, e.g. "6.25%".
+[[nodiscard]] std::string format_percent(double fraction, int precision = 2);
+/// Seconds rendered as hours with 2 decimals, e.g. "8.23 h".
+[[nodiscard]] std::string format_hours(double seconds, int precision = 2);
+
+}  // namespace resilience::util

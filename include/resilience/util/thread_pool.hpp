@@ -1,0 +1,78 @@
+#pragma once
+
+// Fixed-size thread pool with a blocking task queue and a parallel_for
+// helper. This is the only parallel substrate in the project: the Monte
+// Carlo runner and the stencil kernels fan work out through it, keeping the
+// rest of the code free of raw thread management (C++ Core Guidelines CP.*).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace resilience::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (with a floor of one worker).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future propagates the task's exception,
+  /// if any, to the caller.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs body(i) for i in [0, count), blocked into contiguous ranges so
+  /// each worker receives about one range. Blocks until every index is
+  /// processed; rethrows the first exception thrown by `body`.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Static-partition variant giving the callee the whole [begin, end)
+  /// range; useful when per-iteration dispatch would dominate (stencil rows).
+  void parallel_for_ranges(
+      std::size_t count,
+      const std::function<void(std::size_t begin, std::size_t end)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool, sized from hardware concurrency on first use. The
+/// simulator and stencil default to this so examples need no plumbing.
+ThreadPool& global_pool();
+
+}  // namespace resilience::util

@@ -1,0 +1,147 @@
+#include "resilience/app/checkpoint_store.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace resilience::app {
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t checksum_doubles(std::span<const double> values) noexcept {
+  return fnv1a64(std::as_bytes(values));
+}
+
+void MemoryCheckpointStore::save(const CheckpointPayload& payload) {
+  stored_ = payload;
+  checksum_ = checksum_doubles(payload.data);
+}
+
+std::optional<CheckpointPayload> MemoryCheckpointStore::load() const {
+  if (!stored_) {
+    return std::nullopt;
+  }
+  if (checksum_doubles(stored_->data) != checksum_) {
+    return std::nullopt;  // the stored copy itself was corrupted
+  }
+  return stored_;
+}
+
+void MemoryCheckpointStore::invalidate() { stored_.reset(); }
+
+bool MemoryCheckpointStore::has_checkpoint() const { return stored_.has_value(); }
+
+namespace {
+
+struct DiskHeader {
+  std::uint64_t magic = 0x52455350434b5054ULL;  // "RESPCKPT"
+  std::uint64_t step = 0;
+  std::uint64_t count = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// RAII wrapper over std::FILE keeping the I/O code exception-safe.
+class File {
+ public:
+  File(const std::filesystem::path& path, const char* mode)
+      : handle_(std::fopen(path.string().c_str(), mode)) {}
+  ~File() {
+    if (handle_) {
+      std::fclose(handle_);
+    }
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  [[nodiscard]] std::FILE* get() const noexcept { return handle_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return handle_ != nullptr; }
+
+  /// Closes eagerly (needed before rename); safe to call once.
+  void close() {
+    if (handle_) {
+      std::fclose(handle_);
+      handle_ = nullptr;
+    }
+  }
+
+ private:
+  std::FILE* handle_;
+};
+
+}  // namespace
+
+DiskCheckpointStore::DiskCheckpointStore(std::filesystem::path directory,
+                                         std::string name) {
+  std::filesystem::create_directories(directory);
+  path_ = directory / (name + ".ckpt");
+}
+
+void DiskCheckpointStore::save(const CheckpointPayload& payload) {
+  const std::filesystem::path temp = path_.string() + ".tmp";
+  {
+    File file(temp, "wb");
+    if (!file) {
+      throw std::runtime_error("DiskCheckpointStore: cannot open " + temp.string());
+    }
+    DiskHeader header;
+    header.step = payload.step;
+    header.count = payload.data.size();
+    header.checksum = checksum_doubles(payload.data);
+    if (std::fwrite(&header, sizeof(header), 1, file.get()) != 1) {
+      throw std::runtime_error("DiskCheckpointStore: header write failed");
+    }
+    if (!payload.data.empty() &&
+        std::fwrite(payload.data.data(), sizeof(double), payload.data.size(),
+                    file.get()) != payload.data.size()) {
+      throw std::runtime_error("DiskCheckpointStore: data write failed");
+    }
+    if (std::fflush(file.get()) != 0) {
+      throw std::runtime_error("DiskCheckpointStore: flush failed");
+    }
+    file.close();
+  }
+  // Atomic publish: a crash mid-save leaves the previous checkpoint intact.
+  std::filesystem::rename(temp, path_);
+}
+
+std::optional<CheckpointPayload> DiskCheckpointStore::load() const {
+  File file(path_, "rb");
+  if (!file) {
+    return std::nullopt;
+  }
+  DiskHeader header;
+  if (std::fread(&header, sizeof(header), 1, file.get()) != 1 ||
+      header.magic != DiskHeader{}.magic) {
+    return std::nullopt;
+  }
+  CheckpointPayload payload;
+  payload.step = header.step;
+  payload.data.resize(header.count);
+  if (header.count > 0 &&
+      std::fread(payload.data.data(), sizeof(double), header.count, file.get()) !=
+          header.count) {
+    return std::nullopt;
+  }
+  if (checksum_doubles(payload.data) != header.checksum) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+void DiskCheckpointStore::invalidate() {
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // missing file is fine
+}
+
+bool DiskCheckpointStore::has_checkpoint() const {
+  return std::filesystem::exists(path_);
+}
+
+}  // namespace resilience::app

@@ -1,0 +1,47 @@
+#include "resilience/app/fault_injection.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace resilience::app {
+
+InjectedFault BitFlipInjector::inject(std::span<double> field, int max_bit) {
+  return inject_in_range(field, 0, max_bit);
+}
+
+InjectedFault BitFlipInjector::inject_in_range(std::span<double> field, int min_bit,
+                                               int max_bit) {
+  if (field.empty()) {
+    throw std::invalid_argument("BitFlipInjector: empty field");
+  }
+  if (min_bit < 0 || max_bit <= min_bit || max_bit > 64) {
+    throw std::invalid_argument(
+        "BitFlipInjector: need 0 <= min_bit < max_bit <= 64");
+  }
+  const auto index = static_cast<std::size_t>(
+      util::uniform_below(rng_, static_cast<std::uint64_t>(field.size())));
+  const auto bit =
+      min_bit + static_cast<int>(util::uniform_below(
+                    rng_, static_cast<std::uint64_t>(max_bit - min_bit)));
+  return inject_at(field, index, bit);
+}
+
+InjectedFault BitFlipInjector::inject_at(std::span<double> field, std::size_t index,
+                                         int bit) {
+  if (index >= field.size()) {
+    throw std::out_of_range("BitFlipInjector: index out of range");
+  }
+  if (bit < 0 || bit >= 64) {
+    throw std::out_of_range("BitFlipInjector: bit out of range");
+  }
+  InjectedFault fault;
+  fault.index = index;
+  fault.bit = bit;
+  fault.before = field[index];
+  const auto bits = std::bit_cast<std::uint64_t>(field[index]);
+  field[index] = std::bit_cast<double>(bits ^ (std::uint64_t{1} << bit));
+  fault.after = field[index];
+  return fault;
+}
+
+}  // namespace resilience::app

@@ -1,0 +1,187 @@
+#include "resilience/app/ftcg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "resilience/app/fault_injection.hpp"
+
+namespace resilience::app {
+
+namespace {
+
+/// Full CG solver state, checkpointed and restored as a unit.
+struct SolverState {
+  std::vector<double> x;  ///< iterate
+  std::vector<double> r;  ///< recurrence residual
+  std::vector<double> p;  ///< search direction
+  double rho = 0.0;       ///< r.r
+  std::uint64_t iteration = 0;
+};
+
+/// True relative residual ||b - A x|| / ||b||.
+double true_relative_residual(const CsrMatrix& matrix, std::span<const double> rhs,
+                              std::span<const double> x, double rhs_norm,
+                              std::vector<double>& scratch) {
+  matrix.multiply(x, scratch);
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    scratch[i] = rhs[i] - scratch[i];
+  }
+  return norm2(scratch) / rhs_norm;
+}
+
+}  // namespace
+
+FtCgReport solve_ftcg(const CsrMatrix& matrix, std::span<const double> rhs,
+                      std::span<double> x, const FtCgConfig& config) {
+  const std::size_t n = matrix.rows();
+  if (rhs.size() != n || x.size() != n) {
+    throw std::invalid_argument("solve_ftcg: vector size mismatch");
+  }
+  if (config.check_interval == 0) {
+    throw std::invalid_argument("solve_ftcg: check_interval must be positive");
+  }
+
+  const double rhs_norm = norm2(rhs);
+  if (rhs_norm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    return FtCgReport{true, 0, 0.0, 0, 0, 0, 0, 0};
+  }
+
+  util::Xoshiro256 fault_rng(config.seed);
+  BitFlipInjector injector{util::Xoshiro256(config.seed ^ 0x51e47b1f3c9d2a86ULL)};
+
+  FtCgReport report;
+
+  // ---- initialize state: r = b - A x0, p = r ----
+  SolverState state;
+  state.x.assign(x.begin(), x.end());
+  state.r.resize(n);
+  std::vector<double> scratch(n);
+  matrix.multiply(state.x, state.r);
+  for (std::size_t i = 0; i < n; ++i) {
+    state.r[i] = rhs[i] - state.r[i];
+  }
+  state.p = state.r;
+  state.rho = dot(state.r, state.r);
+
+  SolverState checkpoint = state;  // trusted snapshot
+  ++report.checkpoints;
+
+  std::vector<double> q(n);  // A p
+  std::uint64_t consecutive_alarms = 0;
+
+  // Self-stabilizing restart: rebuild the residual recurrence from the
+  // current iterate (r = b - A x, p = r). Any finite x is a valid CG
+  // starting point, so this clears recurrence/truth inconsistencies that
+  // rollback cannot (a corrupted checkpoint). Non-finite iterates fall
+  // back to the checkpointed x first.
+  const auto self_stabilizing_restart = [&]() {
+    if (!std::isfinite(norm2(state.x))) {
+      state.x = checkpoint.x;
+    }
+    matrix.multiply(state.x, state.r);
+    for (std::size_t i = 0; i < n; ++i) {
+      state.r[i] = rhs[i] - state.r[i];
+    }
+    state.p = state.r;
+    state.rho = dot(state.r, state.r);
+    ++report.restarts;
+  };
+
+  while (state.iteration < config.max_iterations) {
+    // ---- one CG iteration ----
+    matrix.multiply(state.p, q);
+    const double p_dot_q = dot(state.p, q);
+    const double alpha = state.rho / p_dot_q;
+
+    // Scalar partial verification: for an SPD system, p.q must stay
+    // positive; a corrupted direction or matvec output frequently breaks
+    // this or produces a non-finite step. O(1) cost, imperfect recall.
+    const bool scalar_suspect =
+        config.protection_enabled && (!(p_dot_q > 0.0) || !std::isfinite(alpha));
+
+    if (!scalar_suspect) {
+      axpy(alpha, state.p, state.x);
+      axpy(-alpha, q, state.r);
+      const double rho_next = dot(state.r, state.r);
+      const double beta = rho_next / state.rho;
+      for (std::size_t i = 0; i < n; ++i) {
+        state.p[i] = state.r[i] + beta * state.p[i];
+      }
+      state.rho = rho_next;
+      ++state.iteration;
+      ++report.iterations;
+    }
+
+    // Fault injection into a random solver vector.
+    if (config.fault_probability > 0.0 &&
+        util::bernoulli(fault_rng, config.fault_probability)) {
+      std::vector<double>* targets[] = {&state.x, &state.r, &state.p};
+      std::vector<double>& target = *targets[util::uniform_below(fault_rng, 3)];
+      injector.inject_in_range(target, config.fault_min_bit, 64);
+      ++report.faults_injected;
+    }
+
+    const bool at_check = (state.iteration % config.check_interval == 0);
+    const bool residual_suspect_check =
+        config.protection_enabled && (scalar_suspect || at_check);
+
+    if (scalar_suspect) {
+      ++report.scalar_alarms;
+    }
+
+    if (residual_suspect_check) {
+      // Guaranteed verification: compare the recurrence residual against
+      // the recomputed true residual (one extra SpMV).
+      const double recurrence = std::sqrt(std::max(state.rho, 0.0)) / rhs_norm;
+      const double truth =
+          true_relative_residual(matrix, rhs, state.x, rhs_norm, scratch);
+      const bool mismatch =
+          !std::isfinite(recurrence) || !std::isfinite(truth) ||
+          std::fabs(truth - recurrence) >
+              config.residual_mismatch_tolerance * (1.0 + truth);
+      if (scalar_suspect || mismatch) {
+        if (mismatch && !scalar_suspect) {
+          ++report.residual_alarms;
+        }
+        ++consecutive_alarms;
+        if (consecutive_alarms <= 2) {
+          state = checkpoint;  // rollback to the last trusted snapshot
+          ++report.rollbacks;
+        } else {
+          // Rollback keeps failing: the checkpoint itself is suspect.
+          self_stabilizing_restart();
+          consecutive_alarms = 0;
+          checkpoint = state;
+          ++report.checkpoints;
+        }
+        continue;
+      }
+      // Verified clean: commit a fresh checkpoint.
+      consecutive_alarms = 0;
+      checkpoint = state;
+      ++report.checkpoints;
+
+      if (truth <= config.tolerance) {
+        report.converged = true;
+        break;
+      }
+    } else if (!config.protection_enabled) {
+      // Unprotected baseline: use the (possibly corrupted) recurrence
+      // residual for the stopping test, like plain CG would.
+      if (std::sqrt(std::max(state.rho, 0.0)) / rhs_norm <= config.tolerance) {
+        break;
+      }
+    }
+  }
+
+  std::copy(state.x.begin(), state.x.end(), x.begin());
+  report.final_relative_residual =
+      true_relative_residual(matrix, rhs, x, rhs_norm, scratch);
+  if (!config.protection_enabled) {
+    report.converged = report.final_relative_residual <= config.tolerance * 10.0;
+  }
+  return report;
+}
+
+}  // namespace resilience::app

@@ -1,0 +1,138 @@
+#include "resilience/app/sparse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resilience::app {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::vector<std::size_t> row_offsets,
+                     std::vector<std::size_t> column_indices,
+                     std::vector<double> values)
+    : rows_(rows),
+      row_offsets_(std::move(row_offsets)),
+      column_indices_(std::move(column_indices)),
+      values_(std::move(values)) {
+  if (row_offsets_.size() != rows_ + 1) {
+    throw std::invalid_argument("CsrMatrix: row_offsets must have rows+1 entries");
+  }
+  if (row_offsets_.front() != 0 || row_offsets_.back() != values_.size()) {
+    throw std::invalid_argument("CsrMatrix: row_offsets endpoints inconsistent");
+  }
+  if (column_indices_.size() != values_.size()) {
+    throw std::invalid_argument("CsrMatrix: indices/values size mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_offsets_[r] > row_offsets_[r + 1]) {
+      throw std::invalid_argument("CsrMatrix: row_offsets must be nondecreasing");
+    }
+  }
+  for (const std::size_t c : column_indices_) {
+    if (c >= rows_) {
+      throw std::invalid_argument("CsrMatrix: column index out of range");
+    }
+  }
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y,
+                         util::ThreadPool* pool) const {
+  if (x.size() != rows_ || y.size() != rows_) {
+    throw std::invalid_argument("CsrMatrix::multiply: vector size mismatch");
+  }
+  util::ThreadPool& workers = pool ? *pool : util::global_pool();
+  workers.parallel_for_ranges(rows_, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t row = begin; row < end; ++row) {
+      double sum = 0.0;
+      for (std::size_t k = row_offsets_[row]; k < row_offsets_[row + 1]; ++k) {
+        sum += values_[k] * x[column_indices_[k]];
+      }
+      y[row] = sum;
+    }
+  });
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t column) const {
+  if (row >= rows_ || column >= rows_) {
+    throw std::out_of_range("CsrMatrix::at");
+  }
+  for (std::size_t k = row_offsets_[row]; k < row_offsets_[row + 1]; ++k) {
+    if (column_indices_[k] == column) {
+      return values_[k];
+    }
+  }
+  return 0.0;
+}
+
+CsrMatrix poisson_2d(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("poisson_2d: n must be positive");
+  }
+  const std::size_t size = n * n;
+  std::vector<std::size_t> offsets;
+  std::vector<std::size_t> columns;
+  std::vector<double> values;
+  offsets.reserve(size + 1);
+  columns.reserve(5 * size);
+  values.reserve(5 * size);
+
+  offsets.push_back(0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = j * n + i;
+      // Entries in ascending column order: south, west, center, east, north.
+      if (j > 0) {
+        columns.push_back(row - n);
+        values.push_back(-1.0);
+      }
+      if (i > 0) {
+        columns.push_back(row - 1);
+        values.push_back(-1.0);
+      }
+      columns.push_back(row);
+      values.push_back(4.0);
+      if (i + 1 < n) {
+        columns.push_back(row + 1);
+        values.push_back(-1.0);
+      }
+      if (j + 1 < n) {
+        columns.push_back(row + n);
+        values.push_back(-1.0);
+      }
+      offsets.push_back(columns.size());
+    }
+  }
+  return CsrMatrix(size, std::move(offsets), std::move(columns), std::move(values));
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("dot: size mismatch");
+  }
+  double sum = 0.0;
+  double carry = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double term = x[i] * y[i] - carry;
+    const double t = sum + term;
+    carry = (t - sum) - term;
+    sum = t;
+  }
+  return sum;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("axpy: size mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& value : x) {
+    value *= alpha;
+  }
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+}  // namespace resilience::app

@@ -1,0 +1,136 @@
+#include "resilience/app/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resilience::app {
+
+void StencilConfig::validate() const {
+  if (nx < 3 || ny < 3) {
+    throw std::invalid_argument("StencilConfig: grid must be at least 3x3");
+  }
+  if (!(alpha > 0.0) || alpha > 0.25) {
+    throw std::invalid_argument(
+        "StencilConfig: alpha must be in (0, 0.25] for explicit stability");
+  }
+}
+
+HeatField::HeatField(StencilConfig config, util::ThreadPool* pool)
+    : config_(config),
+      pool_(pool ? pool : &util::global_pool()),
+      current_(config.cells(), 0.0),
+      next_(config.cells(), 0.0) {
+  config_.validate();
+  initialize();
+}
+
+void HeatField::initialize() {
+  const auto nx = config_.nx;
+  const auto ny = config_.ny;
+  const double cx = static_cast<double>(nx) / 2.0;
+  const double cy = static_cast<double>(ny) / 2.0;
+  const double sigma = static_cast<double>(std::min(nx, ny)) / 8.0;
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const double dx = (static_cast<double>(x) - cx) / sigma;
+      const double dy = (static_cast<double>(y) - cy) / sigma;
+      const double blob = 100.0 * std::exp(-0.5 * (dx * dx + dy * dy));
+      const double gradient =
+          10.0 * static_cast<double>(x) / static_cast<double>(nx);
+      current_[y * nx + x] = blob + gradient;
+    }
+  }
+  std::fill(next_.begin(), next_.end(), 0.0);
+  steps_ = 0;
+}
+
+void HeatField::step_once() {
+  const auto nx = config_.nx;
+  const auto ny = config_.ny;
+  const double alpha = config_.alpha;
+  const double* src = current_.data();
+  double* dst = next_.data();
+
+  pool_->parallel_for_ranges(ny - 2, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t row = begin; row < end; ++row) {
+      const std::size_t y = row + 1;  // interior rows only
+      const double* up = src + (y - 1) * nx;
+      const double* mid = src + y * nx;
+      const double* down = src + (y + 1) * nx;
+      double* out = dst + y * nx;
+      for (std::size_t x = 1; x + 1 < nx; ++x) {
+        out[x] = mid[x] + alpha * (up[x] + down[x] + mid[x - 1] + mid[x + 1] -
+                                   4.0 * mid[x]);
+      }
+    }
+  });
+
+  // Dirichlet boundaries: copy through unchanged.
+  for (std::size_t x = 0; x < nx; ++x) {
+    dst[x] = src[x];
+    dst[(ny - 1) * nx + x] = src[(ny - 1) * nx + x];
+  }
+  for (std::size_t y = 0; y < ny; ++y) {
+    dst[y * nx] = src[y * nx];
+    dst[y * nx + nx - 1] = src[y * nx + nx - 1];
+  }
+
+  current_.swap(next_);
+  ++steps_;
+}
+
+void HeatField::advance(std::size_t steps) {
+  for (std::size_t i = 0; i < steps; ++i) {
+    step_once();
+  }
+}
+
+double HeatField::at(std::size_t x, std::size_t y) const {
+  if (x >= config_.nx || y >= config_.ny) {
+    throw std::out_of_range("HeatField::at");
+  }
+  return current_[y * config_.nx + x];
+}
+
+void HeatField::set(std::size_t x, std::size_t y, double value) {
+  if (x >= config_.nx || y >= config_.ny) {
+    throw std::out_of_range("HeatField::set");
+  }
+  current_[y * config_.nx + x] = value;
+}
+
+double HeatField::total_heat() const {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (const double v : current_) {
+    const double y = v - carry;
+    const double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double HeatField::max_abs_difference(const HeatField& other) const {
+  if (other.current_.size() != current_.size()) {
+    throw std::invalid_argument("HeatField::max_abs_difference: shape mismatch");
+  }
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < current_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(current_[i] - other.current_[i]));
+  }
+  return max_diff;
+}
+
+HeatField::Snapshot HeatField::snapshot() const { return Snapshot{current_, steps_}; }
+
+void HeatField::restore(const Snapshot& snapshot) {
+  if (snapshot.data.size() != current_.size()) {
+    throw std::invalid_argument("HeatField::restore: shape mismatch");
+  }
+  current_ = snapshot.data;
+  steps_ = snapshot.steps;
+}
+
+}  // namespace resilience::app

@@ -1,0 +1,243 @@
+#include "resilience/core/expected_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resilience::core {
+
+namespace {
+
+/// Per-segment attempt statistics needed by the linear solve of Eq. (23).
+struct SegmentAttempt {
+  double success_probability = 0.0;  ///< no fail-stop AND no silent error
+  double fail_stop_probability = 0.0;  ///< some chunk interrupted (disjoint union)
+  double expected_attempt_time = 0.0;  ///< chunk work/verifs + truncated losses
+};
+
+/// Computes the attempt statistics of one segment. `q_j`, the probability
+/// that chunk j actually runs within the attempt, follows the paper's
+/// detection-chain expression: no fail-stop before j, and either no silent
+/// error so far or every partial verification since the (first) silent
+/// error missed it, each independently with probability (1 - r).
+SegmentAttempt analyze_segment(const PatternSpec& pattern, std::size_t segment_index,
+                               const ModelParams& params,
+                               const EvaluationOptions& options) {
+  const auto& segment = pattern.segment(segment_index);
+  const std::size_t m = segment.chunks();
+  const double lambda_f = params.rates.fail_stop;
+  const double lambda_s = params.rates.silent;
+  // P_DV*/P_DMV* patterns interleave guaranteed verifications (cost V*,
+  // recall 1) between chunks instead of partial ones.
+  const double intermediate_cost = pattern.guaranteed_intermediates()
+                                       ? params.costs.guaranteed_verification
+                                       : params.costs.partial_verification;
+  const double recall =
+      pattern.guaranteed_intermediates() ? 1.0 : params.costs.recall;
+
+  SegmentAttempt attempt;
+
+  // Running products/sums for the detection chain.
+  double no_fail_prefix = 1.0;    // prod_{k<j} (1 - pf_k)
+  double no_silent_prefix = 1.0;  // prod_{k<j} (1 - ps_k)
+  double missed_probability = 0.0;  // g_j: silent occurred, all verifs missed
+
+  double success = 1.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double w = pattern.chunk_work(segment_index, j);
+    const double verif_cost =
+        (j + 1 == m) ? params.costs.guaranteed_verification : intermediate_cost;
+    const double fail_window = options.faulty_verifications ? w + verif_cost : w;
+    const double pf = error_probability(lambda_f, fail_window);
+    const double ps = error_probability(lambda_s, w);
+
+    const double q = no_fail_prefix * (no_silent_prefix + missed_probability);
+
+    attempt.fail_stop_probability += q * pf;
+    attempt.expected_attempt_time +=
+        q * (pf * expected_time_lost(lambda_f, fail_window) +
+             (1.0 - pf) * (w + verif_cost));
+    success *= (1.0 - pf) * (1.0 - ps);
+
+    // Advance the chain past chunk j's verification: previously missed
+    // corruption survives with probability (1 - r); a fresh silent error in
+    // chunk j joins the missed pool with probability ps * (1 - r). The
+    // final guaranteed verification never misses, but the chain value past
+    // the last chunk is unused, so updating unconditionally is harmless.
+    missed_probability =
+        (missed_probability + no_silent_prefix * ps) * (1.0 - recall);
+    no_silent_prefix *= (1.0 - ps);
+    no_fail_prefix *= (1.0 - pf);
+  }
+  attempt.success_probability = success;
+  return attempt;
+}
+
+}  // namespace
+
+ExpectedTime evaluate_pattern(const PatternSpec& pattern, const ModelParams& params,
+                              const EvaluationOptions& options) {
+  params.validate();
+  if (params.rates.fail_stop <= 0.0 && params.rates.silent <= 0.0 &&
+      options.faulty_operations) {
+    // No errors means raw costs already; fall through with raw costs.
+  }
+
+  CostParams costs = params.costs;
+  ModelParams effective = params;
+
+  // Fixed-point on T_rec when Section-5 operation faults are enabled: start
+  // from the raw costs, evaluate, plug E(P) in as the re-execution bound,
+  // re-evaluate. Converges in a couple of iterations because the
+  // correction is O(lambda * T_rec).
+  const int refinement_rounds = options.faulty_operations ? 4 : 1;
+
+  ExpectedTime result;
+  double reexecution_estimate = 0.0;
+  for (int round = 0; round < refinement_rounds; ++round) {
+    if (options.faulty_operations && round > 0) {
+      const OperationCosts op = expected_operation_costs(params, reexecution_estimate);
+      costs = params.costs;
+      costs.disk_checkpoint = op.disk_checkpoint;
+      costs.memory_checkpoint = op.memory_checkpoint;
+      costs.disk_recovery = op.disk_recovery;
+      costs.memory_recovery = op.memory_recovery;
+    }
+    effective.costs = costs;
+
+    const std::size_t n = pattern.segment_count();
+    std::vector<double> segment_expectations(n, 0.0);
+    double prefix_sum = 0.0;  // sum_{k<i} E_k
+    for (std::size_t i = 0; i < n; ++i) {
+      const SegmentAttempt attempt =
+          analyze_segment(pattern, i, effective, options);
+      const double p_success = attempt.success_probability;
+      if (!(p_success > 0.0)) {
+        throw std::domain_error(
+            "evaluate_pattern: segment success probability underflows; the "
+            "pattern is far too long for these error rates");
+      }
+      // Linear solve of Eq. (23):
+      //   E_i = A_i + Pf_i (R_D + sum_{k<i} E_k)
+      //       + (1 - P_succ)(R_M + E_i) + P_succ C_M.
+      const double numerator =
+          attempt.expected_attempt_time +
+          attempt.fail_stop_probability *
+              (effective.costs.disk_recovery + prefix_sum) +
+          (1.0 - p_success) * effective.costs.memory_recovery +
+          p_success * effective.costs.memory_checkpoint;
+      const double e_i = numerator / p_success;
+      segment_expectations[i] = e_i;
+      prefix_sum += e_i;
+    }
+
+    result.segment_expectations = std::move(segment_expectations);
+    result.total = prefix_sum + effective.costs.disk_checkpoint;
+    result.overhead = result.total / pattern.work() - 1.0;
+    reexecution_estimate = result.total;
+  }
+  return result;
+}
+
+double evaluate_base_pattern_closed_form(double work, const ModelParams& params) {
+  params.validate();
+  const double lf = params.rates.fail_stop;
+  const double ls = params.rates.silent;
+  const CostParams& c = params.costs;
+
+  // Proof of Proposition 1 (exact, before first-order truncation):
+  //   E(P) = (e^{(lf+ls)W} - e^{ls W})/lf - W e^{ls W} + e^{ls W}(W + V*)
+  //        + C_D + C_M + (e^{(lf+ls)W} - e^{ls W}) R_D
+  //        + (e^{(lf+ls)W} - 1) R_M.
+  // The lf -> 0 limit of the first term is W e^{ls W}; computing it as
+  // e^{ls W} * expm1(lf W)/lf keeps that limit stable.
+  const double exp_ls = std::exp(ls * work);
+  const double fail_factor =
+      lf > 0.0 ? exp_ls * std::expm1(lf * work) / lf : work * exp_ls;
+  const double exp_both_minus_exp_ls = lf > 0.0 ? exp_ls * std::expm1(lf * work) : 0.0;
+  const double exp_both_minus_one = std::expm1((lf + ls) * work);
+
+  return fail_factor - work * exp_ls + exp_ls * (work + c.guaranteed_verification) +
+         c.disk_checkpoint + c.memory_checkpoint +
+         exp_both_minus_exp_ls * c.disk_recovery +
+         exp_both_minus_one * c.memory_recovery;
+}
+
+double segment_quadratic_form(const std::vector<double>& beta, double recall) {
+  if (beta.empty()) {
+    throw std::invalid_argument("segment_quadratic_form: empty chunk vector");
+  }
+  if (!(recall > 0.0) || recall > 1.0) {
+    throw std::invalid_argument("segment_quadratic_form: recall must be in (0, 1]");
+  }
+  const std::size_t m = beta.size();
+  double value = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto distance = static_cast<double>(i > j ? i - j : j - i);
+      const double a_ij = 0.5 * (1.0 + std::pow(1.0 - recall, distance));
+      value += beta[i] * a_ij * beta[j];
+    }
+  }
+  return value;
+}
+
+double evaluate_pattern_second_order(const PatternSpec& pattern,
+                                     const ModelParams& params) {
+  params.validate();
+  const CostParams& c = params.costs;
+  const double w = pattern.work();
+
+  const double intermediate_cost = pattern.guaranteed_intermediates()
+                                       ? c.guaranteed_verification
+                                       : c.partial_verification;
+  const double recall = pattern.guaranteed_intermediates() ? 1.0 : c.recall;
+
+  double error_free = c.disk_checkpoint;
+  double silent_factor = 0.0;  // sum_i beta_i^T A beta_i * alpha_i^2
+  for (std::size_t i = 0; i < pattern.segment_count(); ++i) {
+    const auto& segment = pattern.segment(i);
+    error_free += static_cast<double>(segment.chunks() - 1) * intermediate_cost +
+                  c.guaranteed_verification + c.memory_checkpoint;
+    silent_factor +=
+        segment_quadratic_form(segment.beta, recall) * segment.alpha * segment.alpha;
+  }
+  // Proposition 4, Eq. (22).
+  return w + error_free +
+         (params.rates.silent * silent_factor + params.rates.fail_stop / 2.0) * w * w;
+}
+
+OperationCosts expected_operation_costs(const ModelParams& params,
+                                        double reexecution_time) {
+  params.validate();
+  const double lf = params.rates.fail_stop;
+  const CostParams& c = params.costs;
+
+  const auto expected_cost = [&](double raw, double extra_on_failure) {
+    const double pf = error_probability(lf, raw);
+    if (pf >= 1.0) {
+      throw std::domain_error("expected_operation_costs: operation never completes");
+    }
+    // Solve E = pf (T_lost + extra + E) + (1 - pf) raw for E.
+    const double t_lost = expected_time_lost(lf, raw);
+    return (pf * (t_lost + extra_on_failure) + (1.0 - pf) * raw) / (1.0 - pf);
+  };
+
+  OperationCosts out;
+  // Eq. (30): disk recovery retries by itself.
+  out.disk_recovery = expected_cost(c.disk_recovery, 0.0);
+  // Eq. (31): memory recovery failure forces a disk recovery plus a pattern
+  // re-execution before retrying.
+  out.memory_recovery =
+      expected_cost(c.memory_recovery, out.disk_recovery + reexecution_time);
+  // Eq. (33): memory checkpoint failure: recover both levels, re-execute.
+  out.memory_checkpoint = expected_cost(
+      c.memory_checkpoint, out.disk_recovery + out.memory_recovery + reexecution_time);
+  // Eq. (32): disk checkpoint failure additionally re-takes the memory
+  // checkpoint before retrying.
+  out.disk_checkpoint =
+      expected_cost(c.disk_checkpoint, out.disk_recovery + out.memory_recovery +
+                                           reexecution_time + out.memory_checkpoint);
+  return out;
+}
+
+}  // namespace resilience::core

@@ -1,0 +1,252 @@
+#include "resilience/core/first_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resilience::core {
+
+namespace {
+
+/// Silent-error re-execution factor of a segment with m chunks sized by
+/// Eq. (18): f*(m) = (1 + (2-r)/((m-2)r + 2)) / 2 (proof of Theorem 3).
+/// With r = 1 this reduces to the equal-chunk factor (1 + 1/m)/2.
+double silent_fraction(std::size_t chunks_m, double recall) {
+  const auto m = static_cast<double>(chunks_m);
+  return 0.5 * (1.0 + (2.0 - recall) / ((m - 2.0) * recall + 2.0));
+}
+
+/// "Effective" guaranteed-verification cost with partial verifications
+/// folded in: V* - ((2-r)/r) V + C_M appears throughout the PDV/PDMV rows.
+double partial_adjusted_cost(const CostParams& costs) {
+  const double ratio = (2.0 - costs.recall) / costs.recall;
+  return costs.guaranteed_verification - ratio * costs.partial_verification +
+         costs.memory_checkpoint;
+}
+
+struct IntegerChoice {
+  std::size_t value = 1;
+  double objective = 0.0;
+};
+
+/// Evaluates F over the floor/ceil integer neighbours of a rational
+/// minimizer and keeps the best (Theorems 2-4's rounding rule).
+template <typename F>
+IntegerChoice round_minimizer(double rational, F&& objective) {
+  const double floored = std::floor(rational);
+  const auto lo = static_cast<std::size_t>(std::max(1.0, floored));
+  const auto hi = static_cast<std::size_t>(std::max(1.0, std::ceil(rational)));
+  IntegerChoice best{lo, objective(lo)};
+  if (hi != lo) {
+    const double hi_objective = objective(hi);
+    if (hi_objective < best.objective) {
+      best = IntegerChoice{hi, hi_objective};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double OverheadCoefficients::optimal_work() const noexcept {
+  if (reexecuted_work <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(error_free / reexecuted_work);
+}
+
+double OverheadCoefficients::optimal_overhead() const noexcept {
+  return 2.0 * std::sqrt(error_free * reexecuted_work);
+}
+
+double OverheadCoefficients::overhead_at(double work) const noexcept {
+  return error_free / work + reexecuted_work * work;
+}
+
+PatternSpec FirstOrderSolution::to_pattern(double recall) const {
+  return make_pattern(kind, work, segments_n, chunks_m, recall);
+}
+
+OverheadCoefficients overhead_coefficients(PatternKind kind,
+                                           const ModelParams& params,
+                                           std::size_t segments_n,
+                                           std::size_t chunks_m) {
+  params.validate();
+  const CostParams& c = params.costs;
+  const ErrorRates& e = params.rates;
+  if (!uses_memory_checkpoints(kind)) {
+    segments_n = 1;
+  }
+  if (!uses_intermediate_verifications(kind)) {
+    chunks_m = 1;
+  }
+  if (segments_n == 0 || chunks_m == 0) {
+    throw std::invalid_argument("overhead_coefficients: n and m must be positive");
+  }
+  const auto n = static_cast<double>(segments_n);
+  const auto m = static_cast<double>(chunks_m);
+  const double recall = uses_partial_verifications(kind) ? c.recall : 1.0;
+  const double verif_cost =
+      uses_partial_verifications(kind) ? c.partial_verification
+                                       : c.guaranteed_verification;
+
+  OverheadCoefficients coeff;
+  // Error-free overhead per pattern: each segment ends with V* + C_M, each
+  // of the (m-1) intermediate chunk boundaries carries one verification,
+  // and the pattern closes with C_D.
+  coeff.error_free = n * (m - 1.0) * verif_cost +
+                     n * (c.guaranteed_verification + c.memory_checkpoint) +
+                     c.disk_checkpoint;
+  // Re-executed work fraction: silent errors roll back one segment
+  // (weighted by the chunk-level detection chain), fail-stop errors lose
+  // half of the pattern on average.
+  coeff.reexecuted_work =
+      silent_fraction(chunks_m, recall) * e.silent / n + e.fail_stop / 2.0;
+  return coeff;
+}
+
+RationalMinimizer rational_minimizer(PatternKind kind, const ModelParams& params) {
+  params.validate();
+  const CostParams& c = params.costs;
+  const ErrorRates& e = params.rates;
+  const double vg = c.guaranteed_verification;
+  const double cm = c.memory_checkpoint;
+  const double cd = c.disk_checkpoint;
+  const double v = c.partial_verification;
+  const double r = c.recall;
+  const double ratio = (2.0 - r) / r;
+
+  RationalMinimizer out;
+  // Without silent errors every verification and memory checkpoint is pure
+  // overhead: F(n, m) is increasing in both, so the optimum is the base
+  // shape. (The Table 1 minimizer expressions assume lambda_s > 0; the
+  // P_DMV m-bar*, for instance, is rate-independent and would wrongly keep
+  // interleaving verifications.)
+  if (e.silent <= 0.0) {
+    return out;
+  }
+  switch (kind) {
+    case PatternKind::kD:
+      break;
+    case PatternKind::kDVg:
+      // Table 1 row 2: m* = sqrt(lambda_s/(lambda_s+lambda_f) * (C_M+C_D)/V*).
+      out.m = std::sqrt(e.silent / (e.silent + e.fail_stop) * (cm + cd) / vg);
+      break;
+    case PatternKind::kDV:
+      // Table 1 row 3 / Eq. (20).
+      out.m = 2.0 - 2.0 / r +
+              std::sqrt(e.silent / (e.silent + e.fail_stop) * ratio *
+                        ((vg + cm + cd) / v - ratio));
+      break;
+    case PatternKind::kDM:
+      // Table 1 row 4 / Eq. (13): n* = sqrt(2 lambda_s/lambda_f * C_D/(V*+C_M)).
+      out.n = std::sqrt(2.0 * e.silent / e.fail_stop * cd / (vg + cm));
+      break;
+    case PatternKind::kDMVg:
+      // Table 1 row 5: n* = sqrt(lambda_s/lambda_f * C_D/C_M), m* = sqrt(C_M/V*).
+      out.n = std::sqrt(e.silent / e.fail_stop * cd / cm);
+      out.m = std::sqrt(cm / vg);
+      break;
+    case PatternKind::kDMV:
+      // Table 1 row 6 / Eqs. (27)-(28).
+      out.n = std::sqrt(e.silent / e.fail_stop * cd / partial_adjusted_cost(c));
+      out.m = 2.0 - 2.0 / r + std::sqrt(ratio * ((vg + cm) / v - ratio));
+      break;
+  }
+  // Degenerate rates (one source disabled) can produce NaN/inf or sub-1
+  // values; clamp to the feasible region [1, inf).
+  if (!std::isfinite(out.n) || out.n < 1.0) {
+    out.n = 1.0;
+  }
+  if (!std::isfinite(out.m) || out.m < 1.0) {
+    out.m = 1.0;
+  }
+  return out;
+}
+
+FirstOrderSolution solve_first_order(PatternKind kind, const ModelParams& params) {
+  const RationalMinimizer rational = rational_minimizer(kind, params);
+
+  FirstOrderSolution solution;
+  solution.kind = kind;
+  solution.rational_n = rational.n;
+  solution.rational_m = rational.m;
+
+  // Round n and m jointly: for each integer neighbour of n-bar*, pick the
+  // best integer neighbour of m-bar*, then keep the overall best product.
+  const auto objective = [&](std::size_t n, std::size_t m) {
+    const auto coeff = overhead_coefficients(kind, params, n, m);
+    return coeff.error_free * coeff.reexecuted_work;
+  };
+
+  double best_objective = std::numeric_limits<double>::infinity();
+  for (const double n_candidate :
+       {std::max(1.0, std::floor(rational.n)), std::max(1.0, std::ceil(rational.n))}) {
+    const auto n = static_cast<std::size_t>(n_candidate);
+    const auto m_choice = round_minimizer(
+        rational.m, [&](std::size_t m) { return objective(n, m); });
+    if (m_choice.objective < best_objective) {
+      best_objective = m_choice.objective;
+      solution.segments_n = n;
+      solution.chunks_m = m_choice.value;
+    }
+  }
+
+  solution.coefficients =
+      overhead_coefficients(kind, params, solution.segments_n, solution.chunks_m);
+  solution.work = solution.coefficients.optimal_work();
+  solution.overhead = solution.coefficients.optimal_overhead();
+  return solution;
+}
+
+double closed_form_overhead(PatternKind kind, const ModelParams& params) {
+  params.validate();
+  const CostParams& c = params.costs;
+  const ErrorRates& e = params.rates;
+  const double vg = c.guaranteed_verification;
+  const double cm = c.memory_checkpoint;
+  const double cd = c.disk_checkpoint;
+  const double v = c.partial_verification;
+  const double r = c.recall;
+  const double ratio = (2.0 - r) / r;
+  const double lf = e.fail_stop;
+  const double ls = e.silent;
+
+  switch (kind) {
+    case PatternKind::kD:
+      return 2.0 * std::sqrt((ls + lf / 2.0) * (vg + cm + cd));
+    case PatternKind::kDVg:
+      return std::sqrt(2.0 * (ls + lf) * (cm + cd)) + std::sqrt(2.0 * ls * vg);
+    case PatternKind::kDV:
+      return std::sqrt(2.0 * (ls + lf) * (vg - ratio * v + cm + cd)) +
+             std::sqrt(2.0 * ls * ratio * v);
+    case PatternKind::kDM:
+      return 2.0 * std::sqrt(ls * (vg + cm)) + std::sqrt(2.0 * lf * cd);
+    case PatternKind::kDMVg:
+      return std::sqrt(2.0 * lf * cd) + std::sqrt(2.0 * ls * cm) +
+             std::sqrt(2.0 * ls * vg);
+    case PatternKind::kDMV:
+      return std::sqrt(2.0 * lf * cd) +
+             std::sqrt(2.0 * ls * (vg - ratio * v + cm)) +
+             std::sqrt(2.0 * ls * ratio * v);
+  }
+  throw std::logic_error("closed_form_overhead: unreachable");
+}
+
+double young_daly_period(const ModelParams& params) noexcept {
+  if (params.rates.fail_stop <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(2.0 * params.costs.disk_checkpoint / params.rates.fail_stop);
+}
+
+double silent_only_period(const ModelParams& params) noexcept {
+  if (params.rates.silent <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt((params.costs.guaranteed_verification +
+                    params.costs.memory_checkpoint) /
+                   params.rates.silent);
+}
+
+}  // namespace resilience::core

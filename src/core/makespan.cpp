@@ -1,0 +1,50 @@
+#include "resilience/core/makespan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resilience::core {
+
+double JobPlan::disk_io_fraction() const noexcept {
+  if (expected_makespan <= 0.0) {
+    return 0.0;
+  }
+  return disk_io_seconds / expected_makespan;
+}
+
+JobPlan plan_job(double base_time, const FirstOrderSolution& solution,
+                 const ModelParams& params) {
+  if (!(base_time > 0.0)) {
+    throw std::invalid_argument("plan_job: base_time must be positive");
+  }
+  params.validate();
+
+  const PatternSpec pattern = solution.to_pattern(params.costs.recall);
+  const ExpectedTime expected = evaluate_pattern(pattern, params);
+
+  JobPlan plan;
+  plan.base_time = base_time;
+  plan.expected_overhead = expected.overhead;
+  plan.expected_makespan = base_time * (1.0 + expected.overhead);
+  plan.pattern_period = solution.work;
+  plan.patterns =
+      static_cast<std::uint64_t>(std::ceil(base_time / solution.work));
+  plan.disk_checkpoints = plan.patterns;
+  plan.memory_checkpoints = plan.patterns * solution.segments_n;
+  plan.verifications = plan.patterns * solution.segments_n * solution.chunks_m;
+  plan.disk_io_seconds =
+      static_cast<double>(plan.disk_checkpoints) * params.costs.disk_checkpoint;
+  plan.expected_fail_stop_errors = params.rates.fail_stop * plan.expected_makespan;
+  plan.expected_silent_errors = params.rates.silent * plan.expected_makespan;
+  return plan;
+}
+
+JobPlan plan_job(double base_time, PatternKind kind, const ModelParams& params) {
+  return plan_job(base_time, solve_first_order(kind, params), params);
+}
+
+double efficiency(const PatternSpec& pattern, const ModelParams& params) {
+  return 1.0 / (1.0 + evaluate_pattern(pattern, params).overhead);
+}
+
+}  // namespace resilience::core

@@ -1,0 +1,227 @@
+#include "resilience/core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "resilience/core/first_order.hpp"
+
+namespace resilience::core {
+
+namespace {
+
+constexpr double kGoldenRatio = 0.6180339887498949;  // (sqrt(5) - 1) / 2
+
+/// Exact overhead of the canonical (kind, n, m, W) pattern; +inf where the
+/// evaluator rejects the configuration (e.g. success probability underflow
+/// for absurdly long patterns).
+double exact_overhead(PatternKind kind, std::size_t n, std::size_t m, double work,
+                      const ModelParams& params, const EvaluationOptions& eval) {
+  try {
+    const PatternSpec pattern = make_pattern(kind, work, n, m, params.costs.recall);
+    return evaluate_pattern(pattern, params, eval).overhead;
+  } catch (const std::domain_error&) {
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+}  // namespace
+
+double golden_section_minimize(const std::function<double(double)>& f, double lo,
+                               double hi, double tolerance) {
+  if (!(hi > lo)) {
+    throw std::invalid_argument("golden_section_minimize: empty bracket");
+  }
+  double a = lo;
+  double b = hi;
+  double x1 = b - kGoldenRatio * (b - a);
+  double x2 = a + kGoldenRatio * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  while (b - a > tolerance) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGoldenRatio * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGoldenRatio * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double optimize_work_length(PatternKind kind, std::size_t segments_n,
+                            std::size_t chunks_m, const ModelParams& params,
+                            const OptimizerOptions& options) {
+  params.validate();
+  // Bracket around the first-order optimum when available: H is unimodal in
+  // W, and the first-order W* is within a small factor of the true optimum
+  // in every regime we care about, so a [W*/50, 50 W*] bracket is safe and
+  // much tighter than the global one.
+  const auto coeff = overhead_coefficients(kind, params, segments_n, chunks_m);
+  double lo = options.work_lo;
+  double hi = options.work_hi;
+  const double first_order_work = coeff.optimal_work();
+  if (std::isfinite(first_order_work) && first_order_work > 0.0) {
+    lo = std::max(options.work_lo, first_order_work / 50.0);
+    hi = std::min(options.work_hi, first_order_work * 50.0);
+    if (!(hi > lo)) {
+      lo = options.work_lo;
+      hi = options.work_hi;
+    }
+  }
+  return golden_section_minimize(
+      [&](double w) {
+        return exact_overhead(kind, segments_n, chunks_m, w, params,
+                              options.evaluation);
+      },
+      lo, hi, options.work_tolerance);
+}
+
+NumericSolution optimize_pattern(PatternKind kind, const ModelParams& params,
+                                 const OptimizerOptions& options) {
+  params.validate();
+
+  const bool search_n = uses_memory_checkpoints(kind);
+  const bool search_m = uses_intermediate_verifications(kind);
+
+  // Seed from the first-order solution, then hill-descend over the integer
+  // lattice. F(n, m) = oef * orw is jointly convex (paper, Theorem 4), and
+  // the exact objective inherits unimodality in the regimes of interest, so
+  // neighborhood descent from the analytic seed finds the lattice optimum;
+  // the visited set guards against cycling where flatness causes ties.
+  const FirstOrderSolution seed = solve_first_order(kind, params);
+
+  const auto evaluate_cell = [&](std::size_t n, std::size_t m) {
+    const double work = optimize_work_length(kind, n, m, params, options);
+    return std::pair<double, double>(
+        exact_overhead(kind, n, m, work, params, options.evaluation), work);
+  };
+
+  std::size_t n = search_n ? std::min(seed.segments_n, options.max_segments) : 1;
+  std::size_t m = search_m ? std::min(seed.chunks_m, options.max_chunks) : 1;
+  auto [best_overhead, best_work] = evaluate_cell(n, m);
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    struct Move {
+      std::size_t n;
+      std::size_t m;
+    };
+    std::vector<Move> moves;
+    if (search_n) {
+      if (n + 1 <= options.max_segments) {
+        moves.push_back({n + 1, m});
+      }
+      if (n > 1) {
+        moves.push_back({n - 1, m});
+      }
+    }
+    if (search_m) {
+      if (m + 1 <= options.max_chunks) {
+        moves.push_back({n, m + 1});
+      }
+      if (m > 1) {
+        moves.push_back({n, m - 1});
+      }
+    }
+    for (const auto& move : moves) {
+      const auto [overhead, work] = evaluate_cell(move.n, move.m);
+      if (overhead < best_overhead - 1e-12) {
+        best_overhead = overhead;
+        best_work = work;
+        n = move.n;
+        m = move.m;
+        improved = true;
+        break;  // greedy: re-expand the neighborhood from the new cell
+      }
+    }
+  }
+
+  NumericSolution solution{
+      make_pattern(kind, best_work, n, m, params.costs.recall), best_overhead, n, m};
+
+  if (options.optimize_chunk_fractions && search_m && m > 1) {
+    // Replace the closed-form chunk fractions by numerically optimized ones
+    // and keep whichever evaluates better (they should coincide; the
+    // comparison is the validation).
+    const std::vector<double> beta =
+        optimize_chunk_fractions_numeric(m, params.costs.recall);
+    std::vector<SegmentSpec> segments(n);
+    for (auto& segment : segments) {
+      segment.alpha = 1.0 / static_cast<double>(n);
+      segment.beta = beta;
+    }
+    const PatternSpec refined(best_work, std::move(segments));
+    const double refined_overhead =
+        evaluate_pattern(refined, params, options.evaluation).overhead;
+    if (refined_overhead < solution.overhead) {
+      solution.pattern = refined;
+      solution.overhead = refined_overhead;
+    }
+  }
+  return solution;
+}
+
+std::vector<double> optimize_chunk_fractions_numeric(std::size_t chunks,
+                                                     double recall,
+                                                     std::size_t iterations) {
+  if (chunks == 0) {
+    throw std::invalid_argument("optimize_chunk_fractions_numeric: zero chunks");
+  }
+  if (chunks == 1) {
+    return {1.0};
+  }
+  // Minimize beta^T A beta on the simplex by pairwise mass transfers: for a
+  // quadratic objective, the optimal transfer between coordinates (i, j)
+  // along e_i - e_j has the closed form below; cycling over all pairs is a
+  // convergent coordinate descent on the simplex.
+  const std::size_t m = chunks;
+  std::vector<double> beta(m, 1.0 / static_cast<double>(m));
+  std::vector<std::vector<double>> a(m, std::vector<double>(m));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto d = static_cast<double>(i > j ? i - j : j - i);
+      a[i][j] = 0.5 * (1.0 + std::pow(1.0 - recall, d));
+    }
+  }
+  const auto gradient = [&](std::size_t i) {
+    double g = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      g += 2.0 * a[i][j] * beta[j];
+    }
+    return g;
+  };
+  for (std::size_t it = 0; it < iterations; ++it) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        // Objective restricted to beta + t (e_i - e_j) is quadratic with
+        // curvature c = 2 (A_ii + A_jj - 2 A_ij) and slope g_i - g_j.
+        const double curvature = 2.0 * (a[i][i] + a[j][j] - 2.0 * a[i][j]);
+        if (curvature <= 0.0) {
+          continue;
+        }
+        double t = -(gradient(i) - gradient(j)) / curvature;
+        t = std::clamp(t, -beta[i], beta[j]);  // keep both coordinates >= 0
+        beta[i] += t;
+        beta[j] -= t;
+        max_change = std::max(max_change, std::fabs(t));
+      }
+    }
+    if (max_change < 1e-14) {
+      break;
+    }
+  }
+  return beta;
+}
+
+}  // namespace resilience::core

@@ -1,0 +1,82 @@
+#include "resilience/core/params.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace resilience::core {
+
+namespace {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+}  // namespace
+
+void CostParams::validate() const {
+  require(disk_checkpoint >= 0.0, "CostParams: disk_checkpoint must be >= 0");
+  require(memory_checkpoint >= 0.0, "CostParams: memory_checkpoint must be >= 0");
+  require(disk_recovery >= 0.0, "CostParams: disk_recovery must be >= 0");
+  require(memory_recovery >= 0.0, "CostParams: memory_recovery must be >= 0");
+  require(guaranteed_verification >= 0.0,
+          "CostParams: guaranteed_verification must be >= 0");
+  require(partial_verification >= 0.0,
+          "CostParams: partial_verification must be >= 0");
+  require(recall > 0.0 && recall <= 1.0, "CostParams: recall must be in (0, 1]");
+}
+
+CostParams CostParams::paper_defaults(double disk_checkpoint_cost,
+                                      double memory_checkpoint_cost) {
+  CostParams costs;
+  costs.disk_checkpoint = disk_checkpoint_cost;
+  costs.memory_checkpoint = memory_checkpoint_cost;
+  costs.disk_recovery = disk_checkpoint_cost;      // R_D = C_D
+  costs.memory_recovery = memory_checkpoint_cost;  // R_M = C_M
+  costs.guaranteed_verification = memory_checkpoint_cost;  // V* = C_M
+  costs.partial_verification = memory_checkpoint_cost / 100.0;  // V = V*/100
+  costs.recall = 0.8;
+  costs.validate();
+  return costs;
+}
+
+void ErrorRates::validate() const {
+  require(fail_stop >= 0.0, "ErrorRates: fail_stop rate must be >= 0");
+  require(silent >= 0.0, "ErrorRates: silent rate must be >= 0");
+}
+
+double ErrorRates::platform_mtbf() const noexcept {
+  const double lambda = total();
+  if (lambda <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / lambda;
+}
+
+ErrorRates ErrorRates::scaled(double fail_stop_factor,
+                              double silent_factor) const noexcept {
+  return ErrorRates{fail_stop * fail_stop_factor, silent * silent_factor};
+}
+
+double error_probability(double lambda, double w) noexcept {
+  if (lambda <= 0.0 || w <= 0.0) {
+    return 0.0;
+  }
+  return -std::expm1(-lambda * w);
+}
+
+double expected_time_lost(double lambda, double w) noexcept {
+  if (w <= 0.0) {
+    return 0.0;
+  }
+  const double x = lambda * w;
+  if (x < 1e-8) {
+    // Second-order series of 1/lambda - w/(e^x - 1) around x = 0:
+    //   w/2 - x*w/12 + O(x^3 w).
+    return w * (0.5 - x / 12.0);
+  }
+  return 1.0 / lambda - w / std::expm1(x);
+}
+
+}  // namespace resilience::core

@@ -1,0 +1,199 @@
+#include "resilience/core/pattern.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace resilience::core {
+
+namespace {
+
+constexpr double kFractionTolerance = 1e-9;
+
+double fraction_sum(const std::vector<double>& fractions) {
+  return std::accumulate(fractions.begin(), fractions.end(), 0.0);
+}
+
+}  // namespace
+
+const std::vector<PatternKind>& all_pattern_kinds() {
+  static const std::vector<PatternKind> kinds = {
+      PatternKind::kD,  PatternKind::kDVg,  PatternKind::kDV,
+      PatternKind::kDM, PatternKind::kDMVg, PatternKind::kDMV};
+  return kinds;
+}
+
+std::string pattern_name(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kD:
+      return "PD";
+    case PatternKind::kDVg:
+      return "PDV*";
+    case PatternKind::kDV:
+      return "PDV";
+    case PatternKind::kDM:
+      return "PDM";
+    case PatternKind::kDMVg:
+      return "PDMV*";
+    case PatternKind::kDMV:
+      return "PDMV";
+  }
+  throw std::logic_error("pattern_name: unreachable");
+}
+
+PatternKind pattern_kind_from_name(const std::string& name) {
+  std::string key;
+  for (const char ch : name) {
+    if (!std::isspace(static_cast<unsigned char>(ch))) {
+      key += static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+  }
+  for (const auto kind : all_pattern_kinds()) {
+    if (pattern_name(kind) == key) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("pattern_kind_from_name: unknown pattern '" + name + "'");
+}
+
+bool uses_memory_checkpoints(PatternKind kind) noexcept {
+  return kind == PatternKind::kDM || kind == PatternKind::kDMVg ||
+         kind == PatternKind::kDMV;
+}
+
+bool uses_intermediate_verifications(PatternKind kind) noexcept {
+  return kind == PatternKind::kDVg || kind == PatternKind::kDV ||
+         kind == PatternKind::kDMVg || kind == PatternKind::kDMV;
+}
+
+bool uses_partial_verifications(PatternKind kind) noexcept {
+  return kind == PatternKind::kDV || kind == PatternKind::kDMV;
+}
+
+PatternSpec::PatternSpec(double work, std::vector<SegmentSpec> segments,
+                         bool guaranteed_intermediates)
+    : work_(work),
+      segments_(std::move(segments)),
+      guaranteed_intermediates_(guaranteed_intermediates) {
+  if (!(work_ > 0.0) || !std::isfinite(work_)) {
+    throw std::invalid_argument("PatternSpec: work must be positive and finite");
+  }
+  if (segments_.empty()) {
+    throw std::invalid_argument("PatternSpec: need at least one segment");
+  }
+  double alpha_sum = 0.0;
+  for (const auto& segment : segments_) {
+    if (!(segment.alpha > 0.0)) {
+      throw std::invalid_argument("PatternSpec: segment fraction must be positive");
+    }
+    if (segment.beta.empty()) {
+      throw std::invalid_argument("PatternSpec: segment needs at least one chunk");
+    }
+    for (const double b : segment.beta) {
+      if (!(b > 0.0)) {
+        throw std::invalid_argument("PatternSpec: chunk fraction must be positive");
+      }
+    }
+    if (std::fabs(fraction_sum(segment.beta) - 1.0) > kFractionTolerance) {
+      throw std::invalid_argument("PatternSpec: chunk fractions must sum to 1");
+    }
+    alpha_sum += segment.alpha;
+  }
+  if (std::fabs(alpha_sum - 1.0) > kFractionTolerance) {
+    throw std::invalid_argument("PatternSpec: segment fractions must sum to 1");
+  }
+}
+
+std::size_t PatternSpec::total_chunks() const noexcept {
+  std::size_t total = 0;
+  for (const auto& segment : segments_) {
+    total += segment.chunks();
+  }
+  return total;
+}
+
+std::size_t PatternSpec::partial_verification_count() const noexcept {
+  return total_chunks() - segment_count();
+}
+
+double PatternSpec::chunk_work(std::size_t segment, std::size_t chunk) const {
+  const auto& seg = segments_.at(segment);
+  return work_ * seg.alpha * seg.beta.at(chunk);
+}
+
+double PatternSpec::segment_work(std::size_t segment) const {
+  return work_ * segments_.at(segment).alpha;
+}
+
+PatternSpec PatternSpec::with_work(double new_work) const {
+  return PatternSpec(new_work, segments_, guaranteed_intermediates_);
+}
+
+std::string PatternSpec::describe() const {
+  std::ostringstream os;
+  os << "W=" << work_ << "s n=" << segment_count() << " m=[";
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << segments_[i].chunks();
+  }
+  os << ']';
+  return os.str();
+}
+
+std::vector<double> optimal_chunk_fractions(std::size_t chunks, double recall) {
+  if (chunks == 0) {
+    throw std::invalid_argument("optimal_chunk_fractions: need at least one chunk");
+  }
+  if (!(recall > 0.0) || recall > 1.0) {
+    throw std::invalid_argument("optimal_chunk_fractions: recall must be in (0, 1]");
+  }
+  const auto m = static_cast<double>(chunks);
+  if (chunks == 1) {
+    return {1.0};
+  }
+  // Eq. (18): denominators (m-2)r + 2; boundary chunks carry weight 1,
+  // interior chunks carry weight r.
+  const double denom = (m - 2.0) * recall + 2.0;
+  std::vector<double> beta(chunks, recall / denom);
+  beta.front() = 1.0 / denom;
+  beta.back() = 1.0 / denom;
+  // Remove accumulated rounding so the invariant sum == 1 holds exactly
+  // enough for PatternSpec's tolerance.
+  const double sum = std::accumulate(beta.begin(), beta.end(), 0.0);
+  for (double& b : beta) {
+    b /= sum;
+  }
+  return beta;
+}
+
+PatternSpec make_pattern(PatternKind kind, double work, std::size_t segments_n,
+                         std::size_t chunks_m, double recall) {
+  if (!uses_memory_checkpoints(kind)) {
+    segments_n = 1;
+  }
+  if (!uses_intermediate_verifications(kind)) {
+    chunks_m = 1;
+  }
+  if (segments_n == 0 || chunks_m == 0) {
+    throw std::invalid_argument("make_pattern: n and m must be positive");
+  }
+  const double effective_recall = uses_partial_verifications(kind) ? recall : 1.0;
+
+  std::vector<SegmentSpec> segments(segments_n);
+  const double alpha = 1.0 / static_cast<double>(segments_n);
+  for (auto& segment : segments) {
+    segment.alpha = alpha;
+    segment.beta = optimal_chunk_fractions(chunks_m, effective_recall);
+  }
+  // P_DV*/P_DMV* interleave *guaranteed* verifications between chunks.
+  const bool guaranteed_intermediates =
+      uses_intermediate_verifications(kind) && !uses_partial_verifications(kind);
+  return PatternSpec(work, std::move(segments), guaranteed_intermediates);
+}
+
+}  // namespace resilience::core

@@ -1,0 +1,83 @@
+#include "resilience/core/platform.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace resilience::core {
+
+ModelParams Platform::model_params() const {
+  ModelParams params;
+  params.costs = CostParams::paper_defaults(disk_checkpoint, memory_checkpoint);
+  params.rates = rates;
+  params.validate();
+  return params;
+}
+
+ErrorRates Platform::per_node_rates() const {
+  if (nodes == 0) {
+    throw std::logic_error("Platform::per_node_rates: node count is zero");
+  }
+  const auto n = static_cast<double>(nodes);
+  return ErrorRates{rates.fail_stop / n, rates.silent / n};
+}
+
+Platform Platform::scaled_to(std::size_t node_count) const {
+  const ErrorRates node_rates = per_node_rates();
+  Platform scaled = *this;
+  scaled.name = name + "@" + std::to_string(node_count);
+  scaled.nodes = node_count;
+  const auto n = static_cast<double>(node_count);
+  scaled.rates = ErrorRates{node_rates.fail_stop * n, node_rates.silent * n};
+  return scaled;
+}
+
+Platform Platform::with_disk_checkpoint(double cost) const {
+  Platform modified = *this;
+  modified.disk_checkpoint = cost;
+  return modified;
+}
+
+Platform Platform::with_rate_factors(double fail_stop_factor,
+                                     double silent_factor) const {
+  Platform modified = *this;
+  modified.rates = rates.scaled(fail_stop_factor, silent_factor);
+  return modified;
+}
+
+// Table 2 of the paper (rates in errors/second, costs in seconds).
+Platform hera() { return Platform{"Hera", 256, {9.46e-7, 3.38e-6}, 300.0, 15.4}; }
+
+Platform atlas() { return Platform{"Atlas", 512, {5.19e-7, 7.78e-6}, 439.0, 9.1}; }
+
+Platform coastal() {
+  return Platform{"Coastal", 1024, {4.02e-7, 2.01e-6}, 1051.0, 4.5};
+}
+
+Platform coastal_ssd() {
+  return Platform{"CoastalSSD", 1024, {4.02e-7, 2.01e-6}, 2500.0, 180.0};
+}
+
+std::vector<Platform> all_platforms() {
+  return {hera(), atlas(), coastal(), coastal_ssd()};
+}
+
+Platform platform_by_name(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  key.erase(std::remove_if(key.begin(), key.end(),
+                           [](unsigned char ch) { return ch == '_' || ch == ' ' || ch == '-'; }),
+            key.end());
+  for (const auto& platform : all_platforms()) {
+    std::string candidate = platform.name;
+    std::transform(candidate.begin(), candidate.end(), candidate.begin(),
+                   [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+    if (candidate == key) {
+      return platform;
+    }
+  }
+  throw std::invalid_argument("platform_by_name: unknown platform '" + name + "'");
+}
+
+}  // namespace resilience::core

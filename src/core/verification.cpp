@@ -1,0 +1,74 @@
+#include "resilience/core/verification.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace resilience::core {
+
+void Detector::validate() const {
+  if (cost < 0.0) {
+    throw std::invalid_argument("Detector: cost must be >= 0");
+  }
+  if (!(recall > 0.0) || recall > 1.0) {
+    throw std::invalid_argument("Detector: recall must be in (0, 1]");
+  }
+}
+
+double accuracy_to_cost_ratio(const Detector& detector, double guaranteed_cost,
+                              double memory_checkpoint_cost) {
+  detector.validate();
+  const double reference = guaranteed_cost + memory_checkpoint_cost;
+  if (reference <= 0.0) {
+    throw std::invalid_argument("accuracy_to_cost_ratio: V* + C_M must be positive");
+  }
+  const double accuracy = detector.recall / (2.0 - detector.recall);
+  if (detector.cost <= 0.0) {
+    // A free detector has unbounded ratio; rank it above everything.
+    return std::numeric_limits<double>::infinity();
+  }
+  return accuracy / (detector.cost / reference);
+}
+
+double guaranteed_accuracy_to_cost_ratio(double guaranteed_cost,
+                                         double memory_checkpoint_cost) {
+  if (guaranteed_cost <= 0.0) {
+    throw std::invalid_argument(
+        "guaranteed_accuracy_to_cost_ratio: V* must be positive");
+  }
+  return memory_checkpoint_cost / guaranteed_cost + 1.0;
+}
+
+Detector select_best_detector(const std::vector<Detector>& candidates,
+                              double guaranteed_cost, double memory_checkpoint_cost) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("select_best_detector: no candidates");
+  }
+  const Detector* best = nullptr;
+  double best_ratio = -1.0;
+  for (const auto& candidate : candidates) {
+    const double ratio =
+        accuracy_to_cost_ratio(candidate, guaranteed_cost, memory_checkpoint_cost);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+bool partial_verification_worthwhile(const Detector& detector, double guaranteed_cost,
+                                     double memory_checkpoint_cost) {
+  return accuracy_to_cost_ratio(detector, guaranteed_cost, memory_checkpoint_cost) >
+         guaranteed_accuracy_to_cost_ratio(guaranteed_cost, memory_checkpoint_cost);
+}
+
+CostParams with_detector(CostParams costs, const Detector& detector) {
+  detector.validate();
+  costs.partial_verification = detector.cost;
+  costs.recall = detector.recall;
+  costs.validate();
+  return costs;
+}
+
+}  // namespace resilience::core

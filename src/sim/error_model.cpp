@@ -1,0 +1,31 @@
+#include "resilience/sim/error_model.hpp"
+
+namespace resilience::sim {
+
+FailStopOutcome ErrorModel::sample_fail_stop(double length) {
+  FailStopOutcome outcome;
+  outcome.time_survived = length;
+  if (length <= 0.0 || rates_.fail_stop <= 0.0) {
+    return outcome;
+  }
+  const double p = core::error_probability(rates_.fail_stop, length);
+  if (util::bernoulli(rng_, p)) {
+    outcome.struck = true;
+    outcome.time_survived =
+        util::truncated_exponential(rng_, rates_.fail_stop, length);
+  }
+  return outcome;
+}
+
+bool ErrorModel::sample_silent(double length) {
+  if (length <= 0.0 || rates_.silent <= 0.0) {
+    return false;
+  }
+  return util::bernoulli(rng_, core::error_probability(rates_.silent, length));
+}
+
+bool ErrorModel::sample_detection(double recall) {
+  return util::bernoulli(rng_, recall);
+}
+
+}  // namespace resilience::sim

@@ -1,0 +1,65 @@
+#include "resilience/sim/metrics.hpp"
+
+namespace resilience::sim {
+
+double RunMetrics::overhead() const noexcept {
+  if (useful_work_seconds <= 0.0) {
+    return 0.0;
+  }
+  return elapsed_seconds / useful_work_seconds - 1.0;
+}
+
+void RunMetrics::merge(const RunMetrics& other) noexcept {
+  elapsed_seconds += other.elapsed_seconds;
+  useful_work_seconds += other.useful_work_seconds;
+  patterns_completed += other.patterns_completed;
+  disk_checkpoints += other.disk_checkpoints;
+  memory_checkpoints += other.memory_checkpoints;
+  partial_verifications += other.partial_verifications;
+  guaranteed_verifications += other.guaranteed_verifications;
+  disk_recoveries += other.disk_recoveries;
+  memory_recoveries += other.memory_recoveries;
+  fail_stop_errors += other.fail_stop_errors;
+  silent_errors += other.silent_errors;
+  silent_detections_partial += other.silent_detections_partial;
+  silent_detections_guaranteed += other.silent_detections_guaranteed;
+}
+
+void AggregateMetrics::add_run(const RunMetrics& run) {
+  overhead.add(run.overhead());
+  elapsed_seconds.add(run.elapsed_seconds);
+
+  const double hours = run.elapsed_seconds / 3600.0;
+  const double days = run.elapsed_seconds / 86400.0;
+  if (hours > 0.0) {
+    disk_checkpoints_per_hour.add(static_cast<double>(run.disk_checkpoints) / hours);
+    memory_checkpoints_per_hour.add(static_cast<double>(run.memory_checkpoints) /
+                                    hours);
+    verifications_per_hour.add(static_cast<double>(run.verifications()) / hours);
+  }
+  if (days > 0.0) {
+    disk_recoveries_per_day.add(static_cast<double>(run.disk_recoveries) / days);
+    memory_recoveries_per_day.add(static_cast<double>(run.memory_recoveries) / days);
+  }
+  if (run.patterns_completed > 0) {
+    const auto patterns = static_cast<double>(run.patterns_completed);
+    disk_recoveries_per_pattern.add(static_cast<double>(run.disk_recoveries) /
+                                    patterns);
+    memory_recoveries_per_pattern.add(static_cast<double>(run.memory_recoveries) /
+                                      patterns);
+  }
+}
+
+void AggregateMetrics::merge(const AggregateMetrics& other) {
+  overhead.merge(other.overhead);
+  elapsed_seconds.merge(other.elapsed_seconds);
+  disk_checkpoints_per_hour.merge(other.disk_checkpoints_per_hour);
+  memory_checkpoints_per_hour.merge(other.memory_checkpoints_per_hour);
+  verifications_per_hour.merge(other.verifications_per_hour);
+  disk_recoveries_per_day.merge(other.disk_recoveries_per_day);
+  memory_recoveries_per_day.merge(other.memory_recoveries_per_day);
+  disk_recoveries_per_pattern.merge(other.disk_recoveries_per_pattern);
+  memory_recoveries_per_pattern.merge(other.memory_recoveries_per_pattern);
+}
+
+}  // namespace resilience::sim

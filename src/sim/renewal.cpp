@@ -1,0 +1,108 @@
+#include "resilience/sim/renewal.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace resilience::sim {
+
+void RenewalConfig::validate() const {
+  if (mtbf < 0.0) {
+    throw std::invalid_argument("RenewalConfig: mtbf must be >= 0");
+  }
+  if (distribution != FailureDistribution::kExponential && !(shape > 0.0)) {
+    throw std::invalid_argument("RenewalConfig: shape must be positive");
+  }
+}
+
+double sample_interarrival(const RenewalConfig& config, util::Xoshiro256& rng) {
+  config.validate();
+  if (config.mtbf <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  switch (config.distribution) {
+    case FailureDistribution::kExponential:
+      return util::exponential(rng, 1.0 / config.mtbf);
+    case FailureDistribution::kWeibull: {
+      // X = scale * (-ln U)^{1/k}; mean = scale * Gamma(1 + 1/k), so the
+      // scale is chosen to pin the mean at the MTBF.
+      const double k = config.shape;
+      const double scale = config.mtbf / std::tgamma(1.0 + 1.0 / k);
+      const double u = util::uniform01_open_low(rng);
+      return scale * std::pow(-std::log(u), 1.0 / k);
+    }
+    case FailureDistribution::kLogNormal: {
+      // X = exp(mu + sigma Z); mean = exp(mu + sigma^2/2), so
+      // mu = ln(mtbf) - sigma^2/2 pins the mean at the MTBF.
+      const double sigma = config.shape;
+      const double mu = std::log(config.mtbf) - 0.5 * sigma * sigma;
+      // Box-Muller transform for a standard normal variate.
+      const double u1 = util::uniform01_open_low(rng);
+      const double u2 = util::uniform01(rng);
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+      return std::exp(mu + sigma * z);
+    }
+  }
+  throw std::logic_error("sample_interarrival: unreachable");
+}
+
+RenewalErrorModel::RenewalErrorModel(RenewalConfig fail_stop, RenewalConfig silent,
+                                     util::Xoshiro256 rng)
+    : fail_stop_(fail_stop), silent_(silent), rng_(rng) {
+  fail_stop_.validate();
+  silent_.validate();
+  until_fail_stop_ = sample_interarrival(fail_stop_, rng_);
+  until_silent_ = sample_interarrival(silent_, rng_);
+}
+
+FailStopOutcome RenewalErrorModel::sample_fail_stop(double length) {
+  FailStopOutcome outcome;
+  if (length <= 0.0 || until_fail_stop_ > length) {
+    outcome.time_survived = length;
+    until_fail_stop_ -= length;
+    return outcome;
+  }
+  outcome.struck = true;
+  outcome.time_survived = until_fail_stop_;
+  // Renewal: the countdown restarts at the failure instant.
+  until_fail_stop_ = sample_interarrival(fail_stop_, rng_);
+  return outcome;
+}
+
+bool RenewalErrorModel::sample_silent(double length) {
+  if (length <= 0.0) {
+    return false;
+  }
+  bool corrupted = false;
+  double remaining = length;
+  // Consume every silent arrival inside the window (there can be several
+  // for bursty distributions); the flag model only needs "at least one".
+  while (until_silent_ <= remaining) {
+    corrupted = true;
+    remaining -= until_silent_;
+    until_silent_ = sample_interarrival(silent_, rng_);
+  }
+  until_silent_ -= remaining;
+  return corrupted;
+}
+
+bool RenewalErrorModel::sample_detection(double recall) {
+  return util::bernoulli(rng_, recall);
+}
+
+std::unique_ptr<RenewalErrorModel> make_renewal_model(
+    const core::ErrorRates& rates, FailureDistribution distribution, double shape,
+    util::Xoshiro256 rng) {
+  RenewalConfig fail_stop;
+  fail_stop.distribution = distribution;
+  fail_stop.mtbf = rates.fail_stop > 0.0 ? 1.0 / rates.fail_stop : 0.0;
+  fail_stop.shape = shape;
+  RenewalConfig silent;
+  silent.distribution = distribution;
+  silent.mtbf = rates.silent > 0.0 ? 1.0 / rates.silent : 0.0;
+  silent.shape = shape;
+  return std::make_unique<RenewalErrorModel>(fail_stop, silent, rng);
+}
+
+}  // namespace resilience::sim

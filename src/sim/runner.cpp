@@ -1,0 +1,42 @@
+#include "resilience/sim/runner.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "resilience/sim/engine.hpp"
+
+namespace resilience::sim {
+
+MonteCarloResult run_monte_carlo(const core::PatternSpec& pattern,
+                                 const core::ModelParams& params,
+                                 const MonteCarloConfig& config) {
+  params.validate();
+  util::ThreadPool& pool = config.pool ? *config.pool : util::global_pool();
+
+  // Per-run metrics are collected positionally, then folded sequentially so
+  // the aggregate is independent of scheduling order.
+  std::vector<RunMetrics> per_run(config.runs);
+
+  pool.parallel_for(config.runs, [&](std::size_t run_index) {
+    util::Xoshiro256 run_rng = util::Xoshiro256::stream(config.seed, run_index);
+    EngineConfig engine_config;
+    engine_config.patterns = config.patterns_per_run;
+    if (config.model_factory) {
+      const std::unique_ptr<ErrorModelBase> errors = config.model_factory(run_rng);
+      per_run[run_index] = simulate_run(pattern, params, *errors, engine_config);
+    } else {
+      ErrorModel errors(params.rates, run_rng);
+      per_run[run_index] = simulate_run(pattern, params, errors, engine_config);
+    }
+  });
+
+  MonteCarloResult result;
+  result.runs = config.runs;
+  for (const auto& run : per_run) {
+    result.aggregate.add_run(run);
+    result.totals.merge(run);
+  }
+  return result;
+}
+
+}  // namespace resilience::sim

@@ -1,0 +1,100 @@
+#include "resilience/sim/trace.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace resilience::sim {
+
+std::string event_name(Event event) {
+  switch (event) {
+    case Event::kChunkCompleted:
+      return "chunk_completed";
+    case Event::kFailStop:
+      return "fail_stop";
+    case Event::kSilentInjected:
+      return "silent_injected";
+    case Event::kPartialAlarm:
+      return "partial_alarm";
+    case Event::kGuaranteedAlarm:
+      return "guaranteed_alarm";
+    case Event::kMemoryCheckpoint:
+      return "memory_checkpoint";
+    case Event::kDiskCheckpoint:
+      return "disk_checkpoint";
+    case Event::kMemoryRecovery:
+      return "memory_recovery";
+    case Event::kDiskRecovery:
+      return "disk_recovery";
+    case Event::kPatternCompleted:
+      return "pattern_completed";
+  }
+  throw std::logic_error("event_name: unreachable");
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity_hint) {
+  entries_.reserve(capacity_hint);
+}
+
+EventObserver TraceRecorder::observer() {
+  return [this](Event event, double clock) { record(event, clock); };
+}
+
+void TraceRecorder::record(Event event, double clock) {
+  entries_.push_back(TraceEntry{event, clock});
+}
+
+void TraceRecorder::clear() noexcept { entries_.clear(); }
+
+std::size_t TraceRecorder::count(Event event) const noexcept {
+  std::size_t total = 0;
+  for (const auto& entry : entries_) {
+    if (entry.event == event) {
+      ++total;
+    }
+  }
+  return total;
+}
+
+util::RunningStats TraceRecorder::inter_event_gaps(Event event) const {
+  util::RunningStats gaps;
+  bool has_previous = false;
+  double previous = 0.0;
+  for (const auto& entry : entries_) {
+    if (entry.event != event) {
+      continue;
+    }
+    if (has_previous) {
+      gaps.add(entry.clock - previous);
+    }
+    previous = entry.clock;
+    has_previous = true;
+  }
+  return gaps;
+}
+
+double TraceRecorder::first_occurrence(Event event) const {
+  for (const auto& entry : entries_) {
+    if (entry.event == event) {
+      return entry.clock;
+    }
+  }
+  throw std::out_of_range("TraceRecorder: event never occurred");
+}
+
+double TraceRecorder::last_occurrence(Event event) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->event == event) {
+      return it->clock;
+    }
+  }
+  throw std::out_of_range("TraceRecorder: event never occurred");
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "clock,event\n";
+  for (const auto& entry : entries_) {
+    os << entry.clock << ',' << event_name(entry.event) << '\n';
+  }
+}
+
+}  // namespace resilience::sim

@@ -1,0 +1,157 @@
+#include "resilience/util/random.hpp"
+
+#include <cmath>
+
+namespace resilience::util {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) {
+    word = sm.next();
+  }
+  // The all-zero state is the one invalid state; SplitMix64 cannot produce
+  // four consecutive zeros in practice, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+  std::uint64_t s0 = 0;
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  std::uint64_t s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Xoshiro256 Xoshiro256::stream(std::uint64_t seed, std::uint64_t stream_index) noexcept {
+  Xoshiro256 engine(seed);
+  for (std::uint64_t i = 0; i < stream_index; ++i) {
+    engine.jump();
+  }
+  return engine;
+}
+
+double uniform_range(Xoshiro256& rng, double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01(rng);
+}
+
+std::uint64_t uniform_below(Xoshiro256& rng, std::uint64_t n) noexcept {
+  if (n == 0) {
+    return 0;
+  }
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = rng();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = rng();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double exponential(Xoshiro256& rng, double lambda) noexcept {
+  if (lambda <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return -std::log(uniform01_open_low(rng)) / lambda;
+}
+
+bool bernoulli(Xoshiro256& rng, double p) noexcept {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform01(rng) < p;
+}
+
+namespace {
+
+std::uint64_t poisson_inversion(Xoshiro256& rng, double mu) noexcept {
+  // Sequential search on the CDF; O(mu) expected steps, fine for mu <= 10.
+  const double threshold = std::exp(-mu);
+  double product = uniform01_open_low(rng);
+  std::uint64_t k = 0;
+  while (product > threshold) {
+    product *= uniform01_open_low(rng);
+    ++k;
+  }
+  return k;
+}
+
+std::uint64_t poisson_ptrs(Xoshiro256& rng, double mu) noexcept {
+  // Transformed rejection with squeeze (Hoermann, 1993), valid for mu >= 10.
+  const double b = 0.931 + 2.53 * std::sqrt(mu);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+
+  for (;;) {
+    const double u = uniform01(rng) - 0.5;
+    const double v = uniform01_open_low(rng);
+    const double us = 0.5 - std::fabs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mu + 0.43);
+    if (us >= 0.07 && v <= v_r) {
+      return static_cast<std::uint64_t>(k);
+    }
+    if (k < 0.0 || (us < 0.013 && v > us)) {
+      continue;
+    }
+    if (std::log(v) + std::log(inv_alpha) - std::log(a / (us * us) + b) <=
+        k * std::log(mu) - mu - std::lgamma(k + 1.0)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t poisson(Xoshiro256& rng, double mu) noexcept {
+  if (mu <= 0.0) {
+    return 0;
+  }
+  if (mu < 10.0) {
+    return poisson_inversion(rng, mu);
+  }
+  return poisson_ptrs(rng, mu);
+}
+
+double truncated_exponential(Xoshiro256& rng, double lambda, double w) noexcept {
+  // Inverse-CDF sampling of X | X < w with X ~ Exp(lambda):
+  //   F(x) = (1 - e^{-lambda x}) / (1 - e^{-lambda w}).
+  // expm1/log1p keep the computation stable when lambda * w is tiny.
+  const double u = uniform01(rng);
+  const double scale = -std::expm1(-lambda * w);  // 1 - e^{-lambda w}
+  if (scale <= 0.0) {
+    return uniform01(rng) * w;  // lambda ~ 0: the conditional law is uniform
+  }
+  const double x = -std::log1p(-u * scale) / lambda;
+  return x < w ? x : std::nextafter(w, 0.0);
+}
+
+}  // namespace resilience::util

@@ -1,0 +1,97 @@
+#include "resilience/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace resilience::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_ranges(count, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+  });
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t chunks = std::min(count, thread_count());
+  if (chunks <= 1) {
+    body(0, count);
+    return;
+  }
+  const std::size_t base = count / chunks;
+  const std::size_t remainder = count % chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t size = base + (c < remainder ? 1 : 0);
+    const std::size_t end = begin + size;
+    futures.push_back(submit([&body, begin, end] { body(begin, end); }));
+    begin = end;
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace resilience::util

@@ -1,0 +1,171 @@
+// Tests for the two-level checkpoint stores.
+
+#include "resilience/app/checkpoint_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace ra = resilience::app;
+namespace fs = std::filesystem;
+
+namespace {
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = fs::temp_directory_path() /
+                 ("resilience_test_" + std::to_string(::getpid()));
+    fs::create_directories(directory_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(directory_, ec);
+  }
+  fs::path directory_;
+};
+
+ra::CheckpointPayload make_payload(std::size_t count, std::uint64_t step) {
+  ra::CheckpointPayload payload;
+  payload.step = step;
+  payload.data.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    payload.data[i] = static_cast<double>(i) * 1.5 - 3.0;
+  }
+  return payload;
+}
+
+}  // namespace
+
+TEST(Checksum, IsStableAndSensitive) {
+  const auto payload = make_payload(100, 0);
+  const auto sum1 = ra::checksum_doubles(payload.data);
+  const auto sum2 = ra::checksum_doubles(payload.data);
+  EXPECT_EQ(sum1, sum2);
+  auto modified = payload.data;
+  // Flip the lowest mantissa bit of one element: the smallest possible
+  // change must still alter the checksum.
+  modified[42] = std::nextafter(modified[42], 1e308);
+  EXPECT_NE(ra::checksum_doubles(modified), sum1);
+}
+
+TEST(MemoryStore, EmptyHasNoCheckpoint) {
+  ra::MemoryCheckpointStore store;
+  EXPECT_FALSE(store.has_checkpoint());
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST(MemoryStore, SaveLoadRoundTrip) {
+  ra::MemoryCheckpointStore store;
+  const auto payload = make_payload(64, 7);
+  store.save(payload);
+  EXPECT_TRUE(store.has_checkpoint());
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 7u);
+  EXPECT_EQ(loaded->data, payload.data);
+}
+
+TEST(MemoryStore, SaveReplacesPrevious) {
+  ra::MemoryCheckpointStore store;
+  store.save(make_payload(8, 1));
+  store.save(make_payload(16, 2));
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 2u);
+  EXPECT_EQ(loaded->data.size(), 16u);
+}
+
+TEST(MemoryStore, InvalidateModelsFailStopLoss) {
+  ra::MemoryCheckpointStore store;
+  store.save(make_payload(8, 1));
+  store.invalidate();
+  EXPECT_FALSE(store.has_checkpoint());
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(DiskStoreTest, EmptyHasNoCheckpoint) {
+  ra::DiskCheckpointStore store(directory_, "job");
+  EXPECT_FALSE(store.has_checkpoint());
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(DiskStoreTest, SaveLoadRoundTrip) {
+  ra::DiskCheckpointStore store(directory_, "job");
+  const auto payload = make_payload(1000, 99);
+  store.save(payload);
+  EXPECT_TRUE(store.has_checkpoint());
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 99u);
+  EXPECT_EQ(loaded->data, payload.data);
+}
+
+TEST_F(DiskStoreTest, ReloadableByFreshStoreInstance) {
+  {
+    ra::DiskCheckpointStore store(directory_, "job");
+    store.save(make_payload(50, 5));
+  }
+  ra::DiskCheckpointStore fresh(directory_, "job");
+  const auto loaded = fresh.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->step, 5u);
+}
+
+TEST_F(DiskStoreTest, EmptyPayloadRoundTrips) {
+  ra::DiskCheckpointStore store(directory_, "empty");
+  store.save(ra::CheckpointPayload{{}, 3});
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->data.empty());
+  EXPECT_EQ(loaded->step, 3u);
+}
+
+TEST_F(DiskStoreTest, DetectsTamperedData) {
+  ra::DiskCheckpointStore store(directory_, "job");
+  store.save(make_payload(100, 1));
+  // Corrupt one payload byte on disk.
+  {
+    std::fstream file(store.path(), std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(64, std::ios::beg);  // past the 32-byte header
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(64, std::ios::beg);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  EXPECT_FALSE(store.load().has_value());  // checksum mismatch
+}
+
+TEST_F(DiskStoreTest, RejectsGarbageFile) {
+  ra::DiskCheckpointStore store(directory_, "job");
+  {
+    std::ofstream file(store.path(), std::ios::binary);
+    file << "not a checkpoint";
+  }
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(DiskStoreTest, InvalidateRemovesFile) {
+  ra::DiskCheckpointStore store(directory_, "job");
+  store.save(make_payload(10, 1));
+  EXPECT_TRUE(fs::exists(store.path()));
+  store.invalidate();
+  EXPECT_FALSE(fs::exists(store.path()));
+  EXPECT_NO_THROW(store.invalidate());  // idempotent
+}
+
+TEST_F(DiskStoreTest, SaveLeavesNoTempFileBehind) {
+  ra::DiskCheckpointStore store(directory_, "job");
+  store.save(make_payload(10, 1));
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(directory_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);  // only the published checkpoint
+}

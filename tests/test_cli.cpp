@@ -1,0 +1,98 @@
+// Tests for the CLI flag parser.
+
+#include "resilience/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ru = resilience::util;
+
+namespace {
+
+ru::CliParser make_parser() {
+  ru::CliParser parser("test", "test parser");
+  parser.add_flag("runs", "100", "number of runs");
+  parser.add_flag("rate", "0.5", "a rate");
+  parser.add_flag("name", "hera", "platform name");
+  parser.add_bool_flag("verbose", "chatty output");
+  return parser;
+}
+
+}  // namespace
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  auto parser = make_parser();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get_int("runs"), 100);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.5);
+  EXPECT_EQ(parser.get_string("name"), "hera");
+  EXPECT_FALSE(parser.get_bool("verbose"));
+  EXPECT_FALSE(parser.was_set("runs"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--runs", "250", "--name", "atlas"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get_int("runs"), 250);
+  EXPECT_EQ(parser.get_string("name"), "atlas");
+  EXPECT_TRUE(parser.was_set("runs"));
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--rate=0.125"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.125);
+}
+
+TEST(Cli, BoolFlagForms) {
+  {
+    auto parser = make_parser();
+    const std::array argv = {"prog", "--verbose"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(parser.get_bool("verbose"));
+  }
+  {
+    auto parser = make_parser();
+    const std::array argv = {"prog", "--verbose=false"};
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(parser.get_bool("verbose"));
+  }
+}
+
+TEST(Cli, UnknownFlagFails) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, MissingValueFails) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--runs"};
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  auto parser = make_parser();
+  const std::array argv = {"prog", "input.txt", "--runs", "5", "output.txt"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+  EXPECT_EQ(parser.positional()[1], "output.txt");
+}
+
+TEST(Cli, UnregisteredLookupThrows) {
+  auto parser = make_parser();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)parser.get_string("nope"), std::invalid_argument);
+}

@@ -1,0 +1,212 @@
+// Tests for the operation-level simulation engine: deterministic error-free
+// accounting, rollback semantics under forced error regimes, counter
+// consistency and the event stream.
+
+#include "resilience/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "resilience/core/platform.hpp"
+
+namespace rs = resilience::sim;
+namespace rc = resilience::core;
+namespace ru = resilience::util;
+
+namespace {
+
+rc::ModelParams hera_params() { return rc::hera().model_params(); }
+
+rs::RunMetrics simulate(const rc::PatternSpec& pattern, const rc::ModelParams& params,
+                        std::uint64_t patterns, std::uint64_t seed = 1,
+                        rs::EventObserver observer = {}) {
+  rs::ErrorModel errors(params.rates, ru::Xoshiro256(seed));
+  rs::EngineConfig config;
+  config.patterns = patterns;
+  config.observer = std::move(observer);
+  return rs::simulate_run(pattern, params, errors, config);
+}
+
+}  // namespace
+
+TEST(Engine, ErrorFreeRunIsExactlyDeterministic) {
+  rc::ModelParams params = hera_params();
+  params.rates = {0.0, 0.0};
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 10000.0, 2, 3, 0.8);
+  const auto metrics = simulate(pattern, params, 5);
+
+  const double per_pattern = 10000.0 +
+                             2.0 * (params.costs.guaranteed_verification +
+                                    params.costs.memory_checkpoint) +
+                             4.0 * params.costs.partial_verification +
+                             params.costs.disk_checkpoint;
+  EXPECT_NEAR(metrics.elapsed_seconds, 5.0 * per_pattern, 1e-6);
+  EXPECT_EQ(metrics.patterns_completed, 5u);
+  EXPECT_EQ(metrics.disk_checkpoints, 5u);
+  EXPECT_EQ(metrics.memory_checkpoints, 10u);
+  EXPECT_EQ(metrics.partial_verifications, 20u);
+  EXPECT_EQ(metrics.guaranteed_verifications, 10u);
+  EXPECT_EQ(metrics.disk_recoveries, 0u);
+  EXPECT_EQ(metrics.memory_recoveries, 0u);
+  EXPECT_EQ(metrics.fail_stop_errors, 0u);
+  EXPECT_EQ(metrics.silent_errors, 0u);
+}
+
+TEST(Engine, DeterministicForFixedSeed) {
+  const auto params = hera_params();
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 20000.0, 2, 2, 0.8);
+  const auto a = simulate(pattern, params, 50, 7);
+  const auto b = simulate(pattern, params, 50, 7);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.disk_recoveries, b.disk_recoveries);
+  EXPECT_EQ(a.memory_recoveries, b.memory_recoveries);
+  EXPECT_EQ(a.silent_errors, b.silent_errors);
+}
+
+TEST(Engine, FailStopOnlyTriggersDiskRecoveries) {
+  rc::ModelParams params = hera_params();
+  params.rates = {1e-4, 0.0};  // ~every 2.8 hours
+  const auto pattern = rc::make_pattern(rc::PatternKind::kD, 10000.0, 1, 1, 1.0);
+  const auto metrics = simulate(pattern, params, 200);
+  EXPECT_GT(metrics.fail_stop_errors, 0u);
+  EXPECT_GT(metrics.disk_recoveries, 0u);
+  // Every fail-stop leads to exactly one completed disk+memory recovery
+  // pair (recoveries interrupted by new fail-stop errors are re-run, and
+  // each interruption is itself a counted fail-stop error).
+  EXPECT_EQ(metrics.memory_recoveries, metrics.disk_recoveries);
+  EXPECT_EQ(metrics.fail_stop_errors,
+            metrics.disk_recoveries +
+                (metrics.fail_stop_errors - metrics.disk_recoveries));
+  EXPECT_EQ(metrics.silent_errors, 0u);
+}
+
+TEST(Engine, SilentOnlyTriggersMemoryRecoveriesOnly) {
+  rc::ModelParams params = hera_params();
+  params.rates = {0.0, 1e-4};
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 10000.0, 2, 3, 0.8);
+  const auto metrics = simulate(pattern, params, 200);
+  EXPECT_GT(metrics.silent_errors, 0u);
+  EXPECT_GT(metrics.memory_recoveries, 0u);
+  EXPECT_EQ(metrics.disk_recoveries, 0u);
+  // Every detection (partial or guaranteed) causes one memory recovery.
+  EXPECT_EQ(metrics.memory_recoveries,
+            metrics.silent_detections_partial + metrics.silent_detections_guaranteed);
+}
+
+TEST(Engine, GuaranteedVerificationCatchesEverySurvivingCorruption) {
+  // With recall < 1 some corruption reaches the guaranteed verification,
+  // but none may ever cross a completed memory checkpoint. With silent
+  // errors only, every injected error must eventually be detected:
+  // detections == recoveries and the run completes.
+  rc::ModelParams params = hera_params();
+  params.rates = {0.0, 5e-4};
+  params.costs.recall = 0.5;
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDV, 5000.0, 1, 4, 0.5);
+  const auto metrics = simulate(pattern, params, 300);
+  EXPECT_GT(metrics.silent_detections_guaranteed, 0u);  // some slipped past V
+  EXPECT_GT(metrics.silent_detections_partial, 0u);     // some were caught early
+  EXPECT_EQ(metrics.patterns_completed, 300u);
+}
+
+TEST(Engine, BothErrorSourcesCoexist) {
+  rc::ModelParams params = hera_params();
+  params.rates = {5e-5, 2e-4};
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 8000.0, 2, 2, 0.8);
+  const auto metrics = simulate(pattern, params, 300);
+  EXPECT_GT(metrics.disk_recoveries, 0u);
+  EXPECT_GT(metrics.memory_recoveries, metrics.disk_recoveries);
+  EXPECT_GT(metrics.elapsed_seconds, metrics.useful_work_seconds);
+}
+
+TEST(Engine, OverheadGrowsWithErrorRates) {
+  const auto pattern = rc::make_pattern(rc::PatternKind::kD, 10000.0, 1, 1, 1.0);
+  rc::ModelParams low = hera_params();
+  rc::ModelParams high = hera_params();
+  high.rates = {low.rates.fail_stop * 20.0, low.rates.silent * 20.0};
+  const auto low_metrics = simulate(pattern, low, 500);
+  const auto high_metrics = simulate(pattern, high, 500);
+  EXPECT_GT(high_metrics.overhead(), low_metrics.overhead());
+}
+
+TEST(Engine, EventStreamIsConsistentWithCounters) {
+  rc::ModelParams params = hera_params();
+  params.rates = {5e-5, 2e-4};
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 8000.0, 2, 2, 0.8);
+
+  std::vector<rs::Event> events;
+  double last_clock = 0.0;
+  const auto metrics = simulate(pattern, params, 100, 3,
+                                [&](rs::Event event, double clock) {
+                                  events.push_back(event);
+                                  EXPECT_GE(clock, last_clock);  // time moves forward
+                                  last_clock = clock;
+                                });
+
+  const auto count = [&](rs::Event type) {
+    return static_cast<std::uint64_t>(std::count(events.begin(), events.end(), type));
+  };
+  EXPECT_EQ(count(rs::Event::kDiskCheckpoint), metrics.disk_checkpoints);
+  EXPECT_EQ(count(rs::Event::kMemoryCheckpoint), metrics.memory_checkpoints);
+  EXPECT_EQ(count(rs::Event::kDiskRecovery), metrics.disk_recoveries);
+  EXPECT_EQ(count(rs::Event::kMemoryRecovery), metrics.memory_recoveries);
+  EXPECT_EQ(count(rs::Event::kFailStop), metrics.fail_stop_errors);
+  EXPECT_EQ(count(rs::Event::kSilentInjected), metrics.silent_errors);
+  EXPECT_EQ(count(rs::Event::kPatternCompleted), metrics.patterns_completed);
+  EXPECT_EQ(count(rs::Event::kPartialAlarm), metrics.silent_detections_partial);
+  EXPECT_EQ(count(rs::Event::kGuaranteedAlarm),
+            metrics.silent_detections_guaranteed);
+}
+
+TEST(Engine, UsefulWorkAccountsCompletedPatternsOnly) {
+  rc::ModelParams params = hera_params();
+  params.rates = {1e-4, 1e-4};
+  const auto pattern = rc::make_pattern(rc::PatternKind::kD, 5000.0, 1, 1, 1.0);
+  const auto metrics = simulate(pattern, params, 123);
+  EXPECT_DOUBLE_EQ(metrics.useful_work_seconds, 123.0 * 5000.0);
+  EXPECT_EQ(metrics.patterns_completed, 123u);
+}
+
+TEST(Engine, GuaranteedIntermediateVerificationsDetectImmediately) {
+  // P_DV*: every chunk boundary carries a guaranteed verification, so with
+  // silent errors only, corruption never travels past the chunk where it
+  // struck — every detection is a guaranteed-verification alarm and no
+  // partial verifications are ever executed.
+  rc::ModelParams params = hera_params();
+  params.rates = {0.0, 5e-4};
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDVg, 5000.0, 1, 4, 1.0);
+  ASSERT_TRUE(pattern.guaranteed_intermediates());
+  const auto metrics = simulate(pattern, params, 300);
+  EXPECT_GT(metrics.silent_errors, 0u);
+  EXPECT_EQ(metrics.partial_verifications, 0u);
+  EXPECT_EQ(metrics.silent_detections_partial, 0u);
+  EXPECT_EQ(metrics.silent_detections_guaranteed, metrics.memory_recoveries);
+}
+
+TEST(Engine, GuaranteedIntermediatesCostMorePerVerification) {
+  // Error-free: P_DV* pays V* at every chunk boundary while P_DV pays V,
+  // so for identical shapes the P_DV* pattern takes strictly longer.
+  rc::ModelParams params = hera_params();
+  params.rates = {0.0, 0.0};
+  const auto pdvg = rc::make_pattern(rc::PatternKind::kDVg, 5000.0, 1, 4, 0.8);
+  const auto pdv = rc::make_pattern(rc::PatternKind::kDV, 5000.0, 1, 4, 0.8);
+  const auto vg = simulate(pdvg, params, 10);
+  const auto v = simulate(pdv, params, 10);
+  const double extra = 3.0 * 10.0 *
+                       (params.costs.guaranteed_verification -
+                        params.costs.partial_verification);
+  EXPECT_NEAR(vg.elapsed_seconds - v.elapsed_seconds, extra, 1e-6);
+}
+
+TEST(Engine, MemoryCheckpointProtectsAgainstSilentRollbackScope) {
+  // In a two-segment pattern under silent errors only, a detection in the
+  // second segment must never force re-execution of the first segment:
+  // elapsed time stays below what restart-from-scratch would imply.
+  rc::ModelParams params = hera_params();
+  params.rates = {0.0, 1e-3};  // heavy silent pressure
+  const auto two_level = rc::make_pattern(rc::PatternKind::kDM, 4000.0, 2, 1, 1.0);
+  const auto single = rc::make_pattern(rc::PatternKind::kD, 4000.0, 1, 1, 1.0);
+  const auto two_metrics = simulate(two_level, params, 300, 11);
+  const auto single_metrics = simulate(single, params, 300, 11);
+  EXPECT_LT(two_metrics.overhead(), single_metrics.overhead());
+}

@@ -1,0 +1,120 @@
+// Tests for the bit-flip fault injector.
+
+#include "resilience/app/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ra = resilience::app;
+namespace ru = resilience::util;
+
+TEST(BitFlip, InjectAtFlipsExactlyOneBit) {
+  std::vector<double> field = {1.0, 2.0, 3.0};
+  const auto fault = ra::BitFlipInjector::inject_at(field, 1, 0);
+  EXPECT_EQ(fault.index, 1u);
+  EXPECT_EQ(fault.bit, 0);
+  EXPECT_DOUBLE_EQ(fault.before, 2.0);
+  EXPECT_NE(field[1], 2.0);
+  EXPECT_DOUBLE_EQ(field[0], 1.0);
+  EXPECT_DOUBLE_EQ(field[2], 3.0);
+}
+
+TEST(BitFlip, DoubleFlipRestoresValue) {
+  std::vector<double> field = {3.14159};
+  for (int bit = 0; bit < 64; ++bit) {
+    ra::BitFlipInjector::inject_at(field, 0, bit);
+    ra::BitFlipInjector::inject_at(field, 0, bit);
+    EXPECT_DOUBLE_EQ(field[0], 3.14159) << "bit " << bit;
+  }
+}
+
+TEST(BitFlip, SignBitNegates) {
+  std::vector<double> field = {5.0};
+  ra::BitFlipInjector::inject_at(field, 0, 63);
+  EXPECT_DOUBLE_EQ(field[0], -5.0);
+}
+
+TEST(BitFlip, ExponentFlipChangesMagnitudeDrastically) {
+  std::vector<double> field = {1.0};
+  ra::BitFlipInjector::inject_at(field, 0, 62);  // top exponent bit
+  EXPECT_TRUE(std::fabs(field[0]) > 1e100 || std::fabs(field[0]) < 1e-100 ||
+              std::isinf(field[0]) || std::isnan(field[0]));
+}
+
+TEST(BitFlip, LowMantissaFlipIsTiny) {
+  std::vector<double> field = {1.0};
+  ra::BitFlipInjector::inject_at(field, 0, 0);
+  EXPECT_NE(field[0], 1.0);
+  EXPECT_NEAR(field[0], 1.0, 1e-15);
+}
+
+TEST(BitFlip, InjectAtRangeChecks) {
+  std::vector<double> field = {1.0};
+  EXPECT_THROW(ra::BitFlipInjector::inject_at(field, 1, 0), std::out_of_range);
+  EXPECT_THROW(ra::BitFlipInjector::inject_at(field, 0, 64), std::out_of_range);
+  EXPECT_THROW(ra::BitFlipInjector::inject_at(field, 0, -1), std::out_of_range);
+}
+
+TEST(BitFlip, RandomInjectRespectsMaxBit) {
+  ra::BitFlipInjector injector{ru::Xoshiro256(1)};
+  std::vector<double> field(16, 1.0);
+  for (int i = 0; i < 500; ++i) {
+    const auto fault = injector.inject(field, 52);  // mantissa only
+    EXPECT_LT(fault.bit, 52);
+    EXPECT_LT(fault.index, field.size());
+    // Undo so magnitudes stay sane.
+    ra::BitFlipInjector::inject_at(field, fault.index, fault.bit);
+  }
+}
+
+TEST(BitFlip, RandomInjectCoversAllIndices) {
+  ra::BitFlipInjector injector{ru::Xoshiro256(2)};
+  std::vector<double> field(8, 1.0);
+  std::vector<bool> hit(field.size(), false);
+  for (int i = 0; i < 400; ++i) {
+    const auto fault = injector.inject(field);
+    hit[fault.index] = true;
+    ra::BitFlipInjector::inject_at(field, fault.index, fault.bit);
+  }
+  for (std::size_t i = 0; i < hit.size(); ++i) {
+    EXPECT_TRUE(hit[i]) << "index " << i << " never selected";
+  }
+}
+
+TEST(BitFlip, InjectInRangeRespectsWindow) {
+  ra::BitFlipInjector injector{ru::Xoshiro256(5)};
+  std::vector<double> field(8, 1.0);
+  for (int i = 0; i < 500; ++i) {
+    const auto fault = injector.inject_in_range(field, 44, 64);
+    EXPECT_GE(fault.bit, 44);
+    EXPECT_LT(fault.bit, 64);
+    ra::BitFlipInjector::inject_at(field, fault.index, fault.bit);  // undo
+  }
+}
+
+TEST(BitFlip, InjectInRangeRejectsBadWindow) {
+  ra::BitFlipInjector injector{ru::Xoshiro256(6)};
+  std::vector<double> field = {1.0};
+  EXPECT_THROW(injector.inject_in_range(field, -1, 64), std::invalid_argument);
+  EXPECT_THROW(injector.inject_in_range(field, 10, 10), std::invalid_argument);
+  EXPECT_THROW(injector.inject_in_range(field, 0, 65), std::invalid_argument);
+}
+
+TEST(BitFlip, RejectsEmptyFieldAndBadMaxBit) {
+  ra::BitFlipInjector injector{ru::Xoshiro256(3)};
+  std::vector<double> empty;
+  EXPECT_THROW(injector.inject(empty), std::invalid_argument);
+  std::vector<double> field = {1.0};
+  EXPECT_THROW(injector.inject(field, 0), std::invalid_argument);
+  EXPECT_THROW(injector.inject(field, 65), std::invalid_argument);
+}
+
+TEST(BitFlip, ReportsBeforeAfter) {
+  std::vector<double> field = {7.0};
+  const auto fault = ra::BitFlipInjector::inject_at(field, 0, 63);
+  EXPECT_DOUBLE_EQ(fault.before, 7.0);
+  EXPECT_DOUBLE_EQ(fault.after, -7.0);
+  EXPECT_DOUBLE_EQ(field[0], fault.after);
+}

@@ -1,0 +1,263 @@
+// Tests for the Table 1 first-order closed forms: brute-force optimality of
+// the integer (n, m) choice, published special-case limits, and cross-checks
+// between the two independent H* derivations.
+
+#include "resilience/core/first_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "resilience/core/platform.hpp"
+
+namespace rc = resilience::core;
+
+namespace {
+
+rc::ModelParams hera_params() { return rc::hera().model_params(); }
+
+/// Brute-force minimum of F(n, m) = oef * orw over a generous lattice.
+double brute_force_objective(rc::PatternKind kind, const rc::ModelParams& params,
+                             std::size_t max_n, std::size_t max_m) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t n = 1; n <= max_n; ++n) {
+    for (std::size_t m = 1; m <= max_m; ++m) {
+      const auto coeff = rc::overhead_coefficients(kind, params, n, m);
+      best = std::min(best, coeff.error_free * coeff.reexecuted_work);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(OverheadCoefficients, BasePatternMatchesProposition1) {
+  const auto params = hera_params();
+  const auto coeff = rc::overhead_coefficients(rc::PatternKind::kD, params, 1, 1);
+  // oef = V* + C_M + C_D, orw = lambda_s + lambda_f/2.
+  EXPECT_NEAR(coeff.error_free,
+              params.costs.guaranteed_verification + params.costs.memory_checkpoint +
+                  params.costs.disk_checkpoint,
+              1e-12);
+  EXPECT_NEAR(coeff.reexecuted_work,
+              params.rates.silent + params.rates.fail_stop / 2.0, 1e-18);
+}
+
+TEST(OverheadCoefficients, OptimalWorkAndOverheadRelations) {
+  const auto params = hera_params();
+  const auto coeff = rc::overhead_coefficients(rc::PatternKind::kD, params, 1, 1);
+  const double w = coeff.optimal_work();
+  // At W* the two overhead halves balance.
+  EXPECT_NEAR(coeff.error_free / w, coeff.reexecuted_work * w, 1e-9);
+  EXPECT_NEAR(coeff.overhead_at(w), coeff.optimal_overhead(), 1e-12);
+  // Any other W does worse.
+  EXPECT_GT(coeff.overhead_at(w * 2.0), coeff.optimal_overhead());
+  EXPECT_GT(coeff.overhead_at(w / 2.0), coeff.optimal_overhead());
+}
+
+TEST(FirstOrder, Theorem1PeriodOnHera) {
+  const auto params = hera_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kD, params);
+  const double expected =
+      std::sqrt((params.costs.guaranteed_verification +
+                 params.costs.memory_checkpoint + params.costs.disk_checkpoint) /
+                (params.rates.silent + params.rates.fail_stop / 2.0));
+  EXPECT_NEAR(solution.work, expected, 1e-9);
+  EXPECT_EQ(solution.segments_n, 1u);
+  EXPECT_EQ(solution.chunks_m, 1u);
+}
+
+TEST(FirstOrder, YoungDalyLimitWhenOnlyFailStop) {
+  // With lambda_s = 0 and no verification/memory cost, P_D reduces to the
+  // classical Young/Daly formula sqrt(2 C_D / lambda_f).
+  rc::ModelParams params = hera_params();
+  params.rates.silent = 0.0;
+  params.costs.guaranteed_verification = 0.0;
+  params.costs.memory_checkpoint = 0.0;
+  const auto solution = rc::solve_first_order(rc::PatternKind::kD, params);
+  EXPECT_NEAR(solution.work, rc::young_daly_period(params), 1e-9);
+}
+
+TEST(FirstOrder, SilentOnlyLimit) {
+  // With lambda_f = 0 and no disk checkpoint, W* = sqrt((V*+C_M)/lambda_s).
+  rc::ModelParams params = hera_params();
+  params.rates.fail_stop = 0.0;
+  params.costs.disk_checkpoint = 0.0;
+  const auto solution = rc::solve_first_order(rc::PatternKind::kD, params);
+  EXPECT_NEAR(solution.work, rc::silent_only_period(params), 1e-9);
+}
+
+class RationalMinimizerTest : public ::testing::TestWithParam<rc::PatternKind> {};
+
+TEST_P(RationalMinimizerTest, IsStationaryPointOfF) {
+  // The rational (n-bar*, m-bar*) should (approximately) minimize the
+  // continuous relaxation of F: nudging either coordinate by +-2% must not
+  // improve F by more than numerical noise.
+  const auto kind = GetParam();
+  const auto params = hera_params();
+  const auto minimizer = rc::rational_minimizer(kind, params);
+
+  const auto evaluate = [&](double n, double m) {
+    // Continuous F built from the same building blocks as the integer one.
+    const rc::CostParams& c = params.costs;
+    const rc::ErrorRates& e = params.rates;
+    const double recall = rc::uses_partial_verifications(kind) ? c.recall : 1.0;
+    const double verif = rc::uses_partial_verifications(kind)
+                             ? c.partial_verification
+                             : c.guaranteed_verification;
+    if (!rc::uses_memory_checkpoints(kind)) {
+      n = 1.0;
+    }
+    if (!rc::uses_intermediate_verifications(kind)) {
+      m = 1.0;
+    }
+    const double oef = n * (m - 1.0) * verif +
+                       n * (c.guaranteed_verification + c.memory_checkpoint) +
+                       c.disk_checkpoint;
+    const double fraction = 0.5 * (1.0 + (2.0 - recall) / ((m - 2.0) * recall + 2.0));
+    const double orw = fraction * e.silent / n + e.fail_stop / 2.0;
+    return oef * orw;
+  };
+
+  const double base = evaluate(minimizer.n, minimizer.m);
+  for (const double factor : {0.98, 1.02}) {
+    if (rc::uses_memory_checkpoints(kind)) {
+      EXPECT_GE(evaluate(minimizer.n * factor, minimizer.m), base * (1.0 - 1e-9))
+          << "n direction, factor " << factor;
+    }
+    if (rc::uses_intermediate_verifications(kind)) {
+      EXPECT_GE(evaluate(minimizer.n, minimizer.m * factor), base * (1.0 - 1e-9))
+          << "m direction, factor " << factor;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RationalMinimizerTest,
+                         ::testing::ValuesIn(rc::all_pattern_kinds()));
+
+class BruteForceTest
+    : public ::testing::TestWithParam<std::tuple<rc::PatternKind, int>> {};
+
+TEST_P(BruteForceTest, IntegerChoiceMatchesExhaustiveSearch) {
+  const auto [kind, platform_index] = GetParam();
+  const auto params = rc::all_platforms()[static_cast<std::size_t>(platform_index)]
+                          .model_params();
+  const auto solution = rc::solve_first_order(kind, params);
+  const auto chosen = rc::overhead_coefficients(kind, params, solution.segments_n,
+                                                solution.chunks_m);
+  const double chosen_objective = chosen.error_free * chosen.reexecuted_work;
+  const double best = brute_force_objective(kind, params, 64, 128);
+  EXPECT_LE(chosen_objective, best * (1.0 + 1e-9))
+      << rc::pattern_name(kind) << " n=" << solution.segments_n
+      << " m=" << solution.chunks_m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsTimesPlatforms, BruteForceTest,
+    ::testing::Combine(::testing::ValuesIn(rc::all_pattern_kinds()),
+                       ::testing::Values(0, 1, 2, 3)));
+
+class ClosedFormOverheadTest
+    : public ::testing::TestWithParam<std::tuple<rc::PatternKind, int>> {};
+
+TEST_P(ClosedFormOverheadTest, AgreesWithConstructiveSolution) {
+  // Table 1's last-column H* (derived by substituting the rational
+  // minimizers) must match the constructive 2*sqrt(oef*orw) at the rounded
+  // integers up to the rounding loss, which is small on these platforms.
+  const auto [kind, platform_index] = GetParam();
+  const auto params = rc::all_platforms()[static_cast<std::size_t>(platform_index)]
+                          .model_params();
+  const auto solution = rc::solve_first_order(kind, params);
+  const double closed = rc::closed_form_overhead(kind, params);
+  EXPECT_NEAR(solution.overhead, closed, closed * 0.02)
+      << rc::pattern_name(kind);
+  // Integer rounding can only hurt: constructive >= closed-form rational.
+  EXPECT_GE(solution.overhead, closed * (1.0 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsTimesPlatforms, ClosedFormOverheadTest,
+    ::testing::Combine(::testing::ValuesIn(rc::all_pattern_kinds()),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(FirstOrder, RicherPatternsNeverHurtAtFirstOrder) {
+  // On every catalog platform the paper observes monotone improvement from
+  // P_D to P_DMV (Figure 6a). Check the first-order overheads decrease
+  // along the single-level and two-level chains.
+  for (const auto& platform : rc::all_platforms()) {
+    const auto params = platform.model_params();
+    const auto h = [&](rc::PatternKind kind) {
+      return rc::solve_first_order(kind, params).overhead;
+    };
+    EXPECT_LE(h(rc::PatternKind::kDVg), h(rc::PatternKind::kD) + 1e-12)
+        << platform.name;
+    EXPECT_LE(h(rc::PatternKind::kDV), h(rc::PatternKind::kDVg) + 1e-12)
+        << platform.name;
+    EXPECT_LE(h(rc::PatternKind::kDM), h(rc::PatternKind::kD) + 1e-12)
+        << platform.name;
+    EXPECT_LE(h(rc::PatternKind::kDMVg), h(rc::PatternKind::kDM) + 1e-12)
+        << platform.name;
+    EXPECT_LE(h(rc::PatternKind::kDMV), h(rc::PatternKind::kDMVg) + 1e-12)
+        << platform.name;
+  }
+}
+
+TEST(FirstOrder, TwoLevelBeatsSingleLevelMostOnCheapMemory) {
+  // Section 6.2.2: the single-vs-two-level gap is "more visible for Atlas
+  // and Coastal" (large C_D/C_M) than for Hera.
+  const auto gap = [](const rc::Platform& platform) {
+    const auto params = platform.model_params();
+    return rc::solve_first_order(rc::PatternKind::kD, params).overhead -
+           rc::solve_first_order(rc::PatternKind::kDMV, params).overhead;
+  };
+  EXPECT_GT(gap(rc::atlas()), gap(rc::hera()));
+  EXPECT_GT(gap(rc::coastal()), gap(rc::hera()));
+}
+
+TEST(FirstOrder, HeraOverheadsInPaperBallpark) {
+  // Figure 6a: overheads between roughly 4% and 7% on Hera.
+  const auto params = hera_params();
+  for (const auto kind : rc::all_pattern_kinds()) {
+    const double overhead = rc::solve_first_order(kind, params).overhead;
+    EXPECT_GT(overhead, 0.03) << rc::pattern_name(kind);
+    EXPECT_LT(overhead, 0.08) << rc::pattern_name(kind);
+  }
+}
+
+TEST(FirstOrder, TwoLevelPatternsHaveLongerPeriods) {
+  // Section 6.2.3: two-level patterns have much longer periods than their
+  // single-level counterparts.
+  for (const auto& platform : rc::all_platforms()) {
+    const auto params = platform.model_params();
+    EXPECT_GT(rc::solve_first_order(rc::PatternKind::kDMV, params).work,
+              rc::solve_first_order(rc::PatternKind::kDV, params).work)
+        << platform.name;
+    EXPECT_GT(rc::solve_first_order(rc::PatternKind::kDM, params).work,
+              rc::solve_first_order(rc::PatternKind::kD, params).work)
+        << platform.name;
+  }
+}
+
+TEST(FirstOrder, PDMVStarMinimizersMatchClosedForm) {
+  // Table 1 row 5: n* = sqrt(ls/lf * C_D/C_M), m* = sqrt(C_M/V*).
+  const auto params = hera_params();
+  const auto minimizer = rc::rational_minimizer(rc::PatternKind::kDMVg, params);
+  EXPECT_NEAR(minimizer.n,
+              std::sqrt(params.rates.silent / params.rates.fail_stop *
+                        params.costs.disk_checkpoint / params.costs.memory_checkpoint),
+              1e-9);
+  EXPECT_NEAR(minimizer.m,
+              std::sqrt(params.costs.memory_checkpoint /
+                        params.costs.guaranteed_verification),
+              1e-9);
+}
+
+TEST(FirstOrder, SolutionToPatternRealizesShape) {
+  const auto params = hera_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  EXPECT_EQ(pattern.segment_count(), solution.segments_n);
+  EXPECT_EQ(pattern.total_chunks(), solution.segments_n * solution.chunks_m);
+  EXPECT_DOUBLE_EQ(pattern.work(), solution.work);
+}

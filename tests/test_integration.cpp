@@ -1,0 +1,140 @@
+// Cross-module integration tests: the full pipeline a downstream user
+// follows — platform description -> optimal pattern -> simulation -> (for
+// the demo app) protected execution with measured detector parameters.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "resilience/app/detectors.hpp"
+#include "resilience/app/protected_run.hpp"
+#include "resilience/core/expected_time.hpp"
+#include "resilience/core/first_order.hpp"
+#include "resilience/core/optimizer.hpp"
+#include "resilience/core/platform.hpp"
+#include "resilience/core/verification.hpp"
+#include "resilience/sim/runner.hpp"
+
+namespace rc = resilience::core;
+namespace rs = resilience::sim;
+namespace ra = resilience::app;
+
+TEST(Integration, PlatformToPatternToSimulationPipeline) {
+  // The DESIGN.md "quickstart" path, end to end.
+  const auto platform = rc::platform_by_name("hera");
+  const auto params = platform.model_params();
+
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  ASSERT_GT(solution.work, 0.0);
+  ASSERT_GE(solution.segments_n, 1u);
+  ASSERT_GE(solution.chunks_m, 1u);
+
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  const double exact = rc::evaluate_pattern(pattern, params).overhead;
+
+  rs::MonteCarloConfig config;
+  config.runs = 32;
+  config.patterns_per_run = 60;
+  const auto result = rs::run_monte_carlo(pattern, params, config);
+
+  EXPECT_NEAR(result.mean_overhead(), exact,
+              4.0 * result.overhead_ci() + 0.01 * (1.0 + exact));
+}
+
+TEST(Integration, MeasuredDetectorFeedsTheModel) {
+  // Measure the time-series detector's real recall on the stencil, install
+  // it into the cost model, and verify the optimizer reacts sensibly: a
+  // cheap partial verification must not make the optimum worse than not
+  // having one.
+  ra::TimeSeriesDetector detector;
+  const double measured_cost = 0.154;  // paper's V = V*/100 scale on Hera
+  const auto measured = ra::measure_recall(detector, measured_cost, 100);
+  ASSERT_GT(measured.recall, 0.0);
+  ASSERT_LE(measured.recall, 1.0);
+
+  rc::ModelParams params = rc::hera().model_params();
+  params.costs = rc::with_detector(params.costs, measured);
+
+  const auto with_partial = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const auto without_partial = rc::solve_first_order(rc::PatternKind::kDMVg, params);
+  EXPECT_LE(with_partial.overhead, without_partial.overhead * (1.0 + 1e-9));
+}
+
+TEST(Integration, DetectorSelectionPrefersMeasuredCheapDetector) {
+  const auto params = rc::hera().model_params();
+  const std::vector<rc::Detector> candidates = {
+      {"time-series", 0.154, 0.8},
+      {"replication", 15.4, 1.0},
+      {"spatial-interp", 0.462, 0.95},
+  };
+  const auto best = rc::select_best_detector(
+      candidates, params.costs.guaranteed_verification,
+      params.costs.memory_checkpoint);
+  EXPECT_EQ(best.name, "time-series");
+}
+
+TEST(Integration, NumericOptimizerAgreesWithSimulation) {
+  // The numerically optimized pattern should simulate at (or below) the
+  // overhead of the first-order pattern in a high-error regime.
+  const auto params = rc::hera().scaled_to(1u << 15).model_params();
+  const auto kind = rc::PatternKind::kDMV;
+
+  const auto first_order = rc::solve_first_order(kind, params);
+  const auto numeric = rc::optimize_pattern(kind, params);
+
+  rs::MonteCarloConfig config;
+  config.runs = 32;
+  config.patterns_per_run = 40;
+  const auto sim_first =
+      rs::run_monte_carlo(first_order.to_pattern(params.costs.recall), params, config);
+  const auto sim_numeric = rs::run_monte_carlo(numeric.pattern, params, config);
+
+  EXPECT_LT(sim_numeric.mean_overhead(),
+            sim_first.mean_overhead() + 4.0 * sim_first.overhead_ci());
+}
+
+TEST(Integration, ProtectedRunUsesOptimizerShapes) {
+  // Drive the end-to-end app with a pattern shape chosen by the optimizer
+  // (translated from seconds to steps) and verify correct completion.
+  const auto params = rc::hera().model_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+
+  ra::ProtectedJobConfig config;
+  config.stencil.nx = 32;
+  config.stencil.ny = 32;
+  config.total_steps = 256;
+  config.steps_per_chunk = 8;
+  config.chunks_per_segment = std::max<std::uint64_t>(1, solution.chunks_m);
+  config.segments_per_pattern = std::max<std::uint64_t>(1, solution.segments_n);
+  config.silent_fault_probability = 0.1;
+  config.fail_stop_probability = 0.05;
+  config.scratch_directory = std::filesystem::temp_directory_path() /
+                             "resilience_integration_scratch";
+  const auto report = ra::run_protected(config);
+  EXPECT_TRUE(report.completed);
+  EXPECT_DOUBLE_EQ(report.final_error_vs_reference, 0.0);
+
+  std::error_code ec;
+  std::filesystem::remove_all(config.scratch_directory, ec);
+}
+
+TEST(Integration, WeakScalingOverheadGrowsWithNodeCount) {
+  // Figure 7a's qualitative shape via the exact model: overhead grows
+  // monotonically under weak scaling, and P_DMV dominates P_D throughout.
+  double previous_pd = 0.0;
+  double previous_pdmv = 0.0;
+  for (const std::size_t nodes : {1u << 8, 1u << 12, 1u << 16}) {
+    const auto params = rc::hera().scaled_to(nodes).model_params();
+    const auto pd = rc::solve_first_order(rc::PatternKind::kD, params);
+    const auto pdmv = rc::solve_first_order(rc::PatternKind::kDMV, params);
+    const double pd_exact =
+        rc::evaluate_pattern(pd.to_pattern(1.0), params).overhead;
+    const double pdmv_exact =
+        rc::evaluate_pattern(pdmv.to_pattern(params.costs.recall), params).overhead;
+    EXPECT_GT(pd_exact, previous_pd);
+    EXPECT_GT(pdmv_exact, previous_pdmv);
+    EXPECT_LT(pdmv_exact, pd_exact);
+    previous_pd = pd_exact;
+    previous_pdmv = pdmv_exact;
+  }
+}

@@ -1,0 +1,120 @@
+// Tests for the heterogeneous-pattern search: Theorem 4's homogeneity claim
+// validated by an independent numeric optimizer, plus property tests over
+// random pattern shapes.
+
+#include "resilience/core/irregular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "resilience/core/first_order.hpp"
+#include "resilience/core/platform.hpp"
+
+namespace rc = resilience::core;
+namespace ru = resilience::util;
+
+namespace {
+
+rc::ModelParams hera_params() { return rc::hera().model_params(); }
+
+}  // namespace
+
+TEST(SegmentFractions, EqualChunkCountsGiveEqualFractions) {
+  const auto alpha = rc::optimal_segment_fractions({4, 4, 4}, 0.8);
+  for (const double a : alpha) {
+    EXPECT_NEAR(a, 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(SegmentFractions, MoreChunksEarnLargerFractions) {
+  // A segment with more verifications has a smaller re-execution factor
+  // f*(m), hence can afford more work (alpha_i proportional to 1/f*_i).
+  const auto alpha = rc::optimal_segment_fractions({1, 8}, 0.8);
+  ASSERT_EQ(alpha.size(), 2u);
+  EXPECT_LT(alpha[0], alpha[1]);
+  EXPECT_NEAR(alpha[0] + alpha[1], 1.0, 1e-12);
+}
+
+TEST(SegmentFractions, RejectsBadInput) {
+  EXPECT_THROW((void)rc::optimal_segment_fractions({}, 0.8), std::invalid_argument);
+  EXPECT_THROW((void)rc::optimal_segment_fractions({0}, 0.8), std::invalid_argument);
+  EXPECT_THROW((void)rc::optimal_segment_fractions({2}, 0.0), std::invalid_argument);
+}
+
+TEST(MakeIrregular, BuildsValidSpec) {
+  const auto pattern = rc::make_irregular_pattern(10000.0, {1, 3, 5}, 0.8);
+  EXPECT_EQ(pattern.segment_count(), 3u);
+  EXPECT_EQ(pattern.total_chunks(), 9u);
+  EXPECT_EQ(pattern.segment(0).chunks(), 1u);
+  EXPECT_EQ(pattern.segment(2).chunks(), 5u);
+}
+
+TEST(RandomPattern, AlwaysValidatesAcrossSeeds) {
+  ru::Xoshiro256 rng(123);
+  for (int i = 0; i < 200; ++i) {
+    const auto pattern = rc::random_pattern(rng, 5000.0, 6, 8);
+    EXPECT_GE(pattern.segment_count(), 1u);
+    EXPECT_LE(pattern.segment_count(), 6u);
+    double alpha_sum = 0.0;
+    for (const auto& segment : pattern.segments()) {
+      alpha_sum += segment.alpha;
+      EXPECT_LE(segment.chunks(), 8u);
+      EXPECT_NEAR(std::accumulate(segment.beta.begin(), segment.beta.end(), 0.0),
+                  1.0, 1e-9);
+    }
+    EXPECT_NEAR(alpha_sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RandomPattern, EvaluatorHandlesArbitraryShapes) {
+  // Property: the exact evaluator accepts any valid shape and returns a
+  // positive overhead no better than the numeric optimum.
+  const auto params = hera_params();
+  const auto optimum = rc::optimize_irregular(params);
+  ru::Xoshiro256 rng(77);
+  for (int i = 0; i < 50; ++i) {
+    const auto pattern = rc::random_pattern(rng, optimum.pattern.work(), 6, 8);
+    const double overhead = rc::evaluate_pattern(pattern, params).overhead;
+    EXPECT_GT(overhead, 0.0);
+    EXPECT_GE(overhead, optimum.overhead - 1e-9) << "seed iteration " << i;
+  }
+}
+
+TEST(OptimizeIrregular, ConvergesToHomogeneousShapeOnHera) {
+  // Theorem 4: the optimal pattern has identical segments. The free search
+  // must land on (or tie with) a homogeneous shape.
+  const auto params = hera_params();
+  const auto solution = rc::optimize_irregular(params);
+  ASSERT_FALSE(solution.chunk_counts.empty());
+  const std::size_t first = solution.chunk_counts.front();
+  for (const std::size_t m : solution.chunk_counts) {
+    // Allow one unit of slack: F is extremely flat around the optimum, so
+    // ties at neighbouring integers are legitimate.
+    EXPECT_NEAR(static_cast<double>(m), static_cast<double>(first), 1.0);
+  }
+}
+
+TEST(OptimizeIrregular, MatchesHomogeneousOptimizerOverhead) {
+  const auto params = hera_params();
+  const auto irregular = rc::optimize_irregular(params);
+  const auto homogeneous = rc::optimize_pattern(rc::PatternKind::kDMV, params);
+  // The irregular space contains the homogeneous one, so it can only do
+  // equal or better; Theorem 4 says the improvement is nil to first order.
+  EXPECT_LE(irregular.overhead, homogeneous.overhead + 1e-9);
+  EXPECT_NEAR(irregular.overhead, homogeneous.overhead,
+              homogeneous.overhead * 0.02);
+}
+
+TEST(OptimizeIrregular, HandlesHighErrorRegime) {
+  const auto params = rc::hera().scaled_to(1u << 16).model_params();
+  const auto solution = rc::optimize_irregular(params);
+  EXPECT_GT(solution.overhead, 0.0);
+  // Sanity: still beats the first-order homogeneous pattern evaluated
+  // exactly.
+  const auto first_order = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const double first_order_exact =
+      rc::evaluate_pattern(first_order.to_pattern(params.costs.recall), params)
+          .overhead;
+  EXPECT_LE(solution.overhead, first_order_exact + 1e-9);
+}

@@ -1,0 +1,93 @@
+// Tests for the job-level planning module.
+
+#include "resilience/core/makespan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resilience/core/platform.hpp"
+
+namespace rc = resilience::core;
+
+namespace {
+
+rc::ModelParams hera_params() { return rc::hera().model_params(); }
+
+}  // namespace
+
+TEST(JobPlan, MakespanFollowsOverhead) {
+  const auto params = hera_params();
+  const double base = 30.0 * 86400.0;  // 30 days of useful work
+  const auto plan = rc::plan_job(base, rc::PatternKind::kDMV, params);
+  EXPECT_DOUBLE_EQ(plan.base_time, base);
+  EXPECT_NEAR(plan.expected_makespan, base * (1.0 + plan.expected_overhead), 1e-6);
+  EXPECT_GT(plan.expected_overhead, 0.0);
+  EXPECT_LT(plan.expected_overhead, 0.2);  // Hera PDMV is ~4%
+}
+
+TEST(JobPlan, CheckpointBudgetsFollowPatternShape) {
+  const auto params = hera_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const double base = 10.0 * solution.work;  // exactly 10 patterns
+  const auto plan = rc::plan_job(base, solution, params);
+  EXPECT_EQ(plan.patterns, 10u);
+  EXPECT_EQ(plan.disk_checkpoints, 10u);
+  EXPECT_EQ(plan.memory_checkpoints, 10u * solution.segments_n);
+  EXPECT_EQ(plan.verifications, 10u * solution.segments_n * solution.chunks_m);
+  EXPECT_DOUBLE_EQ(plan.disk_io_seconds, 10.0 * params.costs.disk_checkpoint);
+}
+
+TEST(JobPlan, PartialPatternRoundsUp) {
+  const auto params = hera_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kD, params);
+  const auto plan = rc::plan_job(solution.work * 2.5, solution, params);
+  EXPECT_EQ(plan.patterns, 3u);
+}
+
+TEST(JobPlan, ErrorForecastsScaleWithMakespan) {
+  const auto params = hera_params();
+  const auto plan = rc::plan_job(30.0 * 86400.0, rc::PatternKind::kDMV, params);
+  EXPECT_NEAR(plan.expected_fail_stop_errors,
+              params.rates.fail_stop * plan.expected_makespan, 1e-9);
+  EXPECT_NEAR(plan.expected_silent_errors,
+              params.rates.silent * plan.expected_makespan, 1e-9);
+  // 30 days on Hera: roughly 2.5 fail-stop errors, 8.8 silent errors.
+  EXPECT_GT(plan.expected_fail_stop_errors, 1.0);
+  EXPECT_GT(plan.expected_silent_errors, plan.expected_fail_stop_errors);
+}
+
+TEST(JobPlan, DiskIoFractionIsSane) {
+  const auto params = hera_params();
+  const auto plan = rc::plan_job(30.0 * 86400.0, rc::PatternKind::kDMV, params);
+  EXPECT_GT(plan.disk_io_fraction(), 0.0);
+  EXPECT_LT(plan.disk_io_fraction(), plan.expected_overhead);
+}
+
+TEST(JobPlan, TwoLevelPlanNeedsFewerDiskCheckpoints) {
+  const auto params = hera_params();
+  const double base = 30.0 * 86400.0;
+  const auto single = rc::plan_job(base, rc::PatternKind::kD, params);
+  const auto two_level = rc::plan_job(base, rc::PatternKind::kDMV, params);
+  EXPECT_LT(two_level.disk_checkpoints, single.disk_checkpoints);
+  EXPECT_LT(two_level.disk_io_fraction(), single.disk_io_fraction());
+  EXPECT_LT(two_level.expected_makespan, single.expected_makespan);
+}
+
+TEST(JobPlan, RejectsNonPositiveBaseTime) {
+  const auto params = hera_params();
+  EXPECT_THROW((void)rc::plan_job(0.0, rc::PatternKind::kD, params),
+               std::invalid_argument);
+  EXPECT_THROW((void)rc::plan_job(-1.0, rc::PatternKind::kD, params),
+               std::invalid_argument);
+}
+
+TEST(Efficiency, IsInverseOfOnePlusOverhead) {
+  const auto params = hera_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  const double h = rc::evaluate_pattern(pattern, params).overhead;
+  EXPECT_NEAR(rc::efficiency(pattern, params), 1.0 / (1.0 + h), 1e-12);
+  EXPECT_GT(rc::efficiency(pattern, params), 0.9);  // Hera PDMV ~96%
+  EXPECT_LT(rc::efficiency(pattern, params), 1.0);
+}

@@ -1,0 +1,81 @@
+// Tests for the simulation metrics bookkeeping.
+
+#include "resilience/sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rs = resilience::sim;
+
+TEST(RunMetrics, OverheadDefinition) {
+  rs::RunMetrics metrics;
+  metrics.elapsed_seconds = 1100.0;
+  metrics.useful_work_seconds = 1000.0;
+  EXPECT_NEAR(metrics.overhead(), 0.1, 1e-12);
+}
+
+TEST(RunMetrics, OverheadZeroWhenNoWork) {
+  rs::RunMetrics metrics;
+  metrics.elapsed_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(metrics.overhead(), 0.0);
+}
+
+TEST(RunMetrics, VerificationsSumBothKinds) {
+  rs::RunMetrics metrics;
+  metrics.partial_verifications = 7;
+  metrics.guaranteed_verifications = 3;
+  EXPECT_EQ(metrics.verifications(), 10u);
+}
+
+TEST(RunMetrics, MergeAddsEverything) {
+  rs::RunMetrics a;
+  a.elapsed_seconds = 10.0;
+  a.disk_checkpoints = 2;
+  a.memory_recoveries = 1;
+  rs::RunMetrics b;
+  b.elapsed_seconds = 5.0;
+  b.disk_checkpoints = 3;
+  b.silent_errors = 4;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, 15.0);
+  EXPECT_EQ(a.disk_checkpoints, 5u);
+  EXPECT_EQ(a.memory_recoveries, 1u);
+  EXPECT_EQ(a.silent_errors, 4u);
+}
+
+TEST(AggregateMetrics, RatesUseElapsedTime) {
+  rs::RunMetrics run;
+  run.elapsed_seconds = 7200.0;  // 2 hours
+  run.useful_work_seconds = 7000.0;
+  run.patterns_completed = 10;
+  run.disk_checkpoints = 4;
+  run.memory_checkpoints = 8;
+  run.partial_verifications = 20;
+  run.guaranteed_verifications = 10;
+  run.disk_recoveries = 6;
+  run.memory_recoveries = 12;
+
+  rs::AggregateMetrics agg;
+  agg.add_run(run);
+  EXPECT_NEAR(agg.disk_checkpoints_per_hour.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(agg.memory_checkpoints_per_hour.mean(), 4.0, 1e-12);
+  EXPECT_NEAR(agg.verifications_per_hour.mean(), 15.0, 1e-12);
+  EXPECT_NEAR(agg.disk_recoveries_per_day.mean(), 72.0, 1e-12);
+  EXPECT_NEAR(agg.memory_recoveries_per_day.mean(), 144.0, 1e-12);
+  EXPECT_NEAR(agg.disk_recoveries_per_pattern.mean(), 0.6, 1e-12);
+  EXPECT_NEAR(agg.overhead.mean(), 7200.0 / 7000.0 - 1.0, 1e-12);
+}
+
+TEST(AggregateMetrics, MergeCombinesDistributions) {
+  rs::RunMetrics run;
+  run.elapsed_seconds = 3600.0;
+  run.useful_work_seconds = 3000.0;
+  run.patterns_completed = 1;
+
+  rs::AggregateMetrics a;
+  a.add_run(run);
+  rs::AggregateMetrics b;
+  b.add_run(run);
+  b.add_run(run);
+  a.merge(b);
+  EXPECT_EQ(a.overhead.count(), 3u);
+}

@@ -1,0 +1,143 @@
+// The paper's central validation, as a property test: for every pattern
+// family on every platform, the Monte Carlo overhead must agree with the
+// exact analytical expectation within confidence bounds, and must slightly
+// exceed the (optimistic) first-order prediction — exactly the relationship
+// Figure 6a reports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "resilience/core/expected_time.hpp"
+#include "resilience/core/first_order.hpp"
+#include "resilience/core/platform.hpp"
+#include "resilience/sim/runner.hpp"
+
+namespace rc = resilience::core;
+namespace rs = resilience::sim;
+
+namespace {
+
+struct Case {
+  rc::PatternKind kind;
+  int platform_index;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto platform =
+      rc::all_platforms()[static_cast<std::size_t>(info.param.platform_index)];
+  std::string name = rc::pattern_name(info.param.kind) + "_" + platform.name;
+  for (char& ch : name) {
+    if (ch == '*') {
+      ch = 'g';
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+class ModelVsSimulation : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ModelVsSimulation, SimulationMatchesExactModelWithinTolerance) {
+  const auto [kind, platform_index] = GetParam();
+  const auto platform =
+      rc::all_platforms()[static_cast<std::size_t>(platform_index)];
+  const auto params = platform.model_params();
+
+  const auto solution = rc::solve_first_order(kind, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+
+  // Exact analytical overhead of the same pattern. The analytical model
+  // assumes error-free resilience operations; the simulator injects
+  // fail-stop errors everywhere, a lower-order effect (Section 5).
+  const double exact = rc::evaluate_pattern(pattern, params).overhead;
+
+  rs::MonteCarloConfig config;
+  config.runs = 48;
+  config.patterns_per_run = 100;
+  config.seed = 0xfeedULL + static_cast<std::uint64_t>(platform_index);
+  const auto simulated = rs::run_monte_carlo(pattern, params, config);
+
+  // Agreement within 4 confidence half-widths plus a 1% modeling slack for
+  // the Section-5 effects the analytical expectation ignores.
+  const double tolerance = 4.0 * simulated.overhead_ci() + 0.01 * (1.0 + exact);
+  EXPECT_NEAR(simulated.mean_overhead(), exact, tolerance)
+      << rc::pattern_name(kind) << " on " << platform.name
+      << " (ci=" << simulated.overhead_ci() << ")";
+
+  // Figure 6a's qualitative observation: the first-order prediction is
+  // optimistic — the simulated overhead should not fall meaningfully below
+  // it.
+  EXPECT_GT(simulated.mean_overhead(),
+            solution.overhead - 4.0 * simulated.overhead_ci())
+      << rc::pattern_name(kind) << " on " << platform.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllPlatforms, ModelVsSimulation,
+    ::testing::Values(Case{rc::PatternKind::kD, 0}, Case{rc::PatternKind::kDVg, 0},
+                      Case{rc::PatternKind::kDV, 0}, Case{rc::PatternKind::kDM, 0},
+                      Case{rc::PatternKind::kDMVg, 0}, Case{rc::PatternKind::kDMV, 0},
+                      Case{rc::PatternKind::kD, 1}, Case{rc::PatternKind::kDV, 1},
+                      Case{rc::PatternKind::kDMV, 1}, Case{rc::PatternKind::kD, 2},
+                      Case{rc::PatternKind::kDMVg, 2}, Case{rc::PatternKind::kDMV, 2},
+                      Case{rc::PatternKind::kD, 3}, Case{rc::PatternKind::kDM, 3},
+                      Case{rc::PatternKind::kDMV, 3}),
+    case_name);
+
+TEST(ModelVsSimulation, AdvancedPatternsWinInSimulationOnHera) {
+  // Figure 6a: simulated overheads decrease from P_D to P_DMV on Hera.
+  const auto params = rc::hera().model_params();
+  rs::MonteCarloConfig config;
+  config.runs = 48;
+  config.patterns_per_run = 100;
+
+  const auto simulate = [&](rc::PatternKind kind) {
+    const auto solution = rc::solve_first_order(kind, params);
+    const auto pattern = solution.to_pattern(params.costs.recall);
+    return rs::run_monte_carlo(pattern, params, config).mean_overhead();
+  };
+
+  const double pd = simulate(rc::PatternKind::kD);
+  const double pdmv = simulate(rc::PatternKind::kDMV);
+  EXPECT_LT(pdmv, pd);
+}
+
+TEST(ModelVsSimulation, DiskRecoveryRateTracksFailStopMtbf) {
+  // Section 6.2.5: disk recoveries per day ~= fail-stop rate per day,
+  // independent of the pattern.
+  const auto params = rc::hera().model_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  rs::MonteCarloConfig config;
+  config.runs = 64;
+  config.patterns_per_run = 150;
+  const auto result = rs::run_monte_carlo(pattern, params, config);
+
+  const double expected_per_day = params.rates.fail_stop * 86400.0;  // ~0.0817
+  EXPECT_NEAR(result.aggregate.disk_recoveries_per_day.mean(), expected_per_day,
+              expected_per_day * 0.15);
+}
+
+TEST(ModelVsSimulation, MemoryRecoveryRateTracksSilentMtbf) {
+  // Section 6.2.5: the silent error rate is a good indicator of the memory
+  // recovery frequency (one recovery per detection, roughly one detection
+  // per silent error).
+  const auto params = rc::hera().model_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  rs::MonteCarloConfig config;
+  config.runs = 64;
+  config.patterns_per_run = 150;
+  const auto result = rs::run_monte_carlo(pattern, params, config);
+
+  // Every detected silent error triggers one memory recovery, and every
+  // disk recovery is followed by a memory restore as well (Section 2.2), so
+  // the expected rate is lambda_s + lambda_f per day.
+  const double expected_per_day =
+      (params.rates.silent + params.rates.fail_stop) * 86400.0;  // ~0.374
+  EXPECT_NEAR(result.aggregate.memory_recoveries_per_day.mean(), expected_per_day,
+              expected_per_day * 0.2);
+}

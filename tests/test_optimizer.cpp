@@ -1,0 +1,137 @@
+// Tests for the numeric optimizer: golden-section correctness, agreement
+// with the first-order closed forms in the large-MTBF regime, and the
+// numeric chunk-fraction optimizer reproducing Eq. (18).
+
+#include "resilience/core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resilience/core/first_order.hpp"
+#include "resilience/core/platform.hpp"
+
+namespace rc = resilience::core;
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const double x = rc::golden_section_minimize(
+      [](double t) { return (t - 3.25) * (t - 3.25) + 1.0; }, 0.0, 10.0, 1e-8);
+  EXPECT_NEAR(x, 3.25, 1e-6);
+}
+
+TEST(GoldenSection, FindsAsymmetricMinimum) {
+  // f(w) = a/w + b*w has minimum at sqrt(a/b).
+  const double a = 700.0;
+  const double b = 3e-6;
+  const double x = rc::golden_section_minimize(
+      [&](double w) { return a / w + b * w; }, 1.0, 1e8, 1e-4);
+  EXPECT_NEAR(x, std::sqrt(a / b), 1.0);
+}
+
+TEST(GoldenSection, RejectsEmptyBracket) {
+  EXPECT_THROW(
+      (void)rc::golden_section_minimize([](double t) { return t; }, 1.0, 1.0, 1e-3),
+      std::invalid_argument);
+}
+
+TEST(OptimizeWorkLength, NearFirstOrderOptimumAtLowRates) {
+  // When the MTBF is large, the exact optimum W coincides with the
+  // first-order W* to within a fraction of a percent.
+  rc::ModelParams params = rc::hera().model_params();
+  params.rates = params.rates.scaled(0.05, 0.05);
+  for (const auto kind : rc::all_pattern_kinds()) {
+    const auto solution = rc::solve_first_order(kind, params);
+    const double numeric = rc::optimize_work_length(kind, solution.segments_n,
+                                                    solution.chunks_m, params);
+    EXPECT_NEAR(numeric, solution.work, solution.work * 0.02)
+        << rc::pattern_name(kind);
+  }
+}
+
+TEST(OptimizeWorkLength, ShorterThanFirstOrderAtHighRates) {
+  // With a small MTBF the exact model penalizes long patterns more than the
+  // first-order model does, pushing the true optimum below W*.
+  const auto params = rc::hera().scaled_to(100000).model_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kD, params);
+  const double numeric = rc::optimize_work_length(rc::PatternKind::kD, 1, 1, params);
+  EXPECT_LT(numeric, solution.work);
+}
+
+TEST(OptimizePattern, MatchesFirstOrderShapeAtNominalHera) {
+  const auto params = rc::hera().model_params();
+  for (const auto kind : rc::all_pattern_kinds()) {
+    const auto first_order = rc::solve_first_order(kind, params);
+    const auto numeric = rc::optimize_pattern(kind, params);
+    // The integer shape may differ by one unit where F is flat; the exact
+    // overhead of the numeric solution must be at least as good as the
+    // exactly-evaluated first-order solution.
+    const double first_order_exact =
+        rc::evaluate_pattern(first_order.to_pattern(params.costs.recall), params)
+            .overhead;
+    EXPECT_LE(numeric.overhead, first_order_exact * (1.0 + 1e-9))
+        << rc::pattern_name(kind);
+  }
+}
+
+TEST(OptimizePattern, RespectsFamilyConstraints) {
+  const auto params = rc::hera().model_params();
+  const auto pd = rc::optimize_pattern(rc::PatternKind::kD, params);
+  EXPECT_EQ(pd.segments_n, 1u);
+  EXPECT_EQ(pd.chunks_m, 1u);
+  const auto pdm = rc::optimize_pattern(rc::PatternKind::kDM, params);
+  EXPECT_EQ(pdm.chunks_m, 1u);
+  EXPECT_GT(pdm.segments_n, 1u);
+  const auto pdv = rc::optimize_pattern(rc::PatternKind::kDV, params);
+  EXPECT_EQ(pdv.segments_n, 1u);
+  EXPECT_GT(pdv.chunks_m, 1u);
+}
+
+TEST(OptimizePattern, BeatsFirstOrderInHighErrorRegime) {
+  // Weak-scaled Hera at 2^17 nodes: the first-order pattern is far from
+  // optimal (Figure 7a divergence); the numeric optimizer must do better
+  // when both are evaluated exactly.
+  const auto params = rc::hera().scaled_to(1u << 17).model_params();
+  const auto kind = rc::PatternKind::kDMV;
+  const auto first_order = rc::solve_first_order(kind, params);
+  const double first_order_exact =
+      rc::evaluate_pattern(first_order.to_pattern(params.costs.recall), params)
+          .overhead;
+  const auto numeric = rc::optimize_pattern(kind, params);
+  EXPECT_LT(numeric.overhead, first_order_exact);
+}
+
+TEST(NumericChunkFractions, ReproduceEquation18) {
+  for (const double r : {0.4, 0.8}) {
+    for (const std::size_t m : {2u, 3u, 5u, 8u}) {
+      const auto closed = rc::optimal_chunk_fractions(m, r);
+      const auto numeric = rc::optimize_chunk_fractions_numeric(m, r);
+      ASSERT_EQ(numeric.size(), m);
+      for (std::size_t j = 0; j < m; ++j) {
+        EXPECT_NEAR(numeric[j], closed[j], 1e-6) << "m=" << m << " r=" << r
+                                                 << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(NumericChunkFractions, PerfectRecallGivesEqualChunks) {
+  const auto numeric = rc::optimize_chunk_fractions_numeric(4, 1.0);
+  for (const double b : numeric) {
+    EXPECT_NEAR(b, 0.25, 1e-8);
+  }
+}
+
+TEST(NumericChunkFractions, SingleChunkTrivial) {
+  const auto numeric = rc::optimize_chunk_fractions_numeric(1, 0.5);
+  ASSERT_EQ(numeric.size(), 1u);
+  EXPECT_DOUBLE_EQ(numeric[0], 1.0);
+}
+
+TEST(OptimizePattern, ChunkFractionRefinementDoesNotRegress) {
+  const auto params = rc::hera().model_params();
+  rc::OptimizerOptions options;
+  options.optimize_chunk_fractions = true;
+  const auto refined = rc::optimize_pattern(rc::PatternKind::kDMV, params, options);
+  const auto plain = rc::optimize_pattern(rc::PatternKind::kDMV, params);
+  EXPECT_LE(refined.overhead, plain.overhead * (1.0 + 1e-9));
+}

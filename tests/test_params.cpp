@@ -1,0 +1,107 @@
+// Tests for model parameters, validation and the probability helpers.
+
+#include "resilience/core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rc = resilience::core;
+
+TEST(CostParams, PaperDefaultsDeriveEverything) {
+  const auto costs = rc::CostParams::paper_defaults(300.0, 15.4);
+  EXPECT_DOUBLE_EQ(costs.disk_checkpoint, 300.0);
+  EXPECT_DOUBLE_EQ(costs.memory_checkpoint, 15.4);
+  EXPECT_DOUBLE_EQ(costs.disk_recovery, 300.0);      // R_D = C_D
+  EXPECT_DOUBLE_EQ(costs.memory_recovery, 15.4);     // R_M = C_M
+  EXPECT_DOUBLE_EQ(costs.guaranteed_verification, 15.4);  // V* = C_M
+  EXPECT_DOUBLE_EQ(costs.partial_verification, 0.154);    // V = V*/100
+  EXPECT_DOUBLE_EQ(costs.recall, 0.8);
+}
+
+TEST(CostParams, ValidateRejectsNegatives) {
+  rc::CostParams costs = rc::CostParams::paper_defaults(10.0, 1.0);
+  costs.disk_checkpoint = -1.0;
+  EXPECT_THROW(costs.validate(), std::invalid_argument);
+}
+
+TEST(CostParams, ValidateRejectsBadRecall) {
+  rc::CostParams costs = rc::CostParams::paper_defaults(10.0, 1.0);
+  costs.recall = 0.0;
+  EXPECT_THROW(costs.validate(), std::invalid_argument);
+  costs.recall = 1.5;
+  EXPECT_THROW(costs.validate(), std::invalid_argument);
+  costs.recall = 1.0;
+  EXPECT_NO_THROW(costs.validate());
+}
+
+TEST(ErrorRates, ValidateRejectsNegatives) {
+  rc::ErrorRates rates{-1.0, 0.0};
+  EXPECT_THROW(rates.validate(), std::invalid_argument);
+}
+
+TEST(ErrorRates, TotalAndMtbf) {
+  rc::ErrorRates rates{2e-6, 3e-6};
+  EXPECT_DOUBLE_EQ(rates.total(), 5e-6);
+  EXPECT_DOUBLE_EQ(rates.platform_mtbf(), 2e5);
+}
+
+TEST(ErrorRates, ZeroRatesGiveInfiniteMtbf) {
+  rc::ErrorRates rates{0.0, 0.0};
+  EXPECT_TRUE(std::isinf(rates.platform_mtbf()));
+}
+
+TEST(ErrorRates, ScalingIsComponentwise) {
+  rc::ErrorRates rates{2.0, 3.0};
+  const auto scaled = rates.scaled(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(scaled.fail_stop, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.silent, 6.0);
+}
+
+TEST(ErrorProbability, MatchesExponentialLaw) {
+  EXPECT_NEAR(rc::error_probability(0.01, 100.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rc::error_probability(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(rc::error_probability(0.01, 0.0), 0.0);
+}
+
+TEST(ErrorProbability, AccurateForTinyArguments) {
+  // Naive 1 - exp(-x) loses precision near x = 0; expm1 keeps it.
+  const double p = rc::error_probability(1e-12, 1.0);
+  EXPECT_NEAR(p, 1e-12, 1e-24);
+}
+
+TEST(ExpectedTimeLost, MatchesEquationThree) {
+  const double lambda = 0.02;
+  const double w = 80.0;
+  const double expected = 1.0 / lambda - w / (std::exp(lambda * w) - 1.0);
+  EXPECT_NEAR(rc::expected_time_lost(lambda, w), expected, 1e-10);
+}
+
+TEST(ExpectedTimeLost, HalfWindowLimitForSmallRate) {
+  // lim_{lambda -> 0} E[T_lost] = w/2.
+  EXPECT_NEAR(rc::expected_time_lost(1e-12, 10.0), 5.0, 1e-6);
+  EXPECT_NEAR(rc::expected_time_lost(1e-15, 1000.0), 500.0, 1e-3);
+}
+
+TEST(ExpectedTimeLost, BoundedByWindowAndMean) {
+  // The loss is below both w and the unconditional mean 1/lambda.
+  const double lambda = 0.5;
+  const double w = 10.0;
+  const double loss = rc::expected_time_lost(lambda, w);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, w);
+  EXPECT_LT(loss, 1.0 / lambda);
+}
+
+TEST(ExpectedTimeLost, ZeroWindowIsZero) {
+  EXPECT_DOUBLE_EQ(rc::expected_time_lost(0.1, 0.0), 0.0);
+}
+
+TEST(ModelParams, ValidatesBothHalves) {
+  rc::ModelParams params;
+  params.costs = rc::CostParams::paper_defaults(10.0, 1.0);
+  params.rates = rc::ErrorRates{1e-6, 1e-6};
+  EXPECT_NO_THROW(params.validate());
+  params.rates.silent = -1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}

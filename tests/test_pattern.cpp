@@ -1,0 +1,156 @@
+// Tests for the pattern specification and the Eq. (18) chunk fractions.
+
+#include "resilience/core/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace rc = resilience::core;
+
+TEST(PatternKind, NamesRoundTrip) {
+  for (const auto kind : rc::all_pattern_kinds()) {
+    EXPECT_EQ(rc::pattern_kind_from_name(rc::pattern_name(kind)), kind);
+  }
+  EXPECT_EQ(rc::pattern_kind_from_name("pdmv*"), rc::PatternKind::kDMVg);
+  EXPECT_THROW((void)rc::pattern_kind_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(PatternKind, FeatureFlagsMatchTable1) {
+  using K = rc::PatternKind;
+  EXPECT_FALSE(rc::uses_memory_checkpoints(K::kD));
+  EXPECT_FALSE(rc::uses_memory_checkpoints(K::kDVg));
+  EXPECT_FALSE(rc::uses_memory_checkpoints(K::kDV));
+  EXPECT_TRUE(rc::uses_memory_checkpoints(K::kDM));
+  EXPECT_TRUE(rc::uses_memory_checkpoints(K::kDMVg));
+  EXPECT_TRUE(rc::uses_memory_checkpoints(K::kDMV));
+
+  EXPECT_FALSE(rc::uses_intermediate_verifications(K::kD));
+  EXPECT_TRUE(rc::uses_intermediate_verifications(K::kDVg));
+  EXPECT_FALSE(rc::uses_intermediate_verifications(K::kDM));
+
+  EXPECT_TRUE(rc::uses_partial_verifications(K::kDV));
+  EXPECT_TRUE(rc::uses_partial_verifications(K::kDMV));
+  EXPECT_FALSE(rc::uses_partial_verifications(K::kDVg));
+  EXPECT_FALSE(rc::uses_partial_verifications(K::kDMVg));
+}
+
+TEST(PatternSpec, ValidatesFractions) {
+  // Bad work.
+  EXPECT_THROW(rc::PatternSpec(0.0, {{1.0, {1.0}}}), std::invalid_argument);
+  EXPECT_THROW(rc::PatternSpec(-5.0, {{1.0, {1.0}}}), std::invalid_argument);
+  // No segments.
+  EXPECT_THROW(rc::PatternSpec(1.0, {}), std::invalid_argument);
+  // Alpha not summing to one.
+  EXPECT_THROW(rc::PatternSpec(1.0, {{0.5, {1.0}}}), std::invalid_argument);
+  // Beta not summing to one.
+  EXPECT_THROW(rc::PatternSpec(1.0, {{1.0, {0.5, 0.4}}}), std::invalid_argument);
+  // Empty chunk list.
+  EXPECT_THROW(rc::PatternSpec(1.0, {{1.0, {}}}), std::invalid_argument);
+  // Valid.
+  EXPECT_NO_THROW(rc::PatternSpec(1.0, {{0.5, {1.0}}, {0.5, {0.25, 0.75}}}));
+}
+
+TEST(PatternSpec, ChunkAndSegmentWork) {
+  const rc::PatternSpec pattern(100.0, {{0.4, {0.5, 0.5}}, {0.6, {1.0}}});
+  EXPECT_DOUBLE_EQ(pattern.segment_work(0), 40.0);
+  EXPECT_DOUBLE_EQ(pattern.segment_work(1), 60.0);
+  EXPECT_DOUBLE_EQ(pattern.chunk_work(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(pattern.chunk_work(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(pattern.chunk_work(1, 0), 60.0);
+  EXPECT_EQ(pattern.total_chunks(), 3u);
+  EXPECT_EQ(pattern.partial_verification_count(), 1u);
+}
+
+TEST(PatternSpec, WithWorkRescales) {
+  const rc::PatternSpec pattern(100.0, {{1.0, {0.25, 0.75}}});
+  const auto rescaled = pattern.with_work(200.0);
+  EXPECT_DOUBLE_EQ(rescaled.work(), 200.0);
+  EXPECT_DOUBLE_EQ(rescaled.chunk_work(0, 0), 50.0);
+}
+
+TEST(PatternSpec, DescribeMentionsShape) {
+  const rc::PatternSpec pattern(100.0, {{0.5, {1.0}}, {0.5, {0.5, 0.5}}});
+  const std::string text = pattern.describe();
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+  EXPECT_NE(text.find("m=[1,2]"), std::string::npos);
+}
+
+TEST(OptimalChunkFractions, SingleChunkIsTrivial) {
+  const auto beta = rc::optimal_chunk_fractions(1, 0.8);
+  ASSERT_EQ(beta.size(), 1u);
+  EXPECT_DOUBLE_EQ(beta[0], 1.0);
+}
+
+TEST(OptimalChunkFractions, MatchesEquation18) {
+  // m = 4, r = 0.8: denom = 2*0.8 + 2 = 3.6; boundary 1/3.6, interior 0.8/3.6.
+  const auto beta = rc::optimal_chunk_fractions(4, 0.8);
+  ASSERT_EQ(beta.size(), 4u);
+  EXPECT_NEAR(beta[0], 1.0 / 3.6, 1e-12);
+  EXPECT_NEAR(beta[1], 0.8 / 3.6, 1e-12);
+  EXPECT_NEAR(beta[2], 0.8 / 3.6, 1e-12);
+  EXPECT_NEAR(beta[3], 1.0 / 3.6, 1e-12);
+}
+
+TEST(OptimalChunkFractions, BoundaryChunksAreLarger) {
+  // With partial verifications the first and last chunk exceed interiors
+  // (Theorem 4 remark).
+  const auto beta = rc::optimal_chunk_fractions(6, 0.5);
+  for (std::size_t j = 1; j + 1 < beta.size(); ++j) {
+    EXPECT_GT(beta.front(), beta[j]);
+    EXPECT_GT(beta.back(), beta[j]);
+  }
+}
+
+TEST(OptimalChunkFractions, PerfectRecallGivesEqualChunks) {
+  const auto beta = rc::optimal_chunk_fractions(5, 1.0);
+  for (const double b : beta) {
+    EXPECT_NEAR(b, 0.2, 1e-12);
+  }
+}
+
+class ChunkFractionSumTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ChunkFractionSumTest, SumsToOne) {
+  const auto [m, r] = GetParam();
+  const auto beta = rc::optimal_chunk_fractions(m, r);
+  EXPECT_EQ(beta.size(), m);
+  EXPECT_NEAR(std::accumulate(beta.begin(), beta.end(), 0.0), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChunkFractionSumTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 10, 50),
+                       ::testing::Values(0.1, 0.5, 0.8, 1.0)));
+
+TEST(MakePattern, ForcesFamilyConstraints) {
+  // PD ignores n and m.
+  const auto pd = rc::make_pattern(rc::PatternKind::kD, 1000.0, 5, 7, 0.8);
+  EXPECT_EQ(pd.segment_count(), 1u);
+  EXPECT_EQ(pd.total_chunks(), 1u);
+
+  // PDM ignores m.
+  const auto pdm = rc::make_pattern(rc::PatternKind::kDM, 1000.0, 3, 7, 0.8);
+  EXPECT_EQ(pdm.segment_count(), 3u);
+  EXPECT_EQ(pdm.total_chunks(), 3u);
+
+  // PDV* honors m with equal chunks (guaranteed verifications).
+  const auto pdvg = rc::make_pattern(rc::PatternKind::kDVg, 1000.0, 3, 4, 0.8);
+  EXPECT_EQ(pdvg.segment_count(), 1u);
+  ASSERT_EQ(pdvg.segment(0).chunks(), 4u);
+  EXPECT_NEAR(pdvg.segment(0).beta[0], 0.25, 1e-12);
+
+  // PDMV honors both with Eq. (18) chunks.
+  const auto pdmv = rc::make_pattern(rc::PatternKind::kDMV, 1000.0, 2, 4, 0.8);
+  EXPECT_EQ(pdmv.segment_count(), 2u);
+  EXPECT_EQ(pdmv.total_chunks(), 8u);
+  EXPECT_GT(pdmv.segment(0).beta.front(), pdmv.segment(0).beta[1]);
+}
+
+TEST(MakePattern, RejectsZeroShape) {
+  EXPECT_THROW(rc::make_pattern(rc::PatternKind::kDM, 1.0, 0, 1, 0.8),
+               std::invalid_argument);
+  EXPECT_THROW(rc::make_pattern(rc::PatternKind::kDV, 1.0, 1, 0, 0.8),
+               std::invalid_argument);
+}

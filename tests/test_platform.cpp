@@ -1,0 +1,109 @@
+// Tests for the platform catalog (Table 2) and the weak-scaling machinery.
+
+#include "resilience/core/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rc = resilience::core;
+
+TEST(Platform, Table2Values) {
+  const auto hera = rc::hera();
+  EXPECT_EQ(hera.nodes, 256u);
+  EXPECT_DOUBLE_EQ(hera.rates.fail_stop, 9.46e-7);
+  EXPECT_DOUBLE_EQ(hera.rates.silent, 3.38e-6);
+  EXPECT_DOUBLE_EQ(hera.disk_checkpoint, 300.0);
+  EXPECT_DOUBLE_EQ(hera.memory_checkpoint, 15.4);
+
+  const auto atlas = rc::atlas();
+  EXPECT_EQ(atlas.nodes, 512u);
+  EXPECT_DOUBLE_EQ(atlas.disk_checkpoint, 439.0);
+
+  const auto coastal = rc::coastal();
+  EXPECT_EQ(coastal.nodes, 1024u);
+  EXPECT_DOUBLE_EQ(coastal.disk_checkpoint, 1051.0);
+
+  const auto ssd = rc::coastal_ssd();
+  EXPECT_DOUBLE_EQ(ssd.disk_checkpoint, 2500.0);
+  EXPECT_DOUBLE_EQ(ssd.memory_checkpoint, 180.0);
+}
+
+TEST(Platform, HeraMtbfMatchesPaperNarrative) {
+  // Section 6.2.1: Hera has a 12.2-day fail-stop MTBF and 3.4-day silent
+  // MTBF; Coastal 28.8 and 5.8 days.
+  const auto hera = rc::hera();
+  EXPECT_NEAR(1.0 / hera.rates.fail_stop / 86400.0, 12.2, 0.1);
+  EXPECT_NEAR(1.0 / hera.rates.silent / 86400.0, 3.4, 0.05);
+
+  const auto coastal = rc::coastal();
+  EXPECT_NEAR(1.0 / coastal.rates.fail_stop / 86400.0, 28.8, 0.1);
+  EXPECT_NEAR(1.0 / coastal.rates.silent / 86400.0, 5.8, 0.05);
+}
+
+TEST(Platform, PerNodeMtbfMatchesSection63) {
+  // Section 6.3.1: one Hera node has an 8.57-year fail-stop MTBF and a
+  // 2.4-year silent-error MTBF.
+  const auto node_rates = rc::hera().per_node_rates();
+  const double year = 365.25 * 86400.0;
+  EXPECT_NEAR(1.0 / node_rates.fail_stop / year, 8.57, 0.05);
+  EXPECT_NEAR(1.0 / node_rates.silent / year, 2.4, 0.05);
+}
+
+TEST(Platform, WeakScalingMultipliesRates) {
+  const auto hera = rc::hera();
+  const auto big = hera.scaled_to(1u << 17);
+  EXPECT_EQ(big.nodes, 1u << 17);
+  const double factor = static_cast<double>(1u << 17) / 256.0;
+  EXPECT_NEAR(big.rates.fail_stop, hera.rates.fail_stop * factor, 1e-15);
+  EXPECT_NEAR(big.rates.silent, hera.rates.silent * factor, 1e-15);
+  // Checkpoint costs stay constant under the paper's optimistic assumption.
+  EXPECT_DOUBLE_EQ(big.disk_checkpoint, hera.disk_checkpoint);
+  EXPECT_DOUBLE_EQ(big.memory_checkpoint, hera.memory_checkpoint);
+}
+
+TEST(Platform, ScaledMtbfAt2e17MatchesSection631) {
+  // Section 6.3.1: at 2^17 nodes the MTBF is about 2064s (fail-stop) and
+  // 577s (silent).
+  const auto big = rc::hera().scaled_to(1u << 17);
+  EXPECT_NEAR(1.0 / big.rates.fail_stop, 2064.0, 5.0);
+  EXPECT_NEAR(1.0 / big.rates.silent, 577.0, 3.0);
+}
+
+TEST(Platform, WithDiskCheckpointOverridesCost) {
+  const auto fast = rc::hera().with_disk_checkpoint(90.0);
+  EXPECT_DOUBLE_EQ(fast.disk_checkpoint, 90.0);
+  EXPECT_DOUBLE_EQ(fast.memory_checkpoint, rc::hera().memory_checkpoint);
+}
+
+TEST(Platform, WithRateFactorsScalesIndependently) {
+  const auto scaled = rc::hera().with_rate_factors(2.0, 0.5);
+  EXPECT_NEAR(scaled.rates.fail_stop, 2.0 * 9.46e-7, 1e-15);
+  EXPECT_NEAR(scaled.rates.silent, 0.5 * 3.38e-6, 1e-15);
+}
+
+TEST(Platform, ModelParamsUsePaperDerivations) {
+  const auto params = rc::hera().model_params();
+  EXPECT_DOUBLE_EQ(params.costs.disk_recovery, 300.0);
+  EXPECT_DOUBLE_EQ(params.costs.guaranteed_verification, 15.4);
+  EXPECT_DOUBLE_EQ(params.costs.partial_verification, 0.154);
+  EXPECT_DOUBLE_EQ(params.costs.recall, 0.8);
+  EXPECT_DOUBLE_EQ(params.rates.fail_stop, 9.46e-7);
+}
+
+TEST(Platform, CatalogContainsFourPlatforms) {
+  const auto platforms = rc::all_platforms();
+  ASSERT_EQ(platforms.size(), 4u);
+  EXPECT_EQ(platforms[0].name, "Hera");
+  EXPECT_EQ(platforms[3].name, "CoastalSSD");
+}
+
+TEST(Platform, LookupIsCaseAndSeparatorInsensitive) {
+  EXPECT_EQ(rc::platform_by_name("hera").name, "Hera");
+  EXPECT_EQ(rc::platform_by_name("Coastal SSD").name, "CoastalSSD");
+  EXPECT_EQ(rc::platform_by_name("coastal_ssd").name, "CoastalSSD");
+  EXPECT_THROW(rc::platform_by_name("unknown"), std::invalid_argument);
+}
+
+TEST(Platform, PerNodeRatesRequireNodes) {
+  rc::Platform broken{"broken", 0, {1e-6, 1e-6}, 1.0, 1.0};
+  EXPECT_THROW((void)broken.per_node_rates(), std::logic_error);
+}

@@ -1,0 +1,159 @@
+// End-to-end tests of the protected stencil execution: the job must finish
+// with a verified-correct final state under silent faults, fail-stop
+// faults, and both at once.
+
+#include "resilience/app/protected_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace ra = resilience::app;
+namespace fs = std::filesystem;
+
+namespace {
+
+class ProtectedRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scratch_ = fs::temp_directory_path() /
+               ("resilience_protected_" + std::to_string(::getpid()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(scratch_, ec);
+  }
+
+  ra::ProtectedJobConfig base_config() {
+    ra::ProtectedJobConfig config;
+    config.stencil.nx = 32;
+    config.stencil.ny = 32;
+    config.total_steps = 256;
+    config.steps_per_chunk = 16;
+    config.chunks_per_segment = 4;
+    config.segments_per_pattern = 2;
+    config.scratch_directory = scratch_;
+    return config;
+  }
+
+  fs::path scratch_;
+};
+
+}  // namespace
+
+TEST_F(ProtectedRunTest, FaultFreeRunIsExact) {
+  auto config = base_config();
+  const auto report = ra::run_protected(config);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.steps_completed, config.total_steps);
+  EXPECT_DOUBLE_EQ(report.final_error_vs_reference, 0.0);
+  EXPECT_EQ(report.silent_faults_injected, 0u);
+  EXPECT_EQ(report.fail_stop_faults_injected, 0u);
+  EXPECT_EQ(report.partial_alarms, 0u);
+  EXPECT_EQ(report.guaranteed_alarms, 0u);
+  EXPECT_EQ(report.memory_restores, 0u);
+  EXPECT_EQ(report.disk_restores, 0u);
+  EXPECT_GT(report.memory_checkpoints, 0u);
+  EXPECT_GT(report.disk_checkpoints, 0u);
+}
+
+TEST_F(ProtectedRunTest, FaultFreeChunkCountIsMinimal) {
+  auto config = base_config();
+  const auto report = ra::run_protected(config);
+  EXPECT_EQ(report.chunks_executed, config.total_steps / config.steps_per_chunk);
+}
+
+TEST_F(ProtectedRunTest, RecoversFromSilentFaults) {
+  auto config = base_config();
+  config.silent_fault_probability = 0.2;
+  config.seed = 7;
+  const auto report = ra::run_protected(config);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.steps_completed, config.total_steps);
+  EXPECT_GT(report.silent_faults_injected, 0u);
+  EXPECT_GT(report.partial_alarms + report.guaranteed_alarms, 0u);
+  EXPECT_GT(report.memory_restores, 0u);
+  // The guaranteed verification at every segment boundary means no
+  // corruption can survive into the committed final state.
+  EXPECT_DOUBLE_EQ(report.final_error_vs_reference, 0.0);
+  // Re-execution happened.
+  EXPECT_GT(report.chunks_executed, config.total_steps / config.steps_per_chunk);
+}
+
+TEST_F(ProtectedRunTest, RecoversFromFailStopFaults) {
+  auto config = base_config();
+  config.fail_stop_probability = 0.15;
+  config.seed = 11;
+  const auto report = ra::run_protected(config);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.steps_completed, config.total_steps);
+  EXPECT_GT(report.fail_stop_faults_injected, 0u);
+  EXPECT_GT(report.disk_restores, 0u);
+  EXPECT_DOUBLE_EQ(report.final_error_vs_reference, 0.0);
+}
+
+TEST_F(ProtectedRunTest, RecoversFromBothFaultTypes) {
+  auto config = base_config();
+  config.silent_fault_probability = 0.15;
+  config.fail_stop_probability = 0.08;
+  config.seed = 13;
+  const auto report = ra::run_protected(config);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.steps_completed, config.total_steps);
+  EXPECT_GT(report.silent_faults_injected, 0u);
+  EXPECT_GT(report.fail_stop_faults_injected, 0u);
+  EXPECT_DOUBLE_EQ(report.final_error_vs_reference, 0.0);
+}
+
+TEST_F(ProtectedRunTest, SurvivesHeavyFaultPressure) {
+  auto config = base_config();
+  config.total_steps = 128;
+  config.silent_fault_probability = 0.4;
+  config.fail_stop_probability = 0.2;
+  config.seed = 17;
+  const auto report = ra::run_protected(config);
+  EXPECT_TRUE(report.completed);
+  EXPECT_DOUBLE_EQ(report.final_error_vs_reference, 0.0);
+}
+
+TEST_F(ProtectedRunTest, DeterministicForFixedSeed) {
+  auto config = base_config();
+  config.silent_fault_probability = 0.2;
+  config.fail_stop_probability = 0.1;
+  config.seed = 23;
+  const auto a = ra::run_protected(config);
+  const auto b = ra::run_protected(config);
+  EXPECT_EQ(a.chunks_executed, b.chunks_executed);
+  EXPECT_EQ(a.silent_faults_injected, b.silent_faults_injected);
+  EXPECT_EQ(a.disk_restores, b.disk_restores);
+}
+
+TEST_F(ProtectedRunTest, DiskCheckpointCadenceFollowsPatternSize) {
+  auto config = base_config();
+  // 256 steps / (16 steps x 4 chunks) = 4 segments; with 2 segments per
+  // pattern that is 2 pattern-boundary disk checkpoints.
+  const auto report = ra::run_protected(config);
+  EXPECT_EQ(report.memory_checkpoints, 4u);
+  EXPECT_EQ(report.disk_checkpoints, 2u);
+}
+
+TEST_F(ProtectedRunTest, RejectsDegenerateConfig) {
+  auto config = base_config();
+  config.steps_per_chunk = 0;
+  EXPECT_THROW((void)ra::run_protected(config), std::invalid_argument);
+  config = base_config();
+  config.chunks_per_segment = 0;
+  EXPECT_THROW((void)ra::run_protected(config), std::invalid_argument);
+}
+
+TEST_F(ProtectedRunTest, MoreFaultsMeanMoreReexecution) {
+  auto quiet = base_config();
+  quiet.silent_fault_probability = 0.05;
+  quiet.seed = 31;
+  auto noisy = base_config();
+  noisy.silent_fault_probability = 0.5;
+  noisy.seed = 31;
+  const auto quiet_report = ra::run_protected(quiet);
+  const auto noisy_report = ra::run_protected(noisy);
+  EXPECT_GE(noisy_report.chunks_executed, quiet_report.chunks_executed);
+}

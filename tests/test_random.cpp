@@ -1,0 +1,222 @@
+// Tests for the RNG substrate: engine determinism, stream independence and
+// the statistical properties the simulator's correctness rests on.
+
+#include "resilience/util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "resilience/util/stats.hpp"
+
+namespace ru = resilience::util;
+
+TEST(SplitMix64, IsDeterministic) {
+  ru::SplitMix64 a(42);
+  ru::SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  ru::SplitMix64 a(1);
+  ru::SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  ru::Xoshiro256 a(7);
+  ru::Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, JumpProducesDisjointPrefix) {
+  ru::Xoshiro256 base(7);
+  ru::Xoshiro256 jumped(7);
+  jumped.jump();
+  std::set<std::uint64_t> base_values;
+  for (int i = 0; i < 1000; ++i) {
+    base_values.insert(base());
+  }
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    collisions += base_values.count(jumped()) > 0 ? 1 : 0;
+  }
+  EXPECT_LE(collisions, 1);  // random 64-bit collisions are ~impossible
+}
+
+TEST(Xoshiro256, StreamsAreReproducible) {
+  ru::Xoshiro256 s3a = ru::Xoshiro256::stream(99, 3);
+  ru::Xoshiro256 s3b = ru::Xoshiro256::stream(99, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s3a(), s3b());
+  }
+}
+
+TEST(Xoshiro256, DistinctStreamsDiffer) {
+  ru::Xoshiro256 s0 = ru::Xoshiro256::stream(99, 0);
+  ru::Xoshiro256 s1 = ru::Xoshiro256::stream(99, 1);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    any_different |= (s0() != s1());
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Uniform01, StaysInUnitInterval) {
+  ru::Xoshiro256 rng(123);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = ru::uniform01(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Uniform01, MeanIsOneHalf) {
+  ru::Xoshiro256 rng(123);
+  ru::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(ru::uniform01(rng));
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Uniform01OpenLow, NeverReturnsZero) {
+  ru::Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_GT(ru::uniform01_open_low(rng), 0.0);
+  }
+}
+
+TEST(UniformBelow, RespectsBound) {
+  ru::Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(ru::uniform_below(rng, 17), 17u);
+  }
+}
+
+TEST(UniformBelow, ZeroBoundReturnsZero) {
+  ru::Xoshiro256 rng(9);
+  EXPECT_EQ(ru::uniform_below(rng, 0), 0u);
+}
+
+TEST(UniformBelow, IsApproximatelyUniform) {
+  ru::Xoshiro256 rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[ru::uniform_below(rng, kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, 500);
+  }
+}
+
+TEST(UniformRange, CoversRange) {
+  ru::Xoshiro256 rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = ru::uniform_range(rng, -3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Exponential, MeanMatchesRate) {
+  ru::Xoshiro256 rng(21);
+  const double lambda = 0.25;
+  ru::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(ru::exponential(rng, lambda));
+  }
+  EXPECT_NEAR(stats.mean(), 1.0 / lambda, 0.05);
+  // Exponential stddev equals the mean.
+  EXPECT_NEAR(stats.stddev(), 1.0 / lambda, 0.1);
+}
+
+TEST(Exponential, ZeroRateIsInfinite) {
+  ru::Xoshiro256 rng(21);
+  EXPECT_TRUE(std::isinf(ru::exponential(rng, 0.0)));
+  EXPECT_TRUE(std::isinf(ru::exponential(rng, -1.0)));
+}
+
+TEST(Bernoulli, EdgeProbabilities) {
+  ru::Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(ru::bernoulli(rng, 0.0));
+    EXPECT_TRUE(ru::bernoulli(rng, 1.0));
+  }
+}
+
+TEST(Bernoulli, FrequencyMatchesProbability) {
+  ru::Xoshiro256 rng(3);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    hits += ru::bernoulli(rng, 0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatchMu) {
+  const double mu = GetParam();
+  ru::Xoshiro256 rng(77);
+  ru::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(static_cast<double>(ru::poisson(rng, mu)));
+  }
+  EXPECT_NEAR(stats.mean(), mu, std::max(0.02, mu * 0.03));
+  EXPECT_NEAR(stats.variance(), mu, std::max(0.05, mu * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMu, PoissonMeanTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 9.0, 15.0, 40.0, 200.0));
+
+TEST(Poisson, ZeroMuIsZero) {
+  ru::Xoshiro256 rng(8);
+  EXPECT_EQ(ru::poisson(rng, 0.0), 0u);
+}
+
+TEST(TruncatedExponential, StaysWithinWindow) {
+  ru::Xoshiro256 rng(55);
+  const double lambda = 0.01;
+  const double w = 100.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = ru::truncated_exponential(rng, lambda, w);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, w);
+  }
+}
+
+TEST(TruncatedExponential, MeanMatchesEquationThree) {
+  // Eq. (3): E[T_lost] = 1/lambda - w/(e^{lambda w} - 1).
+  ru::Xoshiro256 rng(56);
+  const double lambda = 0.02;
+  const double w = 80.0;
+  ru::RunningStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    stats.add(ru::truncated_exponential(rng, lambda, w));
+  }
+  const double expected = 1.0 / lambda - w / std::expm1(lambda * w);
+  EXPECT_NEAR(stats.mean(), expected, expected * 0.01);
+}
+
+TEST(TruncatedExponential, TinyRateIsNearlyUniform) {
+  // As lambda*w -> 0 the conditional distribution tends to uniform on [0,w],
+  // whose mean is w/2.
+  ru::Xoshiro256 rng(57);
+  const double w = 10.0;
+  ru::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(ru::truncated_exponential(rng, 1e-12, w));
+  }
+  EXPECT_NEAR(stats.mean(), w / 2.0, 0.05);
+}

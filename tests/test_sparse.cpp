@@ -1,0 +1,133 @@
+// Tests for the sparse linear-algebra substrate.
+
+#include "resilience/app/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ra = resilience::app;
+
+TEST(CsrMatrix, ValidatesConstruction) {
+  // Bad row_offsets length.
+  EXPECT_THROW(ra::CsrMatrix(2, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  // Endpoint mismatch.
+  EXPECT_THROW(ra::CsrMatrix(2, {0, 1, 3}, {0, 1}, {1.0, 2.0}),
+               std::invalid_argument);
+  // Column out of range.
+  EXPECT_THROW(ra::CsrMatrix(2, {0, 1, 2}, {0, 5}, {1.0, 2.0}),
+               std::invalid_argument);
+  // Decreasing offsets.
+  EXPECT_THROW(ra::CsrMatrix(2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+               std::invalid_argument);
+  // Valid 2x2 identity.
+  EXPECT_NO_THROW(ra::CsrMatrix(2, {0, 1, 2}, {0, 1}, {1.0, 1.0}));
+}
+
+TEST(CsrMatrix, MultiplyIdentity) {
+  const ra::CsrMatrix eye(3, {0, 1, 2, 3}, {0, 1, 2}, {1.0, 1.0, 1.0});
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  std::vector<double> y(3);
+  eye.multiply(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(CsrMatrix, MultiplyGeneral) {
+  // [[2, 1], [0, 3]] * [1, 2] = [4, 6].
+  const ra::CsrMatrix a(2, {0, 2, 3}, {0, 1, 1}, {2.0, 1.0, 3.0});
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(CsrMatrix, MultiplyRejectsSizeMismatch) {
+  const ra::CsrMatrix eye(2, {0, 1, 2}, {0, 1}, {1.0, 1.0});
+  std::vector<double> x(3), y(2);
+  EXPECT_THROW(eye.multiply(x, y), std::invalid_argument);
+}
+
+TEST(CsrMatrix, AtLooksUpEntries) {
+  const ra::CsrMatrix a(2, {0, 2, 3}, {0, 1, 1}, {2.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.0);
+  EXPECT_THROW((void)a.at(2, 0), std::out_of_range);
+}
+
+TEST(Poisson2d, StructureIsCorrect) {
+  const auto a = ra::poisson_2d(3);
+  EXPECT_EQ(a.rows(), 9u);
+  // Interior point (1,1) = row 4: 5 entries.
+  EXPECT_DOUBLE_EQ(a.at(4, 4), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 3), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 5), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 7), -1.0);
+  // Corner point row 0: center + east + north only.
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 3), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 4), 0.0);
+  // Nonzeros: 5 per row minus boundary truncation = 9*5 - 12 = 33.
+  EXPECT_EQ(a.nonzeros(), 33u);
+}
+
+TEST(Poisson2d, IsSymmetric) {
+  const auto a = ra::poisson_2d(4);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.rows(); ++j) {
+      EXPECT_DOUBLE_EQ(a.at(i, j), a.at(j, i));
+    }
+  }
+}
+
+TEST(Poisson2d, IsPositiveDefiniteOnSamples) {
+  // x^T A x > 0 for a handful of nonzero vectors.
+  const auto a = ra::poisson_2d(4);
+  std::vector<double> x(a.rows());
+  std::vector<double> y(a.rows());
+  for (int trial = 0; trial < 5; ++trial) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = std::sin(static_cast<double>(i + 1) * (trial + 1.0));
+    }
+    a.multiply(x, y);
+    EXPECT_GT(ra::dot(x, y), 0.0);
+  }
+}
+
+TEST(Blas1, DotAxpyScaleNorm) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(ra::dot(x, y), 32.0);
+  ra::axpy(2.0, x, y);  // y = {6, 9, 12}
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  ra::scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[1], 4.5);
+  EXPECT_DOUBLE_EQ(ra::norm2(std::vector<double>{3.0, 4.0}), 5.0);
+}
+
+TEST(Blas1, SizeMismatchThrows) {
+  std::vector<double> x(2), y(3);
+  EXPECT_THROW((void)ra::dot(x, y), std::invalid_argument);
+  EXPECT_THROW(ra::axpy(1.0, x, y), std::invalid_argument);
+}
+
+TEST(CsrMatrix, MultiplySameAcrossThreadCounts) {
+  const auto a = ra::poisson_2d(16);
+  std::vector<double> x(a.rows());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::cos(static_cast<double>(i));
+  }
+  resilience::util::ThreadPool one(1);
+  resilience::util::ThreadPool four(4);
+  std::vector<double> y1(a.rows()), y4(a.rows());
+  a.multiply(x, y1, &one);
+  a.multiply(x, y4, &four);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y1[i], y4[i]);
+  }
+}

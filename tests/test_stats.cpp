@@ -1,0 +1,156 @@
+// Tests for the statistics substrate.
+
+#include "resilience/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ru = resilience::util;
+
+TEST(RunningStats, EmptyIsZero) {
+  ru::RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sem(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  ru::RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  ru::RunningStats stats;
+  double sum = 0.0;
+  for (const double v : values) {
+    stats.add(v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (const double v : values) {
+    ss += (v - mean) * (v - mean);
+  }
+  const double variance = ss / static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), variance, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 32.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  ru::RunningStats sequential;
+  ru::RunningStats part1;
+  ru::RunningStats part2;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(static_cast<double>(i)) * 10.0;
+    sequential.add(v);
+    (i < 37 ? part1 : part2).add(v);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), sequential.count());
+  EXPECT_NEAR(part1.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(part1.variance(), sequential.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(part1.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(part1.max(), sequential.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  ru::RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  ru::RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_NEAR(stats.mean(), 1.5, 1e-12);
+
+  ru::RunningStats target;
+  target.merge(stats);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_NEAR(target.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, ConfidenceIntervalShrinksWithSamples) {
+  ru::RunningStats small;
+  ru::RunningStats large;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = (i % 7) * 1.0;
+    if (i < 100) {
+      small.add(v);
+    }
+    large.add(v);
+  }
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(Histogram, BinsAndEdges) {
+  ru::Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, CountsSamples) {
+  ru::Histogram h(0.0, 10.0, 5);
+  h.add(1.0);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(3.5);   // bin 1
+  h.add(-1.0);  // underflow
+  h.add(11.0);  // overflow
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  ru::Histogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 10000; ++i) {
+    h.add((i + 0.5) / 10000.0);
+  }
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(ru::Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(ru::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(EventRate, Conversions) {
+  ru::EventRate rate{24.0, 86400.0};  // 24 events per day
+  EXPECT_NEAR(rate.per_day(), 24.0, 1e-9);
+  EXPECT_NEAR(rate.per_hour(), 1.0, 1e-9);
+}
+
+TEST(EventRate, ZeroElapsedIsZeroRate) {
+  ru::EventRate rate{5.0, 0.0};
+  EXPECT_DOUBLE_EQ(rate.per_hour(), 0.0);
+}
+
+TEST(RelativeDifference, Basics) {
+  EXPECT_DOUBLE_EQ(ru::relative_difference(1.0, 1.0), 0.0);
+  EXPECT_NEAR(ru::relative_difference(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_NEAR(ru::relative_difference(0.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(CompensatedSum, BeatsNaiveOnIllConditionedInput) {
+  // 1 + 1e-16 * N summed naively loses the small terms entirely.
+  std::vector<double> values{1.0};
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(1e-16);
+  }
+  const double expected = 1.0 + 1e-16 * 10000;
+  EXPECT_NEAR(ru::compensated_sum(values), expected, 1e-18);
+}

@@ -1,0 +1,170 @@
+// Tests for the heat-equation stencil substrate.
+
+#include "resilience/app/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ra = resilience::app;
+
+namespace {
+
+ra::StencilConfig small_config() {
+  ra::StencilConfig config;
+  config.nx = 32;
+  config.ny = 24;
+  config.alpha = 0.2;
+  return config;
+}
+
+}  // namespace
+
+TEST(StencilConfig, Validation) {
+  ra::StencilConfig config = small_config();
+  EXPECT_NO_THROW(config.validate());
+  config.nx = 2;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.alpha = 0.3;  // unstable for the explicit scheme
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.alpha = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(HeatField, InitializationIsReproducible) {
+  ra::HeatField a(small_config());
+  ra::HeatField b(small_config());
+  EXPECT_DOUBLE_EQ(a.max_abs_difference(b), 0.0);
+  EXPECT_EQ(a.steps_taken(), 0u);
+}
+
+TEST(HeatField, AdvanceIsDeterministic) {
+  ra::HeatField a(small_config());
+  ra::HeatField b(small_config());
+  a.advance(50);
+  b.advance(50);
+  EXPECT_DOUBLE_EQ(a.max_abs_difference(b), 0.0);
+  EXPECT_EQ(a.steps_taken(), 50u);
+}
+
+TEST(HeatField, AdvanceIsIndependentOfBatching) {
+  ra::HeatField a(small_config());
+  ra::HeatField b(small_config());
+  a.advance(50);
+  for (int i = 0; i < 10; ++i) {
+    b.advance(5);
+  }
+  EXPECT_DOUBLE_EQ(a.max_abs_difference(b), 0.0);
+}
+
+TEST(HeatField, DiffusionSmoothsThePeak) {
+  ra::HeatField field(small_config());
+  double peak_before = 0.0;
+  for (std::size_t y = 0; y < field.config().ny; ++y) {
+    for (std::size_t x = 0; x < field.config().nx; ++x) {
+      peak_before = std::max(peak_before, field.at(x, y));
+    }
+  }
+  field.advance(100);
+  double peak_after = 0.0;
+  for (std::size_t y = 0; y < field.config().ny; ++y) {
+    for (std::size_t x = 0; x < field.config().nx; ++x) {
+      peak_after = std::max(peak_after, field.at(x, y));
+    }
+  }
+  EXPECT_LT(peak_after, peak_before);
+}
+
+TEST(HeatField, InteriorHeatStaysBounded) {
+  // Explicit diffusion with alpha <= 0.25 satisfies a discrete maximum
+  // principle: values stay within the initial min/max envelope.
+  ra::HeatField field(small_config());
+  double lo = field.at(0, 0);
+  double hi = lo;
+  for (std::size_t y = 0; y < field.config().ny; ++y) {
+    for (std::size_t x = 0; x < field.config().nx; ++x) {
+      lo = std::min(lo, field.at(x, y));
+      hi = std::max(hi, field.at(x, y));
+    }
+  }
+  field.advance(200);
+  for (std::size_t y = 0; y < field.config().ny; ++y) {
+    for (std::size_t x = 0; x < field.config().nx; ++x) {
+      EXPECT_GE(field.at(x, y), lo - 1e-9);
+      EXPECT_LE(field.at(x, y), hi + 1e-9);
+    }
+  }
+}
+
+TEST(HeatField, BoundariesAreDirichlet) {
+  ra::HeatField field(small_config());
+  const double corner = field.at(0, 0);
+  const double edge = field.at(5, 0);
+  field.advance(100);
+  EXPECT_DOUBLE_EQ(field.at(0, 0), corner);
+  EXPECT_DOUBLE_EQ(field.at(5, 0), edge);
+}
+
+TEST(HeatField, SnapshotRestoreRoundTrips) {
+  ra::HeatField field(small_config());
+  field.advance(30);
+  const auto snapshot = field.snapshot();
+  field.advance(30);
+  EXPECT_EQ(field.steps_taken(), 60u);
+  field.restore(snapshot);
+  EXPECT_EQ(field.steps_taken(), 30u);
+
+  ra::HeatField reference(small_config());
+  reference.advance(30);
+  EXPECT_DOUBLE_EQ(field.max_abs_difference(reference), 0.0);
+}
+
+TEST(HeatField, RestoredStateEvolvesIdentically) {
+  ra::HeatField field(small_config());
+  field.advance(10);
+  const auto snapshot = field.snapshot();
+  field.advance(25);
+  const auto target = field.snapshot();
+
+  field.restore(snapshot);
+  field.advance(25);
+  const auto replay = field.snapshot();
+  ASSERT_EQ(replay.data.size(), target.data.size());
+  for (std::size_t i = 0; i < target.data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(replay.data[i], target.data[i]);
+  }
+}
+
+TEST(HeatField, RestoreRejectsShapeMismatch) {
+  ra::HeatField field(small_config());
+  ra::HeatField::Snapshot bad;
+  bad.data.assign(10, 0.0);
+  EXPECT_THROW(field.restore(bad), std::invalid_argument);
+}
+
+TEST(HeatField, AccessorsRangeCheck) {
+  ra::HeatField field(small_config());
+  EXPECT_THROW((void)field.at(1000, 0), std::out_of_range);
+  EXPECT_THROW(field.set(0, 1000, 1.0), std::out_of_range);
+}
+
+TEST(HeatField, SameResultAcrossThreadCounts) {
+  resilience::util::ThreadPool one(1);
+  resilience::util::ThreadPool many(4);
+  ra::HeatField serial(small_config(), &one);
+  ra::HeatField parallel(small_config(), &many);
+  serial.advance(40);
+  parallel.advance(40);
+  EXPECT_DOUBLE_EQ(serial.max_abs_difference(parallel), 0.0);
+}
+
+TEST(HeatField, TotalHeatDecaysSlowlyThroughBoundaries) {
+  ra::HeatField field(small_config());
+  const double before = field.total_heat();
+  field.advance(50);
+  const double after = field.total_heat();
+  // Heat can only leave through the fixed boundary; it cannot be created.
+  EXPECT_LE(after, before + 1e-6);
+  EXPECT_GT(after, before * 0.5);  // ...and it leaks slowly
+}

@@ -1,0 +1,83 @@
+// Tests for the table/CSV reporting substrate.
+
+#include "resilience/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ru = resilience::util;
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(ru::Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  ru::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(ru::Table({"a"}, {ru::Align::kLeft, ru::Align::kRight}),
+               std::invalid_argument);
+}
+
+TEST(Table, StoresCells) {
+  ru::Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "2"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(1, 1), "2");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  ru::Table t({"name", "value"});
+  t.add_row({"longname", "1"});
+  t.add_row({"x", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  // Header, rule, two rows.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("longname"), std::string::npos);
+  // Right-aligned numeric column: "    1" before newline on first row.
+  EXPECT_NE(text.find("    1\n"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripSimple) {
+  ru::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  ru::Table t({"a"});
+  t.add_row({"hello, world"});
+  t.add_row({"quote\"inside"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(text.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Formatting, FixedPrecision) {
+  EXPECT_EQ(ru::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(ru::format_double(2.0, 0), "2");
+}
+
+TEST(Formatting, Scientific) {
+  EXPECT_EQ(ru::format_sci(9.46e-7, 2), "9.46e-07");
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(ru::format_percent(0.0625, 2), "6.25%");
+  EXPECT_EQ(ru::format_percent(1.5, 0), "150%");
+}
+
+TEST(Formatting, Hours) {
+  EXPECT_EQ(ru::format_hours(3600.0), "1.00 h");
+  EXPECT_EQ(ru::format_hours(5400.0, 1), "1.5 h");
+}

@@ -1,0 +1,106 @@
+// Tests for the thread-pool substrate.
+
+#include "resilience/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ru = resilience::util;
+
+TEST(ThreadPool, SpawnsRequestedWorkers) {
+  ru::ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ru::ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ru::ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ru::ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  ru::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ru::ThreadPool pool(4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ru::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ru::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 50) {
+                                     throw std::runtime_error("bad index");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelForRanges, RangesPartitionTheIterationSpace) {
+  ru::ThreadPool pool(3);
+  constexpr std::size_t kCount = 1001;  // not divisible by 3
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.parallel_for_ranges(kCount, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    for (std::size_t i = begin; i < end; ++i) {
+      visits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ComputesCorrectSum) {
+  ru::ThreadPool pool(4);
+  constexpr std::size_t kCount = 100000;
+  std::vector<double> values(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    values[i] = static_cast<double>(i);
+  });
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kCount) * (kCount - 1) / 2.0);
+}
+
+TEST(GlobalPool, IsSingleton) {
+  EXPECT_EQ(&ru::global_pool(), &ru::global_pool());
+  EXPECT_GE(ru::global_pool().thread_count(), 1u);
+}

@@ -1,0 +1,90 @@
+// Tests for partial-verification selection by accuracy-to-cost ratio.
+
+#include "resilience/core/verification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rc = resilience::core;
+
+TEST(Detector, Validation) {
+  rc::Detector d{"ok", 0.1, 0.8};
+  EXPECT_NO_THROW(d.validate());
+  d.recall = 0.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.recall = 0.8;
+  d.cost = -1.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(AccuracyToCost, MatchesSection23Formula) {
+  // a = (r/(2-r)) / (V/(V* + C_M)).
+  const rc::Detector d{"tsp", 0.154, 0.8};
+  const double vstar = 15.4;
+  const double cm = 15.4;
+  const double expected = (0.8 / 1.2) / (0.154 / (vstar + cm));
+  EXPECT_NEAR(rc::accuracy_to_cost_ratio(d, vstar, cm), expected, 1e-9);
+}
+
+TEST(AccuracyToCost, GuaranteedRatioIsCmOverVstarPlusOne) {
+  EXPECT_NEAR(rc::guaranteed_accuracy_to_cost_ratio(15.4, 15.4), 2.0, 1e-12);
+  EXPECT_NEAR(rc::guaranteed_accuracy_to_cost_ratio(10.0, 30.0), 4.0, 1e-12);
+}
+
+TEST(AccuracyToCost, PaperDefaultsGivePartialHugeAdvantage) {
+  // Section 2.3: cheap partial verifications can be ~100x better than the
+  // guaranteed one. With V = V*/100 and r = 0.8 on Hera-like costs:
+  const rc::Detector d{"tsp", 15.4 / 100.0, 0.8};
+  const double partial_ratio = rc::accuracy_to_cost_ratio(d, 15.4, 15.4);
+  const double guaranteed_ratio = rc::guaranteed_accuracy_to_cost_ratio(15.4, 15.4);
+  EXPECT_GT(partial_ratio / guaranteed_ratio, 50.0);
+}
+
+TEST(AccuracyToCost, FreeDetectorRanksAboveEverything) {
+  const rc::Detector free{"free", 0.0, 0.2};
+  EXPECT_TRUE(std::isinf(rc::accuracy_to_cost_ratio(free, 10.0, 10.0)));
+}
+
+TEST(AccuracyToCost, RejectsDegenerateReference) {
+  const rc::Detector d{"x", 1.0, 0.5};
+  EXPECT_THROW((void)rc::accuracy_to_cost_ratio(d, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)rc::guaranteed_accuracy_to_cost_ratio(0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(SelectBest, PicksHighestRatio) {
+  const std::vector<rc::Detector> candidates = {
+      {"expensive-accurate", 5.0, 0.99},
+      {"cheap-weak", 0.05, 0.5},
+      {"balanced", 0.2, 0.85},
+  };
+  const auto best = rc::select_best_detector(candidates, 15.4, 15.4);
+  // cheap-weak: (0.5/1.5)/(0.05/30.8) = 205; balanced: (0.85/1.15)/(0.2/30.8)
+  // = 113.8; expensive: (0.99/1.01)/(5/30.8) = 6.04.
+  EXPECT_EQ(best.name, "cheap-weak");
+}
+
+TEST(SelectBest, RejectsEmptyList) {
+  EXPECT_THROW(rc::select_best_detector({}, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Worthwhile, CheapDetectorIsWorthwhile) {
+  const rc::Detector d{"tsp", 0.154, 0.8};
+  EXPECT_TRUE(rc::partial_verification_worthwhile(d, 15.4, 15.4));
+}
+
+TEST(Worthwhile, OverpricedDetectorIsNot) {
+  // Costing as much as the guaranteed verification with recall < 1 can
+  // never beat it.
+  const rc::Detector d{"bad", 15.4, 0.8};
+  EXPECT_FALSE(rc::partial_verification_worthwhile(d, 15.4, 15.4));
+}
+
+TEST(WithDetector, InstallsCostAndRecall) {
+  auto costs = rc::CostParams::paper_defaults(300.0, 15.4);
+  const rc::Detector d{"custom", 0.42, 0.66};
+  costs = rc::with_detector(costs, d);
+  EXPECT_DOUBLE_EQ(costs.partial_verification, 0.42);
+  EXPECT_DOUBLE_EQ(costs.recall, 0.66);
+}
