@@ -1,20 +1,40 @@
-// Google-benchmark microbenchmarks: throughput of the analytical evaluator,
-// the optimizers, the simulation engine and the stencil kernel. These gate
-// performance regressions in the hot paths rather than reproducing a paper
-// figure.
+// Microbenchmarks for the hot paths: the analytical evaluator, the
+// optimizers, the simulation engine (arrival-driven fast path vs. the
+// per-operation reference sampler) and the stencil kernel.
+//
+// Two modes:
+//   * default: Google Benchmark suite (when the library is available),
+//     gating performance regressions interactively;
+//   * --json [--patterns=N] [--out=FILE]: fixed-seed throughput harness
+//     emitting BENCH_micro.json with patterns/sec per pattern family for
+//     both engine paths, so the perf trajectory is tracked across PRs
+//     (see bench/README.md for the methodology).
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "resilience/app/stencil.hpp"
 #include "resilience/core/expected_time.hpp"
 #include "resilience/core/first_order.hpp"
 #include "resilience/core/optimizer.hpp"
 #include "resilience/core/platform.hpp"
 #include "resilience/sim/engine.hpp"
+#include "resilience/sim/runner.hpp"
+
+#if RESILIENCE_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+
+#include "resilience/app/stencil.hpp"
+#endif
 
 namespace rc = resilience::core;
 namespace rs = resilience::sim;
-namespace ra = resilience::app;
 namespace ru = resilience::util;
 
 namespace {
@@ -23,6 +43,150 @@ const rc::ModelParams& hera_params() {
   static const rc::ModelParams params = rc::hera().model_params();
   return params;
 }
+
+// ------------------------------------------------------------ JSON mode --
+
+constexpr std::uint64_t kJsonSeed = 42;  // fixed: throughput must be replayable
+
+struct FamilyResult {
+  std::string name;
+  double fast_patterns_per_sec = 0.0;
+  double reference_patterns_per_sec = 0.0;
+  double fast_overhead = 0.0;
+  double reference_overhead = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return reference_patterns_per_sec > 0.0
+               ? fast_patterns_per_sec / reference_patterns_per_sec
+               : 0.0;
+  }
+};
+
+/// Best-of-`reps` throughput of one simulation closure (patterns/sec).
+template <typename Simulate>
+double measure_patterns_per_sec(std::uint64_t patterns, int reps,
+                                Simulate&& simulate) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    simulate();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() > 0.0) {
+      best = std::max(best, static_cast<double>(patterns) / elapsed.count());
+    }
+  }
+  return best;
+}
+
+FamilyResult measure_family(rc::PatternKind kind, std::uint64_t patterns) {
+  FamilyResult result;
+  result.name = rc::pattern_name(kind);
+  const auto& params = hera_params();
+  const auto solution = rc::solve_first_order(kind, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  constexpr int kReps = 3;
+
+  {  // arrival-driven fast path: devirtualized model, no-op observer
+    rs::RunMetrics metrics;
+    result.fast_patterns_per_sec =
+        measure_patterns_per_sec(patterns, kReps, [&] {
+          rs::PoissonArrivalModel errors(params.rates, ru::Xoshiro256(kJsonSeed));
+          metrics = rs::simulate_patterns(pattern, params, errors, patterns);
+        });
+    result.fast_overhead = metrics.overhead();
+  }
+  {  // per-operation reference sampler through the type-erased engine
+    rs::RunMetrics metrics;
+    result.reference_patterns_per_sec =
+        measure_patterns_per_sec(patterns, kReps, [&] {
+          rs::ErrorModel errors(params.rates, ru::Xoshiro256(kJsonSeed));
+          rs::EngineConfig config;
+          config.patterns = patterns;
+          metrics = rs::simulate_run(pattern, params, errors, config);
+        });
+    result.reference_overhead = metrics.overhead();
+  }
+  return result;
+}
+
+int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
+  std::vector<FamilyResult> families;
+  for (const auto kind : rc::all_pattern_kinds()) {
+    families.push_back(measure_family(kind, patterns));
+    const auto& f = families.back();
+    std::printf("%-6s fast %12.0f pat/s   reference %12.0f pat/s   speedup %5.2fx\n",
+                f.name.c_str(), f.fast_patterns_per_sec,
+                f.reference_patterns_per_sec, f.speedup());
+  }
+
+  // Geomean over families with a valid measurement; a zero speedup means a
+  // family could not be timed (clock too coarse), which must fail loudly
+  // rather than silently zeroing the perf-trajectory record.
+  double log_speedup_sum = 0.0;
+  std::size_t measured = 0;
+  for (const auto& f : families) {
+    if (f.speedup() > 0.0) {
+      log_speedup_sum += std::log(f.speedup());
+      ++measured;
+    } else {
+      std::fprintf(stderr, "bench_micro: family %s produced no valid timing\n",
+                   f.name.c_str());
+    }
+  }
+  if (measured == 0) {
+    std::fprintf(stderr, "bench_micro: no family produced a valid timing\n");
+    return 1;
+  }
+  const double geomean_speedup =
+      std::exp(log_speedup_sum / static_cast<double>(measured));
+  // A partial family set would make cross-PR geomeans incomparable; still
+  // write the JSON for inspection, but fail the run.
+  const bool all_measured = measured == families.size();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"bench_micro\",\n"
+      << "  \"seed\": " << kJsonSeed << ",\n"
+      << "  \"patterns\": " << patterns << ",\n"
+      << "  \"geomean_speedup\": " << geomean_speedup << ",\n"
+      << "  \"families\": [\n";
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const auto& f = families[i];
+    out << "    {\"pattern\": \"" << f.name << "\", "
+        << "\"fast_patterns_per_sec\": " << f.fast_patterns_per_sec << ", "
+        << "\"reference_patterns_per_sec\": " << f.reference_patterns_per_sec
+        << ", "
+        << "\"speedup\": " << f.speedup() << ", "
+        << "\"fast_overhead\": " << f.fast_overhead << ", "
+        << "\"reference_overhead\": " << f.reference_overhead << "}"
+        << (i + 1 < families.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("geomean speedup %.2fx -> %s\n", geomean_speedup, out_path.c_str());
+  if (!all_measured) {
+    std::fprintf(stderr,
+                 "bench_micro: only %zu/%zu families timed; geomean not "
+                 "comparable across runs\n",
+                 measured, families.size());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ------------------------------------------------- Google Benchmark mode --
+
+#if RESILIENCE_HAVE_GBENCH
+
+namespace {
+
+namespace ra = resilience::app;
 
 void BM_SolveFirstOrder(benchmark::State& state) {
   const auto kind = rc::all_pattern_kinds()[static_cast<std::size_t>(state.range(0))];
@@ -58,7 +222,26 @@ void BM_OptimizePatternFull(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizePatternFull)->Unit(benchmark::kMillisecond);
 
-void BM_SimulatePatterns(benchmark::State& state) {
+/// Arrival-driven fast path: PoissonArrivalModel + NullObserver, statically
+/// bound end to end.
+void BM_SimulatePatternsArrival(benchmark::State& state) {
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, hera_params());
+  const auto pattern = solution.to_pattern(hera_params().costs.recall);
+  const auto patterns = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    rs::PoissonArrivalModel errors(hera_params().rates, ru::Xoshiro256(++seed));
+    benchmark::DoNotOptimize(
+        rs::simulate_patterns(pattern, hera_params(), errors, patterns));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(patterns));
+}
+BENCHMARK(BM_SimulatePatternsArrival)->Arg(100)->Arg(1000);
+
+/// Per-operation reference sampler through the virtual engine — the
+/// pre-arrival-kernel baseline this PR is measured against.
+void BM_SimulatePatternsReference(benchmark::State& state) {
   const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, hera_params());
   const auto pattern = solution.to_pattern(hera_params().costs.recall);
   const auto patterns = static_cast<std::uint64_t>(state.range(0));
@@ -73,9 +256,21 @@ void BM_SimulatePatterns(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(patterns));
 }
-BENCHMARK(BM_SimulatePatterns)->Arg(100)->Arg(1000);
+BENCHMARK(BM_SimulatePatternsReference)->Arg(100)->Arg(1000);
 
-void BM_SimulateHighErrorRegime(benchmark::State& state) {
+void BM_SimulateHighErrorRegimeArrival(benchmark::State& state) {
+  const auto params = rc::hera().scaled_to(1u << 17).model_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    rs::PoissonArrivalModel errors(params.rates, ru::Xoshiro256(++seed));
+    benchmark::DoNotOptimize(rs::simulate_patterns(pattern, params, errors, 100));
+  }
+}
+BENCHMARK(BM_SimulateHighErrorRegimeArrival)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateHighErrorRegimeReference(benchmark::State& state) {
   const auto params = rc::hera().scaled_to(1u << 17).model_params();
   const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
   const auto pattern = solution.to_pattern(params.costs.recall);
@@ -87,7 +282,22 @@ void BM_SimulateHighErrorRegime(benchmark::State& state) {
     benchmark::DoNotOptimize(rs::simulate_run(pattern, params, errors, config));
   }
 }
-BENCHMARK(BM_SimulateHighErrorRegime)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateHighErrorRegimeReference)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloFanout(benchmark::State& state) {
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, hera_params());
+  const auto pattern = solution.to_pattern(hera_params().costs.recall);
+  rs::MonteCarloConfig config;
+  config.runs = static_cast<std::uint64_t>(state.range(0));
+  config.patterns_per_run = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rs::run_monte_carlo(pattern, hera_params(), config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.runs * 50));
+}
+BENCHMARK(BM_MonteCarloFanout)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_StencilStep(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));
@@ -115,4 +325,53 @@ BENCHMARK(BM_QuadraticForm)->Arg(4)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#endif  // RESILIENCE_HAVE_GBENCH
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::uint64_t patterns = 20000;
+  std::string out_path = "BENCH_micro.json";
+  std::vector<std::string> unrecognized;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--patterns=", 0) == 0) {
+      char* end = nullptr;
+      patterns = std::strtoull(arg.c_str() + 11, &end, 10);
+      if (end == arg.c_str() + 11 || *end != '\0' || patterns == 0) {
+        std::fprintf(stderr, "bench_micro: invalid pattern count in '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      unrecognized.push_back(arg);  // Google Benchmark flags in default mode
+    }
+  }
+  if (json) {
+    // A typo'd flag silently measuring the default workload would corrupt
+    // the cross-PR perf record; in JSON mode every flag must be understood.
+    if (!unrecognized.empty()) {
+      std::fprintf(stderr, "bench_micro: unknown flag '%s' in --json mode\n",
+                   unrecognized.front().c_str());
+      return 2;
+    }
+    return run_json_mode(patterns, out_path);
+  }
+#if RESILIENCE_HAVE_GBENCH
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "bench_micro: built without Google Benchmark; only --json mode "
+               "is available\n");
+  return 1;
+#endif
+}

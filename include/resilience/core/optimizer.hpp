@@ -13,6 +13,10 @@
 #include "resilience/core/params.hpp"
 #include "resilience/core/pattern.hpp"
 
+namespace resilience::util {
+class ThreadPool;  // the options only carry a pointer; see thread_pool.hpp
+}
+
 namespace resilience::core {
 
 /// Search-space bounds for the numeric optimizer.
@@ -26,6 +30,14 @@ struct OptimizerOptions {
   /// When true, also refines the chunk fractions numerically instead of
   /// trusting the Eq. (18) closed form (slow; used by validation tests).
   bool optimize_chunk_fractions = false;
+  /// Half-width of the exhaustive (n, m) window scanned around the
+  /// first-order seed before the descent; the window cells and each
+  /// descent round's neighbor moves are evaluated across the pool.
+  std::size_t scan_radius = 2;
+  /// Pool for the (n, m) sweep; nullptr means the global pool. Every cell
+  /// evaluation is memoized, and the result is deterministic regardless of
+  /// the pool size.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// A numerically optimized pattern and its exact overhead.

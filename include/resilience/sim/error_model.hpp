@@ -11,6 +11,14 @@
 // processes (see renewal.hpp) to test the robustness of the optimal
 // patterns when real-world failure statistics (Weibull, lognormal) replace
 // the exponential assumption.
+//
+// For the Poisson model the simulator's hot path uses the arrival-driven
+// PoissonArrivalModel below instead: it samples the *next* arrival of each
+// source once (exponential inter-arrival) and consumes the countdown across
+// operation windows, so the no-error common case costs a float compare and
+// a subtraction instead of an exp() + RNG draw per window. By memorylessness
+// of the exponential the two samplers are equal in law, but they consume
+// the RNG stream differently, so fixed-seed traces differ between them.
 
 #include "resilience/core/params.hpp"
 #include "resilience/util/random.hpp"
@@ -55,6 +63,74 @@ class ErrorModel final : public ErrorModelBase {
  private:
   core::ErrorRates rates_;
   util::Xoshiro256 rng_;
+};
+
+/// Arrival-driven Poisson sampler for the devirtualized engine fast path.
+/// Not derived from ErrorModelBase on purpose: the engine template binds the
+/// sample_* calls statically, so a simulated operation that survives both
+/// countdowns never leaves the register file. Countdowns are resampled only
+/// after a strike (fail-stop) or consumption (silent), never per window.
+///
+/// Clock semantics match RenewalErrorModel: the fail-stop countdown advances
+/// through every exposed operation; the silent countdown advances only
+/// through completed computation windows (silent errors strike computations
+/// only, and interrupted chunks are rolled back wholesale). For exponential
+/// inter-arrivals both conventions are exact.
+class PoissonArrivalModel final {
+ public:
+  PoissonArrivalModel(core::ErrorRates rates, util::Xoshiro256 rng) noexcept
+      : rates_(rates), rng_(rng) {
+    until_fail_stop_ = util::exponential(rng_, rates_.fail_stop);
+    until_silent_ = util::exponential(rng_, rates_.silent);
+  }
+
+  /// Fail-stop exposure of an operation lasting `length` seconds: a strike
+  /// happens iff the next arrival falls inside the window.
+  [[nodiscard]] FailStopOutcome sample_fail_stop(double length) noexcept {
+    if (length <= 0.0) {
+      return {false, length};
+    }
+    if (until_fail_stop_ > length) {
+      until_fail_stop_ -= length;
+      return {false, length};
+    }
+    const FailStopOutcome outcome{true, until_fail_stop_};
+    until_fail_stop_ = util::exponential(rng_, rates_.fail_stop);
+    return outcome;
+  }
+
+  /// Whether at least one silent error strikes a completed computation of
+  /// `length` seconds; consumes every arrival inside the window.
+  [[nodiscard]] bool sample_silent(double length) noexcept {
+    if (length <= 0.0) {
+      return false;
+    }
+    if (until_silent_ > length) {
+      until_silent_ -= length;
+      return false;
+    }
+    double remaining = length;
+    do {
+      remaining -= until_silent_;
+      until_silent_ = util::exponential(rng_, rates_.silent);
+    } while (until_silent_ <= remaining);
+    until_silent_ -= remaining;
+    return true;
+  }
+
+  /// Whether a partial verification with the given recall raises an alarm.
+  [[nodiscard]] bool sample_detection(double recall) noexcept {
+    return util::bernoulli(rng_, recall);
+  }
+
+  [[nodiscard]] const core::ErrorRates& rates() const noexcept { return rates_; }
+  [[nodiscard]] util::Xoshiro256& rng() noexcept { return rng_; }
+
+ private:
+  core::ErrorRates rates_;
+  util::Xoshiro256 rng_;
+  double until_fail_stop_ = 0.0;
+  double until_silent_ = 0.0;
 };
 
 }  // namespace resilience::sim

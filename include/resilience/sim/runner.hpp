@@ -10,6 +10,7 @@
 
 #include "resilience/core/params.hpp"
 #include "resilience/core/pattern.hpp"
+#include "resilience/sim/engine.hpp"
 #include "resilience/sim/error_model.hpp"
 #include "resilience/sim/metrics.hpp"
 #include "resilience/util/thread_pool.hpp"
@@ -27,8 +28,15 @@ struct MonteCarloConfig {
   std::uint64_t seed = 0x5eedULL;     ///< base seed; run i uses sub-stream i
   util::ThreadPool* pool = nullptr;   ///< defaults to the global pool
   /// Optional non-Poisson injection (e.g. a RenewalErrorModel); by default
-  /// each run uses the paper's Poisson ErrorModel with the params' rates.
+  /// each run uses the arrival-driven Poisson fast path with the params'
+  /// rates. To force the per-operation reference sampler, return an
+  /// ErrorModel from the factory.
   ErrorModelFactory model_factory;
+  /// Optional event hook, not owned; threaded by pointer to every run (the
+  /// std::function is never copied). Invoked concurrently from pool
+  /// workers, so the callee must be thread-safe. Installing one disables
+  /// the compile-time no-op observer of the fast path.
+  const EventObserver* observer = nullptr;
 };
 
 /// Result of a Monte Carlo campaign.

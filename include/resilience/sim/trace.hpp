@@ -28,8 +28,8 @@ class TraceRecorder {
   /// Creates the recorder; `capacity_hint` preallocates storage.
   explicit TraceRecorder(std::size_t capacity_hint = 1024);
 
-  /// Observer to hand to EngineConfig::observer. The recorder must outlive
-  /// the simulation run.
+  /// Observer whose address to hand to EngineConfig::observer. Both the
+  /// recorder and the returned function must outlive the simulation run.
   [[nodiscard]] EventObserver observer();
 
   void record(Event event, double clock);

@@ -1,17 +1,29 @@
 #pragma once
 
-// Fixed-size thread pool with a blocking task queue and a parallel_for
-// helper. This is the only parallel substrate in the project: the Monte
-// Carlo runner and the stencil kernels fan work out through it, keeping the
-// rest of the code free of raw thread management (C++ Core Guidelines CP.*).
+// Fixed-size thread pool with a blocking task queue and a chunked
+// parallel_for whose per-call cost is one shared control block plus at most
+// one queue entry per worker — never per index. This is the only parallel
+// substrate in the project: the Monte Carlo runner, the pattern optimizer
+// and the stencil kernels fan work out through it, keeping the rest of the
+// code free of raw thread management (C++ Core Guidelines CP.*).
+//
+// parallel_for hands out work as ticket ranges claimed off a shared
+// counter: the body is bound statically through a single type-erased
+// (function pointer, context) pair per call — no per-index std::function,
+// no packaged_task/future round trip — and the calling thread participates
+// in the drain, so even a saturated pool makes progress and the call
+// returns as soon as the iteration space is finished, not when the last
+// enqueued helper gets scheduled.
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace resilience::util {
@@ -49,19 +61,49 @@ class ThreadPool {
     return future;
   }
 
-  /// Runs body(i) for i in [0, count), blocked into contiguous ranges so
-  /// each worker receives about one range. Blocks until every index is
-  /// processed; rethrows the first exception thrown by `body`.
-  void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+  /// Runs body(i) for i in [0, count). Work is claimed in ticket ranges of
+  /// `grain` indices (0 = automatic, about four tickets per worker), so
+  /// uneven iteration costs rebalance dynamically. Blocks until every index
+  /// is processed; rethrows the first exception thrown by `body` and skips
+  /// tickets not yet claimed at that point. Must not be called from inside
+  /// a pool task.
+  template <typename Body>
+  void parallel_for(std::size_t count, Body&& body, std::size_t grain = 0) {
+    using Fn = std::remove_reference_t<Body>;
+    run_chunked(
+        count, grain,
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          Fn& f = *static_cast<Fn*>(ctx);
+          for (std::size_t i = begin; i < end; ++i) {
+            f(i);
+          }
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+  }
 
-  /// Static-partition variant giving the callee the whole [begin, end)
-  /// range; useful when per-iteration dispatch would dominate (stencil rows).
-  void parallel_for_ranges(
-      std::size_t count,
-      const std::function<void(std::size_t begin, std::size_t end)>& body);
+  /// Ticket-range variant giving the callee whole [begin, end) ranges;
+  /// useful when per-iteration dispatch would dominate (stencil rows, RNG
+  /// sub-stream batches).
+  template <typename Body>
+  void parallel_for_ranges(std::size_t count, Body&& body, std::size_t grain = 0) {
+    using Fn = std::remove_reference_t<Body>;
+    run_chunked(
+        count, grain,
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          (*static_cast<Fn*>(ctx))(begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+  }
 
  private:
+  /// Type-erased range body: one indirect call per claimed ticket range.
+  using RangeFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  /// Shared implementation behind parallel_for/parallel_for_ranges: claims
+  /// [k*grain, (k+1)*grain) tickets off a shared counter from up to
+  /// thread_count() workers plus the calling thread.
+  void run_chunked(std::size_t count, std::size_t grain, RangeFn fn, void* ctx);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+#include <vector>
 
 #include "resilience/core/first_order.hpp"
+#include "resilience/util/thread_pool.hpp"
 
 namespace resilience::core {
 
@@ -25,6 +30,99 @@ double exact_overhead(PatternKind kind, std::size_t n, std::size_t m, double wor
     return std::numeric_limits<double>::infinity();
   }
 }
+
+/// One lattice cell of the (n, m) search space.
+struct Cell {
+  std::size_t n = 1;
+  std::size_t m = 1;
+
+  [[nodiscard]] std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(n) << 32) | static_cast<std::uint64_t>(m);
+  }
+  bool operator==(const Cell& other) const noexcept {
+    return n == other.n && m == other.m;
+  }
+};
+
+/// Exact evaluation of one cell: inner golden-section search over W, then
+/// the exact overhead at that optimum.
+struct CellValue {
+  double overhead = std::numeric_limits<double>::infinity();
+  double work = 0.0;
+};
+
+/// Memoized, pool-parallel evaluator of (n, m) cells. Cell evaluations are
+/// pure functions of (kind, params, options), so concurrent evaluation and
+/// memoization cannot change any value — only the wall-clock time.
+class CellEvaluator {
+ public:
+  CellEvaluator(PatternKind kind, const ModelParams& params,
+                const OptimizerOptions& options)
+      : kind_(kind),
+        params_(params),
+        options_(options),
+        pool_(options.pool != nullptr ? *options.pool : util::global_pool()) {}
+
+  /// Evaluates every not-yet-memoized cell of `cells` across the pool.
+  void prefetch(const std::vector<Cell>& cells) {
+    std::vector<Cell> fresh;
+    fresh.reserve(cells.size());
+    {
+      const std::lock_guard lock(memo_mutex_);
+      for (const Cell& cell : cells) {
+        if (memo_.find(cell.key()) == memo_.end() &&
+            std::find(fresh.begin(), fresh.end(), cell) == fresh.end()) {
+          fresh.push_back(cell);
+        }
+      }
+    }
+    if (fresh.empty()) {
+      return;
+    }
+    pool_.parallel_for(
+        fresh.size(),
+        [&](std::size_t i) {
+          const CellValue value = evaluate(fresh[i]);
+          const std::lock_guard lock(memo_mutex_);
+          memo_.emplace(fresh[i].key(), value);
+        },
+        /*grain=*/1);  // cells are expensive; one ticket each
+  }
+
+  /// Memoized lookup; evaluates inline on a miss. Returns by value so the
+  /// result stays valid whatever later prefetches do to the table; every
+  /// memo_ access takes the lock, so calling this concurrently with an
+  /// in-flight prefetch is also safe (the sweep never needs to, but the
+  /// invariant should not depend on that).
+  CellValue value(const Cell& cell) {
+    {
+      const std::lock_guard lock(memo_mutex_);
+      const auto it = memo_.find(cell.key());
+      if (it != memo_.end()) {
+        return it->second;
+      }
+    }
+    const CellValue computed = evaluate(cell);
+    const std::lock_guard lock(memo_mutex_);
+    return memo_.emplace(cell.key(), computed).first->second;
+  }
+
+ private:
+  CellValue evaluate(const Cell& cell) const {
+    CellValue value;
+    value.work = optimize_work_length(kind_, cell.n, cell.m, params_, options_);
+    value.overhead =
+        exact_overhead(kind_, cell.n, cell.m, value.work, params_, options_.evaluation);
+    return value;
+  }
+
+  PatternKind kind_;
+  const ModelParams& params_;
+  const OptimizerOptions& options_;
+  util::ThreadPool& pool_;
+  std::unordered_map<std::uint64_t, CellValue> memo_;
+  std::mutex memo_mutex_;
+};
 
 }  // namespace
 
@@ -92,60 +190,92 @@ NumericSolution optimize_pattern(PatternKind kind, const ModelParams& params,
   const bool search_n = uses_memory_checkpoints(kind);
   const bool search_m = uses_intermediate_verifications(kind);
 
-  // Seed from the first-order solution, then hill-descend over the integer
-  // lattice. F(n, m) = oef * orw is jointly convex (paper, Theorem 4), and
-  // the exact objective inherits unimodality in the regimes of interest, so
-  // neighborhood descent from the analytic seed finds the lattice optimum;
-  // the visited set guards against cycling where flatness causes ties.
+  // Seed from the first-order solution, exhaustively scan the (n, m) window
+  // around it across the pool, then hill-descend over the integer lattice
+  // from the window's best cell. F(n, m) = oef * orw is jointly convex
+  // (paper, Theorem 4), and the exact objective inherits unimodality in the
+  // regimes of interest, so neighborhood descent from the scan winner finds
+  // the lattice optimum. Every cell evaluation is memoized, so the descent
+  // never re-runs the inner W search for a cell the scan already covered.
   const FirstOrderSolution seed = solve_first_order(kind, params);
-
-  const auto evaluate_cell = [&](std::size_t n, std::size_t m) {
-    const double work = optimize_work_length(kind, n, m, params, options);
-    return std::pair<double, double>(
-        exact_overhead(kind, n, m, work, params, options.evaluation), work);
-  };
+  CellEvaluator evaluator(kind, params, options);
 
   std::size_t n = search_n ? std::min(seed.segments_n, options.max_segments) : 1;
   std::size_t m = search_m ? std::min(seed.chunks_m, options.max_chunks) : 1;
-  auto [best_overhead, best_work] = evaluate_cell(n, m);
+
+  const auto dimension_window = [&](std::size_t center, std::size_t bound,
+                                    bool searched) {
+    std::vector<std::size_t> values;
+    if (!searched) {
+      values.push_back(1);
+      return values;
+    }
+    const std::size_t lo =
+        center > options.scan_radius ? center - options.scan_radius : 1;
+    const std::size_t hi = std::min(bound, center + options.scan_radius);
+    for (std::size_t v = lo; v <= hi; ++v) {
+      values.push_back(v);
+    }
+    return values;
+  };
+
+  std::vector<Cell> window;
+  for (const std::size_t wn : dimension_window(n, options.max_segments, search_n)) {
+    for (const std::size_t wm : dimension_window(m, options.max_chunks, search_m)) {
+      window.push_back({wn, wm});
+    }
+  }
+  evaluator.prefetch(window);
+
+  Cell best{n, m};
+  CellValue best_value = evaluator.value(best);
+  for (const Cell& cell : window) {
+    const CellValue& value = evaluator.value(cell);
+    if (value.overhead < best_value.overhead - 1e-12) {
+      best = cell;
+      best_value = value;
+    }
+  }
 
   bool improved = true;
   while (improved) {
     improved = false;
-    struct Move {
-      std::size_t n;
-      std::size_t m;
-    };
-    std::vector<Move> moves;
+    std::vector<Cell> moves;
     if (search_n) {
-      if (n + 1 <= options.max_segments) {
-        moves.push_back({n + 1, m});
+      if (best.n + 1 <= options.max_segments) {
+        moves.push_back({best.n + 1, best.m});
       }
-      if (n > 1) {
-        moves.push_back({n - 1, m});
+      if (best.n > 1) {
+        moves.push_back({best.n - 1, best.m});
       }
     }
     if (search_m) {
-      if (m + 1 <= options.max_chunks) {
-        moves.push_back({n, m + 1});
+      if (best.m + 1 <= options.max_chunks) {
+        moves.push_back({best.n, best.m + 1});
       }
-      if (m > 1) {
-        moves.push_back({n, m - 1});
+      if (best.m > 1) {
+        moves.push_back({best.n, best.m - 1});
       }
     }
-    for (const auto& move : moves) {
-      const auto [overhead, work] = evaluate_cell(move.n, move.m);
-      if (overhead < best_overhead - 1e-12) {
-        best_overhead = overhead;
-        best_work = work;
-        n = move.n;
-        m = move.m;
+    // All neighbors of the round evaluate concurrently; the winner is
+    // picked deterministically (first improving move in declaration order
+    // wins ties), so the pool size never changes the outcome.
+    evaluator.prefetch(moves);
+    for (const Cell& move : moves) {
+      const CellValue& value = evaluator.value(move);
+      if (value.overhead < best_value.overhead - 1e-12) {
+        best = move;
+        best_value = value;
         improved = true;
         break;  // greedy: re-expand the neighborhood from the new cell
       }
     }
   }
 
+  n = best.n;
+  m = best.m;
+  const double best_overhead = best_value.overhead;
+  const double best_work = best_value.work;
   NumericSolution solution{
       make_pattern(kind, best_work, n, m, params.costs.recall), best_overhead, n, m};
 

@@ -2,188 +2,11 @@
 
 namespace resilience::sim {
 
-namespace {
-
-/// Mutable simulation context threaded through the helpers below.
-struct Context {
-  const core::ModelParams& params;
-  ErrorModelBase& errors;
-  const EventObserver& observer;
-  RunMetrics metrics;
-  double clock = 0.0;
-
-  void notify(Event event) {
-    if (observer) {
-      observer(event, clock);
-    }
-  }
-
-  /// Exposes an operation window of `length` seconds to fail-stop errors,
-  /// advancing the clock by the survived portion. Returns true when the
-  /// operation completed (no strike).
-  bool expose(double length) {
-    const FailStopOutcome outcome = errors.sample_fail_stop(length);
-    clock += outcome.time_survived;
-    if (outcome.struck) {
-      ++metrics.fail_stop_errors;
-      notify(Event::kFailStop);
-      return false;
-    }
-    return true;
-  }
-
-  /// Full fail-stop recovery: restore the disk checkpoint, then the memory
-  /// copy. Either restore may itself be interrupted by a fail-stop error,
-  /// in which case the whole recovery restarts (the paper's Eqs. (30)-(31)
-  /// retry structure).
-  void recover_from_fail_stop() {
-    for (;;) {
-      // Disk recovery retries independently until it completes.
-      while (!expose(params.costs.disk_recovery)) {
-      }
-      ++metrics.disk_recoveries;
-      notify(Event::kDiskRecovery);
-      // Memory restore: a strike here destroys the partially restored
-      // memory image, so fall back to the top (fresh disk recovery).
-      if (expose(params.costs.memory_recovery)) {
-        ++metrics.memory_recoveries;
-        notify(Event::kMemoryRecovery);
-        return;
-      }
-    }
-  }
-
-  /// Memory-only recovery after a detected silent error. Returns true on
-  /// success; false when a fail-stop error interrupted the restore, in
-  /// which case the full disk path has already been taken and the caller
-  /// must restart the pattern rather than the segment.
-  bool recover_from_silent() {
-    if (expose(params.costs.memory_recovery)) {
-      ++metrics.memory_recoveries;
-      notify(Event::kMemoryRecovery);
-      return true;
-    }
-    recover_from_fail_stop();
-    return false;
-  }
-};
-
-/// Per-segment outcome telling the pattern loop how to proceed.
-enum class SegmentOutcome { kCompleted, kRestartSegment, kRestartPattern };
-
-SegmentOutcome run_segment(Context& ctx, const core::PatternSpec& pattern,
-                           std::size_t segment_index) {
-  const auto& segment = pattern.segment(segment_index);
-  const std::size_t chunks = segment.chunks();
-  const core::CostParams& costs = ctx.params.costs;
-  // P_DV*/P_DMV* interleave guaranteed verifications (cost V*, recall 1)
-  // between chunks; the other families use partial ones (cost V, recall r).
-  const bool guaranteed_mid = pattern.guaranteed_intermediates();
-  const double intermediate_cost =
-      guaranteed_mid ? costs.guaranteed_verification : costs.partial_verification;
-
-  bool corrupted = false;
-  for (std::size_t j = 0; j < chunks; ++j) {
-    const double work = pattern.chunk_work(segment_index, j);
-    const bool is_last = (j + 1 == chunks);
-
-    // Computation: silent errors only materialize if the chunk completes —
-    // a fail-stop strike rolls everything back to the disk checkpoint, so
-    // corruption within the interrupted chunk is moot.
-    if (!ctx.expose(work)) {
-      ctx.recover_from_fail_stop();
-      return SegmentOutcome::kRestartPattern;
-    }
-    if (ctx.errors.sample_silent(work)) {
-      corrupted = true;
-      ++ctx.metrics.silent_errors;
-      ctx.notify(Event::kSilentInjected);
-    }
-    ctx.notify(Event::kChunkCompleted);
-
-    // Verification attached to the chunk: partial for intermediate chunk
-    // boundaries, guaranteed for the segment end.
-    const double verif_cost =
-        is_last ? costs.guaranteed_verification : intermediate_cost;
-    if (!ctx.expose(verif_cost)) {
-      ctx.recover_from_fail_stop();
-      return SegmentOutcome::kRestartPattern;
-    }
-    if (is_last || guaranteed_mid) {
-      ++ctx.metrics.guaranteed_verifications;
-      if (corrupted) {
-        ++ctx.metrics.silent_detections_guaranteed;
-        ctx.notify(Event::kGuaranteedAlarm);
-        return ctx.recover_from_silent() ? SegmentOutcome::kRestartSegment
-                                         : SegmentOutcome::kRestartPattern;
-      }
-    } else {
-      ++ctx.metrics.partial_verifications;
-      if (corrupted && ctx.errors.sample_detection(costs.recall)) {
-        ++ctx.metrics.silent_detections_partial;
-        ctx.notify(Event::kPartialAlarm);
-        return ctx.recover_from_silent() ? SegmentOutcome::kRestartSegment
-                                         : SegmentOutcome::kRestartPattern;
-      }
-    }
-  }
-
-  // Segment verified clean: commit the in-memory checkpoint.
-  if (!ctx.expose(costs.memory_checkpoint)) {
-    ctx.recover_from_fail_stop();
-    return SegmentOutcome::kRestartPattern;
-  }
-  ++ctx.metrics.memory_checkpoints;
-  ctx.notify(Event::kMemoryCheckpoint);
-  return SegmentOutcome::kCompleted;
-}
-
-}  // namespace
-
 RunMetrics simulate_run(const core::PatternSpec& pattern,
                         const core::ModelParams& params, ErrorModelBase& errors,
                         const EngineConfig& config) {
-  params.validate();
-  Context ctx{params, errors, config.observer, RunMetrics{}, 0.0};
-
-  for (std::uint64_t completed = 0; completed < config.patterns;) {
-    bool pattern_done = false;
-    while (!pattern_done) {
-      std::size_t segment = 0;
-      bool restart_pattern = false;
-      while (segment < pattern.segment_count()) {
-        switch (run_segment(ctx, pattern, segment)) {
-          case SegmentOutcome::kCompleted:
-            ++segment;
-            break;
-          case SegmentOutcome::kRestartSegment:
-            break;  // retry the same segment from its memory checkpoint
-          case SegmentOutcome::kRestartPattern:
-            restart_pattern = true;
-            segment = pattern.segment_count();  // break the segment loop
-            break;
-        }
-      }
-      if (restart_pattern) {
-        continue;  // re-run the whole pattern from the disk checkpoint
-      }
-      // All segments committed: close the pattern with a disk checkpoint.
-      if (!ctx.expose(params.costs.disk_checkpoint)) {
-        ctx.recover_from_fail_stop();
-        continue;
-      }
-      ++ctx.metrics.disk_checkpoints;
-      ctx.notify(Event::kDiskCheckpoint);
-      pattern_done = true;
-    }
-    ++completed;
-    ++ctx.metrics.patterns_completed;
-    ctx.metrics.useful_work_seconds += pattern.work();
-    ctx.notify(Event::kPatternCompleted);
-  }
-
-  ctx.metrics.elapsed_seconds = ctx.clock;
-  return ctx.metrics;
+  return simulate_patterns(pattern, params, errors, config.patterns,
+                           FunctionObserver{config.observer});
 }
 
 }  // namespace resilience::sim

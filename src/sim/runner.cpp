@@ -1,11 +1,27 @@
 #include "resilience/sim/runner.hpp"
 
-#include <mutex>
 #include <vector>
 
 #include "resilience/sim/engine.hpp"
 
 namespace resilience::sim {
+
+namespace {
+
+/// Simulates one run with the observer bound statically when absent, so the
+/// default campaign keeps the fully devirtualized engine instantiation.
+template <typename Model>
+RunMetrics simulate_one(const core::PatternSpec& pattern,
+                        const core::ModelParams& params, Model& errors,
+                        const MonteCarloConfig& config) {
+  if (config.observer != nullptr) {
+    return simulate_patterns(pattern, params, errors, config.patterns_per_run,
+                             FunctionObserver{config.observer});
+  }
+  return simulate_patterns(pattern, params, errors, config.patterns_per_run);
+}
+
+}  // namespace
 
 MonteCarloResult run_monte_carlo(const core::PatternSpec& pattern,
                                  const core::ModelParams& params,
@@ -17,18 +33,26 @@ MonteCarloResult run_monte_carlo(const core::PatternSpec& pattern,
   // the aggregate is independent of scheduling order.
   std::vector<RunMetrics> per_run(config.runs);
 
-  pool.parallel_for(config.runs, [&](std::size_t run_index) {
-    util::Xoshiro256 run_rng = util::Xoshiro256::stream(config.seed, run_index);
-    EngineConfig engine_config;
-    engine_config.patterns = config.patterns_per_run;
-    if (config.model_factory) {
-      const std::unique_ptr<ErrorModelBase> errors = config.model_factory(run_rng);
-      per_run[run_index] = simulate_run(pattern, params, *errors, engine_config);
-    } else {
-      ErrorModel errors(params.rates, run_rng);
-      per_run[run_index] = simulate_run(pattern, params, errors, engine_config);
-    }
-  });
+  // Runs are batched per ticket range so each worker derives its RNG
+  // sub-streams incrementally: one jump per run after the initial seek
+  // instead of `run_index` jumps per run. Streams stay indexed by run, so
+  // the campaign is bit-identical across thread counts and grains.
+  pool.parallel_for_ranges(
+      config.runs, [&](std::size_t begin, std::size_t end) {
+        util::Xoshiro256 stream_rng = util::Xoshiro256::stream(config.seed, begin);
+        for (std::size_t run_index = begin; run_index < end; ++run_index) {
+          util::Xoshiro256 run_rng = stream_rng;
+          stream_rng.jump();
+          if (config.model_factory) {
+            const std::unique_ptr<ErrorModelBase> errors =
+                config.model_factory(run_rng);
+            per_run[run_index] = simulate_one(pattern, params, *errors, config);
+          } else {
+            PoissonArrivalModel errors(params.rates, run_rng);
+            per_run[run_index] = simulate_one(pattern, params, errors, config);
+          }
+        }
+      });
 
   MonteCarloResult result;
   result.runs = config.runs;

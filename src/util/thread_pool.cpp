@@ -2,8 +2,75 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 
 namespace resilience::util {
+
+namespace {
+
+/// Shared control block of one run_chunked call. Participants claim ticket
+/// ranges off `next`; the caller waits until the iteration space is fully
+/// claimed AND no claimed range is still executing — not until every
+/// enqueued helper got scheduled, so a helper parked behind unrelated queue
+/// work never delays completion. Helpers hold the block via shared_ptr, so
+/// a straggler that wakes after the caller returned finds `next >= count`
+/// and exits without touching anything freed. The user body and its
+/// context live on the caller's stack, but they are only dereferenced
+/// inside a claimed range, and no range can be claimed once the caller has
+/// been released.
+struct ChunkJob {
+  std::size_t next = 0;  // guarded by mutex; tickets are coarse, so one
+  std::size_t in_flight = 0;  // lock per claim is off the critical path
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  void (*fn)(void*, std::size_t, std::size_t) = nullptr;
+  void* ctx = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      std::size_t begin = 0;
+      std::size_t end = 0;
+      {
+        const std::lock_guard lock(mutex);
+        if (next >= count) {
+          return;
+        }
+        begin = next;
+        end = std::min(count, begin + grain);
+        next = end;
+        ++in_flight;
+      }
+      std::exception_ptr thrown;
+      try {
+        fn(ctx, begin, end);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      {
+        const std::lock_guard lock(mutex);
+        if (thrown) {
+          if (!error) {
+            error = thrown;
+          }
+          next = count;  // cancel unclaimed tickets; running ranges finish
+        }
+        --in_flight;
+        if (next >= count && in_flight == 0) {
+          done_cv.notify_one();
+        }
+      }
+      if (thrown) {
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -42,50 +109,54 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
-  parallel_for_ranges(count, [&body](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      body(i);
-    }
-  });
-}
-
-void ThreadPool::parallel_for_ranges(
-    std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+void ThreadPool::run_chunked(std::size_t count, std::size_t grain, RangeFn fn,
+                             void* ctx) {
   if (count == 0) {
     return;
   }
-  const std::size_t chunks = std::min(count, thread_count());
-  if (chunks <= 1) {
-    body(0, count);
+  if (grain == 0) {
+    // About four tickets per worker: coarse enough to amortize the atomic
+    // claim, fine enough to rebalance uneven iteration costs.
+    grain = std::max<std::size_t>(1, count / (4 * thread_count()));
+  }
+  if (count <= grain) {
+    fn(ctx, 0, count);  // single ticket: no scheduling at all
     return;
   }
-  const std::size_t base = count / chunks;
-  const std::size_t remainder = count % chunks;
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t size = base + (c < remainder ? 1 : 0);
-    const std::size_t end = begin + size;
-    futures.push_back(submit([&body, begin, end] { body(begin, end); }));
-    begin = end;
-  }
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) {
-        first_error = std::current_exception();
-      }
+  const auto job = std::make_shared<ChunkJob>();
+  job->count = count;
+  job->grain = grain;
+  job->fn = fn;
+  job->ctx = ctx;
+
+  // The caller claims tickets too, so enqueue at most one helper per worker
+  // and never more than the remaining tickets.
+  const std::size_t tickets = (count + grain - 1) / grain;
+  std::size_t helpers = std::min(thread_count(), tickets - 1);
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      helpers = 0;  // pool shutting down: degrade to serial execution
+    }
+    for (std::size_t i = 0; i < helpers; ++i) {
+      tasks_.emplace([job] { job->drain(); });
     }
   }
-  if (first_error) {
-    std::rethrow_exception(first_error);
+  if (helpers > 0) {
+    cv_.notify_all();
+  }
+
+  job->drain();
+
+  {
+    std::unique_lock lock(job->mutex);
+    job->done_cv.wait(lock, [&job] {
+      return job->next >= job->count && job->in_flight == 0;
+    });
+  }
+  if (job->error) {
+    std::rethrow_exception(job->error);
   }
 }
 

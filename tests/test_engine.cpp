@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "resilience/core/first_order.hpp"
 #include "resilience/core/platform.hpp"
 
 namespace rs = resilience::sim;
@@ -20,12 +22,21 @@ rc::ModelParams hera_params() { return rc::hera().model_params(); }
 
 rs::RunMetrics simulate(const rc::PatternSpec& pattern, const rc::ModelParams& params,
                         std::uint64_t patterns, std::uint64_t seed = 1,
-                        rs::EventObserver observer = {}) {
+                        const rs::EventObserver& observer = {}) {
   rs::ErrorModel errors(params.rates, ru::Xoshiro256(seed));
   rs::EngineConfig config;
   config.patterns = patterns;
-  config.observer = std::move(observer);
+  config.observer = observer ? &observer : nullptr;
   return rs::simulate_run(pattern, params, errors, config);
+}
+
+/// Same run through the arrival-driven fast path (devirtualized model,
+/// compile-time no-op observer).
+rs::RunMetrics simulate_fast(const rc::PatternSpec& pattern,
+                             const rc::ModelParams& params, std::uint64_t patterns,
+                             std::uint64_t seed = 1) {
+  rs::PoissonArrivalModel errors(params.rates, ru::Xoshiro256(seed));
+  return rs::simulate_patterns(pattern, params, errors, patterns);
 }
 
 }  // namespace
@@ -196,6 +207,102 @@ TEST(Engine, GuaranteedIntermediatesCostMorePerVerification) {
                        (params.costs.guaranteed_verification -
                         params.costs.partial_verification);
   EXPECT_NEAR(vg.elapsed_seconds - v.elapsed_seconds, extra, 1e-6);
+}
+
+TEST(EngineFastPath, TemplatedEngineMatchesTypeErasedWrapperBitExactly) {
+  // Same sampler, same seed: the devirtualized instantiation and the
+  // ErrorModelBase wrapper must walk the identical RNG stream and produce
+  // the identical metrics.
+  const auto params = hera_params();
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 20000.0, 2, 2, 0.8);
+
+  rs::ErrorModel wrapped(params.rates, ru::Xoshiro256(13));
+  rs::EngineConfig config;
+  config.patterns = 80;
+  const auto via_wrapper = rs::simulate_run(pattern, params, wrapped, config);
+
+  rs::ErrorModel direct(params.rates, ru::Xoshiro256(13));
+  const auto via_template = rs::simulate_patterns(pattern, params, direct, 80);
+
+  EXPECT_DOUBLE_EQ(via_wrapper.elapsed_seconds, via_template.elapsed_seconds);
+  EXPECT_EQ(via_wrapper.fail_stop_errors, via_template.fail_stop_errors);
+  EXPECT_EQ(via_wrapper.silent_errors, via_template.silent_errors);
+  EXPECT_EQ(via_wrapper.disk_recoveries, via_template.disk_recoveries);
+  EXPECT_EQ(via_wrapper.memory_recoveries, via_template.memory_recoveries);
+}
+
+TEST(EngineFastPath, ErrorFreeRunMatchesReferenceExactly) {
+  // With both rates zero, neither sampler draws anything: the two paths
+  // must agree to the last bit.
+  rc::ModelParams params = hera_params();
+  params.rates = {0.0, 0.0};
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 10000.0, 2, 3, 0.8);
+  const auto reference = simulate(pattern, params, 5);
+  const auto fast = simulate_fast(pattern, params, 5);
+  EXPECT_DOUBLE_EQ(fast.elapsed_seconds, reference.elapsed_seconds);
+  EXPECT_EQ(fast.patterns_completed, reference.patterns_completed);
+  EXPECT_EQ(fast.disk_checkpoints, reference.disk_checkpoints);
+  EXPECT_EQ(fast.memory_checkpoints, reference.memory_checkpoints);
+}
+
+TEST(EngineFastPath, ArrivalSamplingIsStatisticallyConsistentWithReference) {
+  // The arrival-driven sampler is equal in law to the per-operation one by
+  // memorylessness, but consumes the RNG stream differently; over many
+  // patterns in a dense-error regime, overheads and event rates must agree
+  // within a few percent. Fixed seeds keep the check deterministic.
+  const auto params = rc::hera().scaled_to(1u << 15).model_params();
+  const auto solution = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  const auto pattern = solution.to_pattern(params.costs.recall);
+  constexpr std::uint64_t kPatterns = 4000;
+
+  const auto reference = simulate(pattern, params, kPatterns, 17);
+  const auto fast = simulate_fast(pattern, params, kPatterns, 17);
+
+  EXPECT_EQ(fast.patterns_completed, reference.patterns_completed);
+  EXPECT_NEAR(fast.overhead(), reference.overhead(),
+              0.05 * reference.overhead());
+  const auto near_rate = [&](std::uint64_t a, std::uint64_t b) {
+    const double fa = static_cast<double>(a);
+    const double fb = static_cast<double>(b);
+    EXPECT_NEAR(fa, fb, 0.10 * std::max(fa, fb) + 50.0);
+  };
+  near_rate(fast.fail_stop_errors, reference.fail_stop_errors);
+  near_rate(fast.silent_errors, reference.silent_errors);
+  near_rate(fast.disk_recoveries, reference.disk_recoveries);
+  near_rate(fast.memory_recoveries, reference.memory_recoveries);
+}
+
+TEST(EngineFastPath, StatefulLvalueObserverIsMutatedInPlace) {
+  // The engine takes the observer as a forwarding reference: counters in a
+  // user-supplied lvalue observer must accumulate in the caller's object,
+  // not in a discarded copy.
+  struct CountingObserver {
+    std::uint64_t events = 0;
+    void operator()(rs::Event, double) noexcept { ++events; }
+  };
+  const auto params = hera_params();
+  const auto pattern = rc::make_pattern(rc::PatternKind::kD, 5000.0, 1, 1, 1.0);
+  rs::PoissonArrivalModel errors(params.rates, ru::Xoshiro256(9));
+  CountingObserver counting;
+  const auto metrics = rs::simulate_patterns(pattern, params, errors, 10, counting);
+  EXPECT_GT(counting.events, 0u);
+  EXPECT_GE(counting.events, metrics.patterns_completed);
+}
+
+TEST(EngineFastPath, ObserverPointerIsNotCopiedAndStillFires) {
+  // The config carries the std::function by pointer: events must reach the
+  // very closure installed, with no per-run copies.
+  const auto params = hera_params();
+  const auto pattern = rc::make_pattern(rc::PatternKind::kD, 5000.0, 1, 1, 1.0);
+  std::uint64_t events = 0;
+  const rs::EventObserver observer = [&](rs::Event, double) { ++events; };
+  rs::ErrorModel errors(params.rates, ru::Xoshiro256(5));
+  rs::EngineConfig config;
+  config.patterns = 10;
+  config.observer = &observer;
+  const auto metrics = rs::simulate_run(pattern, params, errors, config);
+  EXPECT_GT(events, 0u);
+  EXPECT_GE(events, metrics.patterns_completed);
 }
 
 TEST(Engine, MemoryCheckpointProtectsAgainstSilentRollbackScope) {

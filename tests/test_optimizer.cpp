@@ -10,6 +10,7 @@
 
 #include "resilience/core/first_order.hpp"
 #include "resilience/core/platform.hpp"
+#include "resilience/util/thread_pool.hpp"
 
 namespace rc = resilience::core;
 
@@ -125,6 +126,37 @@ TEST(NumericChunkFractions, SingleChunkTrivial) {
   const auto numeric = rc::optimize_chunk_fractions_numeric(1, 0.5);
   ASSERT_EQ(numeric.size(), 1u);
   EXPECT_DOUBLE_EQ(numeric[0], 1.0);
+}
+
+TEST(OptimizePattern, ParallelSweepIsDeterministicAcrossPoolSizes) {
+  // Cell evaluations are pure and memoized; the pool only changes wall
+  // clock, never the solution.
+  const auto params = rc::hera().model_params();
+  resilience::util::ThreadPool one(1);
+  resilience::util::ThreadPool four(4);
+  for (const auto kind : {rc::PatternKind::kDMV, rc::PatternKind::kDM}) {
+    rc::OptimizerOptions serial;
+    serial.pool = &one;
+    rc::OptimizerOptions parallel;
+    parallel.pool = &four;
+    const auto a = rc::optimize_pattern(kind, params, serial);
+    const auto b = rc::optimize_pattern(kind, params, parallel);
+    EXPECT_EQ(a.segments_n, b.segments_n) << rc::pattern_name(kind);
+    EXPECT_EQ(a.chunks_m, b.chunks_m) << rc::pattern_name(kind);
+    EXPECT_DOUBLE_EQ(a.overhead, b.overhead) << rc::pattern_name(kind);
+    EXPECT_DOUBLE_EQ(a.pattern.work(), b.pattern.work()) << rc::pattern_name(kind);
+  }
+}
+
+TEST(OptimizePattern, WiderScanWindowNeverWorsensTheSolution) {
+  const auto params = rc::hera().scaled_to(1u << 16).model_params();
+  rc::OptimizerOptions narrow;
+  narrow.scan_radius = 0;
+  rc::OptimizerOptions wide;
+  wide.scan_radius = 4;
+  const auto a = rc::optimize_pattern(rc::PatternKind::kDMV, params, narrow);
+  const auto b = rc::optimize_pattern(rc::PatternKind::kDMV, params, wide);
+  EXPECT_LE(b.overhead, a.overhead * (1.0 + 1e-9));
 }
 
 TEST(OptimizePattern, ChunkFractionRefinementDoesNotRegress) {

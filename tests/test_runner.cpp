@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
 #include "resilience/core/platform.hpp"
 
 namespace rs = resilience::sim;
@@ -18,26 +21,70 @@ rc::ModelParams hera_params() { return rc::hera().model_params(); }
 
 TEST(Runner, DeterministicAcrossThreadCounts) {
   // Runs are keyed to RNG sub-streams by index, so the aggregate must be
-  // bit-identical whether executed on 1 or many threads.
+  // bit-identical whether executed on 1, 2 or 8 threads, whatever ticket
+  // ranges the pool hands out.
   const auto params = hera_params();
   const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 20000.0, 2, 2, 0.8);
 
-  ru::ThreadPool one(1);
-  ru::ThreadPool four(4);
   rs::MonteCarloConfig config;
   config.runs = 16;
   config.patterns_per_run = 20;
   config.seed = 99;
 
+  ru::ThreadPool one(1);
   config.pool = &one;
   const auto serial = rs::run_monte_carlo(pattern, params, config);
-  config.pool = &four;
-  const auto parallel = rs::run_monte_carlo(pattern, params, config);
 
-  EXPECT_DOUBLE_EQ(serial.mean_overhead(), parallel.mean_overhead());
-  EXPECT_EQ(serial.totals.disk_recoveries, parallel.totals.disk_recoveries);
-  EXPECT_EQ(serial.totals.silent_errors, parallel.totals.silent_errors);
-  EXPECT_DOUBLE_EQ(serial.totals.elapsed_seconds, parallel.totals.elapsed_seconds);
+  for (const std::size_t threads : {2u, 8u}) {
+    ru::ThreadPool pool(threads);
+    config.pool = &pool;
+    const auto parallel = rs::run_monte_carlo(pattern, params, config);
+    EXPECT_DOUBLE_EQ(serial.mean_overhead(), parallel.mean_overhead())
+        << threads << " threads";
+    EXPECT_EQ(serial.totals.disk_recoveries, parallel.totals.disk_recoveries);
+    EXPECT_EQ(serial.totals.silent_errors, parallel.totals.silent_errors);
+    EXPECT_DOUBLE_EQ(serial.totals.elapsed_seconds,
+                     parallel.totals.elapsed_seconds);
+  }
+}
+
+TEST(Runner, ReferenceSamplerViaFactoryStaysConsistentWithFastPath) {
+  // The default campaign uses the arrival-driven fast path; routing the
+  // per-operation reference sampler through the factory must land on the
+  // same mean overhead within the Monte Carlo confidence interval.
+  const auto params = rc::hera().scaled_to(1u << 14).model_params();
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 20000.0, 2, 2, 0.8);
+  rs::MonteCarloConfig config;
+  config.runs = 64;
+  config.patterns_per_run = 50;
+  config.seed = 7;
+
+  const auto fast = rs::run_monte_carlo(pattern, params, config);
+  config.model_factory = [&](ru::Xoshiro256 rng) {
+    return std::make_unique<rs::ErrorModel>(params.rates, rng);
+  };
+  const auto reference = rs::run_monte_carlo(pattern, params, config);
+
+  const double ci = fast.overhead_ci() + reference.overhead_ci();
+  EXPECT_NEAR(fast.mean_overhead(), reference.mean_overhead(), 2.0 * ci);
+}
+
+TEST(Runner, ObserverThreadedByPointerSeesEveryRun) {
+  const auto params = hera_params();
+  const auto pattern = rc::make_pattern(rc::PatternKind::kD, 10000.0, 1, 1, 1.0);
+  std::atomic<std::uint64_t> completions{0};
+  const rs::EventObserver observer = [&](rs::Event event, double) {
+    if (event == rs::Event::kPatternCompleted) {
+      completions.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  rs::MonteCarloConfig config;
+  config.runs = 8;
+  config.patterns_per_run = 5;
+  config.observer = &observer;
+  const auto result = rs::run_monte_carlo(pattern, params, config);
+  EXPECT_EQ(completions.load(), result.totals.patterns_completed);
+  EXPECT_EQ(completions.load(), 40u);
 }
 
 TEST(Runner, SeedChangesResults) {

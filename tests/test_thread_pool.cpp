@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace ru = resilience::util;
@@ -98,6 +100,70 @@ TEST(ParallelFor, ComputesCorrectSum) {
   });
   const double sum = std::accumulate(values.begin(), values.end(), 0.0);
   EXPECT_DOUBLE_EQ(sum, static_cast<double>(kCount) * (kCount - 1) / 2.0);
+}
+
+TEST(ParallelFor, ExplicitGrainVisitsEveryIndexExactlyOnce) {
+  ru::ThreadPool pool(4);
+  constexpr std::size_t kCount = 1003;  // not a multiple of any grain below
+  for (const std::size_t grain : {1u, 7u, 64u, 5000u}) {
+    std::vector<std::atomic<int>> visits(kCount);
+    pool.parallel_for(kCount, [&](std::size_t i) { visits[i].fetch_add(1); },
+                      grain);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelForRanges, TicketRangesRespectGrainBound) {
+  ru::ThreadPool pool(4);
+  constexpr std::size_t kCount = 500;
+  constexpr std::size_t kGrain = 32;
+  std::atomic<std::size_t> covered{0};
+  std::atomic<bool> oversized{false};
+  pool.parallel_for_ranges(
+      kCount,
+      [&](std::size_t begin, std::size_t end) {
+        if (end - begin > kGrain) {
+          oversized.store(true);
+        }
+        covered.fetch_add(end - begin);
+      },
+      kGrain);
+  EXPECT_EQ(covered.load(), kCount);
+  EXPECT_FALSE(oversized.load());
+}
+
+TEST(ParallelFor, CallerParticipatesOnSingleWorkerPool) {
+  // With one worker the calling thread must still drain tickets, so the
+  // loop completes even while the lone worker is busy elsewhere.
+  ru::ThreadPool pool(1);
+  auto busy = pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return 1;
+  });
+  std::atomic<int> counter{0};
+  pool.parallel_for(1000, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 1000);
+  EXPECT_EQ(busy.get(), 1);
+}
+
+TEST(ParallelFor, ExceptionSkipsUnclaimedTickets) {
+  // After a body throws, tickets not yet handed out are cancelled; the
+  // exception still reaches the caller once every running range finished.
+  ru::ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_for(
+                   10000,
+                   [&](std::size_t i) {
+                     if (i == 0) {
+                       throw std::runtime_error("early");
+                     }
+                     executed.fetch_add(1);
+                   },
+                   1),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 10000);
 }
 
 TEST(GlobalPool, IsSingleton) {

@@ -84,9 +84,10 @@ TEST(TraceRecorder, CapturesEngineRun) {
 
   rs::TraceRecorder trace;
   rs::ErrorModel errors(params.rates, ru::Xoshiro256(3));
+  const rs::EventObserver observer = trace.observer();
   rs::EngineConfig config;
   config.patterns = 20;
-  config.observer = trace.observer();
+  config.observer = &observer;
   const auto metrics = rs::simulate_run(pattern, params, errors, config);
 
   EXPECT_EQ(trace.count(rs::Event::kDiskCheckpoint), metrics.disk_checkpoints);
@@ -108,9 +109,10 @@ TEST(TraceRecorder, ClockIsMonotonic) {
   const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 5000.0, 2, 3, 0.8);
   rs::TraceRecorder trace;
   rs::ErrorModel errors(params.rates, ru::Xoshiro256(7));
+  const rs::EventObserver observer = trace.observer();
   rs::EngineConfig config;
   config.patterns = 50;
-  config.observer = trace.observer();
+  config.observer = &observer;
   (void)rs::simulate_run(pattern, params, errors, config);
   double previous = 0.0;
   for (const auto& entry : trace.entries()) {
