@@ -1,7 +1,9 @@
 // Ablation: where does the first-order model break down? Sweeps the
 // platform MTBF (via weak scaling) and reports first-order vs exact vs
-// simulated overhead for P_DMV — quantifying the Section 6.5 claim that the
-// model is accurate "up to tens of thousands of nodes".
+// numeric-optimal vs simulated overhead for P_DMV — quantifying the
+// Section 6.5 claim that the model is accurate "up to tens of thousands of
+// nodes". The analytic columns come from one warm-started SweepRunner
+// chain over the node-count axis.
 
 #include <iostream>
 
@@ -24,19 +26,28 @@ int main(int argc, char** argv) {
 
   rb::print_header("Ablation: model accuracy vs platform scale (P_DMV on Hera)");
 
-  ru::Table table({"nodes", "MTBF (min)", "first-order H*", "exact H",
-                   "simulated H", "1st-order err", "exact err"});
+  rc::ScenarioGrid grid;
+  grid.platforms = {rc::hera()};
+  std::vector<int> log2_labels;
   for (int log2_nodes = 8; log2_nodes <= 18; log2_nodes += 2) {
-    const auto platform = rc::hera().scaled_to(std::size_t{1} << log2_nodes);
-    const auto params = platform.model_params();
+    grid.node_counts.push_back(std::size_t{1} << log2_nodes);
+    log2_labels.push_back(log2_nodes);
+  }
+  grid.kinds = {rc::PatternKind::kDMV};
+  const auto sweep = rc::SweepRunner().run(grid);
+
+  ru::Table table({"nodes", "MTBF (min)", "first-order H*", "exact H",
+                   "numeric-opt H", "simulated H", "1st-order err", "exact err"});
+  for (std::size_t p = 0; p < sweep.points.size(); ++p) {
+    const auto& params = sweep.points[p].params;
     const auto r =
-        rb::simulate_family(rc::PatternKind::kDMV, params, runs, patterns, seed);
+        rb::simulate_cell(sweep, p, rc::PatternKind::kDMV, runs, patterns, seed);
     const double simulated = r.result.mean_overhead();
     table.add_row(
-        {"2^" + std::to_string(log2_nodes),
+        {"2^" + std::to_string(log2_labels[sweep.points[p].node_index]),
          ru::format_double(params.rates.platform_mtbf() / 60.0, 1),
          ru::format_percent(r.solution.overhead), ru::format_percent(r.exact_overhead),
-         ru::format_percent(simulated),
+         ru::format_percent(r.numeric_overhead), ru::format_percent(simulated),
          ru::format_percent(simulated - r.solution.overhead),
          ru::format_percent(simulated - r.exact_overhead)});
   }

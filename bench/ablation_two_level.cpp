@@ -1,6 +1,7 @@
 // Ablation: value of the second (in-memory) checkpoint level as the
 // disk-to-memory cost ratio varies. Reproduces the Figure 6 discussion —
-// memory checkpoints matter most when C_D >> C_M — as a parameter sweep.
+// memory checkpoints matter most when C_D >> C_M — as a ScenarioGrid over
+// the cost-override axis.
 
 #include <iostream>
 
@@ -19,14 +20,27 @@ int main(int argc, char** argv) {
       "Ablation: single-level vs two-level patterns as C_D/C_M varies");
 
   const auto hera = rc::hera();
+  rc::ScenarioGrid grid;
+  grid.platforms = {hera};
+  for (const double cd : {15.4, 50.0, 150.0, 300.0, 1000.0, 3000.0, 10000.0}) {
+    rc::CostOverride override_cd;
+    override_cd.disk_checkpoint = cd;
+    grid.cost_overrides.push_back(override_cd);
+  }
+  grid.kinds = {rc::PatternKind::kD, rc::PatternKind::kDV, rc::PatternKind::kDM,
+                rc::PatternKind::kDMV};
+  rc::SweepOptions options;
+  options.numeric_optimum = false;  // the table reads first-order columns only
+  const auto sweep = rc::SweepRunner(options).run(grid);
+
   ru::Table table({"C_D (s)", "C_D/C_M", "PD H*", "PDV H*", "PDM H*", "PDMV H*",
                    "two-level gain", "optimal n*"});
-  for (const double cd : {15.4, 50.0, 150.0, 300.0, 1000.0, 3000.0, 10000.0}) {
-    const auto params = hera.with_disk_checkpoint(cd).model_params();
-    const double pd = rc::solve_first_order(rc::PatternKind::kD, params).overhead;
-    const double pdv = rc::solve_first_order(rc::PatternKind::kDV, params).overhead;
-    const double pdm = rc::solve_first_order(rc::PatternKind::kDM, params).overhead;
-    const auto pdmv = rc::solve_first_order(rc::PatternKind::kDMV, params);
+  for (std::size_t p = 0; p < sweep.points.size(); ++p) {
+    const double cd = sweep.points[p].params.costs.disk_checkpoint;
+    const double pd = sweep.cell(p, rc::PatternKind::kD).first_order.overhead;
+    const double pdv = sweep.cell(p, rc::PatternKind::kDV).first_order.overhead;
+    const double pdm = sweep.cell(p, rc::PatternKind::kDM).first_order.overhead;
+    const auto& pdmv = sweep.cell(p, rc::PatternKind::kDMV).first_order;
     table.add_row({ru::format_double(cd, 0),
                    ru::format_double(cd / hera.memory_checkpoint, 1),
                    ru::format_percent(pd), ru::format_percent(pdv),

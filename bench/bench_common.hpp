@@ -1,10 +1,11 @@
 #pragma once
 
 // Shared plumbing for the figure/table regeneration harnesses: every bench
-// resolves a first-order pattern, simulates it, and prints rows matching
-// the paper's tables/figures. Simulation sizes default well below the
-// paper's 1000 x 1000 so the whole suite runs in minutes; pass
-// --runs/--patterns to reproduce at paper scale.
+// resolves its scenario grid through the SweepRunner (first-order closed
+// forms + exact-model optima per cell), simulates the predicted patterns,
+// and prints rows matching the paper's tables/figures. Simulation sizes
+// default well below the paper's 1000 x 1000 so the whole suite runs in
+// minutes; pass --runs/--patterns to reproduce at paper scale.
 
 #include <cstdint>
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include "resilience/core/expected_time.hpp"
 #include "resilience/core/first_order.hpp"
 #include "resilience/core/platform.hpp"
+#include "resilience/core/sweep.hpp"
 #include "resilience/sim/runner.hpp"
 #include "resilience/util/cli.hpp"
 #include "resilience/util/table.hpp"
@@ -21,6 +23,10 @@ namespace resilience::bench {
 struct SimulatedPattern {
   core::FirstOrderSolution solution;
   double exact_overhead = 0.0;
+  /// Exact-model optimum of the same cell (from the sweep table; 0 when
+  /// the pattern was simulated outside a sweep).
+  double numeric_overhead = 0.0;
+  double numeric_work = 0.0;
   sim::MonteCarloResult result;
 };
 
@@ -38,6 +44,29 @@ inline SimulatedPattern simulate_family(core::PatternKind kind,
   config.patterns_per_run = patterns;
   config.seed = seed;
   out.result = sim::run_monte_carlo(pattern, params, config);
+  return out;
+}
+
+/// Simulates the first-order pattern of one sweep cell: the analytic
+/// columns (first-order solution, exact H, numeric optimum) come straight
+/// from the sweep table, only the Monte Carlo part runs here.
+inline SimulatedPattern simulate_cell(const core::SweepTable& table,
+                                      std::size_t point_index,
+                                      core::PatternKind kind, std::uint64_t runs,
+                                      std::uint64_t patterns, std::uint64_t seed) {
+  const core::SweepCell& cell = table.cell(point_index, kind);
+  const core::ModelParams& params = table.points[point_index].params;
+  SimulatedPattern out;
+  out.solution = cell.first_order;
+  out.exact_overhead = cell.exact_at_first_order;
+  out.numeric_overhead = cell.overhead;
+  out.numeric_work = cell.work;
+  sim::MonteCarloConfig config;
+  config.runs = runs;
+  config.patterns_per_run = patterns;
+  config.seed = seed;
+  out.result = sim::run_monte_carlo(
+      cell.first_order.to_pattern(params.costs.recall), params, config);
   return out;
 }
 

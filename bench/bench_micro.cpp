@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +25,7 @@
 #include "resilience/core/first_order.hpp"
 #include "resilience/core/optimizer.hpp"
 #include "resilience/core/platform.hpp"
+#include "resilience/core/sweep.hpp"
 #include "resilience/sim/engine.hpp"
 #include "resilience/sim/runner.hpp"
 
@@ -110,6 +112,107 @@ FamilyResult measure_family(rc::PatternKind kind, std::uint64_t patterns) {
   return result;
 }
 
+// ----------------------------------------------------- sweep throughput --
+
+/// Throughput of the analytical scenario-sweep path: the fig6-style
+/// full-catalog grid (4 platforms x weak-scaling node counts x 6 families)
+/// through the warm-started SweepRunner vs. the pre-sweep baseline (every
+/// point independently cold-optimized with per-probe make_pattern +
+/// evaluate_pattern, selected via OptimizerOptions::legacy_cell_evaluation).
+/// A scenario = one (grid point, pattern family) optimization. The two
+/// paths must land on identical optima — same (n, m), overhead within
+/// 1e-9 — or the run fails; speed without agreement is not a result.
+struct SweepBenchResult {
+  std::size_t cells = 0;
+  double runner_scenarios_per_sec = 0.0;
+  double reference_scenarios_per_sec = 0.0;
+  std::size_t mismatched_cells = 0;
+  double max_overhead_gap = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return reference_scenarios_per_sec > 0.0
+               ? runner_scenarios_per_sec / reference_scenarios_per_sec
+               : 0.0;
+  }
+  [[nodiscard]] bool optima_match() const { return mismatched_cells == 0; }
+};
+
+rc::ScenarioGrid sweep_bench_grid() {
+  rc::ScenarioGrid grid;
+  grid.platforms = rc::all_platforms();
+  grid.node_counts = {256, 1024, 4096, 16384};  // kinds default to all six
+  return grid;
+}
+
+SweepBenchResult run_sweep_bench() {
+  const rc::ScenarioGrid grid = sweep_bench_grid();
+  const auto kinds = grid.resolved_kinds();
+  SweepBenchResult result;
+  result.cells = grid.cell_count();
+
+  // Warm-started sweep engine (best of 2: the first run also validates).
+  rc::SweepTable table;
+  double runner_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    table = rc::SweepRunner().run(grid);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    runner_seconds = std::min(runner_seconds, elapsed.count());
+  }
+  result.runner_scenarios_per_sec =
+      static_cast<double>(result.cells) / runner_seconds;
+
+  // Pre-sweep baseline: independent cold optimizations, legacy evaluation.
+  const auto points = rc::resolve_points(grid);
+  struct ReferenceCell {
+    std::size_t n = 0;
+    std::size_t m = 0;
+    double overhead = 0.0;
+  };
+  std::vector<ReferenceCell> reference(points.size() * kinds.size());
+  rc::OptimizerOptions legacy;
+  legacy.legacy_cell_evaluation = true;
+  double reference_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {  // best of 2, same protocol as the runner
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (std::size_t k = 0; k < kinds.size(); ++k) {
+        const auto solution =
+            rc::optimize_pattern(kinds[k], points[p].params, legacy);
+        reference[p * kinds.size() + k] = {solution.segments_n, solution.chunks_m,
+                                           solution.overhead};
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    reference_seconds = std::min(reference_seconds, elapsed.count());
+  }
+  result.reference_scenarios_per_sec =
+      static_cast<double>(result.cells) / reference_seconds;
+
+  // Cell-by-cell agreement.
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const auto& sweep_cell = table.cells[p * kinds.size() + k];
+      const auto& ref = reference[p * kinds.size() + k];
+      const double gap = std::fabs(sweep_cell.overhead - ref.overhead);
+      result.max_overhead_gap = std::max(result.max_overhead_gap, gap);
+      if (sweep_cell.segments_n != ref.n || sweep_cell.chunks_m != ref.m ||
+          !(gap <= 1e-9 * std::max(1.0, std::fabs(ref.overhead)))) {
+        ++result.mismatched_cells;
+        std::fprintf(stderr,
+                     "bench_micro: sweep cell %zu/%s diverges from the "
+                     "reference: (n=%zu,m=%zu,H=%.12g) vs (n=%zu,m=%zu,H=%.12g)\n",
+                     p, rc::pattern_name(kinds[k]).c_str(), sweep_cell.segments_n,
+                     sweep_cell.chunks_m, sweep_cell.overhead, ref.n, ref.m,
+                     ref.overhead);
+      }
+    }
+  }
+  return result;
+}
+
 int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
   std::vector<FamilyResult> families;
   for (const auto kind : rc::all_pattern_kinds()) {
@@ -144,6 +247,13 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
   // write the JSON for inspection, but fail the run.
   const bool all_measured = measured == families.size();
 
+  const SweepBenchResult sweep = run_sweep_bench();
+  std::printf(
+      "sweep  runner %10.0f scen/s   reference %10.0f scen/s   speedup %5.2fx"
+      "   optima %s\n",
+      sweep.runner_scenarios_per_sec, sweep.reference_scenarios_per_sec,
+      sweep.speedup(), sweep.optima_match() ? "match" : "DIVERGE");
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", out_path.c_str());
@@ -154,6 +264,19 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       << "  \"seed\": " << kJsonSeed << ",\n"
       << "  \"patterns\": " << patterns << ",\n"
       << "  \"geomean_speedup\": " << geomean_speedup << ",\n"
+      << "  \"sweep\": {\n"
+      << "    \"grid\": \"4 platforms x {256,1024,4096,16384} nodes x 6 "
+         "families\",\n"
+      << "    \"cells\": " << sweep.cells << ",\n"
+      << "    \"runner_scenarios_per_sec\": " << sweep.runner_scenarios_per_sec
+      << ",\n"
+      << "    \"reference_scenarios_per_sec\": "
+      << sweep.reference_scenarios_per_sec << ",\n"
+      << "    \"speedup\": " << sweep.speedup() << ",\n"
+      << "    \"optima_match\": " << (sweep.optima_match() ? "true" : "false")
+      << ",\n"
+      << "    \"max_overhead_gap\": " << sweep.max_overhead_gap << "\n"
+      << "  },\n"
       << "  \"families\": [\n";
   for (std::size_t i = 0; i < families.size(); ++i) {
     const auto& f = families[i];
@@ -167,12 +290,20 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
         << (i + 1 < families.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::printf("geomean speedup %.2fx -> %s\n", geomean_speedup, out_path.c_str());
+  std::printf("geomean speedup %.2fx, sweep speedup %.2fx -> %s\n",
+              geomean_speedup, sweep.speedup(), out_path.c_str());
   if (!all_measured) {
     std::fprintf(stderr,
                  "bench_micro: only %zu/%zu families timed; geomean not "
                  "comparable across runs\n",
                  measured, families.size());
+    return 1;
+  }
+  if (!sweep.optima_match()) {
+    std::fprintf(stderr,
+                 "bench_micro: %zu/%zu sweep cells diverge from the reference "
+                 "optimizer; the sweep throughput is not trustworthy\n",
+                 sweep.mismatched_cells, sweep.cells);
     return 1;
   }
   return 0;

@@ -5,7 +5,10 @@
 //   (c) disk/memory checkpoints and verifications per hour,
 //   (d) checkpoint frequencies alone,
 //   (e) disk/memory recoveries per day.
-// Matches the five panels of the paper's Figure 6.
+// Matches the five panels of the paper's Figure 6. The analytic side of
+// the whole catalog (first-order solutions, exact-model evaluations and
+// exact-model optima) comes out of one SweepRunner pass; only the Monte
+// Carlo simulation runs per panel.
 
 #include <iostream>
 #include <vector>
@@ -26,80 +29,86 @@ int main(int argc, char** argv) {
   const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  for (const auto& platform : rc::all_platforms()) {
-    const auto params = platform.model_params();
+  rc::ScenarioGrid grid;
+  grid.platforms = rc::all_platforms();  // kinds default to all six families
+  const auto table = rc::SweepRunner().run(grid);
+
+  for (std::size_t p = 0; p < table.points.size(); ++p) {
+    const auto& platform = table.points[p].platform;
     std::printf("================ Platform %s ================\n\n",
                 platform.name.c_str());
 
     std::vector<rb::SimulatedPattern> results;
-    for (const auto kind : rc::all_pattern_kinds()) {
-      results.push_back(rb::simulate_family(kind, params, runs, patterns, seed));
+    for (const auto kind : table.kinds) {
+      results.push_back(rb::simulate_cell(table, p, kind, runs, patterns, seed));
     }
 
     std::printf("Figure 6a: expected overhead (predicted vs simulated)\n");
     {
-      ru::Table table({"pattern", "predicted H*", "exact-model H", "simulated H",
-                       "95% ci"});
+      ru::Table out({"pattern", "predicted H*", "exact-model H", "numeric-opt H",
+                     "simulated H", "95% ci"});
       for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& r = results[i];
-        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
-                       ru::format_percent(r.solution.overhead),
-                       ru::format_percent(r.exact_overhead),
-                       ru::format_percent(r.result.mean_overhead()),
-                       ru::format_percent(r.result.overhead_ci())});
+        out.add_row({rc::pattern_name(table.kinds[i]),
+                     ru::format_percent(r.solution.overhead),
+                     ru::format_percent(r.exact_overhead),
+                     ru::format_percent(r.numeric_overhead),
+                     ru::format_percent(r.result.mean_overhead()),
+                     ru::format_percent(r.result.overhead_ci())});
       }
-      table.print(std::cout);
+      out.print(std::cout);
       std::cout << '\n';
     }
 
     std::printf("Figure 6b: pattern period W*\n");
     {
-      ru::Table table({"pattern", "period (h)"});
+      ru::Table out({"pattern", "period (h)", "numeric-opt period (h)"});
       for (std::size_t i = 0; i < results.size(); ++i) {
-        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
-                       ru::format_double(results[i].solution.work / 3600.0, 2)});
+        out.add_row({rc::pattern_name(table.kinds[i]),
+                     ru::format_double(results[i].solution.work / 3600.0, 2),
+                     ru::format_double(results[i].numeric_work / 3600.0, 2)});
       }
-      table.print(std::cout);
+      out.print(std::cout);
       std::cout << '\n';
     }
 
     std::printf("Figure 6c: checkpoints and verifications per hour (simulated)\n");
     {
-      ru::Table table({"pattern", "disk ckpts/h", "mem ckpts/h", "verifs/h"});
+      ru::Table out({"pattern", "disk ckpts/h", "mem ckpts/h", "verifs/h"});
       for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& agg = results[i].result.aggregate;
-        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
-                       ru::format_double(agg.disk_checkpoints_per_hour.mean(), 3),
-                       ru::format_double(agg.memory_checkpoints_per_hour.mean(), 3),
-                       ru::format_double(agg.verifications_per_hour.mean(), 2)});
+        out.add_row({rc::pattern_name(table.kinds[i]),
+                     ru::format_double(agg.disk_checkpoints_per_hour.mean(), 3),
+                     ru::format_double(agg.memory_checkpoints_per_hour.mean(), 3),
+                     ru::format_double(agg.verifications_per_hour.mean(), 2)});
       }
-      table.print(std::cout);
+      out.print(std::cout);
       std::cout << '\n';
     }
 
     std::printf("Figure 6d: checkpoint frequencies alone\n");
     {
-      ru::Table table({"pattern", "disk ckpts/h", "mem ckpts/h"});
+      ru::Table out({"pattern", "disk ckpts/h", "mem ckpts/h"});
       for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& agg = results[i].result.aggregate;
-        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
-                       ru::format_double(agg.disk_checkpoints_per_hour.mean(), 3),
-                       ru::format_double(agg.memory_checkpoints_per_hour.mean(), 3)});
+        out.add_row({rc::pattern_name(table.kinds[i]),
+                     ru::format_double(agg.disk_checkpoints_per_hour.mean(), 3),
+                     ru::format_double(agg.memory_checkpoints_per_hour.mean(), 3)});
       }
-      table.print(std::cout);
+      out.print(std::cout);
       std::cout << '\n';
     }
 
     std::printf("Figure 6e: recoveries per day (simulated)\n");
     {
-      ru::Table table({"pattern", "disk recoveries/day", "mem recoveries/day"});
+      ru::Table out({"pattern", "disk recoveries/day", "mem recoveries/day"});
       for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& agg = results[i].result.aggregate;
-        table.add_row({rc::pattern_name(rc::all_pattern_kinds()[i]),
-                       ru::format_double(agg.disk_recoveries_per_day.mean(), 3),
-                       ru::format_double(agg.memory_recoveries_per_day.mean(), 3)});
+        out.add_row({rc::pattern_name(table.kinds[i]),
+                     ru::format_double(agg.disk_recoveries_per_day.mean(), 3),
+                     ru::format_double(agg.memory_recoveries_per_day.mean(), 3)});
       }
-      table.print(std::cout);
+      out.print(std::cout);
       std::cout << '\n';
     }
   }

@@ -5,6 +5,9 @@
 //   (d-g) lambda_f sweep at nominal lambda_s: periods, checkpoint rates,
 //         recovery rates,
 //   (h-k) lambda_s sweep at nominal lambda_f: same series.
+// Every part is a ScenarioGrid over the rate-factor axis; the SweepRunner
+// resolves the analytic side (warm-starting along the factor chain) and
+// the driver only adds the Monte Carlo columns.
 
 #include <iostream>
 #include <vector>
@@ -32,6 +35,33 @@ std::vector<double> sweep_factors(std::size_t points) {
                                 static_cast<double>(points - 1));
   }
   return factors;
+}
+
+/// Sweeps P_D and P_DMV over a list of rate factors on Hera @ kNodes.
+rc::SweepTable run_rate_sweep(std::vector<rc::RateFactors> factors) {
+  rc::ScenarioGrid grid;
+  grid.platforms = {rc::hera()};
+  grid.node_counts = {kNodes};
+  grid.rate_factors = std::move(factors);
+  grid.kinds = {rc::PatternKind::kD, rc::PatternKind::kDMV};
+  rc::SweepOptions options;
+  options.numeric_optimum = false;  // panels use first-order + simulation only
+  return rc::SweepRunner(options).run(grid);
+}
+
+/// Simulates every point of an axis sweep, tagging rows with `factor`.
+std::vector<SweepPoint> simulate_axis(const rc::SweepTable& sweep,
+                                      const std::vector<double>& factors,
+                                      std::uint64_t runs, std::uint64_t patterns,
+                                      std::uint64_t seed) {
+  std::vector<SweepPoint> points;
+  for (std::size_t p = 0; p < sweep.points.size(); ++p) {
+    points.push_back(
+        {factors[sweep.points[p].rate_index],
+         rb::simulate_cell(sweep, p, rc::PatternKind::kD, runs, patterns, seed),
+         rb::simulate_cell(sweep, p, rc::PatternKind::kDMV, runs, patterns, seed)});
+  }
+  return points;
 }
 
 void print_rate_sweep(const char* label, const std::vector<SweepPoint>& points) {
@@ -66,28 +96,33 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::uint64_t>(cli.get_int("runs"));
   const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const auto grid = static_cast<std::size_t>(cli.get_int("grid"));
+  const auto grid_points = static_cast<std::size_t>(cli.get_int("grid"));
 
-  const auto base = rc::hera().scaled_to(kNodes);
   rb::print_header("Figure 9: error-rate impact on Hera @ 100,000 nodes");
 
   // ---- Panels (a-c): overhead surface over the multiplier grid ----
   std::printf("Panels (a-c): simulated overhead over (lambda_f, lambda_s) factors\n");
   {
-    ru::Table table({"lf factor", "ls factor", "PDMV H", "PD H", "PD - PDMV"});
-    for (const double lf : sweep_factors(grid)) {
-      for (const double ls : sweep_factors(grid)) {
-        const auto params = base.with_rate_factors(lf, ls).model_params();
-        const auto pdmv = rb::simulate_family(rc::PatternKind::kDMV, params, runs,
-                                              patterns, seed);
-        const auto pd =
-            rb::simulate_family(rc::PatternKind::kD, params, runs, patterns, seed);
-        table.add_row({ru::format_double(lf, 2), ru::format_double(ls, 2),
-                       ru::format_percent(pdmv.result.mean_overhead()),
-                       ru::format_percent(pd.result.mean_overhead()),
-                       ru::format_percent(pd.result.mean_overhead() -
-                                          pdmv.result.mean_overhead())});
+    std::vector<rc::RateFactors> surface;
+    for (const double lf : sweep_factors(grid_points)) {
+      for (const double ls : sweep_factors(grid_points)) {
+        surface.push_back({lf, ls});
       }
+    }
+    const auto sweep = run_rate_sweep(surface);
+    ru::Table table({"lf factor", "ls factor", "PDMV H", "PD H", "PD - PDMV"});
+    for (std::size_t p = 0; p < sweep.points.size(); ++p) {
+      const auto& factors = surface[sweep.points[p].rate_index];
+      const auto pdmv =
+          rb::simulate_cell(sweep, p, rc::PatternKind::kDMV, runs, patterns, seed);
+      const auto pd =
+          rb::simulate_cell(sweep, p, rc::PatternKind::kD, runs, patterns, seed);
+      table.add_row({ru::format_double(factors.fail_stop, 2),
+                     ru::format_double(factors.silent, 2),
+                     ru::format_percent(pdmv.result.mean_overhead()),
+                     ru::format_percent(pd.result.mean_overhead()),
+                     ru::format_percent(pd.result.mean_overhead() -
+                                        pdmv.result.mean_overhead())});
     }
     table.print(std::cout);
     std::cout << '\n';
@@ -95,28 +130,26 @@ int main(int argc, char** argv) {
 
   // ---- Panels (d-g): lambda_f sweep at nominal lambda_s ----
   {
-    std::vector<SweepPoint> points;
-    for (const double lf : sweep_factors(7)) {
-      const auto params = base.with_rate_factors(lf, 1.0).model_params();
-      points.push_back(
-          {lf,
-           rb::simulate_family(rc::PatternKind::kD, params, runs, patterns, seed),
-           rb::simulate_family(rc::PatternKind::kDMV, params, runs, patterns, seed)});
+    const auto factors = sweep_factors(7);
+    std::vector<rc::RateFactors> axis;
+    for (const double lf : factors) {
+      axis.push_back({lf, 1.0});
     }
-    print_rate_sweep("lambda_f factor", points);
+    const auto sweep = run_rate_sweep(axis);
+    print_rate_sweep("lambda_f factor",
+                     simulate_axis(sweep, factors, runs, patterns, seed));
   }
 
   // ---- Panels (h-k): lambda_s sweep at nominal lambda_f ----
   {
-    std::vector<SweepPoint> points;
-    for (const double ls : sweep_factors(7)) {
-      const auto params = base.with_rate_factors(1.0, ls).model_params();
-      points.push_back(
-          {ls,
-           rb::simulate_family(rc::PatternKind::kD, params, runs, patterns, seed),
-           rb::simulate_family(rc::PatternKind::kDMV, params, runs, patterns, seed)});
+    const auto factors = sweep_factors(7);
+    std::vector<rc::RateFactors> axis;
+    for (const double ls : factors) {
+      axis.push_back({1.0, ls});
     }
-    print_rate_sweep("lambda_s factor", points);
+    const auto sweep = run_rate_sweep(axis);
+    print_rate_sweep("lambda_s factor",
+                     simulate_axis(sweep, factors, runs, patterns, seed));
   }
   return 0;
 }

@@ -29,35 +29,45 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
 
   print_header(title);
 
+  // The analytic path of the whole scaling series is one sweep: each node
+  // count warm-starts from its predecessor's optimum along the chain.
+  core::ScenarioGrid grid;
+  grid.platforms = {core::hera()};
+  for (int log2_nodes = min_log2; log2_nodes <= max_log2; log2_nodes += 2) {
+    grid.node_counts.push_back(std::size_t{1} << log2_nodes);
+  }
+  core::CostOverride disk_cost;
+  disk_cost.disk_checkpoint = disk_checkpoint_cost;
+  grid.cost_overrides = {disk_cost};
+  grid.kinds = {core::PatternKind::kD, core::PatternKind::kDMV};
+  const auto sweep = core::SweepRunner().run(grid);
+
   struct Row {
     int log2_nodes;
     SimulatedPattern pd;
     SimulatedPattern pdmv;
   };
   std::vector<Row> rows;
-  for (int log2_nodes = min_log2; log2_nodes <= max_log2; log2_nodes += 2) {
-    const auto platform = core::hera()
-                              .with_disk_checkpoint(disk_checkpoint_cost)
-                              .scaled_to(std::size_t{1} << log2_nodes);
-    const auto params = platform.model_params();
+  for (std::size_t p = 0; p < sweep.points.size(); ++p) {
     rows.push_back(
-        {log2_nodes,
-         simulate_family(core::PatternKind::kD, params, runs, patterns, seed),
-         simulate_family(core::PatternKind::kDMV, params, runs, patterns, seed)});
+        {min_log2 + 2 * static_cast<int>(sweep.points[p].node_index),
+         simulate_cell(sweep, p, core::PatternKind::kD, runs, patterns, seed),
+         simulate_cell(sweep, p, core::PatternKind::kDMV, runs, patterns, seed)});
   }
 
   std::printf("Panel (a): expected overhead, predicted vs simulated\n");
   {
-    util::Table table({"nodes", "PD predicted", "PD simulated", "PDMV predicted",
-                       "PDMV simulated"});
+    util::Table out({"nodes", "PD predicted", "PD simulated", "PDMV predicted",
+                     "PDMV numeric-opt", "PDMV simulated"});
     for (const auto& row : rows) {
-      table.add_row({"2^" + std::to_string(row.log2_nodes),
-                     util::format_percent(row.pd.solution.overhead),
-                     util::format_percent(row.pd.result.mean_overhead()),
-                     util::format_percent(row.pdmv.solution.overhead),
-                     util::format_percent(row.pdmv.result.mean_overhead())});
+      out.add_row({"2^" + std::to_string(row.log2_nodes),
+                   util::format_percent(row.pd.solution.overhead),
+                   util::format_percent(row.pd.result.mean_overhead()),
+                   util::format_percent(row.pdmv.solution.overhead),
+                   util::format_percent(row.pdmv.numeric_overhead),
+                   util::format_percent(row.pdmv.result.mean_overhead())});
     }
-    table.print(std::cout);
+    out.print(std::cout);
     std::cout << '\n';
   }
 

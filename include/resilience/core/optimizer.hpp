@@ -23,7 +23,7 @@ namespace resilience::core {
 struct OptimizerOptions {
   std::size_t max_segments = 64;       ///< upper bound on n
   std::size_t max_chunks = 256;        ///< upper bound on m
-  double work_lo = 1.0;                ///< seconds; W search bracket
+  double work_lo = 1.0;                ///< seconds; global W search bracket
   double work_hi = 1e7;                ///< seconds
   double work_tolerance = 1e-3;        ///< absolute W tolerance (seconds)
   EvaluationOptions evaluation;        ///< exact-evaluator switches
@@ -31,13 +31,36 @@ struct OptimizerOptions {
   /// trusting the Eq. (18) closed form (slow; used by validation tests).
   bool optimize_chunk_fractions = false;
   /// Half-width of the exhaustive (n, m) window scanned around the
-  /// first-order seed before the descent; the window cells and each
-  /// descent round's neighbor moves are evaluated across the pool.
+  /// seed before the descent; the window cells and each descent round's
+  /// neighbor moves are evaluated across the pool.
   std::size_t scan_radius = 2;
   /// Pool for the (n, m) sweep; nullptr means the global pool. Every cell
   /// evaluation is memoized, and the result is deterministic regardless of
   /// the pool size.
   util::ThreadPool* pool = nullptr;
+  /// Warm-start seed for the (n, m) search (0 = derive from the
+  /// first-order closed forms). Used by SweepRunner to start each grid
+  /// point from its neighbor's optimum. The descent still converges to the
+  /// lattice optimum; the seed only moves the starting window.
+  std::size_t seed_segments_n = 0;
+  std::size_t seed_chunks_m = 0;
+  /// Center of the golden-section W bracket (seconds; 0 = derive from the
+  /// per-cell first-order W*). The bracket is [hint/50, 50*hint] clamped to
+  /// [work_lo, work_hi]; when the minimizer lands on a tightened edge the
+  /// search re-runs on the full bracket, so a bad hint costs time, never
+  /// correctness.
+  double work_hint = 0.0;
+  /// Evaluate (n, m) cells inline instead of fanning out across the pool.
+  /// Required when the optimizer itself runs inside a pool task (the pool
+  /// forbids nested parallel_for); SweepRunner sets this because it already
+  /// parallelizes across grid points.
+  bool serial_cells = false;
+  /// Per-probe make_pattern + evaluate_pattern instead of the bound
+  /// ExactEvaluator — the pre-sweep baseline kept measurable for
+  /// BENCH_micro.json. Note the one-shot evaluate_pattern itself now runs
+  /// on the rebuilt evaluator, so this baseline is already faster than the
+  /// true pre-PR code and the measured sweep speedup is a lower bound.
+  bool legacy_cell_evaluation = false;
 };
 
 /// A numerically optimized pattern and its exact overhead.

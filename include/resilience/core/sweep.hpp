@@ -1,0 +1,147 @@
+#pragma once
+
+// Scenario-sweep engine: the paper's entire experimental section
+// (Figures 6-9, Table 1, the ablations) re-optimizes the resilience
+// pattern across grids of platforms, node counts, error-rate factors and
+// checkpoint-cost overrides. ScenarioGrid describes such a grid as a
+// cartesian product of axes; SweepRunner optimizes every (point, family)
+// cell across the thread pool, warm-starting each point's (n, m, W) search
+// from its grid neighbor's optimum instead of the first-order seed, and
+// returns a deterministic result table regardless of pool size.
+//
+// Scheduling/warm-start policy: points sharing (platform, cost override,
+// family) form a *chain* ordered by (node count, rate factors). Chains are
+// independent tasks fanned out across the pool; within a chain the points
+// run sequentially, each seeded with the previous optimum. Adjacent points
+// along a chain differ by one small parameter step, so their optima are
+// lattice neighbors and the warm descent converges in a couple of cell
+// evaluations — while cross-chain independence keeps the schedule
+// deterministic: every cell is written exactly once, by its own chain.
+
+#include <cstddef>
+#include <vector>
+
+#include "resilience/core/first_order.hpp"
+#include "resilience/core/optimizer.hpp"
+#include "resilience/core/params.hpp"
+#include "resilience/core/pattern.hpp"
+#include "resilience/core/platform.hpp"
+
+namespace resilience::util {
+class ThreadPool;  // the options only carry a pointer; see thread_pool.hpp
+}
+
+namespace resilience::core {
+
+/// Error-rate multipliers applied on top of a platform's nominal rates
+/// (Figure 9 sweeps).
+struct RateFactors {
+  double fail_stop = 1.0;
+  double silent = 1.0;
+};
+
+/// Cost-parameter overrides applied on top of the platform's derived model
+/// parameters. Negative values keep the platform's own value.
+struct CostOverride {
+  double disk_checkpoint = -1.0;     ///< C_D (Figure 8, two-level ablation)
+  double partial_verification = -1.0;  ///< V (recall ablation)
+  double recall = -1.0;              ///< r (recall ablation)
+};
+
+/// Cartesian product of scenario axes. Empty axes mean "platform default"
+/// (a single implicit element), so a grid is never empty once it has a
+/// platform.
+struct ScenarioGrid {
+  std::vector<Platform> platforms;           ///< required, at least one
+  std::vector<std::size_t> node_counts;      ///< weak-scaling axis; empty = own
+  std::vector<RateFactors> rate_factors;     ///< empty = nominal rates
+  std::vector<CostOverride> cost_overrides;  ///< empty = no override
+  std::vector<PatternKind> kinds;            ///< empty = all six families
+
+  [[nodiscard]] std::size_t point_count() const noexcept;
+  [[nodiscard]] std::size_t cell_count() const;
+  [[nodiscard]] std::vector<PatternKind> resolved_kinds() const;
+};
+
+/// One fully resolved grid point (a platform instantiation).
+struct ScenarioPoint {
+  std::size_t platform_index = 0;
+  std::size_t node_index = 0;
+  std::size_t rate_index = 0;
+  std::size_t cost_index = 0;
+  Platform platform;   ///< after node scaling / rate factors / cost override
+  ModelParams params;  ///< resolved model parameters (overrides applied)
+};
+
+/// Resolves the grid's points in deterministic row-major order
+/// (platform-major, then node count, then rate factors, then cost
+/// override). Exposed so drivers can iterate the same ordering the
+/// SweepRunner table uses.
+[[nodiscard]] std::vector<ScenarioPoint> resolve_points(const ScenarioGrid& grid);
+
+/// Result of one (point, family) cell.
+struct SweepCell {
+  std::size_t point_index = 0;
+  PatternKind kind = PatternKind::kD;
+  /// Closed-form first-order solution (Table 1), the paper's prediction.
+  FirstOrderSolution first_order;
+  /// Exact H of the first-order pattern (+inf when the evaluator rejects
+  /// it, e.g. success-probability underflow at extreme scales).
+  double exact_at_first_order = 0.0;
+  /// Numeric optimum over (n, m, W) on the exact model.
+  std::size_t segments_n = 1;
+  std::size_t chunks_m = 1;
+  double work = 0.0;
+  double overhead = 0.0;
+  /// Whether this cell's search was seeded from its chain predecessor.
+  bool warm_started = false;
+};
+
+/// Deterministic result table: cells are stored point-major in the
+/// resolve_points() order, family-minor in resolved_kinds() order.
+struct SweepTable {
+  std::vector<ScenarioPoint> points;
+  std::vector<PatternKind> kinds;
+  std::vector<SweepCell> cells;
+
+  [[nodiscard]] const SweepCell& cell(std::size_t point_index,
+                                      PatternKind kind) const;
+};
+
+/// Sweep execution options.
+struct SweepOptions {
+  OptimizerOptions optimizer;  ///< bounds/tolerances for every cell
+  /// Run the numeric (n, m, W) optimization per cell. Drivers that only
+  /// consume the first-order/exact columns (pure Table 1 sweeps like the
+  /// recall and two-level ablations) can switch this off; the numeric
+  /// fields of each cell then stay at their defaults.
+  bool numeric_optimum = true;
+  /// Seed each point from its chain predecessor's optimum. Warm starts
+  /// shrink the scanned (n, m) window and center the W bracket; the
+  /// descent still converges to the same lattice optimum as a cold start.
+  bool warm_start = true;
+  /// (n, m) scan half-width for warm-started points (cold points use
+  /// optimizer.scan_radius).
+  std::size_t warm_scan_radius = 1;
+  /// Pool the chains fan out across; nullptr means the global pool. The
+  /// result is bit-identical regardless of pool size.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Runs scenario grids. Stateless apart from options; run() may be called
+/// repeatedly and concurrently from the owning thread's perspective.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Optimizes every (point, family) cell of the grid. Throws
+  /// std::invalid_argument on an empty platform axis.
+  [[nodiscard]] SweepTable run(const ScenarioGrid& grid) const;
+
+  [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace resilience::core

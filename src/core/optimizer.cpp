@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -18,9 +19,11 @@ namespace {
 
 constexpr double kGoldenRatio = 0.6180339887498949;  // (sqrt(5) - 1) / 2
 
-/// Exact overhead of the canonical (kind, n, m, W) pattern; +inf where the
+/// Exact overhead of the canonical (kind, n, m, W) pattern through the
+/// one-shot evaluate_pattern path (allocates per call); +inf where the
 /// evaluator rejects the configuration (e.g. success probability underflow
-/// for absurdly long patterns).
+/// for absurdly long patterns). Kept as the legacy baseline the fused
+/// evaluator path is benchmarked against.
 double exact_overhead(PatternKind kind, std::size_t n, std::size_t m, double work,
                       const ModelParams& params, const EvaluationOptions& eval) {
   try {
@@ -51,6 +54,96 @@ struct CellValue {
   double work = 0.0;
 };
 
+/// Golden-section minimization over W with a bracket derived from `center`
+/// (the first-order W* or a warm-start hint): [center/50, 50*center]
+/// clamped to the global [work_lo, work_hi]. H is unimodal in W and the
+/// first-order W* is within a small factor of the true optimum in every
+/// regime we care about, so the tight bracket is normally safe — and when
+/// it is not (a stale warm hint), the minimizer lands on a tightened edge
+/// and the search re-runs on the full bracket, so the result never depends
+/// on the quality of the hint.
+double bracketed_work_minimum(const std::function<double(double)>& objective,
+                              double center, const OptimizerOptions& options) {
+  double lo = options.work_lo;
+  double hi = options.work_hi;
+  if (std::isfinite(center) && center > 0.0) {
+    const double tight_lo = std::max(options.work_lo, center / 50.0);
+    const double tight_hi = std::min(options.work_hi, center * 50.0);
+    if (tight_hi > tight_lo) {
+      lo = tight_lo;
+      hi = tight_hi;
+    }
+  }
+  double work = golden_section_minimize(objective, lo, hi, options.work_tolerance);
+  const double margin = 2.0 * options.work_tolerance;
+  const bool pinned_lo = work - lo <= margin && lo > options.work_lo;
+  const bool pinned_hi = hi - work <= margin && hi < options.work_hi;
+  if (pinned_lo || pinned_hi) {
+    work = golden_section_minimize(objective, options.work_lo, options.work_hi,
+                                   options.work_tolerance);
+  }
+  return work;
+}
+
+/// Fused cell evaluation: bind the (kind, n, m) shape once, then probe W
+/// through the allocation-free ExactEvaluator. One evaluator per worker
+/// thread persists across cells, so re-binding reuses the arena capacity
+/// instead of reallocating per cell.
+CellValue evaluate_cell_fused(PatternKind kind, std::size_t n, std::size_t m,
+                              const ModelParams& params,
+                              const OptimizerOptions& options) {
+  thread_local std::optional<ExactEvaluator> shared_evaluator;
+  if (shared_evaluator.has_value()) {
+    shared_evaluator->reset(params, options.evaluation);
+  } else {
+    shared_evaluator.emplace(params, options.evaluation);
+  }
+  ExactEvaluator& evaluator = *shared_evaluator;
+  evaluator.bind_canonical(kind, n, m);
+  const std::function<double(double)> objective = [&](double w) {
+    try {
+      return evaluator.overhead_at(w);
+    } catch (const std::domain_error&) {
+      return std::numeric_limits<double>::infinity();
+    }
+  };
+  double center = options.work_hint;
+  if (!(center > 0.0)) {
+    center = overhead_coefficients(kind, params, n, m).optimal_work();
+  }
+  CellValue value;
+  value.work = bracketed_work_minimum(objective, center, options);
+  value.overhead = objective(value.work);
+  return value;
+}
+
+/// The pre-sweep W search: per-probe make_pattern + evaluate_pattern, fixed
+/// first-order bracket, no interior fallback. Selected by
+/// OptimizerOptions::legacy_cell_evaluation so BENCH_micro.json can keep
+/// measuring the fused path against it.
+double legacy_optimize_work_length(PatternKind kind, std::size_t segments_n,
+                                   std::size_t chunks_m, const ModelParams& params,
+                                   const OptimizerOptions& options) {
+  const auto coeff = overhead_coefficients(kind, params, segments_n, chunks_m);
+  double lo = options.work_lo;
+  double hi = options.work_hi;
+  const double first_order_work = coeff.optimal_work();
+  if (std::isfinite(first_order_work) && first_order_work > 0.0) {
+    lo = std::max(options.work_lo, first_order_work / 50.0);
+    hi = std::min(options.work_hi, first_order_work * 50.0);
+    if (!(hi > lo)) {
+      lo = options.work_lo;
+      hi = options.work_hi;
+    }
+  }
+  return golden_section_minimize(
+      [&](double w) {
+        return exact_overhead(kind, segments_n, chunks_m, w, params,
+                              options.evaluation);
+      },
+      lo, hi, options.work_tolerance);
+}
+
 /// Memoized, pool-parallel evaluator of (n, m) cells. Cell evaluations are
 /// pure functions of (kind, params, options), so concurrent evaluation and
 /// memoization cannot change any value — only the wall-clock time.
@@ -63,7 +156,9 @@ class CellEvaluator {
         options_(options),
         pool_(options.pool != nullptr ? *options.pool : util::global_pool()) {}
 
-  /// Evaluates every not-yet-memoized cell of `cells` across the pool.
+  /// Evaluates every not-yet-memoized cell of `cells` across the pool (or
+  /// inline under OptimizerOptions::serial_cells, which callers running
+  /// inside pool tasks must set — parallel_for does not nest).
   void prefetch(const std::vector<Cell>& cells) {
     std::vector<Cell> fresh;
     fresh.reserve(cells.size());
@@ -77,6 +172,14 @@ class CellEvaluator {
       }
     }
     if (fresh.empty()) {
+      return;
+    }
+    if (options_.serial_cells) {
+      for (const Cell& cell : fresh) {
+        const CellValue value = evaluate(cell);
+        const std::lock_guard lock(memo_mutex_);
+        memo_.emplace(cell.key(), value);
+      }
       return;
     }
     pool_.parallel_for(
@@ -109,11 +212,15 @@ class CellEvaluator {
 
  private:
   CellValue evaluate(const Cell& cell) const {
-    CellValue value;
-    value.work = optimize_work_length(kind_, cell.n, cell.m, params_, options_);
-    value.overhead =
-        exact_overhead(kind_, cell.n, cell.m, value.work, params_, options_.evaluation);
-    return value;
+    if (options_.legacy_cell_evaluation) {
+      CellValue value;
+      value.work =
+          legacy_optimize_work_length(kind_, cell.n, cell.m, params_, options_);
+      value.overhead = exact_overhead(kind_, cell.n, cell.m, value.work, params_,
+                                      options_.evaluation);
+      return value;
+    }
+    return evaluate_cell_fused(kind_, cell.n, cell.m, params_, options_);
   }
 
   PatternKind kind_;
@@ -159,28 +266,10 @@ double optimize_work_length(PatternKind kind, std::size_t segments_n,
                             std::size_t chunks_m, const ModelParams& params,
                             const OptimizerOptions& options) {
   params.validate();
-  // Bracket around the first-order optimum when available: H is unimodal in
-  // W, and the first-order W* is within a small factor of the true optimum
-  // in every regime we care about, so a [W*/50, 50 W*] bracket is safe and
-  // much tighter than the global one.
-  const auto coeff = overhead_coefficients(kind, params, segments_n, chunks_m);
-  double lo = options.work_lo;
-  double hi = options.work_hi;
-  const double first_order_work = coeff.optimal_work();
-  if (std::isfinite(first_order_work) && first_order_work > 0.0) {
-    lo = std::max(options.work_lo, first_order_work / 50.0);
-    hi = std::min(options.work_hi, first_order_work * 50.0);
-    if (!(hi > lo)) {
-      lo = options.work_lo;
-      hi = options.work_hi;
-    }
+  if (options.legacy_cell_evaluation) {
+    return legacy_optimize_work_length(kind, segments_n, chunks_m, params, options);
   }
-  return golden_section_minimize(
-      [&](double w) {
-        return exact_overhead(kind, segments_n, chunks_m, w, params,
-                              options.evaluation);
-      },
-      lo, hi, options.work_tolerance);
+  return evaluate_cell_fused(kind, segments_n, chunks_m, params, options).work;
 }
 
 NumericSolution optimize_pattern(PatternKind kind, const ModelParams& params,
@@ -190,18 +279,34 @@ NumericSolution optimize_pattern(PatternKind kind, const ModelParams& params,
   const bool search_n = uses_memory_checkpoints(kind);
   const bool search_m = uses_intermediate_verifications(kind);
 
-  // Seed from the first-order solution, exhaustively scan the (n, m) window
-  // around it across the pool, then hill-descend over the integer lattice
-  // from the window's best cell. F(n, m) = oef * orw is jointly convex
-  // (paper, Theorem 4), and the exact objective inherits unimodality in the
+  // Seed the search, exhaustively scan the (n, m) window around the seed
+  // across the pool, then hill-descend over the integer lattice from the
+  // window's best cell. F(n, m) = oef * orw is jointly convex (paper,
+  // Theorem 4), and the exact objective inherits unimodality in the
   // regimes of interest, so neighborhood descent from the scan winner finds
-  // the lattice optimum. Every cell evaluation is memoized, so the descent
-  // never re-runs the inner W search for a cell the scan already covered.
-  const FirstOrderSolution seed = solve_first_order(kind, params);
+  // the lattice optimum — wherever the seed comes from. Every cell
+  // evaluation is memoized, so the descent never re-runs the inner W search
+  // for a cell the scan already covered. The seed is the first-order
+  // closed-form solution unless the caller supplies a warm start (a grid
+  // neighbor's optimum in SweepRunner).
   CellEvaluator evaluator(kind, params, options);
 
-  std::size_t n = search_n ? std::min(seed.segments_n, options.max_segments) : 1;
-  std::size_t m = search_m ? std::min(seed.chunks_m, options.max_chunks) : 1;
+  const bool warm_seeded =
+      options.seed_segments_n > 0 || options.seed_chunks_m > 0;
+  std::size_t n = 1;
+  std::size_t m = 1;
+  if (warm_seeded) {
+    n = search_n ? std::min(std::max<std::size_t>(options.seed_segments_n, 1),
+                            options.max_segments)
+                 : 1;
+    m = search_m ? std::min(std::max<std::size_t>(options.seed_chunks_m, 1),
+                            options.max_chunks)
+                 : 1;
+  } else if (search_n || search_m) {
+    const FirstOrderSolution seed = solve_first_order(kind, params);
+    n = search_n ? std::min(seed.segments_n, options.max_segments) : 1;
+    m = search_m ? std::min(seed.chunks_m, options.max_chunks) : 1;
+  }
 
   const auto dimension_window = [&](std::size_t center, std::size_t bound,
                                     bool searched) {

@@ -1,0 +1,196 @@
+#include "resilience/core/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "resilience/core/expected_time.hpp"
+#include "resilience/util/thread_pool.hpp"
+
+namespace resilience::core {
+
+namespace {
+
+/// Implicit single-element axes: an empty axis means "platform default".
+std::size_t axis_size(std::size_t declared) noexcept {
+  return declared == 0 ? 1 : declared;
+}
+
+}  // namespace
+
+std::size_t ScenarioGrid::point_count() const noexcept {
+  return platforms.size() * axis_size(node_counts.size()) *
+         axis_size(rate_factors.size()) * axis_size(cost_overrides.size());
+}
+
+std::size_t ScenarioGrid::cell_count() const {
+  return point_count() * resolved_kinds().size();
+}
+
+std::vector<PatternKind> ScenarioGrid::resolved_kinds() const {
+  return kinds.empty() ? all_pattern_kinds() : kinds;
+}
+
+std::vector<ScenarioPoint> resolve_points(const ScenarioGrid& grid) {
+  if (grid.platforms.empty()) {
+    throw std::invalid_argument("ScenarioGrid: need at least one platform");
+  }
+  const std::size_t nodes_n = axis_size(grid.node_counts.size());
+  const std::size_t rates_n = axis_size(grid.rate_factors.size());
+  const std::size_t costs_n = axis_size(grid.cost_overrides.size());
+
+  std::vector<ScenarioPoint> points;
+  points.reserve(grid.platforms.size() * nodes_n * rates_n * costs_n);
+  for (std::size_t ip = 0; ip < grid.platforms.size(); ++ip) {
+    for (std::size_t in = 0; in < nodes_n; ++in) {
+      for (std::size_t ir = 0; ir < rates_n; ++ir) {
+        for (std::size_t ic = 0; ic < costs_n; ++ic) {
+          ScenarioPoint point;
+          point.platform_index = ip;
+          point.node_index = in;
+          point.rate_index = ir;
+          point.cost_index = ic;
+          Platform platform = grid.platforms[ip];
+          if (!grid.node_counts.empty()) {
+            platform = platform.scaled_to(grid.node_counts[in]);
+          }
+          if (!grid.rate_factors.empty()) {
+            const RateFactors& f = grid.rate_factors[ir];
+            platform = platform.with_rate_factors(f.fail_stop, f.silent);
+          }
+          if (!grid.cost_overrides.empty()) {
+            const CostOverride& o = grid.cost_overrides[ic];
+            if (o.disk_checkpoint >= 0.0) {
+              platform = platform.with_disk_checkpoint(o.disk_checkpoint);
+            }
+          }
+          point.platform = platform;
+          point.params = platform.model_params();
+          if (!grid.cost_overrides.empty()) {
+            const CostOverride& o = grid.cost_overrides[ic];
+            if (o.partial_verification >= 0.0) {
+              point.params.costs.partial_verification = o.partial_verification;
+            }
+            if (o.recall >= 0.0) {
+              point.params.costs.recall = o.recall;
+            }
+            point.params.validate();
+          }
+          points.push_back(std::move(point));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+const SweepCell& SweepTable::cell(std::size_t point_index, PatternKind kind) const {
+  const auto it = std::find(kinds.begin(), kinds.end(), kind);
+  if (point_index >= points.size() || it == kinds.end()) {
+    throw std::out_of_range("SweepTable::cell: no such point/family");
+  }
+  return cells[point_index * kinds.size() +
+               static_cast<std::size_t>(it - kinds.begin())];
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
+
+SweepTable SweepRunner::run(const ScenarioGrid& grid) const {
+  SweepTable table;
+  table.points = resolve_points(grid);
+  table.kinds = grid.resolved_kinds();  // never empty: defaults to all six
+  table.cells.assign(table.points.size() * table.kinds.size(), SweepCell{});
+
+  const std::size_t nodes_n = axis_size(grid.node_counts.size());
+  const std::size_t rates_n = axis_size(grid.rate_factors.size());
+  const std::size_t costs_n = axis_size(grid.cost_overrides.size());
+  const std::size_t kinds_n = table.kinds.size();
+
+  // Chains: fixed (platform, cost override, family), walking node counts
+  // (outer) then rate factors (inner). Each chain is one pool task writing
+  // only its own cells, so the table is bit-identical at any pool size.
+  const std::size_t chain_count = grid.platforms.size() * costs_n * kinds_n;
+
+  // Inner optimizations must not fan out on the pool the chains already
+  // occupy (parallel_for does not nest).
+  OptimizerOptions cold = options_.optimizer;
+  cold.serial_cells = true;
+  cold.seed_segments_n = 0;
+  cold.seed_chunks_m = 0;
+  cold.work_hint = 0.0;
+
+  util::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : util::global_pool();
+  pool.parallel_for(
+      chain_count,
+      [&](std::size_t chain) {
+        const std::size_t ip = chain / (costs_n * kinds_n);
+        const std::size_t ic = (chain / kinds_n) % costs_n;
+        const std::size_t ik = chain % kinds_n;
+        const PatternKind kind = table.kinds[ik];
+
+        ExactEvaluator evaluator(table.points.front().params,
+                                 cold.evaluation);  // arena reused chain-wide
+
+        bool have_warm = false;
+        std::size_t warm_n = 1;
+        std::size_t warm_m = 1;
+        double warm_work = 0.0;
+        for (std::size_t in = 0; in < nodes_n; ++in) {
+          for (std::size_t ir = 0; ir < rates_n; ++ir) {
+            const std::size_t point_index =
+                ((ip * nodes_n + in) * rates_n + ir) * costs_n + ic;
+            const ScenarioPoint& point = table.points[point_index];
+            SweepCell& cell = table.cells[point_index * kinds_n + ik];
+            cell.point_index = point_index;
+            cell.kind = kind;
+
+            cell.first_order = solve_first_order(kind, point.params);
+            evaluator.reset(point.params, cold.evaluation);
+            try {
+              cell.exact_at_first_order =
+                  evaluator
+                      .evaluate(cell.first_order.to_pattern(
+                          point.params.costs.recall))
+                      .overhead;
+            } catch (const std::domain_error&) {
+              cell.exact_at_first_order =
+                  std::numeric_limits<double>::infinity();
+            }
+
+            if (!options_.numeric_optimum) {
+              continue;  // first-order/exact columns only
+            }
+            OptimizerOptions opts = cold;
+            const bool warm = options_.warm_start && have_warm;
+            if (warm) {
+              opts.seed_segments_n = warm_n;
+              opts.seed_chunks_m = warm_m;
+              opts.work_hint = warm_work;
+              opts.scan_radius = options_.warm_scan_radius;
+            }
+            const NumericSolution solution =
+                optimize_pattern(kind, point.params, opts);
+            cell.segments_n = solution.segments_n;
+            cell.chunks_m = solution.chunks_m;
+            cell.work = solution.pattern.work();
+            cell.overhead = solution.overhead;
+            cell.warm_started = warm;
+
+            if (std::isfinite(solution.overhead)) {
+              warm_n = solution.segments_n;
+              warm_m = solution.chunks_m;
+              warm_work = solution.pattern.work();
+              have_warm = true;
+            } else {
+              have_warm = false;  // degenerate point; reseed the next cold
+            }
+          }
+        }
+      },
+      /*grain=*/1);  // chains are heavyweight; one ticket each
+  return table;
+}
+
+}  // namespace resilience::core

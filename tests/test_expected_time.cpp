@@ -189,6 +189,137 @@ TEST(QuadraticForm, RejectsBadInput) {
   EXPECT_THROW((void)rc::segment_quadratic_form({}, 0.5), std::invalid_argument);
   EXPECT_THROW((void)rc::segment_quadratic_form({1.0}, 0.0), std::invalid_argument);
   EXPECT_THROW((void)rc::segment_quadratic_form({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)rc::segment_quadratic_form_reference({1.0}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(QuadraticForm, RecurrenceMatchesPairLoopReference) {
+  // The O(m) geometric recurrence must pin the old O(m^2) pow pair-loop
+  // exactly, up to accumulation-order rounding (~1 ulp per term summed).
+  // Recall spans the contract's (0, 1] range: 1e-3 exercises the q -> 1
+  // limit that replaces the issue's (invalid) recall 0 corner, which the
+  // RejectsBadInput test above keeps rejecting.
+  for (const double recall : {1e-3, 0.5, 0.8, 1.0}) {
+    for (const std::size_t m : {1u, 2u, 3u, 5u, 17u, 64u, 128u, 256u}) {
+      // Eq. (18) fractions — the vectors the evaluator actually feeds in.
+      const auto beta = rc::optimal_chunk_fractions(m, recall);
+      const double fast = rc::segment_quadratic_form(beta, recall);
+      const double reference = rc::segment_quadratic_form_reference(beta, recall);
+      EXPECT_NEAR(fast, reference,
+                  reference * 1e-13 * static_cast<double>(m) + 1e-15)
+          << "m=" << m << " r=" << recall;
+
+      // And an uneven deterministic vector, so the symmetry of the optimal
+      // fractions cannot mask an index bug.
+      std::vector<double> uneven(m);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        uneven[j] = 1.0 + static_cast<double>((j * 2654435761u) % 97) / 97.0;
+        sum += uneven[j];
+      }
+      for (double& b : uneven) {
+        b /= sum;
+      }
+      const double fast_uneven = rc::segment_quadratic_form(uneven, recall);
+      const double reference_uneven =
+          rc::segment_quadratic_form_reference(uneven, recall);
+      EXPECT_NEAR(fast_uneven, reference_uneven,
+                  reference_uneven * 1e-13 * static_cast<double>(m) + 1e-15)
+          << "m=" << m << " r=" << recall;
+    }
+  }
+}
+
+TEST(ExactEvaluator, BoundProbesMatchOneShotEvaluation) {
+  // bind once, probe many W: every probe must equal the one-shot
+  // evaluate_pattern on the equivalent pattern, bit for bit — the fused
+  // optimizer path depends on this equivalence.
+  const auto params = hera_params();
+  for (const auto kind : rc::all_pattern_kinds()) {
+    rc::ExactEvaluator evaluator(params);
+    evaluator.bind_canonical(kind, 3, 4);
+    for (const double work : {2000.0, 10000.0, 30000.0, 90000.0}) {
+      const auto& probed = evaluator.evaluate_at(work);
+      const auto one_shot = rc::evaluate_pattern(
+          rc::make_pattern(kind, work, 3, 4, params.costs.recall), params);
+      EXPECT_EQ(probed.total, one_shot.total) << rc::pattern_name(kind);
+      EXPECT_EQ(probed.overhead, one_shot.overhead) << rc::pattern_name(kind);
+      ASSERT_EQ(probed.segment_expectations.size(),
+                one_shot.segment_expectations.size());
+      for (std::size_t i = 0; i < probed.segment_expectations.size(); ++i) {
+        EXPECT_EQ(probed.segment_expectations[i],
+                  one_shot.segment_expectations[i])
+            << rc::pattern_name(kind) << " segment " << i;
+      }
+    }
+  }
+}
+
+TEST(ExactEvaluator, ScratchReuseAcrossShapesAndParams) {
+  // One evaluator re-bound across different shapes and re-targeted across
+  // different parameter sets must agree with fresh evaluators — the arenas
+  // may not leak state between evaluations.
+  const auto hera = hera_params();
+  const auto atlas = rc::atlas().model_params();
+  rc::ExactEvaluator evaluator(hera);
+  const auto big = rc::make_pattern(rc::PatternKind::kDMV, 40000.0, 5, 6, 0.8);
+  const auto small = rc::make_pattern(rc::PatternKind::kDV, 9000.0, 1, 2, 0.8);
+  const double big_total = evaluator.evaluate(big).total;
+  const double small_total = evaluator.evaluate(small).total;
+  EXPECT_EQ(big_total, rc::evaluate_pattern(big, hera).total);
+  EXPECT_EQ(small_total, rc::evaluate_pattern(small, hera).total);
+  // Re-binding the big shape after the small one must restore the result.
+  EXPECT_EQ(evaluator.evaluate(big).total, big_total);
+
+  evaluator.reset(atlas);
+  EXPECT_EQ(evaluator.evaluate(big).total, rc::evaluate_pattern(big, atlas).total);
+}
+
+TEST(ExactEvaluator, FaultyOperationOptionsMatchOneShot) {
+  const auto params = hera_params();
+  rc::EvaluationOptions options;
+  options.faulty_operations = true;
+  options.faulty_verifications = true;
+  const auto pattern = rc::make_pattern(rc::PatternKind::kDMV, 25000.0, 3, 3, 0.8);
+  rc::ExactEvaluator evaluator(params, options);
+  EXPECT_EQ(evaluator.evaluate(pattern).total,
+            rc::evaluate_pattern(pattern, params, options).total);
+}
+
+TEST(OperationCosts, MatchIndependentEquation30To33Oracle) {
+  // expected_operation_costs now delegates to the evaluator's hoisted
+  // invariants, so pin it against the Eqs. (30)-(33) chain written out
+  // independently: E = pf (T_lost + extra + E) + (1 - pf) raw.
+  const auto params = hera_params();
+  const double lf = params.rates.fail_stop;
+  const auto oracle = [&](double raw, double extra) {
+    const double pf = rc::error_probability(lf, raw);
+    const double lost = rc::expected_time_lost(lf, raw);
+    return (pf * (lost + extra) + (1.0 - pf) * raw) / (1.0 - pf);
+  };
+  for (const double reexecution : {0.0, 1e3, 3e4}) {
+    const auto costs = rc::expected_operation_costs(params, reexecution);
+    const double rd = oracle(params.costs.disk_recovery, 0.0);
+    const double rm = oracle(params.costs.memory_recovery, rd + reexecution);
+    const double cm = oracle(params.costs.memory_checkpoint, rd + rm + reexecution);
+    const double cd =
+        oracle(params.costs.disk_checkpoint, rd + rm + reexecution + cm);
+    EXPECT_DOUBLE_EQ(costs.disk_recovery, rd) << "T_rec " << reexecution;
+    EXPECT_DOUBLE_EQ(costs.memory_recovery, rm) << "T_rec " << reexecution;
+    EXPECT_DOUBLE_EQ(costs.memory_checkpoint, cm) << "T_rec " << reexecution;
+    EXPECT_DOUBLE_EQ(costs.disk_checkpoint, cd) << "T_rec " << reexecution;
+  }
+}
+
+TEST(ExactEvaluator, RequiresBoundShape) {
+  rc::ExactEvaluator evaluator(hera_params());
+  EXPECT_THROW((void)evaluator.evaluate_at(1000.0), std::logic_error);
+  evaluator.bind_canonical(rc::PatternKind::kD, 1, 1);
+  EXPECT_NO_THROW((void)evaluator.evaluate_at(1000.0));
+  // reset() invalidates the binding along with the parameters.
+  evaluator.reset(hera_params());
+  EXPECT_THROW((void)evaluator.evaluate_at(1000.0), std::logic_error);
+  EXPECT_THROW((void)evaluator.evaluate_at(0.0), std::logic_error);
 }
 
 TEST(OperationCosts, ReduceToRawCostsWithoutFailStop) {

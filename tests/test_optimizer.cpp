@@ -167,3 +167,102 @@ TEST(OptimizePattern, ChunkFractionRefinementDoesNotRegress) {
   const auto plain = rc::optimize_pattern(rc::PatternKind::kDMV, params);
   EXPECT_LE(refined.overhead, plain.overhead * (1.0 + 1e-9));
 }
+
+TEST(OptimizeWorkLength, BadWorkHintFallsBackToFullBracket) {
+  // The bracket derives from the hint; when the true optimum lies outside
+  // the derived bracket, the minimizer pins to an edge and the search must
+  // re-run on the full [work_lo, work_hi] bracket instead of returning the
+  // edge.
+  const auto params = rc::hera().model_params();
+  const double nominal =
+      rc::optimize_work_length(rc::PatternKind::kDMV, 3, 3, params);
+  for (const double hint : {nominal * 1e3, nominal / 1e3}) {
+    rc::OptimizerOptions options;
+    options.work_hint = hint;
+    const double hinted =
+        rc::optimize_work_length(rc::PatternKind::kDMV, 3, 3, params, options);
+    EXPECT_NEAR(hinted, nominal, 1.0) << "hint " << hint;
+  }
+}
+
+TEST(OptimizeWorkLength, GoodWorkHintAgreesWithDerivedBracket) {
+  const auto params = rc::hera().model_params();
+  const double nominal = rc::optimize_work_length(rc::PatternKind::kDV, 1, 3, params);
+  rc::OptimizerOptions options;
+  options.work_hint = nominal;  // ideal warm start
+  const double hinted =
+      rc::optimize_work_length(rc::PatternKind::kDV, 1, 3, params, options);
+  EXPECT_NEAR(hinted, nominal, 1.0);
+}
+
+TEST(OptimizeWorkLength, MinimizerIsInteriorToTheDerivedBracket) {
+  // The exact optimum must sit strictly inside the [W*/50, 50 W*] bracket
+  // derived from the first-order W* — the satellite contract behind the
+  // tightened search.
+  const auto params = rc::hera().model_params();
+  for (const auto kind : rc::all_pattern_kinds()) {
+    const auto solution = rc::solve_first_order(kind, params);
+    const double numeric = rc::optimize_work_length(kind, solution.segments_n,
+                                                    solution.chunks_m, params);
+    EXPECT_GT(numeric, solution.work / 50.0 * 1.01) << rc::pattern_name(kind);
+    EXPECT_LT(numeric, solution.work * 50.0 * 0.99) << rc::pattern_name(kind);
+  }
+}
+
+TEST(OptimizePattern, WarmSeedMatchesColdSolution) {
+  // Seeding the lattice search from a previous optimum (as SweepRunner
+  // does along a chain) must land on the same solution as the first-order
+  // cold start.
+  const auto params = rc::hera().scaled_to(4096).model_params();
+  for (const auto kind : {rc::PatternKind::kDMV, rc::PatternKind::kDM}) {
+    const auto cold = rc::optimize_pattern(kind, params);
+    rc::OptimizerOptions warm;
+    warm.seed_segments_n = cold.segments_n;
+    warm.seed_chunks_m = cold.chunks_m;
+    warm.work_hint = cold.pattern.work();
+    warm.scan_radius = 1;
+    const auto seeded = rc::optimize_pattern(kind, params, warm);
+    EXPECT_EQ(seeded.segments_n, cold.segments_n) << rc::pattern_name(kind);
+    EXPECT_EQ(seeded.chunks_m, cold.chunks_m) << rc::pattern_name(kind);
+    EXPECT_NEAR(seeded.overhead, cold.overhead, std::fabs(cold.overhead) * 1e-9)
+        << rc::pattern_name(kind);
+
+    // Even a deliberately misplaced seed descends to the same optimum.
+    rc::OptimizerOptions misplaced;
+    misplaced.seed_segments_n = cold.segments_n + 6;
+    misplaced.seed_chunks_m = cold.chunks_m > 3 ? cold.chunks_m - 3 : 1;
+    misplaced.scan_radius = 1;
+    const auto recovered = rc::optimize_pattern(kind, params, misplaced);
+    EXPECT_EQ(recovered.segments_n, cold.segments_n) << rc::pattern_name(kind);
+    EXPECT_EQ(recovered.chunks_m, cold.chunks_m) << rc::pattern_name(kind);
+  }
+}
+
+TEST(OptimizePattern, LegacyCellEvaluationAgreesWithFusedPath) {
+  // The pre-sweep baseline (per-probe make_pattern + evaluate_pattern) and
+  // the bound-evaluator path must find the same optimum — the agreement
+  // BENCH_micro.json's sweep section asserts at full-grid scale.
+  const auto params = rc::atlas().model_params();
+  for (const auto kind : {rc::PatternKind::kD, rc::PatternKind::kDMV}) {
+    rc::OptimizerOptions legacy;
+    legacy.legacy_cell_evaluation = true;
+    const auto a = rc::optimize_pattern(kind, params, legacy);
+    const auto b = rc::optimize_pattern(kind, params);
+    EXPECT_EQ(a.segments_n, b.segments_n) << rc::pattern_name(kind);
+    EXPECT_EQ(a.chunks_m, b.chunks_m) << rc::pattern_name(kind);
+    EXPECT_NEAR(a.overhead, b.overhead, std::fabs(b.overhead) * 1e-9)
+        << rc::pattern_name(kind);
+  }
+}
+
+TEST(OptimizePattern, SerialCellsMatchPooledCells) {
+  const auto params = rc::hera().model_params();
+  rc::OptimizerOptions serial;
+  serial.serial_cells = true;
+  const auto a = rc::optimize_pattern(rc::PatternKind::kDMV, params, serial);
+  const auto b = rc::optimize_pattern(rc::PatternKind::kDMV, params);
+  EXPECT_EQ(a.segments_n, b.segments_n);
+  EXPECT_EQ(a.chunks_m, b.chunks_m);
+  EXPECT_DOUBLE_EQ(a.overhead, b.overhead);
+  EXPECT_DOUBLE_EQ(a.pattern.work(), b.pattern.work());
+}

@@ -1,0 +1,173 @@
+// Tests for the scenario-sweep engine: grid resolution, deterministic
+// (bit-identical) tables across pool sizes, warm-started optima matching
+// cold-started optima cell by cell, and override axes reaching the model
+// parameters.
+
+#include "resilience/core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resilience/core/expected_time.hpp"
+#include "resilience/util/thread_pool.hpp"
+
+namespace rc = resilience::core;
+namespace ru = resilience::util;
+
+namespace {
+
+/// The grid the determinism tests run: 3 platforms x 4 node counts.
+rc::ScenarioGrid small_grid() {
+  rc::ScenarioGrid grid;
+  grid.platforms = {rc::hera(), rc::atlas(), rc::coastal()};
+  grid.node_counts = {256, 1024, 4096, 16384};
+  grid.kinds = {rc::PatternKind::kD, rc::PatternKind::kDMV};
+  return grid;
+}
+
+}  // namespace
+
+TEST(ScenarioGrid, CountsTreatEmptyAxesAsSingletons) {
+  rc::ScenarioGrid grid;
+  grid.platforms = {rc::hera()};
+  EXPECT_EQ(grid.point_count(), 1u);
+  EXPECT_EQ(grid.cell_count(), rc::all_pattern_kinds().size());
+
+  grid.node_counts = {256, 512};
+  grid.rate_factors = {{1.0, 1.0}, {2.0, 1.0}, {1.0, 2.0}};
+  grid.kinds = {rc::PatternKind::kDMV};
+  EXPECT_EQ(grid.point_count(), 6u);
+  EXPECT_EQ(grid.cell_count(), 6u);
+}
+
+TEST(ScenarioGrid, ResolvePointsAppliesAllAxes) {
+  rc::ScenarioGrid grid;
+  grid.platforms = {rc::hera()};
+  grid.node_counts = {1024};
+  grid.rate_factors = {{2.0, 0.5}};
+  rc::CostOverride override_cd;
+  override_cd.disk_checkpoint = 90.0;
+  override_cd.partial_verification = 0.5;
+  override_cd.recall = 0.6;
+  grid.cost_overrides = {override_cd};
+
+  const auto points = rc::resolve_points(grid);
+  ASSERT_EQ(points.size(), 1u);
+  const auto& point = points.front();
+  EXPECT_EQ(point.platform.nodes, 1024u);
+  const auto nominal = rc::hera().scaled_to(1024);
+  EXPECT_NEAR(point.params.rates.fail_stop, nominal.rates.fail_stop * 2.0, 1e-15);
+  EXPECT_NEAR(point.params.rates.silent, nominal.rates.silent * 0.5, 1e-15);
+  EXPECT_DOUBLE_EQ(point.params.costs.disk_checkpoint, 90.0);
+  EXPECT_DOUBLE_EQ(point.params.costs.partial_verification, 0.5);
+  EXPECT_DOUBLE_EQ(point.params.costs.recall, 0.6);
+}
+
+TEST(ScenarioGrid, RejectsEmptyPlatformAxis) {
+  rc::ScenarioGrid grid;
+  EXPECT_THROW((void)rc::resolve_points(grid), std::invalid_argument);
+  EXPECT_THROW((void)rc::SweepRunner().run(grid), std::invalid_argument);
+}
+
+TEST(SweepTable, CellLookupMatchesRowMajorLayout) {
+  const auto table = rc::SweepRunner().run(small_grid());
+  ASSERT_EQ(table.points.size(), 12u);
+  ASSERT_EQ(table.cells.size(), 24u);
+  for (std::size_t p = 0; p < table.points.size(); ++p) {
+    for (const auto kind : table.kinds) {
+      const auto& cell = table.cell(p, kind);
+      EXPECT_EQ(cell.point_index, p);
+      EXPECT_EQ(cell.kind, kind);
+    }
+  }
+  EXPECT_THROW((void)table.cell(0, rc::PatternKind::kDV), std::out_of_range);
+  EXPECT_THROW((void)table.cell(table.points.size(), table.kinds.front()),
+               std::out_of_range);
+}
+
+TEST(SweepRunner, BitIdenticalAcrossPoolSizes) {
+  const auto grid = small_grid();
+  ru::ThreadPool one(1);
+  ru::ThreadPool two(2);
+  ru::ThreadPool eight(8);
+
+  rc::SweepOptions options;
+  options.pool = &one;
+  const auto a = rc::SweepRunner(options).run(grid);
+  options.pool = &two;
+  const auto b = rc::SweepRunner(options).run(grid);
+  options.pool = &eight;
+  const auto c = rc::SweepRunner(options).run(grid);
+
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  ASSERT_EQ(a.cells.size(), c.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    for (const auto* other : {&b.cells[i], &c.cells[i]}) {
+      EXPECT_EQ(a.cells[i].segments_n, other->segments_n) << "cell " << i;
+      EXPECT_EQ(a.cells[i].chunks_m, other->chunks_m) << "cell " << i;
+      // Bit-identical, not just close: the schedule must not leak into
+      // the numerics.
+      EXPECT_EQ(a.cells[i].work, other->work) << "cell " << i;
+      EXPECT_EQ(a.cells[i].overhead, other->overhead) << "cell " << i;
+      EXPECT_EQ(a.cells[i].exact_at_first_order, other->exact_at_first_order)
+          << "cell " << i;
+      EXPECT_EQ(a.cells[i].first_order.work, other->first_order.work)
+          << "cell " << i;
+    }
+  }
+}
+
+TEST(SweepRunner, WarmStartMatchesColdStartCellByCell) {
+  const auto grid = small_grid();
+  rc::SweepOptions warm;  // default: warm_start = true
+  rc::SweepOptions cold;
+  cold.warm_start = false;
+  const auto a = rc::SweepRunner(warm).run(grid);
+  const auto b = rc::SweepRunner(cold).run(grid);
+
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  bool any_warm = false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    any_warm = any_warm || a.cells[i].warm_started;
+    EXPECT_FALSE(b.cells[i].warm_started);
+    EXPECT_EQ(a.cells[i].segments_n, b.cells[i].segments_n) << "cell " << i;
+    EXPECT_EQ(a.cells[i].chunks_m, b.cells[i].chunks_m) << "cell " << i;
+    // Same lattice optimum; W from differently centered brackets agrees to
+    // within the golden-section tolerance, overhead to far better.
+    EXPECT_NEAR(a.cells[i].work, b.cells[i].work, 1.0) << "cell " << i;
+    EXPECT_NEAR(a.cells[i].overhead, b.cells[i].overhead,
+                std::fabs(b.cells[i].overhead) * 1e-9)
+        << "cell " << i;
+  }
+  EXPECT_TRUE(any_warm);  // chains longer than one point must warm-start
+}
+
+TEST(SweepRunner, CellsAgreeWithDirectOptimization) {
+  rc::ScenarioGrid grid;
+  grid.platforms = {rc::hera()};
+  grid.node_counts = {1024, 4096};
+  grid.kinds = {rc::PatternKind::kDMV};
+  const auto table = rc::SweepRunner().run(grid);
+
+  for (std::size_t p = 0; p < table.points.size(); ++p) {
+    const auto& cell = table.cell(p, rc::PatternKind::kDMV);
+    const auto direct =
+        rc::optimize_pattern(rc::PatternKind::kDMV, table.points[p].params);
+    EXPECT_EQ(cell.segments_n, direct.segments_n) << "point " << p;
+    EXPECT_EQ(cell.chunks_m, direct.chunks_m) << "point " << p;
+    EXPECT_NEAR(cell.overhead, direct.overhead,
+                std::fabs(direct.overhead) * 1e-9)
+        << "point " << p;
+    // And the table's first-order columns match the closed forms.
+    const auto first_order =
+        rc::solve_first_order(rc::PatternKind::kDMV, table.points[p].params);
+    EXPECT_DOUBLE_EQ(cell.first_order.overhead, first_order.overhead);
+    const double exact =
+        rc::evaluate_pattern(
+            first_order.to_pattern(table.points[p].params.costs.recall),
+            table.points[p].params)
+            .overhead;
+    EXPECT_DOUBLE_EQ(cell.exact_at_first_order, exact);
+  }
+}
