@@ -32,9 +32,11 @@ rc::PatternSpec with_chunks(const rc::FirstOrderSolution& solution,
 int main(int argc, char** argv) {
   ru::CliParser cli("ablation_chunk_sizes", "value of the Eq. (18) chunk profile");
   rb::add_simulation_flags(cli, "64", "100");
+  rb::add_common_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
+  rb::CommonOptions common = rb::parse_common_flags(cli);
   const auto runs = static_cast<std::uint64_t>(cli.get_int("runs"));
   const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -77,20 +79,24 @@ int main(int argc, char** argv) {
     config.runs = runs;
     config.patterns_per_run = patterns;
     config.seed = seed;
+    config.pool = common.pool();
     const auto simulated = rs::run_monte_carlo(pattern, params, config);
     table.add_row({candidate.label, ru::format_percent(exact),
                    ru::format_percent(simulated.mean_overhead()),
                    ru::format_percent(simulated.overhead_ci())});
   }
-  table.print(std::cout);
+  rb::Reporter report("ablation_chunk_sizes");
+  report.add("Chunk-size profiles for P_DMV on Hera", table);
 
   // Irregular-shape search (Theorem 4 check).
   const auto irregular = rc::optimize_irregular(params);
-  std::printf("\nFree-shape search over heterogeneous segments: H = %s with m_i = [",
-              ru::format_percent(irregular.overhead).c_str());
+  std::string shape = "[";
   for (std::size_t i = 0; i < irregular.chunk_counts.size(); ++i) {
-    std::printf("%s%zu", i ? "," : "", irregular.chunk_counts[i]);
+    shape += (i ? "," : "") + std::to_string(irregular.chunk_counts[i]);
   }
-  std::printf("] — homogeneous, as Theorem 4 predicts.\n");
-  return 0;
+  shape += "]";
+  report.note("Free-shape search over heterogeneous segments: H = " +
+              ru::format_percent(irregular.overhead) + " with m_i = " + shape +
+              " — homogeneous, as Theorem 4 predicts.");
+  return report.write(common.json_out) ? 0 : 1;
 }

@@ -16,9 +16,12 @@ namespace ru = resilience::util;
 int main(int argc, char** argv) {
   ru::CliParser cli("ablation_recall", "value of partial verifications vs recall/cost");
   cli.add_flag("platform", "hera", "catalog platform");
+  resilience::bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
+  resilience::bench::CommonOptions common =
+      resilience::bench::parse_common_flags(cli);
   const auto platform = rc::platform_by_name(cli.get_string("platform"));
   const auto base = platform.model_params();
 
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
   grid.kinds = {rc::PatternKind::kDMV};
   rc::SweepOptions options;
   options.numeric_optimum = false;  // the table reads first-order columns only
+  options.pool = common.pool();
   const auto sweep = rc::SweepRunner(options).run(grid);
 
   ru::Table table({"V / V*", "recall r", "accuracy/cost ratio", "ratio(V*)",
@@ -71,10 +75,11 @@ int main(int argc, char** argv) {
                    ru::format_percent(overhead - baseline),
                    overhead < baseline - 1e-9 ? "yes" : "no"});
   }
-  table.print(std::cout);
-  std::printf(
-      "\nObservation: partial verifications help exactly when their\n"
+  resilience::bench::Reporter report("ablation_recall");
+  report.add("Partial-verification recall/cost sweep", table);
+  report.note(
+      "Observation: partial verifications help exactly when their\n"
       "accuracy-to-cost ratio exceeds the guaranteed verification's ratio,\n"
-      "validating the Section 2.3 selection rule.\n");
-  return 0;
+      "validating the Section 2.3 selection rule.");
+  return report.write(common.json_out) ? 0 : 1;
 }

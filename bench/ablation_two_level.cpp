@@ -12,9 +12,12 @@ namespace ru = resilience::util;
 
 int main(int argc, char** argv) {
   ru::CliParser cli("ablation_two_level", "single- vs two-level checkpointing");
+  resilience::bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
+  resilience::bench::CommonOptions common =
+      resilience::bench::parse_common_flags(cli);
 
   resilience::bench::print_header(
       "Ablation: single-level vs two-level patterns as C_D/C_M varies");
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
                 rc::PatternKind::kDMV};
   rc::SweepOptions options;
   options.numeric_optimum = false;  // the table reads first-order columns only
+  options.pool = common.pool();
   const auto sweep = rc::SweepRunner(options).run(grid);
 
   ru::Table table({"C_D (s)", "C_D/C_M", "PD H*", "PDV H*", "PDM H*", "PDMV H*",
@@ -48,10 +52,11 @@ int main(int argc, char** argv) {
                    ru::format_percent(pdv - pdmv.overhead),
                    std::to_string(pdmv.segments_n)});
   }
-  table.print(std::cout);
-  std::printf(
-      "\nObservation: the two-level advantage (PDV - PDMV) grows with the\n"
+  resilience::bench::Reporter report("ablation_two_level");
+  report.add("Single- vs two-level overhead as C_D/C_M varies", table);
+  report.note(
+      "Observation: the two-level advantage (PDV - PDMV) grows with the\n"
       "disk/memory cost ratio, and the optimal number of memory checkpoints\n"
-      "n* grows roughly like sqrt(C_D/C_M) as Table 1 predicts.\n");
-  return 0;
+      "n* grows roughly like sqrt(C_D/C_M) as Table 1 predicts.");
+  return report.write(common.json_out) ? 0 : 1;
 }

@@ -22,11 +22,12 @@ namespace {
 double simulate_under(const rc::PatternSpec& pattern, const rc::ModelParams& params,
                       rs::FailureDistribution distribution, double shape,
                       std::uint64_t runs, std::uint64_t patterns,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, ru::ThreadPool* pool) {
   rs::MonteCarloConfig config;
   config.runs = runs;
   config.patterns_per_run = patterns;
   config.seed = seed;
+  config.pool = pool;
   if (distribution != rs::FailureDistribution::kExponential) {
     config.model_factory = [&params, distribution, shape](ru::Xoshiro256 rng) {
       return rs::make_renewal_model(params.rates, distribution, shape, rng);
@@ -41,10 +42,12 @@ int main(int argc, char** argv) {
   ru::CliParser cli("ablation_weibull",
                     "pattern robustness under non-exponential failures");
   rb::add_simulation_flags(cli, "48", "80");
+  rb::add_common_flags(cli);
   cli.add_flag("platform", "hera", "catalog platform");
   if (!cli.parse(argc, argv)) {
     return 1;
   }
+  rb::CommonOptions common = rb::parse_common_flags(cli);
   const auto runs = static_cast<std::uint64_t>(cli.get_int("runs"));
   const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -68,32 +71,33 @@ int main(int argc, char** argv) {
       {"lognormal sigma=1.0", rs::FailureDistribution::kLogNormal, 1.0},
   };
 
+  rb::Reporter report("ablation_weibull");
   for (const auto kind : {rc::PatternKind::kD, rc::PatternKind::kDMV}) {
     const auto solution = rc::solve_first_order(kind, params);
     const auto pattern = solution.to_pattern(params.costs.recall);
-    std::printf("Pattern %s (W* = %.2f h, first-order H* = %s)\n",
-                rc::pattern_name(kind).c_str(), solution.work / 3600.0,
-                ru::format_percent(solution.overhead).c_str());
     ru::Table table({"failure law", "simulated H", "vs exponential"});
     double exponential_overhead = 0.0;
     for (const auto& scenario : scenarios) {
       const double overhead =
           simulate_under(pattern, params, scenario.distribution, scenario.shape,
-                         runs, patterns, seed);
+                         runs, patterns, seed, common.pool());
       if (scenario.distribution == rs::FailureDistribution::kExponential) {
         exponential_overhead = overhead;
       }
       table.add_row({scenario.label, ru::format_percent(overhead),
                      ru::format_percent(overhead - exponential_overhead)});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add("Pattern " + rc::pattern_name(kind) + " (W* = " +
+                   ru::format_double(solution.work / 3600.0, 2) +
+                   " h, first-order H* = " +
+                   ru::format_percent(solution.overhead) + ")",
+               table);
   }
-  std::printf(
+  report.note(
       "Observation: burstiness (k < 1) costs the exponential-optimal\n"
       "patterns one to a few percentage points of overhead at equal MTBF,\n"
       "wear-out laws (k > 1) slightly help, and PDMV stays strictly better\n"
       "than PD under every law — the Poisson assumption affects the\n"
-      "absolute overhead but not the pattern ranking.\n");
-  return 0;
+      "absolute overhead but not the pattern ranking.");
+  return report.write(common.json_out) ? 0 : 1;
 }

@@ -9,6 +9,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "resilience/core/expected_time.hpp"
 #include "resilience/core/first_order.hpp"
@@ -16,7 +22,9 @@
 #include "resilience/core/sweep.hpp"
 #include "resilience/sim/runner.hpp"
 #include "resilience/util/cli.hpp"
+#include "resilience/util/json.hpp"
 #include "resilience/util/table.hpp"
+#include "resilience/util/thread_pool.hpp"
 
 namespace resilience::bench {
 
@@ -34,7 +42,8 @@ struct SimulatedPattern {
 inline SimulatedPattern simulate_family(core::PatternKind kind,
                                         const core::ModelParams& params,
                                         std::uint64_t runs, std::uint64_t patterns,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed,
+                                        util::ThreadPool* pool = nullptr) {
   SimulatedPattern out;
   out.solution = core::solve_first_order(kind, params);
   const auto pattern = out.solution.to_pattern(params.costs.recall);
@@ -43,6 +52,7 @@ inline SimulatedPattern simulate_family(core::PatternKind kind,
   config.runs = runs;
   config.patterns_per_run = patterns;
   config.seed = seed;
+  config.pool = pool;
   out.result = sim::run_monte_carlo(pattern, params, config);
   return out;
 }
@@ -53,7 +63,8 @@ inline SimulatedPattern simulate_family(core::PatternKind kind,
 inline SimulatedPattern simulate_cell(const core::SweepTable& table,
                                       std::size_t point_index,
                                       core::PatternKind kind, std::uint64_t runs,
-                                      std::uint64_t patterns, std::uint64_t seed) {
+                                      std::uint64_t patterns, std::uint64_t seed,
+                                      util::ThreadPool* pool = nullptr) {
   const core::SweepCell& cell = table.cell(point_index, kind);
   const core::ModelParams& params = table.points[point_index].params;
   SimulatedPattern out;
@@ -65,6 +76,7 @@ inline SimulatedPattern simulate_cell(const core::SweepTable& table,
   config.runs = runs;
   config.patterns_per_run = patterns;
   config.seed = seed;
+  config.pool = pool;
   out.result = sim::run_monte_carlo(
       cell.first_order.to_pattern(params.costs.recall), params, config);
   return out;
@@ -78,10 +90,119 @@ inline void add_simulation_flags(util::CliParser& cli, const char* default_runs,
   cli.add_flag("seed", "1", "base RNG seed");
 }
 
+/// Shared --threads/--json-out pair: every fig/ablation driver registers
+/// and interprets these two identically (add right after construction so
+/// --help lists them uniformly).
+inline void add_common_flags(util::CliParser& cli) {
+  cli.add_flag("threads", "0",
+               "worker threads for the analytic sweep (0 = shared global pool)");
+  cli.add_flag("json-out", "",
+               "write every printed table to this file as one JSON document");
+}
+
+/// Parsed values of the common flag pair. The dedicated pool is created
+/// lazily on first pool() call, so drivers with no parallel work never
+/// spawn idle threads; the returned pointer plugs straight into
+/// SweepOptions::pool / MonteCarloConfig::pool (nullptr = global pool).
+struct CommonOptions {
+  std::size_t threads = 0;
+  std::string json_out;
+
+  [[nodiscard]] util::ThreadPool* pool() {
+    if (threads > 0 && owned_pool_ == nullptr) {
+      owned_pool_ = std::make_unique<util::ThreadPool>(threads);
+    }
+    return owned_pool_.get();
+  }
+
+ private:
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+};
+
+inline CommonOptions parse_common_flags(const util::CliParser& cli) {
+  const std::int64_t threads = cli.get_int("threads");
+  if (threads < 0) {
+    // A negative count would wrap to SIZE_MAX workers; fail loudly.
+    std::fprintf(stderr, "error: --threads must be >= 0 (got %lld)\n",
+                 static_cast<long long>(threads));
+    std::exit(2);
+  }
+  CommonOptions common;
+  common.threads = static_cast<std::size_t>(threads);
+  common.json_out = cli.get_string("json-out");
+  return common;
+}
+
 inline void print_header(const char* title) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("==============================================================\n\n");
 }
+
+/// The one output path for figure/ablation tables: add() prints the titled
+/// table to stdout exactly as the drivers always did AND records it, so
+/// write() can emit the whole run as one JSON document
+/// ({"harness": ..., "sections": [{"title", "headers", "rows"}], "notes"})
+/// through the same util/json serializer the sweep service speaks.
+class Reporter {
+ public:
+  explicit Reporter(std::string harness) : harness_(std::move(harness)) {}
+
+  /// Prints "title" + the table (the classic console format) and records
+  /// the section for JSON emission.
+  void add(const std::string& title, const util::Table& table) {
+    std::printf("%s\n", title.c_str());
+    table.print(std::cout);
+    std::cout << '\n';
+    util::JsonValue section = util::JsonValue::object();
+    section.set("title", title);
+    const util::JsonValue table_json = table.to_json();
+    for (const auto& [key, value] : table_json.as_object()) {
+      section.set(key, value);
+    }
+    sections_.push_back(std::move(section));
+  }
+
+  /// Prints free-form commentary and records it under "notes".
+  void note(const std::string& text) {
+    std::printf("%s\n", text.c_str());
+    notes_.push_back(text);
+  }
+
+  /// Writes the collected document when --json-out was given; returns
+  /// false (after a diagnostic) when the file cannot be written.
+  bool write(const std::string& path) const {
+    if (path.empty()) {
+      return true;
+    }
+    util::JsonValue doc = util::JsonValue::object();
+    doc.set("harness", harness_);
+    util::JsonValue sections = util::JsonValue::array();
+    for (const auto& section : sections_) {
+      sections.push_back(section);
+    }
+    doc.set("sections", std::move(sections));
+    if (!notes_.empty()) {
+      util::JsonValue notes = util::JsonValue::array();
+      for (const auto& text : notes_) {
+        notes.push_back(text);
+      }
+      doc.set("notes", std::move(notes));
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", harness_.c_str(),
+                   path.c_str());
+      return false;
+    }
+    out << doc.dump(2) << '\n';
+    return true;
+  }
+
+ private:
+  std::string harness_;
+  std::vector<util::JsonValue> sections_;
+  std::vector<std::string> notes_;
+};
 
 }  // namespace resilience::bench

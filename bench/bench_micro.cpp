@@ -26,6 +26,7 @@
 #include "resilience/core/optimizer.hpp"
 #include "resilience/core/platform.hpp"
 #include "resilience/core/sweep.hpp"
+#include "resilience/service/sweep_service.hpp"
 #include "resilience/sim/engine.hpp"
 #include "resilience/sim/runner.hpp"
 
@@ -213,6 +214,75 @@ SweepBenchResult run_sweep_bench() {
   return result;
 }
 
+// --------------------------------------------------- service throughput --
+
+/// Repeated-batch throughput through the SweepService on the fig6-style
+/// 96-cell catalog grid: one cold submit (computes + fills the cache),
+/// then repeated submits of the identical batch served from the warm
+/// cache. A warm hit must be bit-identical to a fresh recompute — reuse
+/// speed without identity is not a result — and the acceptance bar is a
+/// >= 20x warm-over-cold scenario throughput.
+struct ServiceBenchResult {
+  std::size_t cells = 0;
+  std::size_t warm_batches = 0;
+  double cold_scenarios_per_sec = 0.0;
+  double warm_scenarios_per_sec = 0.0;
+  bool hit_bit_identical = false;
+
+  [[nodiscard]] double warm_speedup() const {
+    return cold_scenarios_per_sec > 0.0
+               ? warm_scenarios_per_sec / cold_scenarios_per_sec
+               : 0.0;
+  }
+};
+
+ServiceBenchResult run_service_bench() {
+  namespace rv = resilience::service;
+  const rc::ScenarioGrid grid = sweep_bench_grid();  // the 96-cell catalog
+  ServiceBenchResult result;
+  result.cells = grid.cell_count();
+
+  rv::SweepService service;
+  double cold_seconds = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const rv::SubmitResult cold = service.submit(grid);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    cold_seconds = elapsed.count();
+    if (cold.cache_hit) {
+      std::fprintf(stderr, "bench_micro: cold submit unexpectedly hit cache\n");
+      return result;
+    }
+  }
+  result.cold_scenarios_per_sec =
+      static_cast<double>(result.cells) / cold_seconds;
+
+  // Identity first: a cached hit against a from-scratch recompute.
+  const rv::SubmitResult hit = service.submit(grid);
+  const rc::SweepTable recomputed = rc::SweepRunner().run(grid);
+  result.hit_bit_identical =
+      hit.cache_hit && rc::tables_bit_identical(*hit.table, recomputed);
+
+  // Warm throughput: enough repeats to out-resolve the clock.
+  result.warm_batches = 200;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < result.warm_batches; ++i) {
+    const rv::SubmitResult warm = service.submit(grid);
+    if (!warm.cache_hit) {
+      std::fprintf(stderr, "bench_micro: warm submit missed the cache\n");
+      return result;
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const double per_batch =
+      std::max(elapsed.count() / static_cast<double>(result.warm_batches),
+               1e-9);  // clock floor: avoid infinite rates on coarse clocks
+  result.warm_scenarios_per_sec = static_cast<double>(result.cells) / per_batch;
+  return result;
+}
+
 int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
   std::vector<FamilyResult> families;
   for (const auto kind : rc::all_pattern_kinds()) {
@@ -254,6 +324,14 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       sweep.runner_scenarios_per_sec, sweep.reference_scenarios_per_sec,
       sweep.speedup(), sweep.optima_match() ? "match" : "DIVERGE");
 
+  const ServiceBenchResult service = run_service_bench();
+  std::printf(
+      "service cold %9.0f scen/s   warm-cache %12.0f scen/s   speedup "
+      "%7.0fx   hit %s\n",
+      service.cold_scenarios_per_sec, service.warm_scenarios_per_sec,
+      service.warm_speedup(),
+      service.hit_bit_identical ? "bit-identical" : "DIVERGES");
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", out_path.c_str());
@@ -277,6 +355,19 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       << ",\n"
       << "    \"max_overhead_gap\": " << sweep.max_overhead_gap << "\n"
       << "  },\n"
+      << "  \"service\": {\n"
+      << "    \"grid\": \"96-cell catalog (4 platforms x "
+         "{256,1024,4096,16384} nodes x 6 families)\",\n"
+      << "    \"cells\": " << service.cells << ",\n"
+      << "    \"warm_batches\": " << service.warm_batches << ",\n"
+      << "    \"cold_scenarios_per_sec\": " << service.cold_scenarios_per_sec
+      << ",\n"
+      << "    \"warm_scenarios_per_sec\": " << service.warm_scenarios_per_sec
+      << ",\n"
+      << "    \"warm_speedup\": " << service.warm_speedup() << ",\n"
+      << "    \"hit_bit_identical\": "
+      << (service.hit_bit_identical ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"families\": [\n";
   for (std::size_t i = 0; i < families.size(); ++i) {
     const auto& f = families[i];
@@ -290,8 +381,10 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
         << (i + 1 < families.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::printf("geomean speedup %.2fx, sweep speedup %.2fx -> %s\n",
-              geomean_speedup, sweep.speedup(), out_path.c_str());
+  std::printf(
+      "geomean speedup %.2fx, sweep speedup %.2fx, warm-cache %.0fx -> %s\n",
+      geomean_speedup, sweep.speedup(), service.warm_speedup(),
+      out_path.c_str());
   if (!all_measured) {
     std::fprintf(stderr,
                  "bench_micro: only %zu/%zu families timed; geomean not "
@@ -304,6 +397,19 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
                  "bench_micro: %zu/%zu sweep cells diverge from the reference "
                  "optimizer; the sweep throughput is not trustworthy\n",
                  sweep.mismatched_cells, sweep.cells);
+    return 1;
+  }
+  if (!service.hit_bit_identical) {
+    std::fprintf(stderr,
+                 "bench_micro: a warm cache hit is not bit-identical to a "
+                 "fresh recompute; the service throughput is not trustworthy\n");
+    return 1;
+  }
+  if (service.warm_speedup() < 20.0) {
+    std::fprintf(stderr,
+                 "bench_micro: warm-cache throughput is only %.1fx the cold "
+                 "sweep path (acceptance bar: 20x)\n",
+                 service.warm_speedup());
     return 1;
   }
   return 0;

@@ -8,9 +8,9 @@
 // Matches the five panels of the paper's Figure 6. The analytic side of
 // the whole catalog (first-order solutions, exact-model evaluations and
 // exact-model optima) comes out of one SweepRunner pass; only the Monte
-// Carlo simulation runs per panel.
+// Carlo simulation runs per panel. All tables route through the shared
+// Reporter (--json-out emits them as one JSON document).
 
-#include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -22,17 +22,22 @@ namespace ru = resilience::util;
 int main(int argc, char** argv) {
   ru::CliParser cli("fig6_platforms", "regenerate Figure 6 (a-e)");
   rb::add_simulation_flags(cli, "100", "150");
+  rb::add_common_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
   const auto runs = static_cast<std::uint64_t>(cli.get_int("runs"));
   const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  rb::CommonOptions common = rb::parse_common_flags(cli);
 
   rc::ScenarioGrid grid;
   grid.platforms = rc::all_platforms();  // kinds default to all six families
-  const auto table = rc::SweepRunner().run(grid);
+  rc::SweepOptions sweep_options;
+  sweep_options.pool = common.pool();
+  const auto table = rc::SweepRunner(sweep_options).run(grid);
 
+  rb::Reporter report("fig6_platforms");
   for (std::size_t p = 0; p < table.points.size(); ++p) {
     const auto& platform = table.points[p].platform;
     std::printf("================ Platform %s ================\n\n",
@@ -40,10 +45,11 @@ int main(int argc, char** argv) {
 
     std::vector<rb::SimulatedPattern> results;
     for (const auto kind : table.kinds) {
-      results.push_back(rb::simulate_cell(table, p, kind, runs, patterns, seed));
+      results.push_back(
+          rb::simulate_cell(table, p, kind, runs, patterns, seed, common.pool()));
     }
+    const std::string prefix = platform.name + " - Figure 6";
 
-    std::printf("Figure 6a: expected overhead (predicted vs simulated)\n");
     {
       ru::Table out({"pattern", "predicted H*", "exact-model H", "numeric-opt H",
                      "simulated H", "95% ci"});
@@ -56,11 +62,9 @@ int main(int argc, char** argv) {
                      ru::format_percent(r.result.mean_overhead()),
                      ru::format_percent(r.result.overhead_ci())});
       }
-      out.print(std::cout);
-      std::cout << '\n';
+      report.add(prefix + "a: expected overhead (predicted vs simulated)", out);
     }
 
-    std::printf("Figure 6b: pattern period W*\n");
     {
       ru::Table out({"pattern", "period (h)", "numeric-opt period (h)"});
       for (std::size_t i = 0; i < results.size(); ++i) {
@@ -68,11 +72,9 @@ int main(int argc, char** argv) {
                      ru::format_double(results[i].solution.work / 3600.0, 2),
                      ru::format_double(results[i].numeric_work / 3600.0, 2)});
       }
-      out.print(std::cout);
-      std::cout << '\n';
+      report.add(prefix + "b: pattern period W*", out);
     }
 
-    std::printf("Figure 6c: checkpoints and verifications per hour (simulated)\n");
     {
       ru::Table out({"pattern", "disk ckpts/h", "mem ckpts/h", "verifs/h"});
       for (std::size_t i = 0; i < results.size(); ++i) {
@@ -82,11 +84,11 @@ int main(int argc, char** argv) {
                      ru::format_double(agg.memory_checkpoints_per_hour.mean(), 3),
                      ru::format_double(agg.verifications_per_hour.mean(), 2)});
       }
-      out.print(std::cout);
-      std::cout << '\n';
+      report.add(prefix +
+                     "c: checkpoints and verifications per hour (simulated)",
+                 out);
     }
 
-    std::printf("Figure 6d: checkpoint frequencies alone\n");
     {
       ru::Table out({"pattern", "disk ckpts/h", "mem ckpts/h"});
       for (std::size_t i = 0; i < results.size(); ++i) {
@@ -95,11 +97,9 @@ int main(int argc, char** argv) {
                      ru::format_double(agg.disk_checkpoints_per_hour.mean(), 3),
                      ru::format_double(agg.memory_checkpoints_per_hour.mean(), 3)});
       }
-      out.print(std::cout);
-      std::cout << '\n';
+      report.add(prefix + "d: checkpoint frequencies alone", out);
     }
 
-    std::printf("Figure 6e: recoveries per day (simulated)\n");
     {
       ru::Table out({"pattern", "disk recoveries/day", "mem recoveries/day"});
       for (std::size_t i = 0; i < results.size(); ++i) {
@@ -108,9 +108,8 @@ int main(int argc, char** argv) {
                      ru::format_double(agg.disk_recoveries_per_day.mean(), 3),
                      ru::format_double(agg.memory_recoveries_per_day.mean(), 3)});
       }
-      out.print(std::cout);
-      std::cout << '\n';
+      report.add(prefix + "e: recoveries per day (simulated)", out);
     }
   }
-  return 0;
+  return report.write(common.json_out) ? 0 : 1;
 }

@@ -38,7 +38,8 @@ std::vector<double> sweep_factors(std::size_t points) {
 }
 
 /// Sweeps P_D and P_DMV over a list of rate factors on Hera @ kNodes.
-rc::SweepTable run_rate_sweep(std::vector<rc::RateFactors> factors) {
+rc::SweepTable run_rate_sweep(std::vector<rc::RateFactors> factors,
+                              resilience::util::ThreadPool* pool) {
   rc::ScenarioGrid grid;
   grid.platforms = {rc::hera()};
   grid.node_counts = {kNodes};
@@ -46,6 +47,7 @@ rc::SweepTable run_rate_sweep(std::vector<rc::RateFactors> factors) {
   grid.kinds = {rc::PatternKind::kD, rc::PatternKind::kDMV};
   rc::SweepOptions options;
   options.numeric_optimum = false;  // panels use first-order + simulation only
+  options.pool = pool;
   return rc::SweepRunner(options).run(grid);
 }
 
@@ -53,19 +55,22 @@ rc::SweepTable run_rate_sweep(std::vector<rc::RateFactors> factors) {
 std::vector<SweepPoint> simulate_axis(const rc::SweepTable& sweep,
                                       const std::vector<double>& factors,
                                       std::uint64_t runs, std::uint64_t patterns,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      resilience::util::ThreadPool* pool) {
   std::vector<SweepPoint> points;
   for (std::size_t p = 0; p < sweep.points.size(); ++p) {
     points.push_back(
         {factors[sweep.points[p].rate_index],
-         rb::simulate_cell(sweep, p, rc::PatternKind::kD, runs, patterns, seed),
-         rb::simulate_cell(sweep, p, rc::PatternKind::kDMV, runs, patterns, seed)});
+         rb::simulate_cell(sweep, p, rc::PatternKind::kD, runs, patterns, seed,
+                           pool),
+         rb::simulate_cell(sweep, p, rc::PatternKind::kDMV, runs, patterns,
+                           seed, pool)});
   }
   return points;
 }
 
-void print_rate_sweep(const char* label, const std::vector<SweepPoint>& points) {
-  std::printf("Periods and rates along the %s sweep\n", label);
+void report_rate_sweep(rb::Reporter& report, const char* label,
+                       const std::vector<SweepPoint>& points) {
   ru::Table table({label, "PD W* (min)", "PDMV W* (min)", "PDMV disk ckpts/h",
                    "PDMV mem ckpts/h", "PDMV verifs/h", "disk rec/day",
                    "mem rec/day"});
@@ -80,8 +85,8 @@ void print_rate_sweep(const char* label, const std::vector<SweepPoint>& points) 
                    ru::format_double(agg.disk_recoveries_per_day.mean(), 1),
                    ru::format_double(agg.memory_recoveries_per_day.mean(), 1)});
   }
-  table.print(std::cout);
-  std::cout << '\n';
+  report.add(std::string("Periods and rates along the ") + label + " sweep",
+             table);
 }
 
 }  // namespace
@@ -89,6 +94,7 @@ void print_rate_sweep(const char* label, const std::vector<SweepPoint>& points) 
 int main(int argc, char** argv) {
   ru::CliParser cli("fig9_error_rates", "regenerate Figure 9 (a-k)");
   rb::add_simulation_flags(cli, "24", "40");
+  rb::add_common_flags(cli);
   cli.add_flag("grid", "5", "points per axis for the (a-c) surface");
   if (!cli.parse(argc, argv)) {
     return 1;
@@ -97,11 +103,12 @@ int main(int argc, char** argv) {
   const auto patterns = static_cast<std::uint64_t>(cli.get_int("patterns"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto grid_points = static_cast<std::size_t>(cli.get_int("grid"));
+  rb::CommonOptions common = rb::parse_common_flags(cli);
 
   rb::print_header("Figure 9: error-rate impact on Hera @ 100,000 nodes");
+  rb::Reporter report("fig9_error_rates");
 
   // ---- Panels (a-c): overhead surface over the multiplier grid ----
-  std::printf("Panels (a-c): simulated overhead over (lambda_f, lambda_s) factors\n");
   {
     std::vector<rc::RateFactors> surface;
     for (const double lf : sweep_factors(grid_points)) {
@@ -109,14 +116,14 @@ int main(int argc, char** argv) {
         surface.push_back({lf, ls});
       }
     }
-    const auto sweep = run_rate_sweep(surface);
+    const auto sweep = run_rate_sweep(surface, common.pool());
     ru::Table table({"lf factor", "ls factor", "PDMV H", "PD H", "PD - PDMV"});
     for (std::size_t p = 0; p < sweep.points.size(); ++p) {
       const auto& factors = surface[sweep.points[p].rate_index];
-      const auto pdmv =
-          rb::simulate_cell(sweep, p, rc::PatternKind::kDMV, runs, patterns, seed);
-      const auto pd =
-          rb::simulate_cell(sweep, p, rc::PatternKind::kD, runs, patterns, seed);
+      const auto pdmv = rb::simulate_cell(sweep, p, rc::PatternKind::kDMV,
+                                          runs, patterns, seed, common.pool());
+      const auto pd = rb::simulate_cell(sweep, p, rc::PatternKind::kD, runs,
+                                        patterns, seed, common.pool());
       table.add_row({ru::format_double(factors.fail_stop, 2),
                      ru::format_double(factors.silent, 2),
                      ru::format_percent(pdmv.result.mean_overhead()),
@@ -124,8 +131,9 @@ int main(int argc, char** argv) {
                      ru::format_percent(pd.result.mean_overhead() -
                                         pdmv.result.mean_overhead())});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add(
+        "Panels (a-c): simulated overhead over (lambda_f, lambda_s) factors",
+        table);
   }
 
   // ---- Panels (d-g): lambda_f sweep at nominal lambda_s ----
@@ -135,9 +143,10 @@ int main(int argc, char** argv) {
     for (const double lf : factors) {
       axis.push_back({lf, 1.0});
     }
-    const auto sweep = run_rate_sweep(axis);
-    print_rate_sweep("lambda_f factor",
-                     simulate_axis(sweep, factors, runs, patterns, seed));
+    const auto sweep = run_rate_sweep(axis, common.pool());
+    report_rate_sweep(report, "lambda_f factor",
+                      simulate_axis(sweep, factors, runs, patterns, seed,
+                                    common.pool()));
   }
 
   // ---- Panels (h-k): lambda_s sweep at nominal lambda_f ----
@@ -147,9 +156,10 @@ int main(int argc, char** argv) {
     for (const double ls : factors) {
       axis.push_back({1.0, ls});
     }
-    const auto sweep = run_rate_sweep(axis);
-    print_rate_sweep("lambda_s factor",
-                     simulate_axis(sweep, factors, runs, patterns, seed));
+    const auto sweep = run_rate_sweep(axis, common.pool());
+    report_rate_sweep(report, "lambda_s factor",
+                      simulate_axis(sweep, factors, runs, patterns, seed,
+                                    common.pool()));
   }
-  return 0;
+  return report.write(common.json_out) ? 0 : 1;
 }

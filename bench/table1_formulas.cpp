@@ -3,8 +3,6 @@
 // and first-order overhead H* — the paper's summary of results
 // instantiated on real numbers.
 
-#include <iostream>
-
 #include "bench_common.hpp"
 
 namespace rc = resilience::core;
@@ -12,10 +10,14 @@ namespace ru = resilience::util;
 
 int main(int argc, char** argv) {
   ru::CliParser cli("table1_formulas", "regenerate Tables 1 and 2");
+  resilience::bench::add_common_flags(cli);
   if (!cli.parse(argc, argv)) {
     return 1;
   }
+  resilience::bench::CommonOptions common =
+      resilience::bench::parse_common_flags(cli);
 
+  resilience::bench::Reporter report("table1_formulas");
   resilience::bench::print_header("Table 2: platform parameters (Moody et al. / SCR)");
   {
     ru::Table table({"platform", "#nodes", "lambda_f", "lambda_s", "C_D", "C_M"});
@@ -26,15 +28,13 @@ int main(int argc, char** argv) {
                      ru::format_double(platform.disk_checkpoint, 0) + "s",
                      ru::format_double(platform.memory_checkpoint, 1) + "s"});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add("Table 2: platform parameters", table);
   }
 
   resilience::bench::print_header(
       "Table 1 instantiated: optimal pattern parameters per platform");
   for (const auto& platform : rc::all_platforms()) {
     const auto params = platform.model_params();
-    std::printf("--- %s ---\n", platform.name.c_str());
     ru::Table table({"pattern", "W* (s)", "W* (h)", "n*", "m*",
                      "H* (first-order)", "H (exact model)"});
     for (const auto kind : rc::all_pattern_kinds()) {
@@ -49,8 +49,7 @@ int main(int argc, char** argv) {
                      ru::format_percent(solution.overhead),
                      ru::format_percent(exact)});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add("Table 1 instantiated: " + platform.name, table);
   }
-  return 0;
+  return report.write(common.json_out) ? 0 : 1;
 }

@@ -2,10 +2,10 @@
 
 // Shared driver for the Figure 7 / Figure 8 weak-scaling experiments: scale
 // the Hera platform from 2^8 to 2^max nodes (per-node MTBF fixed), simulate
-// P_D and P_DMV at each size, and print the six panels' series.
+// P_D and P_DMV at each size, and print the six panels' series through the
+// shared Reporter (--json-out emits them as one JSON document).
 
 #include <cstdint>
-#include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -16,6 +16,7 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
                             int argc, char** argv) {
   util::CliParser cli("weak_scaling", title);
   add_simulation_flags(cli, "40", "60");
+  add_common_flags(cli);
   cli.add_flag("min-log2", "8", "smallest node count (log2)");
   cli.add_flag("max-log2", "18", "largest node count (log2)");
   if (!cli.parse(argc, argv)) {
@@ -26,6 +27,7 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const int min_log2 = static_cast<int>(cli.get_int("min-log2"));
   const int max_log2 = static_cast<int>(cli.get_int("max-log2"));
+  CommonOptions common = parse_common_flags(cli);
 
   print_header(title);
 
@@ -40,7 +42,9 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
   disk_cost.disk_checkpoint = disk_checkpoint_cost;
   grid.cost_overrides = {disk_cost};
   grid.kinds = {core::PatternKind::kD, core::PatternKind::kDMV};
-  const auto sweep = core::SweepRunner().run(grid);
+  core::SweepOptions sweep_options;
+  sweep_options.pool = common.pool();
+  const auto sweep = core::SweepRunner(sweep_options).run(grid);
 
   struct Row {
     int log2_nodes;
@@ -51,11 +55,13 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
   for (std::size_t p = 0; p < sweep.points.size(); ++p) {
     rows.push_back(
         {min_log2 + 2 * static_cast<int>(sweep.points[p].node_index),
-         simulate_cell(sweep, p, core::PatternKind::kD, runs, patterns, seed),
-         simulate_cell(sweep, p, core::PatternKind::kDMV, runs, patterns, seed)});
+         simulate_cell(sweep, p, core::PatternKind::kD, runs, patterns, seed,
+                       common.pool()),
+         simulate_cell(sweep, p, core::PatternKind::kDMV, runs, patterns, seed,
+                       common.pool())});
   }
 
-  std::printf("Panel (a): expected overhead, predicted vs simulated\n");
+  Reporter report("weak_scaling");
   {
     util::Table out({"nodes", "PD predicted", "PD simulated", "PDMV predicted",
                      "PDMV numeric-opt", "PDMV simulated"});
@@ -67,11 +73,9 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
                    util::format_percent(row.pdmv.numeric_overhead),
                    util::format_percent(row.pdmv.result.mean_overhead())});
     }
-    out.print(std::cout);
-    std::cout << '\n';
+    report.add("Panel (a): expected overhead, predicted vs simulated", out);
   }
 
-  std::printf("Panel (b): pattern period W* (hours)\n");
   {
     util::Table table({"nodes", "PD period", "PDMV period"});
     for (const auto& row : rows) {
@@ -79,11 +83,9 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
                      util::format_double(row.pd.solution.work / 3600.0, 3),
                      util::format_double(row.pdmv.solution.work / 3600.0, 3)});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add("Panel (b): pattern period W* (hours)", table);
   }
 
-  std::printf("Panel (c): recoveries per pattern (PDMV, simulated)\n");
   {
     util::Table table({"nodes", "disk recoveries/pattern", "mem recoveries/pattern"});
     for (const auto& row : rows) {
@@ -92,11 +94,9 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
                      util::format_double(agg.disk_recoveries_per_pattern.mean(), 4),
                      util::format_double(agg.memory_recoveries_per_pattern.mean(), 4)});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add("Panel (c): recoveries per pattern (PDMV, simulated)", table);
   }
 
-  std::printf("Panel (d): checkpoints / verifications per hour (PDMV)\n");
   {
     util::Table table({"nodes", "disk ckpts/h", "mem ckpts/h", "verifs/h"});
     for (const auto& row : rows) {
@@ -106,11 +106,9 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
                      util::format_double(agg.memory_checkpoints_per_hour.mean(), 2),
                      util::format_double(agg.verifications_per_hour.mean(), 1)});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add("Panel (d): checkpoints / verifications per hour (PDMV)", table);
   }
 
-  std::printf("Panel (e): checkpoint rates, PD vs PDMV\n");
   {
     util::Table table({"nodes", "PDMV disk ckpts/h", "PDMV mem ckpts/h",
                        "PD disk ckpts/h"});
@@ -124,11 +122,9 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
            util::format_double(
                row.pd.result.aggregate.disk_checkpoints_per_hour.mean(), 3)});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add("Panel (e): checkpoint rates, PD vs PDMV", table);
   }
 
-  std::printf("Panel (f): recoveries per day (PDMV)\n");
   {
     util::Table table({"nodes", "disk recoveries/day", "mem recoveries/day"});
     for (const auto& row : rows) {
@@ -137,10 +133,9 @@ inline int run_weak_scaling(const char* title, double disk_checkpoint_cost,
                      util::format_double(agg.disk_recoveries_per_day.mean(), 2),
                      util::format_double(agg.memory_recoveries_per_day.mean(), 2)});
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    report.add("Panel (f): recoveries per day (PDMV)", table);
   }
-  return 0;
+  return report.write(common.json_out) ? 0 : 1;
 }
 
 }  // namespace resilience::bench

@@ -1,0 +1,224 @@
+// The serving front-end as a CLI: JSONL scenario requests on stdin (or a
+// file) in, streamed JSONL cells out. Each input line is one
+// ScenarioRequest (see docs/serving.md for the schema); each output line
+// is one of
+//   {"type":"cell", ...}   a finished (point, family) cell, streamed as
+//                          its chain resolves it (live order on a cache
+//                          miss, table order on a hit),
+//   {"type":"done", ...}   the request summary: signature, cell count,
+//                          cache-hit/join flags,
+//   {"type":"error", ...}  a validation failure naming the offending
+//                          field; the server moves on to the next line.
+//
+// Identical grids are served from the LRU table cache / deduped when
+// concurrently in flight, and --check turns the run into a self-verifying
+// smoke test: every streamed cell set is compared against a fresh batch
+// recompute, bit for bit (the CI service smoke runs this on a 2-platform
+// request file).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "resilience/service/scenario_request.hpp"
+#include "resilience/service/serialize.hpp"
+#include "resilience/service/sweep_service.hpp"
+#include "resilience/util/cli.hpp"
+#include "resilience/util/thread_pool.hpp"
+
+namespace rc = resilience::core;
+namespace rs = resilience::service;
+namespace ru = resilience::util;
+
+namespace {
+
+/// Streams cell lines (unless quiet) and keeps copies for --check.
+class ServerSink final : public rc::CellSink {
+ public:
+  ServerSink(std::ostream& os, std::string request_id,
+             rc::GridSignature signature, bool stream, bool collect)
+      : os_(os),
+        request_id_(std::move(request_id)),
+        signature_(signature),
+        stream_(stream),
+        collect_(collect) {}
+
+  void on_cell(const rc::SweepCell& cell) override {
+    if (stream_) {
+      os_ << rs::cell_line(request_id_, signature_, cell) << '\n';
+    }
+    if (collect_) {
+      collected_.push_back(cell);
+    }
+  }
+
+  [[nodiscard]] const std::vector<rc::SweepCell>& collected() const noexcept {
+    return collected_;
+  }
+
+ private:
+  std::ostream& os_;
+  std::string request_id_;
+  rc::GridSignature signature_;
+  bool stream_;
+  bool collect_;
+  std::vector<rc::SweepCell> collected_;
+};
+
+/// The streamed set must be exactly the batch table's cell set: every
+/// (point, family) cell delivered once, bit-identical — no dupes, no
+/// drops — and the served table must be bit-identical to a fresh,
+/// cache-free recompute.
+bool check_request(const rs::ScenarioRequest& request,
+                   const rs::SubmitResult& result,
+                   const std::vector<rc::SweepCell>& streamed,
+                   const rc::SweepOptions& sweep_base) {
+  bool ok = true;
+  const rc::SweepTable& table = *result.table;
+
+  if (streamed.size() != table.cells.size()) {
+    std::fprintf(stderr,
+                 "sweep_server: request '%s': streamed %zu cells, table has "
+                 "%zu\n",
+                 request.id.c_str(), streamed.size(), table.cells.size());
+    ok = false;
+  }
+  std::map<std::pair<std::size_t, int>, std::size_t> seen;
+  for (const rc::SweepCell& cell : streamed) {
+    const auto key =
+        std::make_pair(cell.point_index, static_cast<int>(cell.kind));
+    if (++seen[key] > 1) {
+      std::fprintf(stderr,
+                   "sweep_server: request '%s': duplicate cell (%zu, %s)\n",
+                   request.id.c_str(), cell.point_index,
+                   rc::pattern_name(cell.kind).c_str());
+      ok = false;
+      continue;
+    }
+    if (!rc::cells_bit_identical(cell,
+                                 table.cell(cell.point_index, cell.kind))) {
+      std::fprintf(stderr,
+                   "sweep_server: request '%s': streamed cell (%zu, %s) "
+                   "differs from the batch table\n",
+                   request.id.c_str(), cell.point_index,
+                   rc::pattern_name(cell.kind).c_str());
+      ok = false;
+    }
+  }
+  if (seen.size() != table.cells.size()) {
+    std::fprintf(stderr,
+                 "sweep_server: request '%s': %zu distinct cells streamed, "
+                 "expected %zu\n",
+                 request.id.c_str(), seen.size(), table.cells.size());
+    ok = false;
+  }
+
+  rc::SweepOptions sweep = sweep_base;
+  sweep.numeric_optimum = request.numeric_optimum;
+  const rc::SweepTable recomputed = rc::SweepRunner(sweep).run(request.grid);
+  if (!rc::tables_bit_identical(table, recomputed)) {
+    std::fprintf(stderr,
+                 "sweep_server: request '%s': served table differs from a "
+                 "fresh recompute (cache identity violated)\n",
+                 request.id.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ru::CliParser cli("sweep_server",
+                    "serve scenario sweeps: JSONL requests in, JSONL cells out");
+  cli.add_flag("input", "-", "request file, one JSON object per line ('-' = stdin)");
+  cli.add_flag("threads", "0", "sweep pool threads (0 = shared global pool)");
+  cli.add_flag("cache-capacity", "64", "LRU table-cache capacity (0 = no cache)");
+  cli.add_bool_flag("no-stream", "emit only done/error lines, no cell lines");
+  cli.add_bool_flag("check",
+                    "verify every streamed cell set against a fresh batch "
+                    "recompute; exit 1 on any mismatch");
+  if (!cli.parse(argc, argv)) {
+    return 1;
+  }
+  const std::string input = cli.get_string("input");
+  const std::int64_t threads_raw = cli.get_int("threads");
+  const std::int64_t capacity_raw = cli.get_int("cache-capacity");
+  if (threads_raw < 0 || capacity_raw < 0) {
+    // A negative count would wrap to SIZE_MAX; fail loudly.
+    std::fprintf(stderr,
+                 "sweep_server: --threads and --cache-capacity must be >= 0\n");
+    return 2;
+  }
+  const auto threads = static_cast<std::size_t>(threads_raw);
+  const bool stream = !cli.get_bool("no-stream");
+  const bool check = cli.get_bool("check");
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (input != "-") {
+    file.open(input);
+    if (!file) {
+      std::fprintf(stderr, "sweep_server: cannot open %s\n", input.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  std::unique_ptr<ru::ThreadPool> pool;
+  rs::ServiceOptions options;
+  options.cache_capacity = static_cast<std::size_t>(capacity_raw);
+  if (threads > 0) {
+    pool = std::make_unique<ru::ThreadPool>(threads);
+    options.sweep.pool = pool.get();
+  }
+  rs::SweepService service(options);
+
+  bool check_failed = false;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;  // blank lines and comments between requests are fine
+    }
+
+    rs::ScenarioRequest request;
+    try {
+      request = rs::ScenarioRequest::parse(line);
+    } catch (const rs::RequestError& error) {
+      std::cout << rs::error_line("line-" + std::to_string(line_number),
+                                  error.field, error.what())
+                << std::endl;
+      continue;
+    }
+    if (request.id.empty()) {
+      request.id = "line-" + std::to_string(line_number);
+    }
+
+    const rc::GridSignature signature = service.signature_for(request);
+    ServerSink sink(std::cout, request.id, signature, stream, check);
+    const rs::SubmitResult result =
+        service.submit(request, (stream || check) ? &sink : nullptr);
+    std::cout << rs::done_line(request.id, result.signature, *result.table,
+                               result.cache_hit, result.joined_in_flight)
+              << std::endl;  // flush: each request's output is complete
+
+    if (check &&
+        !check_request(request, result, sink.collected(), options.sweep)) {
+      check_failed = true;
+    }
+  }
+
+  if (check_failed) {
+    std::fprintf(stderr, "sweep_server: --check FAILED\n");
+    return 1;
+  }
+  return 0;
+}

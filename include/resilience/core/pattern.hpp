@@ -24,6 +24,9 @@ enum class PatternKind {
   kDMV,   ///< P_DMV: n segments x m chunks, partial verifications
 };
 
+/// Number of pattern families; sizes per-kind lookup tables.
+inline constexpr std::size_t kPatternKindCount = 6;
+
 /// All pattern kinds in the paper's presentation order.
 [[nodiscard]] const std::vector<PatternKind>& all_pattern_kinds();
 

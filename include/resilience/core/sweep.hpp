@@ -18,7 +18,10 @@
 // evaluations — while cross-chain independence keeps the schedule
 // deterministic: every cell is written exactly once, by its own chain.
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "resilience/core/first_order.hpp"
@@ -61,6 +64,13 @@ struct ScenarioGrid {
   [[nodiscard]] std::size_t point_count() const noexcept;
   [[nodiscard]] std::size_t cell_count() const;
   [[nodiscard]] std::vector<PatternKind> resolved_kinds() const;
+
+  /// Validates every axis up front: at least one platform, positive node
+  /// counts, positive (finite) rate factors, and cost overrides that are
+  /// either non-negative or exactly the -1 "keep platform value" sentinel.
+  /// Throws std::invalid_argument naming the offending axis and index,
+  /// e.g. "ScenarioGrid.node_counts[2]: node count must be positive".
+  void validate() const;
 };
 
 /// One fully resolved grid point (a platform instantiation).
@@ -103,9 +113,80 @@ struct SweepTable {
   std::vector<ScenarioPoint> points;
   std::vector<PatternKind> kinds;
   std::vector<SweepCell> cells;
+  /// kind -> column slot in the family-minor layout (-1 = family absent).
+  /// Tables from SweepRunner::run() and the service deserializer arrive
+  /// indexed; hand-assembled tables must call index_kinds() before cell().
+  std::array<std::int8_t, kPatternKindCount> kind_slot = {-1, -1, -1,
+                                                          -1, -1, -1};
 
+  /// Rebuilds kind_slot from kinds.
+  void index_kinds();
+
+  /// O(1) lookup by index arithmetic on the point-major/family-minor
+  /// layout; throws std::out_of_range for an unknown point or family.
   [[nodiscard]] const SweepCell& cell(std::size_t point_index,
                                       PatternKind kind) const;
+};
+
+/// Stable 64-bit content identity of a sweep computation: a hash over the
+/// fully resolved grid points (platform identity, node counts, rates and
+/// cost parameters after every axis application), the resolved family
+/// list, and the option fields that affect cell values. Equal content
+/// always hashes equal, so this is the cache/dedupe key of the service
+/// layer — but the hash is not cryptographic, so reuse sites must still
+/// verify the stored grid against the requested one before serving a
+/// shared table (SweepService does; see table_matches_grid).
+struct GridSignature {
+  std::uint64_t value = 0;
+
+  friend bool operator==(GridSignature a, GridSignature b) noexcept {
+    return a.value == b.value;
+  }
+  friend bool operator!=(GridSignature a, GridSignature b) noexcept {
+    return a.value != b.value;
+  }
+
+  /// 16-digit lowercase hex, e.g. "9ae16a3b2f90404f" — the wire form
+  /// (JSON numbers cannot carry 64 bits exactly).
+  [[nodiscard]] std::string hex() const;
+};
+
+struct SweepOptions;  // declared below
+
+/// Computes the signature of running `grid` under `options`. Validates the
+/// grid (same exceptions as resolve_points). Option fields that cannot
+/// change results — pool choice, warm-start policy, scan radius — are
+/// excluded, so a warm-started sweep and a cold one share a cache entry.
+[[nodiscard]] GridSignature grid_signature(const ScenarioGrid& grid,
+                                           const SweepOptions& options);
+
+/// Same signature computed from already-resolved points and kinds (what
+/// the service uses so one resolve serves validation, signature and
+/// collision verification).
+[[nodiscard]] GridSignature grid_signature(
+    const std::vector<ScenarioPoint>& points,
+    const std::vector<PatternKind>& kinds, const SweepOptions& options);
+
+/// Field-by-field bitwise equality — doubles compared by bit pattern (so
+/// NaN == NaN, -0.0 != 0.0). This is the "bit-identical" relation the
+/// determinism, streaming and caching guarantees are stated in, used by
+/// the tests, bench_micro and sweep_server --check.
+[[nodiscard]] bool cells_bit_identical(const SweepCell& a,
+                                       const SweepCell& b) noexcept;
+[[nodiscard]] bool points_bit_identical(const ScenarioPoint& a,
+                                        const ScenarioPoint& b) noexcept;
+[[nodiscard]] bool tables_bit_identical(const SweepTable& a,
+                                        const SweepTable& b) noexcept;
+
+/// Receives cells as chains finish them. SweepRunner::run(grid, sink)
+/// invokes on_cell exactly once per (point, family) cell, serialized under
+/// an internal mutex — implementations need no locking of their own.
+/// Delivery order varies with the pool schedule, but each cell's contents
+/// are bit-identical to the batch table's.
+class CellSink {
+ public:
+  virtual ~CellSink() = default;
+  virtual void on_cell(const SweepCell& cell) = 0;
 };
 
 /// Sweep execution options.
@@ -135,12 +216,19 @@ class SweepRunner {
   explicit SweepRunner(SweepOptions options = {});
 
   /// Optimizes every (point, family) cell of the grid. Throws
-  /// std::invalid_argument on an empty platform axis.
+  /// std::invalid_argument on an invalid grid (see ScenarioGrid::validate).
   [[nodiscard]] SweepTable run(const ScenarioGrid& grid) const;
+
+  /// Streaming variant: additionally delivers every finished cell to
+  /// `sink` as its chain completes it (see CellSink for the contract).
+  /// The returned table is identical to the non-streaming run's.
+  [[nodiscard]] SweepTable run(const ScenarioGrid& grid, CellSink& sink) const;
 
   [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
 
  private:
+  SweepTable run_impl(const ScenarioGrid& grid, CellSink* sink) const;
+
   SweepOptions options_;
 };
 

@@ -1,0 +1,56 @@
+#pragma once
+
+// Client-facing request parsing: one JSON object per scenario batch,
+// validated into a core::ScenarioGrid before any compute is scheduled.
+// Every validation failure is a RequestError whose `field` names the
+// offending JSON path ("platforms[1].nodes", "rate_factors[0].silent"),
+// so clients can fix requests without reading server logs.
+//
+// Request schema (docs/serving.md has the full worked example):
+//
+//   {"id": "r1",                      // optional echo tag, default ""
+//    "platforms": ["hera",            // catalog name, or inline object:
+//                  {"name": "custom", "nodes": 4096,
+//                   "fail_stop": 2.3e-7, "silent": 1.8e-7,
+//                   "disk_checkpoint": 120.0, "memory_checkpoint": 5.0}],
+//    "node_counts": [1024, 4096],     // optional axes, as in ScenarioGrid
+//    "rate_factors": [{"fail_stop": 1.0, "silent": 2.0}],
+//    "cost_overrides": [{"disk_checkpoint": 90.0}],
+//    "kinds": ["PD", "PDMV"],         // optional; default all six families
+//    "numeric_optimum": true}         // optional; default true
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "resilience/core/sweep.hpp"
+#include "resilience/util/json.hpp"
+
+namespace resilience::service {
+
+/// A request that failed validation. `field` is the JSON path of the
+/// offending value ("" when the problem is not tied to one field).
+class RequestError : public std::runtime_error {
+ public:
+  RequestError(std::string field_path, const std::string& message);
+
+  std::string field;
+};
+
+/// One parsed scenario batch.
+struct ScenarioRequest {
+  std::string id;                ///< client tag echoed in every response line
+  core::ScenarioGrid grid;       ///< validated; resolve_points() succeeds
+  bool numeric_optimum = true;   ///< run the exact (n, m, W) optimization
+
+  /// Parses and validates a request object; throws RequestError.
+  static ScenarioRequest from_json(const util::JsonValue& json);
+  /// Parses request text (one JSON object); JSON syntax errors are
+  /// rethrown as RequestError with field "".
+  static ScenarioRequest parse(std::string_view text);
+
+  /// Re-serialization (catalog platforms are inlined); used by docs/tests.
+  [[nodiscard]] util::JsonValue to_json() const;
+};
+
+}  // namespace resilience::service

@@ -1,0 +1,75 @@
+#pragma once
+
+// JSON (de)serialization of the sweep result types — the one place result
+// formatting lives. The figure drivers, the JSONL streaming service and
+// the cache persistence all emit through these functions, so a table
+// printed by a bench harness and a table streamed by sweep_server carry
+// byte-identical values: doubles use the canonical shortest-round-trip
+// form of util/json, and serialize -> parse -> re-serialize is
+// byte-identical (pinned by test_service).
+
+#include <iosfwd>
+#include <string>
+
+#include "resilience/core/sweep.hpp"
+#include "resilience/util/json.hpp"
+
+namespace resilience::service {
+
+/// SweepCell <-> JSON. The cell's family is serialized once (as the
+/// paper's name, e.g. "PDMV*"); the nested first_order block omits it and
+/// re-inherits it on parse.
+[[nodiscard]] util::JsonValue to_json(const core::SweepCell& cell);
+[[nodiscard]] core::SweepCell cell_from_json(const util::JsonValue& json);
+
+/// Platform <-> JSON (name, nodes, platform-level rates and costs).
+[[nodiscard]] util::JsonValue to_json(const core::Platform& platform);
+[[nodiscard]] core::Platform platform_from_json(const util::JsonValue& json);
+
+/// ModelParams <-> JSON (flat cost + rate fields).
+[[nodiscard]] util::JsonValue to_json(const core::ModelParams& params);
+[[nodiscard]] core::ModelParams params_from_json(const util::JsonValue& json);
+
+/// ScenarioPoint <-> JSON (axis indices + resolved platform and params).
+[[nodiscard]] util::JsonValue to_json(const core::ScenarioPoint& point);
+[[nodiscard]] core::ScenarioPoint point_from_json(const util::JsonValue& json);
+
+/// SweepTable <-> JSON. table_from_json() re-indexes the family lookup,
+/// so cell() works on a deserialized table.
+[[nodiscard]] util::JsonValue to_json(const core::SweepTable& table);
+[[nodiscard]] core::SweepTable table_from_json(const util::JsonValue& json);
+
+/// One streamed-response JSONL line (no trailing newline):
+///   cell_line  -> {"type":"cell","request":...,"signature":...,<cell>}
+///   done_line  -> {"type":"done", summary of the finished table}
+///   error_line -> {"type":"error","request":...,"field":...,"message":...}
+[[nodiscard]] std::string cell_line(const std::string& request_id,
+                                    core::GridSignature signature,
+                                    const core::SweepCell& cell);
+[[nodiscard]] std::string done_line(const std::string& request_id,
+                                    core::GridSignature signature,
+                                    const core::SweepTable& table,
+                                    bool cache_hit, bool joined_in_flight);
+[[nodiscard]] std::string error_line(const std::string& request_id,
+                                     const std::string& field,
+                                     const std::string& message);
+
+/// CellSink writing one cell_line per cell to an ostream. The runner
+/// serializes sink calls, so this needs no locking of its own.
+class JsonlCellSink final : public core::CellSink {
+ public:
+  JsonlCellSink(std::ostream& os, std::string request_id,
+                core::GridSignature signature);
+
+  void on_cell(const core::SweepCell& cell) override;
+
+  [[nodiscard]] std::size_t cells_written() const noexcept { return cells_; }
+
+ private:
+  std::ostream& os_;
+  std::string request_id_;
+  core::GridSignature signature_;
+  std::size_t cells_ = 0;
+};
+
+}  // namespace resilience::service

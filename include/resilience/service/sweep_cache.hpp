@@ -1,0 +1,58 @@
+#pragma once
+
+// Thread-safe LRU cache of finished sweep tables, keyed by GridSignature.
+// Entries are shared immutable tables: a hit hands out the same
+// shared_ptr<const SweepTable> the compute produced, so a cached result is
+// bit-identical to a recompute by construction (pinned by test_service
+// against an actual recompute at several pool sizes).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "resilience/core/sweep.hpp"
+
+namespace resilience::service {
+
+class SweepCache {
+ public:
+  /// `capacity` is the maximum number of retained tables; 0 disables
+  /// caching entirely (find always misses, insert is a no-op).
+  explicit SweepCache(std::size_t capacity = 64);
+
+  /// Returns the cached table and marks it most-recently-used; nullptr on
+  /// a miss.
+  [[nodiscard]] std::shared_ptr<const core::SweepTable> find(
+      core::GridSignature signature);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// table when over capacity. Inserting under an existing signature
+  /// replaces the entry; outstanding shared_ptrs stay valid.
+  void insert(core::GridSignature signature,
+              std::shared_ptr<const core::SweepTable> table);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    core::GridSignature signature;
+    std::shared_ptr<const core::SweepTable> table;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace resilience::service

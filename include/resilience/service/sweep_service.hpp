@@ -1,0 +1,96 @@
+#pragma once
+
+// The serving front-end over the sweep engine: submit scenario batches,
+// get shared immutable tables back, and optionally stream cells as they
+// resolve. Three layers of reuse, checked in this order:
+//
+//   1. cache hit    — the table was computed before (same GridSignature);
+//                     cells replay from the cached table in table order.
+//   2. in-flight    — another submission of the same signature is being
+//      join           computed right now; this call waits for it instead
+//                     of computing a duplicate, then replays cells.
+//   3. compute      — this call is the leader: it runs the SweepRunner
+//                     (streaming cells live as chains finish them),
+//                     publishes the table to the cache, and wakes joiners.
+//
+// Whatever path serves a request, the delivered cell set and the returned
+// table are bit-identical — reuse is an optimization, never a relaxation.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "resilience/core/sweep.hpp"
+#include "resilience/service/scenario_request.hpp"
+#include "resilience/service/sweep_cache.hpp"
+
+namespace resilience::service {
+
+struct ServiceOptions {
+  /// Execution options for cache misses. The pool/warm-start fields do not
+  /// enter the grid signature (they cannot change results).
+  core::SweepOptions sweep;
+  /// LRU capacity in tables; 0 disables caching (every submit computes).
+  std::size_t cache_capacity = 64;
+};
+
+/// Outcome of one submission.
+struct SubmitResult {
+  std::shared_ptr<const core::SweepTable> table;
+  core::GridSignature signature;
+  bool cache_hit = false;         ///< served from the table cache
+  bool joined_in_flight = false;  ///< deduped onto a concurrent submission
+};
+
+class SweepService {
+ public:
+  explicit SweepService(ServiceOptions options = {});
+
+  /// Serves a parsed request; request.numeric_optimum overrides the
+  /// service-level sweep option (and participates in the signature). When
+  /// `sink` is non-null every cell of the result is delivered exactly
+  /// once: live from the runner on a compute, replayed in table order on
+  /// a cache hit or in-flight join. submit() is safe to call from
+  /// multiple threads (but not from inside a pool task).
+  SubmitResult submit(const ScenarioRequest& request,
+                      core::CellSink* sink = nullptr);
+
+  /// Grid-level variant using the service's sweep options as-is.
+  SubmitResult submit(const core::ScenarioGrid& grid,
+                      core::CellSink* sink = nullptr);
+
+  /// The signature submit(request) will use (the request's
+  /// numeric_optimum applied over the service sweep options). Lets
+  /// front-ends build per-request sinks before submitting.
+  [[nodiscard]] core::GridSignature signature_for(
+      const ScenarioRequest& request) const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] SweepCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const SweepCache& cache() const noexcept { return cache_; }
+  /// Number of tables actually computed (cache misses that led compute);
+  /// lets tests assert that concurrent identical submissions deduped.
+  [[nodiscard]] std::uint64_t tables_computed() const noexcept {
+    return tables_computed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using TablePtr = std::shared_ptr<const core::SweepTable>;
+
+  SubmitResult submit_impl(const core::ScenarioGrid& grid,
+                           const core::SweepOptions& sweep,
+                           core::CellSink* sink);
+
+  ServiceOptions options_;
+  SweepCache cache_;
+  std::mutex in_flight_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_future<TablePtr>> in_flight_;
+  std::atomic<std::uint64_t> tables_computed_{0};
+};
+
+}  // namespace resilience::service

@@ -1,14 +1,18 @@
 #pragma once
 
-// Lightweight tabular reporting: aligned ASCII tables for terminal output
-// and CSV emission for plotting. Every bench harness routes its rows
-// through this so the printed series match the paper's tables/figures
-// column-for-column.
+// Lightweight tabular reporting: aligned ASCII tables for terminal output,
+// CSV emission for plotting, and JSON emission through the shared
+// util/json serializer. Every bench harness routes its rows through this
+// so the printed series match the paper's tables/figures column-for-column
+// and the machine-readable output speaks the same JSON dialect as the
+// sweep service.
 
 #include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "resilience/util/json.hpp"
 
 namespace resilience::util {
 
@@ -32,6 +36,15 @@ class Table {
 
   /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
   void write_csv(std::ostream& os) const;
+
+  /// {"headers": [...], "rows": [[...], ...]} through the shared JSON
+  /// serializer; cells stay the preformatted strings the other emitters
+  /// print, so every output mode shows identical values.
+  [[nodiscard]] JsonValue to_json() const;
+
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
 
  private:
   std::vector<std::string> headers_;

@@ -1,8 +1,9 @@
 #include "resilience/core/sweep.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 
 #include "resilience/core/expected_time.hpp"
@@ -16,6 +17,55 @@ namespace {
 std::size_t axis_size(std::size_t declared) noexcept {
   return declared == 0 ? 1 : declared;
 }
+
+std::string axis_error(const char* axis, std::size_t index,
+                       const std::string& what) {
+  return "ScenarioGrid." + std::string(axis) + "[" + std::to_string(index) +
+         "]: " + what;
+}
+
+/// A cost-override field is either >= 0 (override) or exactly -1 (keep the
+/// platform's value). Anything else is a typo, not a sentinel.
+void check_override_field(const char* axis, std::size_t index,
+                          const char* field, double value) {
+  if (std::isnan(value) || (value < 0.0 && value != -1.0)) {
+    throw std::invalid_argument(
+        axis_error(axis, index, std::string(field) +
+                                    " must be >= 0 or the -1 sentinel (got " +
+                                    std::to_string(value) + ")"));
+  }
+}
+
+/// FNV-1a 64-bit over an explicit byte stream. Doubles are hashed by bit
+/// pattern, so the signature distinguishes exactly what a bit-identical
+/// table comparison would.
+class SignatureHasher {
+ public:
+  void mix_bytes(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void mix(std::uint64_t value) noexcept { mix_bytes(&value, sizeof value); }
+  void mix(double value) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&bits, &value, sizeof bits);
+    mix(bits);
+  }
+  void mix(bool value) noexcept { mix(std::uint64_t{value ? 1u : 0u}); }
+  void mix(const std::string& value) noexcept {
+    mix(std::uint64_t{value.size()});
+    mix_bytes(value.data(), value.size());
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;  // FNV offset basis
+};
 
 }  // namespace
 
@@ -32,10 +82,39 @@ std::vector<PatternKind> ScenarioGrid::resolved_kinds() const {
   return kinds.empty() ? all_pattern_kinds() : kinds;
 }
 
-std::vector<ScenarioPoint> resolve_points(const ScenarioGrid& grid) {
-  if (grid.platforms.empty()) {
+void ScenarioGrid::validate() const {
+  if (platforms.empty()) {
     throw std::invalid_argument("ScenarioGrid: need at least one platform");
   }
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    if (node_counts[i] == 0) {
+      throw std::invalid_argument(
+          axis_error("node_counts", i, "node count must be positive"));
+    }
+  }
+  for (std::size_t i = 0; i < rate_factors.size(); ++i) {
+    const RateFactors& f = rate_factors[i];
+    if (!(f.fail_stop > 0.0) || std::isinf(f.fail_stop)) {
+      throw std::invalid_argument(axis_error(
+          "rate_factors", i, "fail_stop factor must be positive and finite"));
+    }
+    if (!(f.silent > 0.0) || std::isinf(f.silent)) {
+      throw std::invalid_argument(axis_error(
+          "rate_factors", i, "silent factor must be positive and finite"));
+    }
+  }
+  for (std::size_t i = 0; i < cost_overrides.size(); ++i) {
+    const CostOverride& o = cost_overrides[i];
+    check_override_field("cost_overrides", i, "disk_checkpoint",
+                         o.disk_checkpoint);
+    check_override_field("cost_overrides", i, "partial_verification",
+                         o.partial_verification);
+    check_override_field("cost_overrides", i, "recall", o.recall);
+  }
+}
+
+std::vector<ScenarioPoint> resolve_points(const ScenarioGrid& grid) {
+  grid.validate();
   const std::size_t nodes_n = axis_size(grid.node_counts.size());
   const std::size_t rates_n = axis_size(grid.rate_factors.size());
   const std::size_t costs_n = axis_size(grid.cost_overrides.size());
@@ -85,21 +164,181 @@ std::vector<ScenarioPoint> resolve_points(const ScenarioGrid& grid) {
   return points;
 }
 
+void SweepTable::index_kinds() {
+  kind_slot.fill(-1);
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    kind_slot[static_cast<std::size_t>(kinds[k])] =
+        static_cast<std::int8_t>(k);
+  }
+}
+
 const SweepCell& SweepTable::cell(std::size_t point_index, PatternKind kind) const {
-  const auto it = std::find(kinds.begin(), kinds.end(), kind);
-  if (point_index >= points.size() || it == kinds.end()) {
+  const auto k = static_cast<std::size_t>(kind);
+  const std::int8_t slot = k < kind_slot.size() ? kind_slot[k] : -1;
+  if (point_index >= points.size() || slot < 0) {
     throw std::out_of_range("SweepTable::cell: no such point/family");
   }
-  return cells[point_index * kinds.size() +
-               static_cast<std::size_t>(it - kinds.begin())];
+  return cells[point_index * kinds.size() + static_cast<std::size_t>(slot)];
+}
+
+std::string GridSignature::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = value;
+  for (std::size_t i = 16; i-- > 0; v >>= 4) {
+    out[i] = digits[v & 0xF];
+  }
+  return out;
+}
+
+GridSignature grid_signature(const ScenarioGrid& grid,
+                             const SweepOptions& options) {
+  return grid_signature(resolve_points(grid) /* validates */,
+                        grid.resolved_kinds(), options);
+}
+
+GridSignature grid_signature(const std::vector<ScenarioPoint>& points,
+                             const std::vector<PatternKind>& kinds,
+                             const SweepOptions& options) {
+  SignatureHasher hasher;
+  hasher.mix(std::uint64_t{1});  // signature format version
+
+  // Everything an observer of the resulting SweepTable can see about a
+  // point: platform identity and the fully resolved cost/rate parameters.
+  hasher.mix(std::uint64_t{points.size()});
+  for (const ScenarioPoint& point : points) {
+    hasher.mix(point.platform.name);
+    hasher.mix(std::uint64_t{point.platform.nodes});
+    hasher.mix(point.platform.rates.fail_stop);
+    hasher.mix(point.platform.rates.silent);
+    hasher.mix(point.platform.disk_checkpoint);
+    hasher.mix(point.platform.memory_checkpoint);
+    hasher.mix(point.params.rates.fail_stop);
+    hasher.mix(point.params.rates.silent);
+    const CostParams& costs = point.params.costs;
+    hasher.mix(costs.disk_checkpoint);
+    hasher.mix(costs.memory_checkpoint);
+    hasher.mix(costs.disk_recovery);
+    hasher.mix(costs.memory_recovery);
+    hasher.mix(costs.guaranteed_verification);
+    hasher.mix(costs.partial_verification);
+    hasher.mix(costs.recall);
+  }
+
+  hasher.mix(std::uint64_t{kinds.size()});
+  for (const PatternKind kind : kinds) {
+    hasher.mix(std::uint64_t{static_cast<std::size_t>(kind)});
+  }
+
+  // Option fields that change cell values. Warm-start policy, scan radius
+  // and pool choice are deliberately excluded: the runner guarantees they
+  // do not change results (pinned by the determinism tests).
+  hasher.mix(options.numeric_optimum);
+  const OptimizerOptions& opt = options.optimizer;
+  hasher.mix(std::uint64_t{opt.max_segments});
+  hasher.mix(std::uint64_t{opt.max_chunks});
+  hasher.mix(opt.work_lo);
+  hasher.mix(opt.work_hi);
+  hasher.mix(opt.work_tolerance);
+  hasher.mix(opt.optimize_chunk_fractions);
+  hasher.mix(opt.evaluation.faulty_verifications);
+  hasher.mix(opt.evaluation.faulty_operations);
+  hasher.mix(opt.legacy_cell_evaluation);
+
+  return GridSignature{hasher.value()};
+}
+
+namespace {
+
+bool same_bits(double a, double b) noexcept {
+  std::uint64_t bits_a = 0;
+  std::uint64_t bits_b = 0;
+  std::memcpy(&bits_a, &a, sizeof bits_a);
+  std::memcpy(&bits_b, &b, sizeof bits_b);
+  return bits_a == bits_b;
+}
+
+}  // namespace
+
+bool cells_bit_identical(const SweepCell& a, const SweepCell& b) noexcept {
+  return a.point_index == b.point_index && a.kind == b.kind &&
+         a.first_order.segments_n == b.first_order.segments_n &&
+         a.first_order.chunks_m == b.first_order.chunks_m &&
+         same_bits(a.first_order.rational_n, b.first_order.rational_n) &&
+         same_bits(a.first_order.rational_m, b.first_order.rational_m) &&
+         same_bits(a.first_order.work, b.first_order.work) &&
+         same_bits(a.first_order.overhead, b.first_order.overhead) &&
+         same_bits(a.first_order.coefficients.error_free,
+                   b.first_order.coefficients.error_free) &&
+         same_bits(a.first_order.coefficients.reexecuted_work,
+                   b.first_order.coefficients.reexecuted_work) &&
+         same_bits(a.exact_at_first_order, b.exact_at_first_order) &&
+         a.segments_n == b.segments_n && a.chunks_m == b.chunks_m &&
+         same_bits(a.work, b.work) && same_bits(a.overhead, b.overhead) &&
+         a.warm_started == b.warm_started;
+}
+
+bool points_bit_identical(const ScenarioPoint& a,
+                          const ScenarioPoint& b) noexcept {
+  return a.platform_index == b.platform_index && a.node_index == b.node_index &&
+         a.rate_index == b.rate_index && a.cost_index == b.cost_index &&
+         a.platform.name == b.platform.name &&
+         a.platform.nodes == b.platform.nodes &&
+         same_bits(a.platform.rates.fail_stop, b.platform.rates.fail_stop) &&
+         same_bits(a.platform.rates.silent, b.platform.rates.silent) &&
+         same_bits(a.platform.disk_checkpoint, b.platform.disk_checkpoint) &&
+         same_bits(a.platform.memory_checkpoint,
+                   b.platform.memory_checkpoint) &&
+         same_bits(a.params.rates.fail_stop, b.params.rates.fail_stop) &&
+         same_bits(a.params.rates.silent, b.params.rates.silent) &&
+         same_bits(a.params.costs.disk_checkpoint,
+                   b.params.costs.disk_checkpoint) &&
+         same_bits(a.params.costs.memory_checkpoint,
+                   b.params.costs.memory_checkpoint) &&
+         same_bits(a.params.costs.disk_recovery, b.params.costs.disk_recovery) &&
+         same_bits(a.params.costs.memory_recovery,
+                   b.params.costs.memory_recovery) &&
+         same_bits(a.params.costs.guaranteed_verification,
+                   b.params.costs.guaranteed_verification) &&
+         same_bits(a.params.costs.partial_verification,
+                   b.params.costs.partial_verification) &&
+         same_bits(a.params.costs.recall, b.params.costs.recall);
+}
+
+bool tables_bit_identical(const SweepTable& a, const SweepTable& b) noexcept {
+  if (a.kinds != b.kinds || a.points.size() != b.points.size() ||
+      a.cells.size() != b.cells.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (!points_bit_identical(a.points[i], b.points[i])) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (!cells_bit_identical(a.cells[i], b.cells[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
 
 SweepTable SweepRunner::run(const ScenarioGrid& grid) const {
+  return run_impl(grid, nullptr);
+}
+
+SweepTable SweepRunner::run(const ScenarioGrid& grid, CellSink& sink) const {
+  return run_impl(grid, &sink);
+}
+
+SweepTable SweepRunner::run_impl(const ScenarioGrid& grid,
+                                 CellSink* sink) const {
   SweepTable table;
   table.points = resolve_points(grid);
   table.kinds = grid.resolved_kinds();  // never empty: defaults to all six
+  table.index_kinds();
   table.cells.assign(table.points.size() * table.kinds.size(), SweepCell{});
 
   const std::size_t nodes_n = axis_size(grid.node_counts.size());
@@ -119,6 +358,10 @@ SweepTable SweepRunner::run(const ScenarioGrid& grid) const {
   cold.seed_segments_n = 0;
   cold.seed_chunks_m = 0;
   cold.work_hint = 0.0;
+
+  // Streamed delivery is serialized so sinks stay lock-free; the lock is
+  // uncontended relative to the per-cell optimization cost.
+  std::mutex sink_mutex;
 
   util::ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : util::global_pool();
@@ -159,32 +402,36 @@ SweepTable SweepRunner::run(const ScenarioGrid& grid) const {
                   std::numeric_limits<double>::infinity();
             }
 
-            if (!options_.numeric_optimum) {
-              continue;  // first-order/exact columns only
-            }
-            OptimizerOptions opts = cold;
-            const bool warm = options_.warm_start && have_warm;
-            if (warm) {
-              opts.seed_segments_n = warm_n;
-              opts.seed_chunks_m = warm_m;
-              opts.work_hint = warm_work;
-              opts.scan_radius = options_.warm_scan_radius;
-            }
-            const NumericSolution solution =
-                optimize_pattern(kind, point.params, opts);
-            cell.segments_n = solution.segments_n;
-            cell.chunks_m = solution.chunks_m;
-            cell.work = solution.pattern.work();
-            cell.overhead = solution.overhead;
-            cell.warm_started = warm;
+            if (options_.numeric_optimum) {
+              OptimizerOptions opts = cold;
+              const bool warm = options_.warm_start && have_warm;
+              if (warm) {
+                opts.seed_segments_n = warm_n;
+                opts.seed_chunks_m = warm_m;
+                opts.work_hint = warm_work;
+                opts.scan_radius = options_.warm_scan_radius;
+              }
+              const NumericSolution solution =
+                  optimize_pattern(kind, point.params, opts);
+              cell.segments_n = solution.segments_n;
+              cell.chunks_m = solution.chunks_m;
+              cell.work = solution.pattern.work();
+              cell.overhead = solution.overhead;
+              cell.warm_started = warm;
 
-            if (std::isfinite(solution.overhead)) {
-              warm_n = solution.segments_n;
-              warm_m = solution.chunks_m;
-              warm_work = solution.pattern.work();
-              have_warm = true;
-            } else {
-              have_warm = false;  // degenerate point; reseed the next cold
+              if (std::isfinite(solution.overhead)) {
+                warm_n = solution.segments_n;
+                warm_m = solution.chunks_m;
+                warm_work = solution.pattern.work();
+                have_warm = true;
+              } else {
+                have_warm = false;  // degenerate point; reseed the next cold
+              }
+            }
+
+            if (sink != nullptr) {
+              const std::lock_guard<std::mutex> lock(sink_mutex);
+              sink->on_cell(cell);
             }
           }
         }

@@ -1,0 +1,61 @@
+#include "resilience/service/sweep_cache.hpp"
+
+namespace resilience::service {
+
+SweepCache::SweepCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const core::SweepTable> SweepCache::find(
+    core::GridSignature signature) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(signature.value);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote; iterator stays valid
+  return it->second->table;
+}
+
+void SweepCache::insert(core::GridSignature signature,
+                        std::shared_ptr<const core::SweepTable> table) {
+  if (capacity_ == 0) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(signature.value);
+  if (it != index_.end()) {
+    it->second->table = std::move(table);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{signature, std::move(table)});
+  index_[signature.value] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().signature.value);
+    lru_.pop_back();
+  }
+}
+
+void SweepCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t SweepCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t SweepCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t SweepCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace resilience::service

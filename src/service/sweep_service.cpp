@@ -1,0 +1,147 @@
+#include "resilience/service/sweep_service.hpp"
+
+namespace resilience::service {
+
+namespace {
+
+/// Cache hits and joins deliver the already-finished table's cells in
+/// point-major table order (a valid instance of the "delivery order may
+/// vary" contract — contents are bit-identical to the live stream's).
+void replay(const core::SweepTable& table, core::CellSink* sink) {
+  if (sink == nullptr) {
+    return;
+  }
+  for (const core::SweepCell& cell : table.cells) {
+    sink->on_cell(cell);
+  }
+}
+
+/// Guards reuse against a 64-bit signature collision: a shared table may
+/// only serve this submission if it is the table OF this grid. The hash
+/// is not cryptographic and request bytes are client-controlled, so a
+/// colliding grid must fall through to its own computation rather than
+/// silently receive another grid's cells.
+bool table_matches_grid(const core::SweepTable& table,
+                        const std::vector<core::ScenarioPoint>& points,
+                        const std::vector<core::PatternKind>& kinds) {
+  if (table.kinds != kinds || table.points.size() != points.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!core::points_bit_identical(table.points[i], points[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SweepService::SweepService(ServiceOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {}
+
+SubmitResult SweepService::submit(const ScenarioRequest& request,
+                                  core::CellSink* sink) {
+  core::SweepOptions sweep = options_.sweep;
+  sweep.numeric_optimum = request.numeric_optimum;
+  return submit_impl(request.grid, sweep, sink);
+}
+
+SubmitResult SweepService::submit(const core::ScenarioGrid& grid,
+                                  core::CellSink* sink) {
+  return submit_impl(grid, options_.sweep, sink);
+}
+
+core::GridSignature SweepService::signature_for(
+    const ScenarioRequest& request) const {
+  core::SweepOptions sweep = options_.sweep;
+  sweep.numeric_optimum = request.numeric_optimum;
+  return core::grid_signature(request.grid, sweep);
+}
+
+SubmitResult SweepService::submit_impl(const core::ScenarioGrid& grid,
+                                       const core::SweepOptions& sweep,
+                                       core::CellSink* sink) {
+  // One resolve serves validation, the signature and collision checks.
+  const std::vector<core::ScenarioPoint> points = core::resolve_points(grid);
+  const std::vector<core::PatternKind> kinds = grid.resolved_kinds();
+  const core::GridSignature signature =
+      core::grid_signature(points, kinds, sweep);
+
+  const auto compute = [&]() -> TablePtr {
+    const core::SweepRunner runner(sweep);
+    return sink != nullptr ? std::make_shared<const core::SweepTable>(
+                                 runner.run(grid, *sink))
+                           : std::make_shared<const core::SweepTable>(
+                                 runner.run(grid));
+  };
+
+  if (TablePtr table = cache_.find(signature)) {
+    if (!table_matches_grid(*table, points, kinds)) {
+      // Signature collision: compute this grid directly, bypassing the
+      // cache (two colliding grids cannot share the signature-keyed slot).
+      TablePtr fresh = compute();
+      tables_computed_.fetch_add(1, std::memory_order_relaxed);
+      return {std::move(fresh), signature, /*cache_hit=*/false,
+              /*joined_in_flight=*/false};
+    }
+    replay(*table, sink);
+    return {std::move(table), signature, /*cache_hit=*/true,
+            /*joined_in_flight=*/false};
+  }
+
+  // Miss: either join a concurrent computation of the same signature or
+  // become its leader. The promise lives on the heap so the leader can
+  // fulfill it after dropping the lock.
+  std::shared_ptr<std::promise<TablePtr>> promise;
+  std::shared_future<TablePtr> future;
+  {
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    const auto it = in_flight_.find(signature.value);
+    if (it != in_flight_.end()) {
+      future = it->second;
+    } else {
+      promise = std::make_shared<std::promise<TablePtr>>();
+      future = promise->get_future().share();
+      in_flight_.emplace(signature.value, future);
+    }
+  }
+
+  if (promise == nullptr) {  // follower: wait, then replay
+    TablePtr table = future.get();  // rethrows the leader's failure
+    if (!table_matches_grid(*table, points, kinds)) {
+      TablePtr fresh = compute();  // in-flight collision; see cache path
+      tables_computed_.fetch_add(1, std::memory_order_relaxed);
+      return {std::move(fresh), signature, /*cache_hit=*/false,
+              /*joined_in_flight=*/false};
+    }
+    replay(*table, sink);
+    return {std::move(table), signature, /*cache_hit=*/false,
+            /*joined_in_flight=*/true};
+  }
+
+  TablePtr table;
+  try {
+    table = compute();
+  } catch (...) {
+    promise->set_exception(std::current_exception());
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    in_flight_.erase(signature.value);
+    throw;
+  }
+  tables_computed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Publish to the cache before waking joiners/erasing the in-flight
+  // entry, so a submission arriving at any interleaving finds the table
+  // through one of the three paths.
+  cache_.insert(signature, table);
+  promise->set_value(table);
+  {
+    const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+    in_flight_.erase(signature.value);
+  }
+  return {std::move(table), signature, /*cache_hit=*/false,
+          /*joined_in_flight=*/false};
+}
+
+}  // namespace resilience::service

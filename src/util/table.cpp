@@ -106,6 +106,25 @@ void Table::write_csv(std::ostream& os) const {
   }
 }
 
+JsonValue Table::to_json() const {
+  JsonValue headers = JsonValue::array();
+  for (const auto& header : headers_) {
+    headers.push_back(header);
+  }
+  JsonValue rows = JsonValue::array();
+  for (const auto& row : rows_) {
+    JsonValue cells = JsonValue::array();
+    for (const auto& cell : row) {
+      cells.push_back(cell);
+    }
+    rows.push_back(std::move(cells));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("headers", std::move(headers));
+  out.set("rows", std::move(rows));
+  return out;
+}
+
 std::string format_double(double value, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << value;

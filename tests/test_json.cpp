@@ -1,0 +1,149 @@
+// Tests for the dependency-free JSON utility: strict parsing with located
+// errors, canonical double formatting, and the byte-identical
+// serialize -> parse -> re-serialize round trip the service layer's
+// caching story depends on.
+
+#include "resilience/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ru = resilience::util;
+using ru::JsonValue;
+
+TEST(Json, ParsesPrimitives) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.25e-3").as_double(), -1.25e-3);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto value = JsonValue::parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+  ASSERT_TRUE(value.is_object());
+  const auto& a = value.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_double(), 2.0);
+  EXPECT_EQ(a[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(value.find("d")->find("e")->is_null());
+  EXPECT_EQ(value.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  JsonValue object = JsonValue::object();
+  object.set("z", 1);
+  object.set("a", 2);
+  object.set("m", 3);
+  EXPECT_EQ(object.dump(), R"({"z":1,"a":2,"m":3})");
+  // And the parser keeps the document's order, not a sorted one.
+  EXPECT_EQ(JsonValue::parse(R"({"z":1,"a":2,"m":3})").dump(),
+            R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, StringEscapes) {
+  const auto value = JsonValue::parse(R"("line\nbreak \"q\" Aé")");
+  EXPECT_EQ(value.as_string(), "line\nbreak \"q\" A\xC3\xA9");
+  // Control characters and quotes re-escape on output.
+  EXPECT_EQ(JsonValue(std::string("a\nb\"c")).dump(), R"("a\nb\"c")");
+  // Surrogate pair -> astral code point (UTF-8: F0 9D 84 9E).
+  EXPECT_EQ(JsonValue::parse(R"("𝄞")").as_string(),
+            "\xF0\x9D\x84\x9E");
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    (void)JsonValue::parse("{\"a\": 1,\n  \"b\": }");
+    FAIL() << "expected JsonError";
+  } catch (const ru::JsonError& error) {
+    EXPECT_EQ(error.line, 2u);
+    EXPECT_GT(error.column, 0u);
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)JsonValue::parse(""), ru::JsonError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": 1} trailing"), ru::JsonError);
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"), ru::JsonError);
+  EXPECT_THROW((void)JsonValue::parse("[1, 2"), ru::JsonError);
+  EXPECT_THROW((void)JsonValue::parse("01"), ru::JsonError);
+  EXPECT_THROW((void)JsonValue::parse("truthy"), ru::JsonError);
+  EXPECT_THROW((void)JsonValue::parse(R"({"a":1,"a":2})"), ru::JsonError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), ru::JsonError);
+}
+
+TEST(Json, DepthLimitStopsHostileNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW((void)JsonValue::parse(deep), ru::JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const auto value = JsonValue::parse("[1]");
+  EXPECT_THROW((void)value.as_object(), ru::JsonError);
+  EXPECT_THROW((void)value.as_string(), ru::JsonError);
+  EXPECT_THROW((void)JsonValue(1.0).as_bool(), ru::JsonError);
+}
+
+TEST(Json, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(ru::format_json_number(3.0), "3");
+  EXPECT_EQ(ru::format_json_number(-130.0), "-130");
+  EXPECT_EQ(ru::format_json_number(0.1), "0.1");
+  EXPECT_EQ(ru::format_json_number(std::numeric_limits<double>::infinity()),
+            "Infinity");
+  EXPECT_EQ(ru::format_json_number(-std::numeric_limits<double>::infinity()),
+            "-Infinity");
+  EXPECT_EQ(ru::format_json_number(std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+
+  // Every representation must strtod back to the exact bits.
+  const std::vector<double> values = {
+      0.0,    -0.0,   1.0 / 3.0, 0.1,    1e-300, 1e300,  9265.806914864203,
+      2.3e-7, 1e15,   -1e15,     6.25e-2, 1.7976931348623157e308,
+      5e-324  /* min subnormal */};
+  for (const double value : values) {
+    const std::string text = ru::format_json_number(value);
+    const double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(std::signbit(parsed), std::signbit(value)) << text;
+    EXPECT_EQ(parsed, value) << text;
+  }
+}
+
+TEST(Json, RoundTripIsByteIdentical) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", "round trip");
+  doc.set("int", 42);
+  doc.set("neg", -17.5);
+  doc.set("tiny", 2.3e-7);
+  doc.set("inf", std::numeric_limits<double>::infinity());
+  doc.set("flag", true);
+  doc.set("nothing", nullptr);
+  JsonValue list = JsonValue::array();
+  list.push_back(1.0 / 3.0);
+  list.push_back("x\ty");
+  doc.set("list", std::move(list));
+
+  const std::string once = doc.dump();
+  const std::string twice = JsonValue::parse(once).dump();
+  EXPECT_EQ(once, twice);
+
+  // Pretty form parses back to the same compact form.
+  const std::string pretty = doc.dump(2);
+  EXPECT_EQ(JsonValue::parse(pretty).dump(), once);
+}
+
+TEST(Json, NonFiniteTokensParse) {
+  EXPECT_TRUE(std::isinf(JsonValue::parse("Infinity").as_double()));
+  EXPECT_TRUE(std::isinf(JsonValue::parse("-Infinity").as_double()));
+  EXPECT_LT(JsonValue::parse("-Infinity").as_double(), 0.0);
+  EXPECT_TRUE(std::isnan(JsonValue::parse("NaN").as_double()));
+  EXPECT_TRUE(std::isnan(JsonValue::parse("[NaN]").as_array()[0].as_double()));
+}

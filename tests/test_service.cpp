@@ -1,0 +1,436 @@
+// Tests for the service layer: request parsing/validation with
+// field-naming errors, grid signatures, the LRU table cache (hits
+// bit-identical to recomputes at several pool sizes), streaming delivery
+// (exact cell set, no dupes/drops), in-flight dedupe, and the
+// byte-identical SweepTable JSON round trip.
+
+#include "resilience/service/sweep_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "resilience/service/scenario_request.hpp"
+#include "resilience/service/serialize.hpp"
+#include "resilience/util/thread_pool.hpp"
+
+namespace rc = resilience::core;
+namespace rs = resilience::service;
+namespace ru = resilience::util;
+
+namespace {
+
+/// Small but non-trivial grid: 2 platforms x 2 node counts x 2 families.
+rc::ScenarioGrid small_grid() {
+  rc::ScenarioGrid grid;
+  grid.platforms = {rc::hera(), rc::atlas()};
+  grid.node_counts = {512, 2048};
+  grid.kinds = {rc::PatternKind::kD, rc::PatternKind::kDMV};
+  return grid;
+}
+
+/// Collects streamed cells for set comparisons.
+class CollectSink final : public rc::CellSink {
+ public:
+  void on_cell(const rc::SweepCell& cell) override { cells_.push_back(cell); }
+  [[nodiscard]] const std::vector<rc::SweepCell>& cells() const noexcept {
+    return cells_;
+  }
+
+ private:
+  std::vector<rc::SweepCell> cells_;
+};
+
+/// Exact cell-set equality: every table cell streamed exactly once,
+/// bit-identical; nothing extra.
+void expect_exact_cell_set(const rc::SweepTable& table,
+                           const std::vector<rc::SweepCell>& streamed) {
+  ASSERT_EQ(streamed.size(), table.cells.size());
+  std::vector<int> seen(table.cells.size(), 0);
+  for (const rc::SweepCell& cell : streamed) {
+    const rc::SweepCell& expected = table.cell(cell.point_index, cell.kind);
+    EXPECT_TRUE(rc::cells_bit_identical(cell, expected))
+        << "cell (" << cell.point_index << ", "
+        << rc::pattern_name(cell.kind) << ")";
+    const std::size_t flat = &expected - table.cells.data();
+    ++seen[flat];
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "cell " << i << " delivered " << seen[i]
+                          << " times";
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- signatures --
+
+TEST(GridSignature, StableAcrossCallsAndHexFormatted) {
+  const auto grid = small_grid();
+  const rc::SweepOptions options;
+  const auto a = rc::grid_signature(grid, options);
+  const auto b = rc::grid_signature(grid, options);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hex().size(), 16u);
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(GridSignature, SensitiveToContentNotSchedule) {
+  const auto grid = small_grid();
+  rc::SweepOptions options;
+  const auto base = rc::grid_signature(grid, options);
+
+  // Execution policy must NOT change the signature (results are pinned
+  // identical across pools and warm/cold starts).
+  rc::SweepOptions policy = options;
+  policy.warm_start = false;
+  policy.warm_scan_radius = 3;
+  ru::ThreadPool pool(2);
+  policy.pool = &pool;
+  EXPECT_EQ(rc::grid_signature(grid, policy), base);
+
+  // Anything observable must.
+  auto changed = grid;
+  changed.node_counts[1] = 4096;
+  EXPECT_NE(rc::grid_signature(changed, options), base);
+
+  changed = grid;
+  changed.kinds = {rc::PatternKind::kD};
+  EXPECT_NE(rc::grid_signature(changed, options), base);
+
+  changed = grid;
+  rc::CostOverride cd;
+  cd.disk_checkpoint = 90.0;
+  changed.cost_overrides = {cd};
+  EXPECT_NE(rc::grid_signature(changed, options), base);
+
+  rc::SweepOptions no_numeric = options;
+  no_numeric.numeric_optimum = false;
+  EXPECT_NE(rc::grid_signature(grid, no_numeric), base);
+
+  rc::SweepOptions tighter = options;
+  tighter.optimizer.max_chunks = 16;
+  EXPECT_NE(rc::grid_signature(grid, tighter), base);
+}
+
+// ------------------------------------------------------------ requests --
+
+TEST(ScenarioRequest, ParsesCatalogAndCustomPlatforms) {
+  const auto request = rs::ScenarioRequest::parse(R"({
+    "id": "r1",
+    "platforms": ["hera",
+                  {"name": "lab", "nodes": 4096, "fail_stop": 2.3e-7,
+                   "silent": 1.8e-7, "disk_checkpoint": 120.0,
+                   "memory_checkpoint": 5.0}],
+    "node_counts": [1024, 4096],
+    "rate_factors": [{"fail_stop": 2.0}],
+    "cost_overrides": [{"disk_checkpoint": 90.0}],
+    "kinds": ["PD", "PDMV*"],
+    "numeric_optimum": false})");
+  EXPECT_EQ(request.id, "r1");
+  ASSERT_EQ(request.grid.platforms.size(), 2u);
+  EXPECT_EQ(request.grid.platforms[0].name, "Hera");
+  EXPECT_EQ(request.grid.platforms[1].name, "lab");
+  EXPECT_EQ(request.grid.platforms[1].nodes, 4096u);
+  EXPECT_EQ(request.grid.node_counts, (std::vector<std::size_t>{1024, 4096}));
+  ASSERT_EQ(request.grid.rate_factors.size(), 1u);
+  EXPECT_DOUBLE_EQ(request.grid.rate_factors[0].fail_stop, 2.0);
+  EXPECT_DOUBLE_EQ(request.grid.rate_factors[0].silent, 1.0);  // default
+  ASSERT_EQ(request.grid.cost_overrides.size(), 1u);
+  EXPECT_DOUBLE_EQ(request.grid.cost_overrides[0].disk_checkpoint, 90.0);
+  EXPECT_DOUBLE_EQ(request.grid.cost_overrides[0].recall, -1.0);  // sentinel
+  EXPECT_EQ(request.grid.kinds,
+            (std::vector<rc::PatternKind>{rc::PatternKind::kD,
+                                          rc::PatternKind::kDMVg}));
+  EXPECT_FALSE(request.numeric_optimum);
+}
+
+TEST(ScenarioRequest, ErrorsNameTheOffendingField) {
+  const auto field_of = [](const std::string& text) {
+    try {
+      (void)rs::ScenarioRequest::parse(text);
+    } catch (const rs::RequestError& error) {
+      return error.field;
+    }
+    return std::string("<no error>");
+  };
+
+  // Unknown field (typo).
+  EXPECT_EQ(field_of(R"({"platfroms": ["hera"]})"), "platfroms");
+  // Wrong type.
+  EXPECT_EQ(field_of(R"({"platforms": "hera"})"), "platforms");
+  EXPECT_EQ(field_of(R"({"platforms": ["hera"], "numeric_optimum": 1})"),
+            "numeric_optimum");
+  EXPECT_EQ(field_of(R"({"platforms": ["hera"], "node_counts": [0]})"),
+            "node_counts[0]");
+  EXPECT_EQ(field_of(R"({"platforms": ["hera"], "node_counts": [512, "x"]})"),
+            "node_counts[1]");
+  // Empty platform axis.
+  EXPECT_EQ(field_of(R"({"platforms": []})"), "platforms");
+  // Missing platform axis.
+  EXPECT_EQ(field_of(R"({"id": "r"})"), "platforms");
+  // Unknown catalog name / bad custom platform fields.
+  EXPECT_EQ(field_of(R"({"platforms": ["nonesuch"]})"), "platforms[0]");
+  EXPECT_EQ(field_of(R"({"platforms": [{"nodes": 16}]})"),
+            "platforms[0].fail_stop");
+  EXPECT_EQ(
+      field_of(
+          R"({"platforms": [{"nodes": 16, "fail_stop": 1e-7, "silent": 1e-7,
+              "disk_checkpoint": -3, "memory_checkpoint": 5}]})"),
+      "platforms[0].disk_checkpoint");
+  // Unknown pattern family.
+  EXPECT_EQ(field_of(R"({"platforms": ["hera"], "kinds": ["PDX"]})"),
+            "kinds[0]");
+  // Unknown member inside an override object.
+  EXPECT_EQ(field_of(
+                R"({"platforms": ["hera"], "cost_overrides": [{"recal": 1}]})"),
+            "cost_overrides[0].recal");
+  // Invalid JSON altogether.
+  EXPECT_EQ(field_of("{"), "");
+}
+
+TEST(ScenarioRequest, GridValidationNamesAxisAndIndex) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      (void)rs::ScenarioRequest::parse(text);
+    } catch (const rs::RequestError& error) {
+      return std::string(error.what());
+    }
+    return std::string("<no error>");
+  };
+  EXPECT_NE(message_of(R"({"platforms": ["hera"],
+                           "rate_factors": [{"fail_stop": 1.0},
+                                            {"fail_stop": -2.0}]})")
+                .find("rate_factors[1]"),
+            std::string::npos);
+  EXPECT_NE(message_of(R"({"platforms": ["hera"],
+                           "cost_overrides": [{"recall": -0.5}]})")
+                .find("cost_overrides[0]"),
+            std::string::npos);
+}
+
+TEST(ScenarioGridValidate, RejectsBadAxesDirectly) {
+  auto grid = small_grid();
+  grid.node_counts[0] = 0;
+  EXPECT_THROW(grid.validate(), std::invalid_argument);
+  try {
+    grid.validate();
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("node_counts[0]"),
+              std::string::npos);
+  }
+
+  grid = small_grid();
+  grid.rate_factors.push_back({1.0, 0.0});
+  EXPECT_THROW(grid.validate(), std::invalid_argument);
+
+  grid = small_grid();
+  rc::CostOverride bad;
+  bad.partial_verification = -2.0;  // negative but not the -1 sentinel
+  grid.cost_overrides.push_back(bad);
+  EXPECT_THROW(grid.validate(), std::invalid_argument);
+
+  // The exact sentinel stays legal.
+  grid = small_grid();
+  rc::CostOverride sentinel;  // all fields -1
+  grid.cost_overrides.push_back(sentinel);
+  EXPECT_NO_THROW(grid.validate());
+}
+
+// ----------------------------------------------------- cache + service --
+
+TEST(SweepCache, HitIsBitIdenticalToRecomputeAcrossPoolSizes) {
+  const auto grid = small_grid();
+  rs::SweepService service;
+
+  const rs::SubmitResult cold = service.submit(grid);
+  EXPECT_FALSE(cold.cache_hit);
+  const rs::SubmitResult cached = service.submit(grid);
+  EXPECT_TRUE(cached.cache_hit);
+  EXPECT_EQ(cached.signature, cold.signature);
+  EXPECT_TRUE(rc::tables_bit_identical(*cold.table, *cached.table));
+
+  // The cached table must equal a from-scratch recompute at every pool
+  // size (cold, cached and pools of 1/2/8 all bit-identical).
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ru::ThreadPool pool(threads);
+    rc::SweepOptions options;
+    options.pool = &pool;
+    const rc::SweepTable recomputed = rc::SweepRunner(options).run(grid);
+    EXPECT_TRUE(rc::tables_bit_identical(*cached.table, recomputed))
+        << "pool size " << threads;
+  }
+  EXPECT_EQ(service.tables_computed(), 1u);
+}
+
+TEST(SweepCache, EvictsLeastRecentlyUsed) {
+  rs::SweepCache cache(2);
+  const auto table = std::make_shared<const rc::SweepTable>();
+  cache.insert(rc::GridSignature{1}, table);
+  cache.insert(rc::GridSignature{2}, table);
+  EXPECT_NE(cache.find(rc::GridSignature{1}), nullptr);  // 1 now most recent
+  cache.insert(rc::GridSignature{3}, table);             // evicts 2
+  EXPECT_EQ(cache.find(rc::GridSignature{2}), nullptr);
+  EXPECT_NE(cache.find(rc::GridSignature{1}), nullptr);
+  EXPECT_NE(cache.find(rc::GridSignature{3}), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SweepCache, ZeroCapacityDisablesCaching) {
+  rs::ServiceOptions options;
+  options.cache_capacity = 0;
+  rs::SweepService service(options);
+  const auto grid = small_grid();
+  EXPECT_FALSE(service.submit(grid).cache_hit);
+  EXPECT_FALSE(service.submit(grid).cache_hit);
+  EXPECT_EQ(service.tables_computed(), 2u);
+}
+
+// ----------------------------------------------------------- streaming --
+
+TEST(SweepStreaming, DeliversExactCellSetAcrossPoolSizes) {
+  const auto grid = small_grid();
+  const rc::SweepTable reference = rc::SweepRunner().run(grid);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ru::ThreadPool pool(threads);
+    rc::SweepOptions options;
+    options.pool = &pool;
+    CollectSink sink;
+    const rc::SweepTable table = rc::SweepRunner(options).run(grid, sink);
+    EXPECT_TRUE(rc::tables_bit_identical(table, reference))
+        << "pool size " << threads;
+    expect_exact_cell_set(reference, sink.cells());
+  }
+}
+
+TEST(SweepStreaming, StreamsWithoutNumericOptimumToo) {
+  auto grid = small_grid();
+  rc::SweepOptions options;
+  options.numeric_optimum = false;
+  CollectSink sink;
+  const rc::SweepTable table = rc::SweepRunner(options).run(grid, sink);
+  expect_exact_cell_set(table, sink.cells());
+}
+
+TEST(SweepService, StreamsOnMissAndReplaysOnHit) {
+  const auto grid = small_grid();
+  rs::SweepService service;
+
+  CollectSink live;
+  const rs::SubmitResult cold = service.submit(grid, &live);
+  expect_exact_cell_set(*cold.table, live.cells());
+
+  CollectSink replay;
+  const rs::SubmitResult hit = service.submit(grid, &replay);
+  EXPECT_TRUE(hit.cache_hit);
+  expect_exact_cell_set(*hit.table, replay.cells());
+}
+
+TEST(SweepService, ConcurrentIdenticalSubmissionsDedupe) {
+  const auto grid = small_grid();
+  rs::SweepService service;
+
+  constexpr std::size_t kThreads = 6;
+  std::vector<rs::SubmitResult> results(kThreads);
+  std::vector<CollectSink> sinks(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&, i] { results[i] = service.submit(grid, &sinks[i]); });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+
+  // However the submissions interleaved, exactly one compute happened and
+  // every caller got the full, identical cell set.
+  EXPECT_EQ(service.tables_computed(), 1u);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    ASSERT_NE(results[i].table, nullptr);
+    EXPECT_TRUE(rc::tables_bit_identical(*results[0].table, *results[i].table));
+    expect_exact_cell_set(*results[i].table, sinks[i].cells());
+  }
+}
+
+// ------------------------------------------------------- serialization --
+
+TEST(Serialize, SweepTableJsonRoundTripIsByteIdentical) {
+  auto grid = small_grid();
+  rc::CostOverride cd;
+  cd.disk_checkpoint = 90.0;
+  grid.cost_overrides = {cd};  // exercise override fields in the points
+  const rc::SweepTable table = rc::SweepRunner().run(grid);
+
+  const std::string once = rs::to_json(table).dump();
+  const rc::SweepTable parsed = rs::table_from_json(ru::JsonValue::parse(once));
+  const std::string twice = rs::to_json(parsed).dump();
+  EXPECT_EQ(once, twice);
+  EXPECT_TRUE(rc::tables_bit_identical(table, parsed));
+  // The deserialized table is indexed: O(1) cell() works.
+  EXPECT_EQ(parsed.cell(0, rc::PatternKind::kDMV).kind, rc::PatternKind::kDMV);
+}
+
+TEST(Serialize, TableFromJsonRejectsPermutedCells) {
+  rc::SweepOptions options;
+  options.numeric_optimum = false;
+  const rc::SweepTable table = rc::SweepRunner(options).run(small_grid());
+  // Swap two cells: the count still matches, but cell() index arithmetic
+  // would silently return wrong data — the parser must reject it.
+  rc::SweepTable tampered = table;
+  std::swap(tampered.cells[0], tampered.cells[1]);
+  EXPECT_THROW((void)rs::table_from_json(ru::JsonValue::parse(
+                   rs::to_json(tampered).dump())),
+               std::runtime_error);
+}
+
+TEST(Serialize, InfinityCellSurvivesRoundTrip) {
+  // Degenerate cells carry +inf in exact_at_first_order; the wire format
+  // must not corrupt them.
+  rc::SweepCell cell;
+  cell.kind = rc::PatternKind::kDV;
+  cell.exact_at_first_order = std::numeric_limits<double>::infinity();
+  const rc::SweepCell parsed = rs::cell_from_json(
+      ru::JsonValue::parse(rs::to_json(cell).dump()));
+  EXPECT_TRUE(rc::cells_bit_identical(cell, parsed));
+}
+
+TEST(Serialize, RequestRoundTrip) {
+  const auto request = rs::ScenarioRequest::parse(R"({
+    "id": "rt", "platforms": ["atlas"], "node_counts": [256],
+    "kinds": ["PDMV"], "numeric_optimum": false})");
+  const auto reparsed =
+      rs::ScenarioRequest::from_json(request.to_json());
+  EXPECT_EQ(reparsed.id, "rt");
+  EXPECT_EQ(reparsed.grid.platforms[0].name, "Atlas");
+  EXPECT_EQ(reparsed.grid.node_counts, request.grid.node_counts);
+  EXPECT_EQ(reparsed.grid.kinds, request.grid.kinds);
+  EXPECT_FALSE(reparsed.numeric_optimum);
+}
+
+TEST(Serialize, JsonlCellSinkWritesParseableLines) {
+  const auto grid = small_grid();
+  rs::SweepService service;
+  std::ostringstream out;
+  rs::JsonlCellSink sink(out, "req-1", rc::grid_signature(grid, {}));
+  const rs::SubmitResult result = service.submit(grid, &sink);
+  EXPECT_EQ(sink.cells_written(), result.table->cells.size());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const auto value = ru::JsonValue::parse(line);
+    EXPECT_EQ(value.find("type")->as_string(), "cell");
+    EXPECT_EQ(value.find("request")->as_string(), "req-1");
+    EXPECT_EQ(value.find("signature")->as_string(), result.signature.hex());
+    ++count;
+  }
+  EXPECT_EQ(count, result.table->cells.size());
+}

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "resilience/core/expected_time.hpp"
 #include "resilience/util/thread_pool.hpp"
@@ -170,4 +173,118 @@ TEST(SweepRunner, CellsAgreeWithDirectOptimization) {
             .overhead;
     EXPECT_DOUBLE_EQ(cell.exact_at_first_order, exact);
   }
+}
+
+TEST(SweepTable, CellLookupIsIndexArithmeticPinnedAgainstLinearScan) {
+  // Family subset out of enum order, so slot != enum value.
+  rc::ScenarioGrid grid;
+  grid.platforms = {rc::hera(), rc::atlas()};
+  grid.node_counts = {512, 2048};
+  grid.kinds = {rc::PatternKind::kDMV, rc::PatternKind::kD,
+                rc::PatternKind::kDVg};
+  rc::SweepOptions options;
+  options.numeric_optimum = false;
+  const auto table = rc::SweepRunner(options).run(grid);
+
+  // Reference: the O(kinds) linear scan cell() used to perform.
+  const auto linear_lookup = [&](std::size_t point,
+                                 rc::PatternKind kind) -> const rc::SweepCell& {
+    const auto it = std::find(table.kinds.begin(), table.kinds.end(), kind);
+    return table.cells[point * table.kinds.size() +
+                       static_cast<std::size_t>(it - table.kinds.begin())];
+  };
+  for (std::size_t p = 0; p < table.points.size(); ++p) {
+    for (const auto kind : table.kinds) {
+      EXPECT_EQ(&table.cell(p, kind), &linear_lookup(p, kind))
+          << "point " << p << " kind " << rc::pattern_name(kind);
+    }
+  }
+  // Absent family and out-of-range point still throw.
+  EXPECT_THROW((void)table.cell(0, rc::PatternKind::kDM), std::out_of_range);
+  EXPECT_THROW((void)table.cell(table.points.size(), rc::PatternKind::kD),
+               std::out_of_range);
+
+  // Hand-assembled tables index on demand.
+  rc::SweepTable manual;
+  manual.points = table.points;
+  manual.kinds = table.kinds;
+  manual.cells = table.cells;
+  EXPECT_THROW((void)manual.cell(0, rc::PatternKind::kD), std::out_of_range);
+  manual.index_kinds();
+  EXPECT_EQ(&manual.cell(1, rc::PatternKind::kDVg),
+            &manual.cells[1 * manual.kinds.size() + 2]);
+}
+
+namespace {
+
+/// Records delivered cells; used by the core-level streaming test.
+class RecordingSink final : public rc::CellSink {
+ public:
+  void on_cell(const rc::SweepCell& cell) override { cells.push_back(cell); }
+  std::vector<rc::SweepCell> cells;
+};
+
+}  // namespace
+
+TEST(SweepRunner, StreamingDeliversEveryCellOnceBitIdentical) {
+  const auto grid = small_grid();
+  const auto reference = rc::SweepRunner().run(grid);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ru::ThreadPool pool(threads);
+    rc::SweepOptions options;
+    options.pool = &pool;
+    RecordingSink sink;
+    const auto table = rc::SweepRunner(options).run(grid, sink);
+
+    ASSERT_EQ(sink.cells.size(), reference.cells.size())
+        << "pool size " << threads;
+    std::vector<int> seen(reference.cells.size(), 0);
+    for (const auto& cell : sink.cells) {
+      const auto& expected = reference.cell(cell.point_index, cell.kind);
+      EXPECT_TRUE(rc::cells_bit_identical(cell, expected))
+          << "pool " << threads << " cell (" << cell.point_index << ", "
+          << rc::pattern_name(cell.kind) << ")";
+      ++seen[static_cast<std::size_t>(&expected - reference.cells.data())];
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], 1) << "pool " << threads << " cell " << i;
+    }
+    EXPECT_TRUE(rc::tables_bit_identical(table, reference))
+        << "pool size " << threads;
+  }
+}
+
+TEST(ScenarioGrid, ValidateNamesAxisAndIndex) {
+  const auto message_of = [](const rc::ScenarioGrid& grid) {
+    try {
+      grid.validate();
+    } catch (const std::invalid_argument& error) {
+      return std::string(error.what());
+    }
+    return std::string("<no error>");
+  };
+
+  auto grid = small_grid();
+  grid.node_counts = {256, 0};
+  EXPECT_NE(message_of(grid).find("node_counts[1]"), std::string::npos);
+
+  grid = small_grid();
+  grid.rate_factors = {{1.0, 1.0}, {1.0, 1.0}, {-0.5, 1.0}};
+  EXPECT_NE(message_of(grid).find("rate_factors[2]"), std::string::npos);
+
+  grid = small_grid();
+  rc::CostOverride bad;
+  bad.recall = -0.25;  // negative but not the -1 sentinel
+  grid.cost_overrides = {rc::CostOverride{}, bad};
+  EXPECT_NE(message_of(grid).find("cost_overrides[1]"), std::string::npos);
+
+  // resolve_points and run() both go through validate().
+  EXPECT_THROW((void)rc::resolve_points(grid), std::invalid_argument);
+  EXPECT_THROW((void)rc::SweepRunner().run(grid), std::invalid_argument);
+
+  // The -1 sentinel everywhere stays legal.
+  grid = small_grid();
+  grid.cost_overrides = {rc::CostOverride{}};
+  EXPECT_NO_THROW(grid.validate());
 }
