@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "resilience/core/expected_time.hpp"
 #include "resilience/core/first_order.hpp"
@@ -27,6 +28,22 @@
 #include "resilience/util/thread_pool.hpp"
 
 namespace resilience::bench {
+
+/// The fig6-style full-catalog grid every bench_micro throughput section
+/// measures on: 4 platforms x weak-scaling node counts x all 6 families
+/// (96 cells). `extra_node_counts` appends axis values — the "reuse"
+/// section extends the axis by one step to model an incrementally
+/// evolving client grid.
+inline core::ScenarioGrid catalog_grid(
+    std::vector<std::size_t> extra_node_counts = {}) {
+  core::ScenarioGrid grid;
+  grid.platforms = core::all_platforms();
+  grid.node_counts = {256, 1024, 4096, 16384};
+  for (const std::size_t nodes : extra_node_counts) {
+    grid.node_counts.push_back(nodes);
+  }
+  return grid;
+}
 
 struct SimulatedPattern {
   core::FirstOrderSolution solution;

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <limits>
 #include <cstdio>
 #include <cstring>
@@ -21,11 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "resilience/core/expected_time.hpp"
 #include "resilience/core/first_order.hpp"
 #include "resilience/core/optimizer.hpp"
 #include "resilience/core/platform.hpp"
 #include "resilience/core/sweep.hpp"
+#include "resilience/service/serialize.hpp"
 #include "resilience/service/sweep_service.hpp"
 #include "resilience/sim/engine.hpp"
 #include "resilience/sim/runner.hpp"
@@ -138,15 +141,10 @@ struct SweepBenchResult {
   [[nodiscard]] bool optima_match() const { return mismatched_cells == 0; }
 };
 
-rc::ScenarioGrid sweep_bench_grid() {
-  rc::ScenarioGrid grid;
-  grid.platforms = rc::all_platforms();
-  grid.node_counts = {256, 1024, 4096, 16384};  // kinds default to all six
-  return grid;
-}
-
 SweepBenchResult run_sweep_bench() {
-  const rc::ScenarioGrid grid = sweep_bench_grid();
+  // One builder for every throughput section (sweep/service/reuse):
+  // resilience::bench::catalog_grid, the fig6-style 96-cell catalog.
+  const rc::ScenarioGrid grid = resilience::bench::catalog_grid();
   const auto kinds = grid.resolved_kinds();
   SweepBenchResult result;
   result.cells = grid.cell_count();
@@ -238,7 +236,7 @@ struct ServiceBenchResult {
 
 ServiceBenchResult run_service_bench() {
   namespace rv = resilience::service;
-  const rc::ScenarioGrid grid = sweep_bench_grid();  // the 96-cell catalog
+  const rc::ScenarioGrid grid = resilience::bench::catalog_grid();
   ServiceBenchResult result;
   result.cells = grid.cell_count();
 
@@ -280,6 +278,108 @@ ServiceBenchResult run_service_bench() {
       std::max(elapsed.count() / static_cast<double>(result.warm_batches),
                1e-9);  // clock floor: avoid infinite rates on coarse clocks
   result.warm_scenarios_per_sec = static_cast<double>(result.cells) / per_batch;
+  return result;
+}
+
+// ----------------------------------------------------- cross-grid reuse --
+
+/// Cross-grid seed reuse: the catalog grid is cached, then the client
+/// extends the node-count axis by one step (256..16384 -> +20480) — the
+/// incremental-evolution pattern the seed index exists for. The seeded
+/// submit reuses the 96 bit-equal points outright and computes only the
+/// 24 genuinely new cells (warm-started from the cached chain ends), so
+/// the acceptance bar is a >= 5x scenarios/sec speedup over a cold sweep
+/// of the extended grid — gated on every cell of the reused table being
+/// bit-identical to the cold table. A second gate covers the ROADMAP
+/// persistence item: a service restart over a cache_dir must serve the
+/// spilled entry back byte-identically (lazy reload, zero recomputes).
+struct ReuseBenchResult {
+  std::size_t base_cells = 0;
+  std::size_t extended_cells = 0;
+  double cold_scenarios_per_sec = 0.0;
+  double reuse_scenarios_per_sec = 0.0;
+  bool seeded = false;
+  bool bit_identical = false;
+  bool persistence_reload_bit_identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return cold_scenarios_per_sec > 0.0
+               ? reuse_scenarios_per_sec / cold_scenarios_per_sec
+               : 0.0;
+  }
+};
+
+ReuseBenchResult run_reuse_bench() {
+  namespace rv = resilience::service;
+  const rc::ScenarioGrid base = resilience::bench::catalog_grid();
+  const rc::ScenarioGrid extended = resilience::bench::catalog_grid({20480});
+  ReuseBenchResult result;
+  result.base_cells = base.cell_count();
+  result.extended_cells = extended.cell_count();
+
+  // Cold reference for the extended grid (no cache, no seeds), best of 2.
+  rc::SweepTable cold_table;
+  double cold_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    cold_table = rc::SweepRunner().run(extended);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    cold_seconds = std::min(cold_seconds, elapsed.count());
+  }
+  result.cold_scenarios_per_sec =
+      static_cast<double>(result.extended_cells) / cold_seconds;
+
+  // Seeded submit of the extended grid against a service that has the
+  // base grid cached. Fresh service per rep so every rep is a true miss
+  // seeded only by the base table (best of 2, same protocol as cold).
+  double reuse_seconds = std::numeric_limits<double>::infinity();
+  result.seeded = true;
+  result.bit_identical = true;
+  for (int rep = 0; rep < 2; ++rep) {
+    rv::SweepService service;
+    const rv::SubmitResult warmup = service.submit(base);
+    if (warmup.cache_hit) {
+      std::fprintf(stderr, "bench_micro: base submit unexpectedly hit cache\n");
+      return result;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const rv::SubmitResult reused = service.submit(extended);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    reuse_seconds = std::min(reuse_seconds, elapsed.count());
+    result.seeded = result.seeded && reused.seeded && !reused.cache_hit;
+    result.bit_identical =
+        result.bit_identical &&
+        rc::tables_bit_identical(*reused.table, cold_table);
+  }
+  result.reuse_scenarios_per_sec =
+      static_cast<double>(result.extended_cells) / reuse_seconds;
+
+  // Persistence: destroy a service (spilling its cache), restart over the
+  // same directory, and demand the reload serve the identical bytes
+  // without recomputing anything.
+  const std::string cache_dir = "bench_micro_reuse_cache";
+  std::error_code cleanup_error;
+  std::filesystem::remove_all(cache_dir, cleanup_error);
+  std::string before;
+  {
+    rv::ServiceOptions options;
+    options.cache_dir = cache_dir;
+    rv::SweepService service(options);
+    before = rv::to_json(*service.submit(base).table).dump();
+  }  // destructor spills the LRU to cache_dir
+  {
+    rv::ServiceOptions options;
+    options.cache_dir = cache_dir;
+    rv::SweepService service(options);
+    const rv::SubmitResult reloaded = service.submit(base);
+    result.persistence_reload_bit_identical =
+        reloaded.cache_hit && reloaded.disk_hit &&
+        service.tables_computed() == 0 &&
+        rv::to_json(*reloaded.table).dump() == before;
+  }
+  std::filesystem::remove_all(cache_dir, cleanup_error);
   return result;
 }
 
@@ -332,6 +432,14 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       service.warm_speedup(),
       service.hit_bit_identical ? "bit-identical" : "DIVERGES");
 
+  const ReuseBenchResult reuse = run_reuse_bench();
+  std::printf(
+      "reuse  cold %10.0f scen/s   seeded %12.0f scen/s   speedup %5.2fx"
+      "   cells %s   persistence %s\n",
+      reuse.cold_scenarios_per_sec, reuse.reuse_scenarios_per_sec,
+      reuse.speedup(), reuse.bit_identical ? "bit-identical" : "DIVERGE",
+      reuse.persistence_reload_bit_identical ? "bit-identical" : "BROKEN");
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", out_path.c_str());
@@ -368,6 +476,22 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       << "    \"hit_bit_identical\": "
       << (service.hit_bit_identical ? "true" : "false") << "\n"
       << "  },\n"
+      << "  \"reuse\": {\n"
+      << "    \"grid\": \"96-cell catalog extended by one node count "
+         "(+20480)\",\n"
+      << "    \"base_cells\": " << reuse.base_cells << ",\n"
+      << "    \"extended_cells\": " << reuse.extended_cells << ",\n"
+      << "    \"cold_scenarios_per_sec\": " << reuse.cold_scenarios_per_sec
+      << ",\n"
+      << "    \"reuse_scenarios_per_sec\": " << reuse.reuse_scenarios_per_sec
+      << ",\n"
+      << "    \"speedup\": " << reuse.speedup() << ",\n"
+      << "    \"seeded\": " << (reuse.seeded ? "true" : "false") << ",\n"
+      << "    \"bit_identical\": " << (reuse.bit_identical ? "true" : "false")
+      << ",\n"
+      << "    \"persistence_reload_bit_identical\": "
+      << (reuse.persistence_reload_bit_identical ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"families\": [\n";
   for (std::size_t i = 0; i < families.size(); ++i) {
     const auto& f = families[i];
@@ -382,9 +506,10 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
   }
   out << "  ]\n}\n";
   std::printf(
-      "geomean speedup %.2fx, sweep speedup %.2fx, warm-cache %.0fx -> %s\n",
+      "geomean speedup %.2fx, sweep speedup %.2fx, warm-cache %.0fx, "
+      "reuse %.2fx -> %s\n",
       geomean_speedup, sweep.speedup(), service.warm_speedup(),
-      out_path.c_str());
+      reuse.speedup(), out_path.c_str());
   if (!all_measured) {
     std::fprintf(stderr,
                  "bench_micro: only %zu/%zu families timed; geomean not "
@@ -410,6 +535,27 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
                  "bench_micro: warm-cache throughput is only %.1fx the cold "
                  "sweep path (acceptance bar: 20x)\n",
                  service.warm_speedup());
+    return 1;
+  }
+  if (!reuse.seeded || !reuse.bit_identical) {
+    std::fprintf(stderr,
+                 "bench_micro: the seeded reuse sweep %s; its throughput is "
+                 "not trustworthy\n",
+                 !reuse.seeded ? "consumed no cross-grid seeds"
+                               : "is not bit-identical to the cold sweep");
+    return 1;
+  }
+  if (reuse.speedup() < 5.0) {
+    std::fprintf(stderr,
+                 "bench_micro: seeded reuse of the one-axis-extended catalog "
+                 "grid is only %.2fx the cold sweep (acceptance bar: 5x)\n",
+                 reuse.speedup());
+    return 1;
+  }
+  if (!reuse.persistence_reload_bit_identical) {
+    std::fprintf(stderr,
+                 "bench_micro: a persisted cache entry did not reload "
+                 "bit-identically after a service restart\n");
     return 1;
   }
   return 0;

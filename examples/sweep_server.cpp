@@ -11,10 +11,14 @@
 //                          field; the server moves on to the next line.
 //
 // Identical grids are served from the LRU table cache / deduped when
-// concurrently in flight, and --check turns the run into a self-verifying
-// smoke test: every streamed cell set is compared against a fresh batch
-// recompute, bit for bit (the CI service smoke runs this on a 2-platform
-// request file).
+// concurrently in flight; related grids warm-start from cached chains
+// (reuse_seeds, default on); --cache-dir persists the cache across
+// restarts. --check turns the run into a self-verifying smoke test: every
+// streamed cell set is compared, bit for bit, against a fresh recompute
+// through a cold (cache-free, seed-free) SweepService — the same submit
+// path, so cache hits, disk reloads and seeded computes are all exercised
+// against a genuine cold reference (the CI service smoke runs this on a
+// 2-platform request file).
 
 #include <cstdio>
 #include <fstream>
@@ -72,12 +76,16 @@ class ServerSink final : public rc::CellSink {
 
 /// The streamed set must be exactly the batch table's cell set: every
 /// (point, family) cell delivered once, bit-identical — no dupes, no
-/// drops — and the served table must be bit-identical to a fresh,
-/// cache-free recompute.
+/// drops — and the served table must be bit-identical to a fresh, cold
+/// recompute through `verify_service` (a cache-free, seed-free
+/// SweepService: the reference runs the same submit path the primary
+/// service used, so --check exercises cache hits, disk reloads and seeded
+/// computes against a genuine cold compute instead of a bespoke runner
+/// call).
 bool check_request(const rs::ScenarioRequest& request,
                    const rs::SubmitResult& result,
                    const std::vector<rc::SweepCell>& streamed,
-                   const rc::SweepOptions& sweep_base) {
+                   rs::SweepService& verify_service) {
   bool ok = true;
   const rc::SweepTable& table = *result.table;
 
@@ -118,13 +126,18 @@ bool check_request(const rs::ScenarioRequest& request,
     ok = false;
   }
 
-  rc::SweepOptions sweep = sweep_base;
-  sweep.numeric_optimum = request.numeric_optimum;
-  const rc::SweepTable recomputed = rc::SweepRunner(sweep).run(request.grid);
-  if (!rc::tables_bit_identical(table, recomputed)) {
+  const rs::SubmitResult recomputed = verify_service.submit(request);
+  if (recomputed.cache_hit || recomputed.seeded) {
+    std::fprintf(stderr,
+                 "sweep_server: request '%s': verification service was not "
+                 "cold (configuration bug)\n",
+                 request.id.c_str());
+    ok = false;
+  }
+  if (!rc::tables_bit_identical(table, *recomputed.table)) {
     std::fprintf(stderr,
                  "sweep_server: request '%s': served table differs from a "
-                 "fresh recompute (cache identity violated)\n",
+                 "fresh recompute (reuse identity violated)\n",
                  request.id.c_str());
     ok = false;
   }
@@ -139,6 +152,9 @@ int main(int argc, char** argv) {
   cli.add_flag("input", "-", "request file, one JSON object per line ('-' = stdin)");
   cli.add_flag("threads", "0", "sweep pool threads (0 = shared global pool)");
   cli.add_flag("cache-capacity", "64", "LRU table-cache capacity (0 = no cache)");
+  cli.add_flag("cache-dir", "",
+               "spill evicted/shutdown cache entries to this directory and "
+               "lazily reload them (empty = no persistence)");
   cli.add_bool_flag("no-stream", "emit only done/error lines, no cell lines");
   cli.add_bool_flag("check",
                     "verify every streamed cell set against a fresh batch "
@@ -173,11 +189,23 @@ int main(int argc, char** argv) {
   std::unique_ptr<ru::ThreadPool> pool;
   rs::ServiceOptions options;
   options.cache_capacity = static_cast<std::size_t>(capacity_raw);
+  options.cache_dir = cli.get_string("cache-dir");
   if (threads > 0) {
     pool = std::make_unique<ru::ThreadPool>(threads);
     options.sweep.pool = pool.get();
   }
   rs::SweepService service(options);
+
+  // --check reference: same submit path, guaranteed cold (no cache, no
+  // disk tier, no seeds), constructed lazily only when checking.
+  std::unique_ptr<rs::SweepService> verify_service;
+  if (check) {
+    rs::ServiceOptions verify_options;
+    verify_options.sweep = options.sweep;
+    verify_options.cache_capacity = 0;
+    verify_options.reuse_seeds = false;
+    verify_service = std::make_unique<rs::SweepService>(verify_options);
+  }
 
   bool check_failed = false;
   std::string line;
@@ -211,7 +239,7 @@ int main(int argc, char** argv) {
               << std::endl;  // flush: each request's output is complete
 
     if (check &&
-        !check_request(request, result, sink.collected(), options.sweep)) {
+        !check_request(request, result, sink.collected(), *verify_service)) {
       check_failed = true;
     }
   }

@@ -44,11 +44,14 @@ struct OptimizerOptions {
   /// lattice optimum; the seed only moves the starting window.
   std::size_t seed_segments_n = 0;
   std::size_t seed_chunks_m = 0;
-  /// Center of the golden-section W bracket (seconds; 0 = derive from the
-  /// per-cell first-order W*). The bracket is [hint/50, 50*hint] clamped to
-  /// [work_lo, work_hi]; when the minimizer lands on a tightened edge the
-  /// search re-runs on the full bracket, so a bad hint costs time, never
-  /// correctness.
+  /// Warm-start W metadata carried alongside the (n, m) seed (seconds;
+  /// 0 = none). Deliberately inert in cell evaluation: the golden-section
+  /// bracket is always centered on the cell's own first-order W* (with the
+  /// pinned-edge full-bracket fallback), so every cell's (W, H) is a pure
+  /// function of (kind, n, m, params, evaluation options) and any seeding
+  /// path — cold, chain predecessor, cross-grid SeedSource — produces
+  /// bit-identical values. Seed providers still populate it (it documents
+  /// where the seed sat), but it must never change results.
   double work_hint = 0.0;
   /// Evaluate (n, m) cells inline instead of fanning out across the pool.
   /// Required when the optimizer itself runs inside a pool task (the pool

@@ -17,11 +17,22 @@
 // lattice neighbors and the warm descent converges in a couple of cell
 // evaluations — while cross-chain independence keeps the schedule
 // deterministic: every cell is written exactly once, by its own chain.
+//
+// Cross-grid reuse: a chain's identity (ChainKey) is independent of the
+// (node count, rate factor) axes, so chains recur across incrementally
+// evolving grids. A SeedSource supplies finished optima from such sibling
+// chains; the runner reuses a supplied cell outright when its resolved
+// parameters bit-match the requested point's (cell values are pure
+// functions of (kind, params, result-affecting options)), and otherwise
+// warm-starts cold chain heads from the nearest supplied point. Either
+// way the table stays bit-identical to a sweep without any seeds.
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "resilience/core/first_order.hpp"
@@ -149,9 +160,87 @@ struct GridSignature {
   /// 16-digit lowercase hex, e.g. "9ae16a3b2f90404f" — the wire form
   /// (JSON numbers cannot carry 64 bits exactly).
   [[nodiscard]] std::string hex() const;
+
+  /// Inverse of hex(); nullopt unless `text` is exactly 16 lowercase hex
+  /// digits (the persistence layer parses cache filenames through this).
+  [[nodiscard]] static std::optional<GridSignature> from_hex(
+      std::string_view text);
 };
 
 struct SweepOptions;  // declared below
+
+/// Stable 64-bit sub-signature of one *chain* — the unit of cross-grid
+/// reuse the GridSignature factors into. A chain is pinned by the base
+/// platform (every field), the cost override, the pattern family and the
+/// result-affecting option fields; the (node count, rate factor) axes are
+/// deliberately excluded — they only position points ALONG the chain.
+/// Equal keys mean each resolved point of either chain is the same pure
+/// function of its (node count, rate factors) coordinate, so one chain's
+/// finished optima are valid warm-start seeds — and, at bit-equal resolved
+/// parameters, valid cell values — for the other. Like GridSignature the
+/// hash is not cryptographic, so value reuse additionally requires the
+/// bitwise parameter match SweepRunner performs per point (see ChainSeed).
+struct ChainKey {
+  std::uint64_t value = 0;
+
+  friend bool operator==(ChainKey a, ChainKey b) noexcept {
+    return a.value == b.value;
+  }
+  friend bool operator!=(ChainKey a, ChainKey b) noexcept {
+    return a.value != b.value;
+  }
+
+  [[nodiscard]] std::string hex() const;
+  [[nodiscard]] static std::optional<ChainKey> from_hex(std::string_view text);
+};
+
+/// One chain of a grid: fixed (platform, cost override, family), walking
+/// the (node count, rate factor) axes sequentially. `cost_index` is 0 when
+/// the override axis is empty (the implicit no-override element).
+struct GridChain {
+  std::size_t platform_index = 0;
+  std::size_t cost_index = 0;
+  PatternKind kind = PatternKind::kD;
+  ChainKey key;
+};
+
+/// Sub-signature of the chain (platform, cost_override, kind) under the
+/// result-affecting fields of `options`. Pass CostOverride{} (all
+/// sentinels) for a grid with an empty override axis.
+[[nodiscard]] ChainKey chain_key(const Platform& platform,
+                                 const CostOverride& cost_override,
+                                 PatternKind kind, const SweepOptions& options);
+
+/// Chains of `grid` in the runner's deterministic order (platform-major,
+/// then cost override, then family). Validates the grid.
+[[nodiscard]] std::vector<GridChain> grid_chains(const ScenarioGrid& grid,
+                                                 const SweepOptions& options);
+
+/// One reusable optimum from a chain finished under the same ChainKey: the
+/// point's position (node count + fully resolved parameters) and its
+/// finished cell. When `params` bit-matches a requested point's resolved
+/// parameters the cell IS that point's result — cell values are pure
+/// functions of (kind, params, result-affecting options), pinned by the
+/// bit-identity tests — and the runner reuses it outright; otherwise the
+/// cell's (n, m, W) optimum seeds the nearest new point's search.
+struct ChainSeed {
+  std::size_t node_count = 0;  ///< resolved platform nodes at the point
+  ModelParams params;          ///< fully resolved point parameters
+  SweepCell cell;  ///< finished cell (indices relative to the source grid)
+};
+
+/// Supplies per-chain starting optima from outside the grid (the service
+/// layer's seed index over cached tables). Queried at most once per chain,
+/// from whichever pool thread runs the chain — implementations must be
+/// safe to call concurrently. Seeds accelerate a sweep but never change
+/// it: the returned table is bit-identical with any SeedSource, including
+/// none (enforced by tests and the bench_micro reuse gate).
+class SeedSource {
+ public:
+  virtual ~SeedSource() = default;
+  /// Seed candidates for `chain`; empty = cold start.
+  virtual std::vector<ChainSeed> seeds_for(const GridChain& chain) = 0;
+};
 
 /// Computes the signature of running `grid` under `options`. Validates the
 /// grid (same exceptions as resolve_points). Option fields that cannot
@@ -173,6 +262,8 @@ struct SweepOptions;  // declared below
 /// the tests, bench_micro and sweep_server --check.
 [[nodiscard]] bool cells_bit_identical(const SweepCell& a,
                                        const SweepCell& b) noexcept;
+[[nodiscard]] bool params_bit_identical(const ModelParams& a,
+                                        const ModelParams& b) noexcept;
 [[nodiscard]] bool points_bit_identical(const ScenarioPoint& a,
                                         const ScenarioPoint& b) noexcept;
 [[nodiscard]] bool tables_bit_identical(const SweepTable& a,
@@ -204,6 +295,12 @@ struct SweepOptions {
   /// (n, m) scan half-width for warm-started points (cold points use
   /// optimizer.scan_radius).
   std::size_t warm_scan_radius = 1;
+  /// External warm-start provider consulted once per chain (nullptr =
+  /// none). Excluded from the grid signature like every other execution
+  /// policy field: seeds move scan windows and let bit-equal points be
+  /// reused outright, but the resulting table is bit-identical to a sweep
+  /// without them.
+  SeedSource* seed_source = nullptr;
   /// Pool the chains fan out across; nullptr means the global pool. The
   /// result is bit-identical regardless of pool size.
   util::ThreadPool* pool = nullptr;

@@ -17,7 +17,9 @@
 //    "rate_factors": [{"fail_stop": 1.0, "silent": 2.0}],
 //    "cost_overrides": [{"disk_checkpoint": 90.0}],
 //    "kinds": ["PD", "PDMV"],         // optional; default all six families
-//    "numeric_optimum": true}         // optional; default true
+//    "numeric_optimum": true,         // optional; default true
+//    "reuse_seeds": true}             // optional; default true (bit-identical
+//                                     //   either way; see SweepService)
 
 #include <stdexcept>
 #include <string>
@@ -42,6 +44,10 @@ struct ScenarioRequest {
   std::string id;                ///< client tag echoed in every response line
   core::ScenarioGrid grid;       ///< validated; resolve_points() succeeds
   bool numeric_optimum = true;   ///< run the exact (n, m, W) optimization
+  /// Allow warm-starting this grid's chains from cached sibling grids
+  /// (results are bit-identical either way; off only forces a cold
+  /// compute, e.g. for benchmarking).
+  bool reuse_seeds = true;
 
   /// Parses and validates a request object; throws RequestError.
   static ScenarioRequest from_json(const util::JsonValue& json);

@@ -1,17 +1,35 @@
 #pragma once
 
-// Thread-safe LRU cache of finished sweep tables, keyed by GridSignature.
-// Entries are shared immutable tables: a hit hands out the same
-// shared_ptr<const SweepTable> the compute produced, so a cached result is
-// bit-identical to a recompute by construction (pinned by test_service
-// against an actual recompute at several pool sizes).
+// Thread-safe LRU cache of finished sweep tables keyed by GridSignature,
+// grown into a partial-result accelerator with three tiers:
+//
+//  * identity tier — find(signature): the exact table was computed before;
+//    a hit hands out the same shared immutable table the compute produced,
+//    so it is bit-identical to a recompute by construction.
+//  * seed tier — seeds_for(chain key): any cached table sharing a chain
+//    (same base platform + cost override + family + result-affecting
+//    options — see core::ChainKey) supplies that chain's finished cells as
+//    ChainSeeds, so a *different* grid warm-starts from — and, at bit-equal
+//    resolved parameters, outright reuses — per-point optima.
+//  * disk tier — with a cache_dir, evicted and shutdown entries spill to
+//    '<dir>/<signature-hex>.json' (the canonical SweepTable serialization,
+//    whose round trip is byte-identical) plus a 'seed_index.json' sidecar
+//    recording each spilled table's chains. Both the identity and seed
+//    tiers reload lazily: a lookup that misses memory parses the file,
+//    re-derives the content signature under the caller's options and
+//    rejects — with a stderr warning — any file whose content does not
+//    hash back to its filename. A corrupt or foreign spill (or one written
+//    under different result-affecting options) is never served.
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "resilience/core/sweep.hpp"
 
@@ -20,39 +38,121 @@ namespace resilience::service {
 class SweepCache {
  public:
   /// `capacity` is the maximum number of retained tables; 0 disables
-  /// caching entirely (find always misses, insert is a no-op).
-  explicit SweepCache(std::size_t capacity = 64);
+  /// caching entirely — find always misses, insert is a no-op, and any
+  /// `cache_dir` is ignored. Otherwise a non-empty `cache_dir` enables
+  /// the disk tier: the directory is created if missing, existing spills
+  /// are indexed (lazily — filenames and the seed sidecar only; tables
+  /// load on first use), and retained entries spill there on eviction and
+  /// destruction. Spill *writes* happen with the mutex released (see
+  /// spill_evicted); lazy *loads* parse under the lock — they occur at
+  /// most once per entry per process (first use after a restart), which
+  /// keeps the steady-state serving path unstalled. Revisit if restart
+  /// warm-up ever contends.
+  explicit SweepCache(std::size_t capacity = 64, std::string cache_dir = "");
+
+  /// Spills every retained entry to the disk tier (when enabled).
+  ~SweepCache();
+
+  SweepCache(const SweepCache&) = delete;
+  SweepCache& operator=(const SweepCache&) = delete;
 
   /// Returns the cached table and marks it most-recently-used; nullptr on
-  /// a miss.
+  /// a miss. This overload never touches the disk tier.
   [[nodiscard]] std::shared_ptr<const core::SweepTable> find(
       core::GridSignature signature);
 
-  /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// table when over capacity. Inserting under an existing signature
-  /// replaces the entry; outstanding shared_ptrs stay valid.
+  /// Memory-then-disk lookup: on a memory miss, loads and verifies
+  /// '<dir>/<hex>.json' (content must re-hash to `signature` under
+  /// `options`), promotes it into the LRU and returns it. Sets
+  /// *loaded_from_disk when the hit came from the disk tier.
+  [[nodiscard]] std::shared_ptr<const core::SweepTable> find(
+      core::GridSignature signature, const core::SweepOptions& options,
+      bool* loaded_from_disk = nullptr);
+
+  /// Inserts (or refreshes) an entry, evicting — and, with a cache_dir,
+  /// spilling — the least-recently-used table when over capacity.
+  /// Inserting under an existing signature replaces the entry; outstanding
+  /// shared_ptrs stay valid. The chains-aware overload additionally
+  /// indexes the table's chains for seeds_for().
   void insert(core::GridSignature signature,
               std::shared_ptr<const core::SweepTable> table);
+  void insert(core::GridSignature signature,
+              std::shared_ptr<const core::SweepTable> table,
+              std::vector<core::GridChain> chains);
 
+  /// Finished cells of every cached chain matching `key`, from memory or
+  /// (verified) disk. `options` verify lazily loaded files; tables that
+  /// fail verification are skipped with a warning. Empty when no cached
+  /// grid shares the chain.
+  [[nodiscard]] std::vector<core::ChainSeed> seeds_for(
+      core::ChainKey key, const core::SweepOptions& options);
+
+  /// Spills all in-memory entries (and the seed sidecar) without dropping
+  /// them from memory; no-op without a cache_dir. The destructor calls it.
+  void persist_now();
+
+  /// Drops every in-memory entry; the disk tier is untouched.
   void clear();
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const std::string& cache_dir() const noexcept {
+    return cache_dir_;
+  }
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  /// seeds_for() calls that returned at least one seed.
+  [[nodiscard]] std::uint64_t seed_hits() const;
+  /// Disk-tier tables served (after verification) / rejected (corrupt,
+  /// foreign, or computed under different result-affecting options).
+  [[nodiscard]] std::uint64_t disk_loads() const;
+  [[nodiscard]] std::uint64_t disk_rejects() const;
 
  private:
   struct Entry {
     core::GridSignature signature;
     std::shared_ptr<const core::SweepTable> table;
+    std::vector<core::GridChain> chains;
   };
+
+  /// Serializes and writes `victims` to the disk tier with the mutex
+  /// RELEASED (table serialization and file IO are the expensive part of
+  /// an eviction; doing them under the lock would stall every concurrent
+  /// find/seeds_for), then re-locks to register the outcomes. Victims
+  /// must already be detached from lru_/index_; in the IO window they are
+  /// simply absent from both tiers, which readers treat as a miss.
+  void spill_evicted(std::vector<Entry> victims);
+
+  // All helpers below expect mutex_ to be held.
+  void index_chains_locked(core::GridSignature signature,
+                           const std::vector<core::GridChain>& chains);
+  void unindex_chains_locked(core::GridSignature signature,
+                             const std::vector<core::GridChain>& chains);
+  void evict_one_locked();
+  void spill_locked(const Entry& entry);
+  void write_sidecar_locked();
+  void load_disk_index_locked();
+  [[nodiscard]] std::shared_ptr<const core::SweepTable> load_from_disk_locked(
+      core::GridSignature signature, const core::SweepOptions& options);
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  std::string cache_dir_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  /// chain key -> signatures of cached tables (memory or disk) containing
+  /// that chain, in insertion order.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> seed_index_;
+  /// Signatures with a (not yet invalidated) file in the disk tier.
+  std::unordered_set<std::uint64_t> disk_index_;
+  /// Chains of disk-resident tables (from spills + the sidecar), so a
+  /// reloaded entry keeps feeding the seed tier after a later re-eviction.
+  std::unordered_map<std::uint64_t, std::vector<core::GridChain>> disk_chains_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t seed_hits_ = 0;
+  std::uint64_t disk_loads_ = 0;
+  std::uint64_t disk_rejects_ = 0;
 };
 
 }  // namespace resilience::service

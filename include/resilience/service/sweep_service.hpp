@@ -2,16 +2,24 @@
 
 // The serving front-end over the sweep engine: submit scenario batches,
 // get shared immutable tables back, and optionally stream cells as they
-// resolve. Three layers of reuse, checked in this order:
+// resolve. Four layers of reuse, checked in this order:
 //
-//   1. cache hit    — the table was computed before (same GridSignature);
+//   1. cache hit    — the table was computed before (same GridSignature),
+//                     in memory or spilled to the cache_dir disk tier;
 //                     cells replay from the cached table in table order.
 //   2. in-flight    — another submission of the same signature is being
 //      join           computed right now; this call waits for it instead
 //                     of computing a duplicate, then replays cells.
-//   3. compute      — this call is the leader: it runs the SweepRunner
-//                     (streaming cells live as chains finish them),
-//                     publishes the table to the cache, and wakes joiners.
+//   3. seeded       — this call is the compute leader, and cached tables
+//      compute        share chains (same platform + cost override + family
+//                     + result-affecting options) with the new grid: the
+//                     runner reuses bit-equal points outright and
+//                     warm-starts the genuinely new ones from the nearest
+//                     cached optima (request flag `reuse_seeds`, on by
+//                     default).
+//   4. compute      — cold leader: runs the SweepRunner (streaming cells
+//                     live as chains finish them), publishes the table to
+//                     the cache, and wakes joiners.
 //
 // Whatever path serves a request, the delivered cell set and the returned
 // table are bit-identical — reuse is an optimization, never a relaxation.
@@ -30,11 +38,17 @@
 namespace resilience::service {
 
 struct ServiceOptions {
-  /// Execution options for cache misses. The pool/warm-start fields do not
-  /// enter the grid signature (they cannot change results).
+  /// Execution options for cache misses. The pool/warm-start/seed fields
+  /// do not enter the grid signature (they cannot change results).
   core::SweepOptions sweep;
   /// LRU capacity in tables; 0 disables caching (every submit computes).
   std::size_t cache_capacity = 64;
+  /// Spill directory for evicted/shutdown cache entries (empty = no disk
+  /// tier); see SweepCache.
+  std::string cache_dir;
+  /// Master switch for cross-grid seed reuse on cache misses; a request
+  /// can additionally opt out per submission (ScenarioRequest::reuse_seeds).
+  bool reuse_seeds = true;
 };
 
 /// Outcome of one submission.
@@ -42,7 +56,11 @@ struct SubmitResult {
   std::shared_ptr<const core::SweepTable> table;
   core::GridSignature signature;
   bool cache_hit = false;         ///< served from the table cache
+  bool disk_hit = false;          ///< the hit was lazily reloaded from disk
   bool joined_in_flight = false;  ///< deduped onto a concurrent submission
+  /// The compute consumed at least one cross-grid seed (diagnostics only:
+  /// the table is bit-identical with or without seeds).
+  bool seeded = false;
 };
 
 class SweepService {
@@ -84,7 +102,7 @@ class SweepService {
 
   SubmitResult submit_impl(const core::ScenarioGrid& grid,
                            const core::SweepOptions& sweep,
-                           core::CellSink* sink);
+                           core::CellSink* sink, bool reuse_seeds);
 
   ServiceOptions options_;
   SweepCache cache_;

@@ -107,10 +107,12 @@ CellValue evaluate_cell_fused(PatternKind kind, std::size_t n, std::size_t m,
       return std::numeric_limits<double>::infinity();
     }
   };
-  double center = options.work_hint;
-  if (!(center > 0.0)) {
-    center = overhead_coefficients(kind, params, n, m).optimal_work();
-  }
+  // The bracket center is always the cell's own first-order W*, never the
+  // caller's work_hint: a cell's (W, H) must be a pure function of
+  // (kind, n, m, params, evaluation options) so that cold, chain-warm and
+  // cross-grid-seeded searches all land on bit-identical values — the
+  // identity the sweep cache's partial-result reuse is built on.
+  const double center = overhead_coefficients(kind, params, n, m).optimal_work();
   CellValue value;
   value.work = bracketed_work_minimum(objective, center, options);
   value.overhead = objective(value.work);

@@ -67,6 +67,52 @@ class SignatureHasher {
   std::uint64_t hash_ = 1469598103934665603ull;  // FNV offset basis
 };
 
+/// The option fields that change cell values — the shared factor of
+/// GridSignature and ChainKey. Warm-start policy, scan radius, seed source
+/// and pool choice are deliberately excluded: the runner guarantees they
+/// do not change results (pinned by the determinism/bit-identity tests).
+void mix_result_options(SignatureHasher& hasher, const SweepOptions& options) {
+  hasher.mix(options.numeric_optimum);
+  const OptimizerOptions& opt = options.optimizer;
+  hasher.mix(std::uint64_t{opt.max_segments});
+  hasher.mix(std::uint64_t{opt.max_chunks});
+  hasher.mix(opt.work_lo);
+  hasher.mix(opt.work_hi);
+  hasher.mix(opt.work_tolerance);
+  hasher.mix(opt.optimize_chunk_fractions);
+  hasher.mix(opt.evaluation.faulty_verifications);
+  hasher.mix(opt.evaluation.faulty_operations);
+  hasher.mix(opt.legacy_cell_evaluation);
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0; value >>= 4) {
+    out[i] = digits[value & 0xF];
+  }
+  return out;
+}
+
+bool parse_hex64(std::string_view text, std::uint64_t& out) {
+  if (text.size() != 16) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = value;
+  return true;
+}
+
 }  // namespace
 
 std::size_t ScenarioGrid::point_count() const noexcept {
@@ -181,14 +227,67 @@ const SweepCell& SweepTable::cell(std::size_t point_index, PatternKind kind) con
   return cells[point_index * kinds.size() + static_cast<std::size_t>(slot)];
 }
 
-std::string GridSignature::hex() const {
-  static const char* digits = "0123456789abcdef";
-  std::string out(16, '0');
-  std::uint64_t v = value;
-  for (std::size_t i = 16; i-- > 0; v >>= 4) {
-    out[i] = digits[v & 0xF];
+std::string GridSignature::hex() const { return hex64(value); }
+
+std::optional<GridSignature> GridSignature::from_hex(std::string_view text) {
+  std::uint64_t value = 0;
+  if (!parse_hex64(text, value)) {
+    return std::nullopt;
   }
-  return out;
+  return GridSignature{value};
+}
+
+std::string ChainKey::hex() const { return hex64(value); }
+
+std::optional<ChainKey> ChainKey::from_hex(std::string_view text) {
+  std::uint64_t value = 0;
+  if (!parse_hex64(text, value)) {
+    return std::nullopt;
+  }
+  return ChainKey{value};
+}
+
+ChainKey chain_key(const Platform& platform, const CostOverride& cost_override,
+                   PatternKind kind, const SweepOptions& options) {
+  SignatureHasher hasher;
+  hasher.mix(std::uint64_t{1});  // chain-key format version
+  hasher.mix(platform.name);
+  hasher.mix(std::uint64_t{platform.nodes});
+  hasher.mix(platform.rates.fail_stop);
+  hasher.mix(platform.rates.silent);
+  hasher.mix(platform.disk_checkpoint);
+  hasher.mix(platform.memory_checkpoint);
+  hasher.mix(cost_override.disk_checkpoint);
+  hasher.mix(cost_override.partial_verification);
+  hasher.mix(cost_override.recall);
+  hasher.mix(std::uint64_t{static_cast<std::size_t>(kind)});
+  mix_result_options(hasher, options);
+  return ChainKey{hasher.value()};
+}
+
+std::vector<GridChain> grid_chains(const ScenarioGrid& grid,
+                                   const SweepOptions& options) {
+  grid.validate();
+  const std::size_t costs_n = axis_size(grid.cost_overrides.size());
+  const std::vector<PatternKind> kinds = grid.resolved_kinds();
+  std::vector<GridChain> chains;
+  chains.reserve(grid.platforms.size() * costs_n * kinds.size());
+  for (std::size_t ip = 0; ip < grid.platforms.size(); ++ip) {
+    for (std::size_t ic = 0; ic < costs_n; ++ic) {
+      const CostOverride cost_override =
+          grid.cost_overrides.empty() ? CostOverride{} : grid.cost_overrides[ic];
+      for (std::size_t ik = 0; ik < kinds.size(); ++ik) {
+        GridChain chain;
+        chain.platform_index = ip;
+        chain.cost_index = ic;
+        chain.kind = kinds[ik];
+        chain.key = chain_key(grid.platforms[ip], cost_override, kinds[ik],
+                              options);
+        chains.push_back(chain);
+      }
+    }
+  }
+  return chains;
 }
 
 GridSignature grid_signature(const ScenarioGrid& grid,
@@ -230,20 +329,7 @@ GridSignature grid_signature(const std::vector<ScenarioPoint>& points,
     hasher.mix(std::uint64_t{static_cast<std::size_t>(kind)});
   }
 
-  // Option fields that change cell values. Warm-start policy, scan radius
-  // and pool choice are deliberately excluded: the runner guarantees they
-  // do not change results (pinned by the determinism tests).
-  hasher.mix(options.numeric_optimum);
-  const OptimizerOptions& opt = options.optimizer;
-  hasher.mix(std::uint64_t{opt.max_segments});
-  hasher.mix(std::uint64_t{opt.max_chunks});
-  hasher.mix(opt.work_lo);
-  hasher.mix(opt.work_hi);
-  hasher.mix(opt.work_tolerance);
-  hasher.mix(opt.optimize_chunk_fractions);
-  hasher.mix(opt.evaluation.faulty_verifications);
-  hasher.mix(opt.evaluation.faulty_operations);
-  hasher.mix(opt.legacy_cell_evaluation);
+  mix_result_options(hasher, options);
 
   return GridSignature{hasher.value()};
 }
@@ -256,6 +342,45 @@ bool same_bits(double a, double b) noexcept {
   std::memcpy(&bits_a, &a, sizeof bits_a);
   std::memcpy(&bits_b, &b, sizeof bits_b);
   return bits_a == bits_b;
+}
+
+/// |ln(a/b)| as a seed-distance component; positions that cannot be
+/// compared on a log scale count as far-but-finite so a degenerate seed
+/// list still yields a deterministic choice.
+double log_distance(double a, double b) noexcept {
+  if (!(a > 0.0) || !(b > 0.0) || std::isinf(a) || std::isinf(b)) {
+    return same_bits(a, b) ? 0.0 : 1e3;
+  }
+  return std::fabs(std::log(a / b));
+}
+
+/// Nearest usable seed along the chain's (node count, rate factor)
+/// ordering: node count is the outer (coarser) axis, so it dominates the
+/// distance; ties resolve to the earliest candidate, which keeps the
+/// choice deterministic for a fixed seed list. Seed choice can only move
+/// the scan window, never the result, so a *nondeterministic* seed list
+/// (e.g. LRU-ordered) is still safe — this ordering just favors the
+/// closest optimum.
+const ChainSeed* nearest_external_seed(const std::vector<ChainSeed>& seeds,
+                                       const ScenarioPoint& point) {
+  const ChainSeed* best = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const ChainSeed& seed : seeds) {
+    if (!std::isfinite(seed.cell.overhead) || seed.cell.segments_n == 0 ||
+        seed.cell.chunks_m == 0) {
+      continue;  // degenerate source cells carry no usable optimum
+    }
+    const double distance =
+        4.0 * log_distance(static_cast<double>(seed.node_count),
+                           static_cast<double>(point.platform.nodes)) +
+        log_distance(seed.params.rates.fail_stop, point.params.rates.fail_stop) +
+        log_distance(seed.params.rates.silent, point.params.rates.silent);
+    if (distance < best_distance) {
+      best = &seed;
+      best_distance = distance;
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -278,6 +403,20 @@ bool cells_bit_identical(const SweepCell& a, const SweepCell& b) noexcept {
          a.warm_started == b.warm_started;
 }
 
+bool params_bit_identical(const ModelParams& a, const ModelParams& b) noexcept {
+  return same_bits(a.rates.fail_stop, b.rates.fail_stop) &&
+         same_bits(a.rates.silent, b.rates.silent) &&
+         same_bits(a.costs.disk_checkpoint, b.costs.disk_checkpoint) &&
+         same_bits(a.costs.memory_checkpoint, b.costs.memory_checkpoint) &&
+         same_bits(a.costs.disk_recovery, b.costs.disk_recovery) &&
+         same_bits(a.costs.memory_recovery, b.costs.memory_recovery) &&
+         same_bits(a.costs.guaranteed_verification,
+                   b.costs.guaranteed_verification) &&
+         same_bits(a.costs.partial_verification,
+                   b.costs.partial_verification) &&
+         same_bits(a.costs.recall, b.costs.recall);
+}
+
 bool points_bit_identical(const ScenarioPoint& a,
                           const ScenarioPoint& b) noexcept {
   return a.platform_index == b.platform_index && a.node_index == b.node_index &&
@@ -289,20 +428,7 @@ bool points_bit_identical(const ScenarioPoint& a,
          same_bits(a.platform.disk_checkpoint, b.platform.disk_checkpoint) &&
          same_bits(a.platform.memory_checkpoint,
                    b.platform.memory_checkpoint) &&
-         same_bits(a.params.rates.fail_stop, b.params.rates.fail_stop) &&
-         same_bits(a.params.rates.silent, b.params.rates.silent) &&
-         same_bits(a.params.costs.disk_checkpoint,
-                   b.params.costs.disk_checkpoint) &&
-         same_bits(a.params.costs.memory_checkpoint,
-                   b.params.costs.memory_checkpoint) &&
-         same_bits(a.params.costs.disk_recovery, b.params.costs.disk_recovery) &&
-         same_bits(a.params.costs.memory_recovery,
-                   b.params.costs.memory_recovery) &&
-         same_bits(a.params.costs.guaranteed_verification,
-                   b.params.costs.guaranteed_verification) &&
-         same_bits(a.params.costs.partial_verification,
-                   b.params.costs.partial_verification) &&
-         same_bits(a.params.costs.recall, b.params.costs.recall);
+         params_bit_identical(a.params, b.params);
 }
 
 bool tables_bit_identical(const SweepTable& a, const SweepTable& b) noexcept {
@@ -373,6 +499,22 @@ SweepTable SweepRunner::run_impl(const ScenarioGrid& grid,
         const std::size_t ik = chain % kinds_n;
         const PatternKind kind = table.kinds[ik];
 
+        // External seeds (cross-grid reuse): fetched once per chain. Only
+        // numeric sweeps benefit — the analytic columns are cheap.
+        std::vector<ChainSeed> seeds;
+        if (options_.seed_source != nullptr && options_.numeric_optimum) {
+          GridChain descriptor;
+          descriptor.platform_index = ip;
+          descriptor.cost_index = ic;
+          descriptor.kind = kind;
+          descriptor.key = chain_key(
+              grid.platforms[ip],
+              grid.cost_overrides.empty() ? CostOverride{}
+                                          : grid.cost_overrides[ic],
+              kind, options_);
+          seeds = options_.seed_source->seeds_for(descriptor);
+        }
+
         ExactEvaluator evaluator(table.points.front().params,
                                  cold.evaluation);  // arena reused chain-wide
 
@@ -386,43 +528,82 @@ SweepTable SweepRunner::run_impl(const ScenarioGrid& grid,
                 ((ip * nodes_n + in) * rates_n + ir) * costs_n + ic;
             const ScenarioPoint& point = table.points[point_index];
             SweepCell& cell = table.cells[point_index * kinds_n + ik];
-            cell.point_index = point_index;
-            cell.kind = kind;
 
-            cell.first_order = solve_first_order(kind, point.params);
-            evaluator.reset(point.params, cold.evaluation);
-            try {
-              cell.exact_at_first_order =
-                  evaluator
-                      .evaluate(cell.first_order.to_pattern(
-                          point.params.costs.recall))
-                      .overhead;
-            } catch (const std::domain_error&) {
-              cell.exact_at_first_order =
-                  std::numeric_limits<double>::infinity();
+            // Value reuse: a supplied cell whose resolved parameters
+            // bit-match this point's IS this cell (values are pure
+            // functions of (kind, params, result-affecting options); the
+            // chain key pinned everything but the parameters).
+            const ChainSeed* match = nullptr;
+            if (options_.numeric_optimum) {
+              for (const ChainSeed& seed : seeds) {
+                if (seed.cell.kind == kind &&
+                    params_bit_identical(seed.params, point.params)) {
+                  match = &seed;
+                  break;
+                }
+              }
+            }
+
+            const bool warm = options_.numeric_optimum &&
+                              options_.warm_start && have_warm;
+            if (match != nullptr) {
+              cell = match->cell;
+              cell.point_index = point_index;
+              cell.kind = kind;
+              // The flag records what THIS sweep's schedule would have
+              // done, not what the source sweep did — canonical, so a
+              // reused table stays bit-identical to a cold one.
+              cell.warm_started = warm;
+            } else {
+              cell.point_index = point_index;
+              cell.kind = kind;
+
+              cell.first_order = solve_first_order(kind, point.params);
+              evaluator.reset(point.params, cold.evaluation);
+              try {
+                cell.exact_at_first_order =
+                    evaluator
+                        .evaluate(cell.first_order.to_pattern(
+                            point.params.costs.recall))
+                        .overhead;
+              } catch (const std::domain_error&) {
+                cell.exact_at_first_order =
+                    std::numeric_limits<double>::infinity();
+              }
+
+              if (options_.numeric_optimum) {
+                OptimizerOptions opts = cold;
+                if (warm) {
+                  opts.seed_segments_n = warm_n;
+                  opts.seed_chunks_m = warm_m;
+                  opts.work_hint = warm_work;
+                  opts.scan_radius = options_.warm_scan_radius;
+                } else if (const ChainSeed* external =
+                               nearest_external_seed(seeds, point)) {
+                  // Cold chain head (or post-degenerate restart): start
+                  // from the nearest cached optimum instead of the
+                  // first-order seed. Seeds shrink the scan window only —
+                  // the descent lands on the same lattice optimum.
+                  opts.seed_segments_n = external->cell.segments_n;
+                  opts.seed_chunks_m = external->cell.chunks_m;
+                  opts.work_hint = external->cell.work;
+                  opts.scan_radius = options_.warm_scan_radius;
+                }
+                const NumericSolution solution =
+                    optimize_pattern(kind, point.params, opts);
+                cell.segments_n = solution.segments_n;
+                cell.chunks_m = solution.chunks_m;
+                cell.work = solution.pattern.work();
+                cell.overhead = solution.overhead;
+                cell.warm_started = warm;
+              }
             }
 
             if (options_.numeric_optimum) {
-              OptimizerOptions opts = cold;
-              const bool warm = options_.warm_start && have_warm;
-              if (warm) {
-                opts.seed_segments_n = warm_n;
-                opts.seed_chunks_m = warm_m;
-                opts.work_hint = warm_work;
-                opts.scan_radius = options_.warm_scan_radius;
-              }
-              const NumericSolution solution =
-                  optimize_pattern(kind, point.params, opts);
-              cell.segments_n = solution.segments_n;
-              cell.chunks_m = solution.chunks_m;
-              cell.work = solution.pattern.work();
-              cell.overhead = solution.overhead;
-              cell.warm_started = warm;
-
-              if (std::isfinite(solution.overhead)) {
-                warm_n = solution.segments_n;
-                warm_m = solution.chunks_m;
-                warm_work = solution.pattern.work();
+              if (std::isfinite(cell.overhead)) {
+                warm_n = cell.segments_n;
+                warm_m = cell.chunks_m;
+                warm_work = cell.work;
                 have_warm = true;
               } else {
                 have_warm = false;  // degenerate point; reseed the next cold

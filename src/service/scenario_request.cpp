@@ -172,7 +172,8 @@ ScenarioRequest ScenarioRequest::from_json(const JsonValue& json) {
   }
   reject_unknown_fields(json, "",
                         {"id", "platforms", "node_counts", "rate_factors",
-                         "cost_overrides", "kinds", "numeric_optimum"});
+                         "cost_overrides", "kinds", "numeric_optimum",
+                         "reuse_seeds"});
 
   ScenarioRequest request;
   if (const JsonValue* id = json.find("id")) {
@@ -235,6 +236,12 @@ ScenarioRequest ScenarioRequest::from_json(const JsonValue& json) {
       throw RequestError("numeric_optimum", "expected a boolean");
     }
     request.numeric_optimum = numeric->as_bool();
+  }
+  if (const JsonValue* reuse = json.find("reuse_seeds")) {
+    if (!reuse->is_bool()) {
+      throw RequestError("reuse_seeds", "expected a boolean");
+    }
+    request.reuse_seeds = reuse->as_bool();
   }
 
   // Axis semantics (positivity, override sentinels) and the resolved
@@ -309,6 +316,7 @@ JsonValue ScenarioRequest::to_json() const {
     out.set("kinds", std::move(kinds));
   }
   out.set("numeric_optimum", numeric_optimum);
+  out.set("reuse_seeds", reuse_seeds);
   return out;
 }
 

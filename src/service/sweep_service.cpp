@@ -1,5 +1,9 @@
 #include "resilience/service/sweep_service.hpp"
 
+#include <atomic>
+#include <utility>
+#include <vector>
+
 namespace resilience::service {
 
 namespace {
@@ -35,21 +39,50 @@ bool table_matches_grid(const core::SweepTable& table,
   return true;
 }
 
+/// The SeedSource the runner consults on a seeded compute: per-chain
+/// lookups against the cache's seed index (memory + verified disk).
+/// Thread-safe — chains query it concurrently from the pool.
+class CacheSeedSource final : public core::SeedSource {
+ public:
+  CacheSeedSource(SweepCache& cache, const core::SweepOptions& options)
+      : cache_(cache), options_(options) {}
+
+  std::vector<core::ChainSeed> seeds_for(
+      const core::GridChain& chain) override {
+    std::vector<core::ChainSeed> seeds = cache_.seeds_for(chain.key, options_);
+    if (!seeds.empty()) {
+      supplied_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return seeds;
+  }
+
+  /// Number of chains that received at least one seed.
+  [[nodiscard]] std::uint64_t supplied() const noexcept {
+    return supplied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SweepCache& cache_;
+  const core::SweepOptions& options_;
+  std::atomic<std::uint64_t> supplied_{0};
+};
+
 }  // namespace
 
 SweepService::SweepService(ServiceOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity) {}
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_dir) {}
 
 SubmitResult SweepService::submit(const ScenarioRequest& request,
                                   core::CellSink* sink) {
   core::SweepOptions sweep = options_.sweep;
   sweep.numeric_optimum = request.numeric_optimum;
-  return submit_impl(request.grid, sweep, sink);
+  return submit_impl(request.grid, sweep, sink, request.reuse_seeds);
 }
 
 SubmitResult SweepService::submit(const core::ScenarioGrid& grid,
                                   core::CellSink* sink) {
-  return submit_impl(grid, options_.sweep, sink);
+  return submit_impl(grid, options_.sweep, sink, /*reuse_seeds=*/true);
 }
 
 core::GridSignature SweepService::signature_for(
@@ -61,33 +94,48 @@ core::GridSignature SweepService::signature_for(
 
 SubmitResult SweepService::submit_impl(const core::ScenarioGrid& grid,
                                        const core::SweepOptions& sweep,
-                                       core::CellSink* sink) {
+                                       core::CellSink* sink,
+                                       bool reuse_seeds) {
   // One resolve serves validation, the signature and collision checks.
   const std::vector<core::ScenarioPoint> points = core::resolve_points(grid);
   const std::vector<core::PatternKind> kinds = grid.resolved_kinds();
   const core::GridSignature signature =
       core::grid_signature(points, kinds, sweep);
 
-  const auto compute = [&]() -> TablePtr {
-    const core::SweepRunner runner(sweep);
+  // Cross-grid seeding only helps numeric sweeps; the sweep options the
+  // seed source verifies disk loads against must be the signature's (no
+  // seed_source field set, so the key/signature derivations agree).
+  const bool seeds_enabled =
+      reuse_seeds && options_.reuse_seeds && sweep.numeric_optimum;
+  CacheSeedSource seed_source(cache_, sweep);
+
+  const auto compute = [&](bool with_seeds) -> TablePtr {
+    core::SweepOptions run_options = sweep;
+    // Explicitly null on cold computes: a caller may have parked their own
+    // seed source on ServiceOptions.sweep, and reuse_seeds=false (or a
+    // collision recompute) must mean genuinely cold.
+    run_options.seed_source = with_seeds ? &seed_source : nullptr;
+    const core::SweepRunner runner(run_options);
     return sink != nullptr ? std::make_shared<const core::SweepTable>(
                                  runner.run(grid, *sink))
                            : std::make_shared<const core::SweepTable>(
                                  runner.run(grid));
   };
 
-  if (TablePtr table = cache_.find(signature)) {
+  bool disk_hit = false;
+  if (TablePtr table = cache_.find(signature, sweep, &disk_hit)) {
     if (!table_matches_grid(*table, points, kinds)) {
       // Signature collision: compute this grid directly, bypassing the
       // cache (two colliding grids cannot share the signature-keyed slot).
-      TablePtr fresh = compute();
+      TablePtr fresh = compute(/*with_seeds=*/false);
       tables_computed_.fetch_add(1, std::memory_order_relaxed);
       return {std::move(fresh), signature, /*cache_hit=*/false,
-              /*joined_in_flight=*/false};
+              /*disk_hit=*/false, /*joined_in_flight=*/false,
+              /*seeded=*/false};
     }
     replay(*table, sink);
-    return {std::move(table), signature, /*cache_hit=*/true,
-            /*joined_in_flight=*/false};
+    return {std::move(table), signature, /*cache_hit=*/true, disk_hit,
+            /*joined_in_flight=*/false, /*seeded=*/false};
   }
 
   // Miss: either join a concurrent computation of the same signature or
@@ -110,19 +158,20 @@ SubmitResult SweepService::submit_impl(const core::ScenarioGrid& grid,
   if (promise == nullptr) {  // follower: wait, then replay
     TablePtr table = future.get();  // rethrows the leader's failure
     if (!table_matches_grid(*table, points, kinds)) {
-      TablePtr fresh = compute();  // in-flight collision; see cache path
+      TablePtr fresh = compute(/*with_seeds=*/false);  // in-flight collision
       tables_computed_.fetch_add(1, std::memory_order_relaxed);
       return {std::move(fresh), signature, /*cache_hit=*/false,
-              /*joined_in_flight=*/false};
+              /*disk_hit=*/false, /*joined_in_flight=*/false,
+              /*seeded=*/false};
     }
     replay(*table, sink);
     return {std::move(table), signature, /*cache_hit=*/false,
-            /*joined_in_flight=*/true};
+            /*disk_hit=*/false, /*joined_in_flight=*/true, /*seeded=*/false};
   }
 
   TablePtr table;
   try {
-    table = compute();
+    table = compute(seeds_enabled);
   } catch (...) {
     promise->set_exception(std::current_exception());
     const std::lock_guard<std::mutex> lock(in_flight_mutex_);
@@ -130,18 +179,20 @@ SubmitResult SweepService::submit_impl(const core::ScenarioGrid& grid,
     throw;
   }
   tables_computed_.fetch_add(1, std::memory_order_relaxed);
+  const bool seeded = seed_source.supplied() > 0;
 
-  // Publish to the cache before waking joiners/erasing the in-flight
+  // Publish to the cache — chains indexed so future related grids can
+  // seed from this table — before waking joiners/erasing the in-flight
   // entry, so a submission arriving at any interleaving finds the table
-  // through one of the three paths.
-  cache_.insert(signature, table);
+  // through one of the reuse paths.
+  cache_.insert(signature, table, core::grid_chains(grid, sweep));
   promise->set_value(table);
   {
     const std::lock_guard<std::mutex> lock(in_flight_mutex_);
     in_flight_.erase(signature.value);
   }
   return {std::move(table), signature, /*cache_hit=*/false,
-          /*joined_in_flight=*/false};
+          /*disk_hit=*/false, /*joined_in_flight=*/false, seeded};
 }
 
 }  // namespace resilience::service

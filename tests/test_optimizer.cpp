@@ -168,31 +168,23 @@ TEST(OptimizePattern, ChunkFractionRefinementDoesNotRegress) {
   EXPECT_LE(refined.overhead, plain.overhead * (1.0 + 1e-9));
 }
 
-TEST(OptimizeWorkLength, BadWorkHintFallsBackToFullBracket) {
-  // The bracket derives from the hint; when the true optimum lies outside
-  // the derived bracket, the minimizer pins to an edge and the search must
-  // re-run on the full [work_lo, work_hi] bracket instead of returning the
-  // edge.
+TEST(OptimizeWorkLength, WorkHintCannotChangeTheResult) {
+  // The W bracket is canonical — always centered on the cell's own
+  // first-order W*, never the caller's hint — so any hint (absurd or
+  // ideal) must return the bit-identical W. This purity is what lets the
+  // sweep cache reuse finished cells across grids.
   const auto params = rc::hera().model_params();
-  const double nominal =
-      rc::optimize_work_length(rc::PatternKind::kDMV, 3, 3, params);
-  for (const double hint : {nominal * 1e3, nominal / 1e3}) {
-    rc::OptimizerOptions options;
-    options.work_hint = hint;
-    const double hinted =
-        rc::optimize_work_length(rc::PatternKind::kDMV, 3, 3, params, options);
-    EXPECT_NEAR(hinted, nominal, 1.0) << "hint " << hint;
+  for (const auto kind : {rc::PatternKind::kDMV, rc::PatternKind::kDV}) {
+    const double nominal = rc::optimize_work_length(kind, 3, 3, params);
+    for (const double hint : {nominal * 1e3, nominal / 1e3, nominal}) {
+      rc::OptimizerOptions options;
+      options.work_hint = hint;
+      const double hinted =
+          rc::optimize_work_length(kind, 3, 3, params, options);
+      EXPECT_EQ(hinted, nominal)
+          << rc::pattern_name(kind) << " hint " << hint;
+    }
   }
-}
-
-TEST(OptimizeWorkLength, GoodWorkHintAgreesWithDerivedBracket) {
-  const auto params = rc::hera().model_params();
-  const double nominal = rc::optimize_work_length(rc::PatternKind::kDV, 1, 3, params);
-  rc::OptimizerOptions options;
-  options.work_hint = nominal;  // ideal warm start
-  const double hinted =
-      rc::optimize_work_length(rc::PatternKind::kDV, 1, 3, params, options);
-  EXPECT_NEAR(hinted, nominal, 1.0);
 }
 
 TEST(OptimizeWorkLength, MinimizerIsInteriorToTheDerivedBracket) {
@@ -212,7 +204,7 @@ TEST(OptimizeWorkLength, MinimizerIsInteriorToTheDerivedBracket) {
 TEST(OptimizePattern, WarmSeedMatchesColdSolution) {
   // Seeding the lattice search from a previous optimum (as SweepRunner
   // does along a chain) must land on the same solution as the first-order
-  // cold start.
+  // cold start — bit-identically, now that cell values are canonical.
   const auto params = rc::hera().scaled_to(4096).model_params();
   for (const auto kind : {rc::PatternKind::kDMV, rc::PatternKind::kDM}) {
     const auto cold = rc::optimize_pattern(kind, params);
@@ -224,7 +216,8 @@ TEST(OptimizePattern, WarmSeedMatchesColdSolution) {
     const auto seeded = rc::optimize_pattern(kind, params, warm);
     EXPECT_EQ(seeded.segments_n, cold.segments_n) << rc::pattern_name(kind);
     EXPECT_EQ(seeded.chunks_m, cold.chunks_m) << rc::pattern_name(kind);
-    EXPECT_NEAR(seeded.overhead, cold.overhead, std::fabs(cold.overhead) * 1e-9)
+    EXPECT_EQ(seeded.overhead, cold.overhead) << rc::pattern_name(kind);
+    EXPECT_EQ(seeded.pattern.work(), cold.pattern.work())
         << rc::pattern_name(kind);
 
     // Even a deliberately misplaced seed descends to the same optimum.

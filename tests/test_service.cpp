@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -42,6 +45,26 @@ class CollectSink final : public rc::CellSink {
 
  private:
   std::vector<rc::SweepCell> cells_;
+};
+
+/// RAII scratch directory under the test working directory (never /tmp:
+/// the persistence tests must stay inside the build tree).
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(std::filesystem::path("sweep_cache_test") / name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ignored;
+    std::filesystem::remove_all(path_, ignored);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
 };
 
 /// Exact cell-set equality: every table cell streamed exactly once,
@@ -287,6 +310,269 @@ TEST(SweepCache, ZeroCapacityDisablesCaching) {
   EXPECT_FALSE(service.submit(grid).cache_hit);
   EXPECT_FALSE(service.submit(grid).cache_hit);
   EXPECT_EQ(service.tables_computed(), 2u);
+}
+
+// ---------------------------------------------------- cross-grid reuse --
+
+TEST(SeedReuse, RelatedGridsBitIdenticalToColdAcrossPoolSizes) {
+  // ISSUE 4's three cross-grid scenarios through the full service path:
+  // extended axis (base points recur bit-equal -> value reuse), perturbed
+  // axis and disjoint axis (chains match, points differ -> seed-only).
+  // Every reused table must equal its cold sweep bit for bit.
+  const auto base = small_grid();
+  auto extended = base;
+  extended.node_counts.push_back(8192);
+  auto perturbed = base;
+  perturbed.node_counts[1] = 3000;
+  auto disjoint = base;
+  disjoint.node_counts = {1024, 16384};
+
+  for (const auto* variant : {&extended, &perturbed, &disjoint}) {
+    const rc::SweepTable cold = rc::SweepRunner().run(*variant);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ru::ThreadPool pool(threads);
+      rs::ServiceOptions options;
+      options.sweep.pool = &pool;
+      rs::SweepService service(options);
+
+      const rs::SubmitResult first = service.submit(base);
+      EXPECT_FALSE(first.cache_hit);
+      EXPECT_FALSE(first.seeded);  // nothing cached yet
+
+      CollectSink sink;
+      const rs::SubmitResult reused = service.submit(*variant, &sink);
+      EXPECT_FALSE(reused.cache_hit) << "pool " << threads;
+      EXPECT_TRUE(reused.seeded) << "pool " << threads;
+      EXPECT_TRUE(rc::tables_bit_identical(*reused.table, cold))
+          << "pool " << threads;
+      expect_exact_cell_set(*reused.table, sink.cells());
+      EXPECT_GE(service.cache().seed_hits(), 1u) << "pool " << threads;
+    }
+  }
+}
+
+TEST(SeedReuse, RequestFlagOptsOut) {
+  rs::SweepService service;
+  const auto base = small_grid();
+  (void)service.submit(base);
+
+  auto request = rs::ScenarioRequest::parse(R"({
+    "platforms": ["hera", "atlas"], "node_counts": [512, 2048, 8192],
+    "kinds": ["PD", "PDMV"], "reuse_seeds": false})");
+  EXPECT_FALSE(request.reuse_seeds);
+  const rs::SubmitResult cold = service.submit(request);
+  EXPECT_FALSE(cold.seeded);
+
+  // The same grid with the flag on (a fresh signature is not needed —
+  // the cache hit short-circuits, so use a different extension).
+  request = rs::ScenarioRequest::parse(R"({
+    "platforms": ["hera", "atlas"], "node_counts": [512, 2048, 16384],
+    "kinds": ["PD", "PDMV"]})");
+  EXPECT_TRUE(request.reuse_seeds);
+  const rs::SubmitResult seeded = service.submit(request);
+  EXPECT_TRUE(seeded.seeded);
+  // Either way: bit-identical to a cold sweep of the request grid.
+  EXPECT_TRUE(rc::tables_bit_identical(
+      *seeded.table, rc::SweepRunner().run(request.grid)));
+}
+
+// --------------------------------------------------------- persistence --
+
+TEST(Persistence, EvictionSpillsAndReloadsByteIdentical) {
+  ScratchDir dir("evict_reload");
+  rs::ServiceOptions options;
+  options.cache_capacity = 1;
+  options.cache_dir = dir.str();
+  rs::SweepService service(options);
+
+  const auto grid_a = small_grid();
+  auto grid_b = small_grid();
+  grid_b.node_counts = {1024};
+
+  const rs::SubmitResult first = service.submit(grid_a);
+  const std::string before = rs::to_json(*first.table).dump();
+  (void)service.submit(grid_b);  // capacity 1: evicts + spills grid_a
+  EXPECT_TRUE(std::filesystem::exists(
+      dir.path() / (first.signature.hex() + ".json")));
+
+  const rs::SubmitResult reloaded = service.submit(grid_a);
+  EXPECT_TRUE(reloaded.cache_hit);
+  EXPECT_TRUE(reloaded.disk_hit);
+  EXPECT_EQ(service.tables_computed(), 2u);  // reload did not recompute
+  EXPECT_TRUE(rc::tables_bit_identical(*first.table, *reloaded.table));
+  EXPECT_EQ(rs::to_json(*reloaded.table).dump(), before);  // byte-identical
+}
+
+TEST(Persistence, RestartKeepsIdentityCacheAndSeedIndex) {
+  ScratchDir dir("restart");
+  const auto base = small_grid();
+  auto extended = base;
+  extended.node_counts.push_back(8192);
+
+  std::string before;
+  {
+    rs::ServiceOptions options;
+    options.cache_dir = dir.str();
+    rs::SweepService service(options);
+    before = rs::to_json(*service.submit(base).table).dump();
+  }  // shutdown spills the LRU + seed sidecar
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "seed_index.json"));
+
+  rs::ServiceOptions options;
+  options.cache_dir = dir.str();
+  rs::SweepService service(options);
+
+  // Identity tier: the exact grid reloads lazily, zero recomputes.
+  const rs::SubmitResult reloaded = service.submit(base);
+  EXPECT_TRUE(reloaded.cache_hit);
+  EXPECT_TRUE(reloaded.disk_hit);
+  EXPECT_EQ(service.tables_computed(), 0u);
+  EXPECT_EQ(rs::to_json(*reloaded.table).dump(), before);
+
+  // Seed tier: a related grid warm-starts from the reloaded entry.
+  const rs::SubmitResult seeded = service.submit(extended);
+  EXPECT_TRUE(seeded.seeded);
+  EXPECT_TRUE(rc::tables_bit_identical(*seeded.table,
+                                       rc::SweepRunner().run(extended)));
+}
+
+TEST(Persistence, SeedIndexAloneSeedsAcrossRestart) {
+  // Even without an identity hit first, the sidecar lets a restarted
+  // server seed a *different* grid straight from disk.
+  ScratchDir dir("seed_from_disk");
+  const auto base = small_grid();
+  auto extended = base;
+  extended.node_counts.push_back(8192);
+  {
+    rs::ServiceOptions options;
+    options.cache_dir = dir.str();
+    rs::SweepService service(options);
+    (void)service.submit(base);
+  }
+  rs::ServiceOptions options;
+  options.cache_dir = dir.str();
+  rs::SweepService service(options);
+  const rs::SubmitResult seeded = service.submit(extended);
+  EXPECT_FALSE(seeded.cache_hit);
+  EXPECT_TRUE(seeded.seeded);
+  EXPECT_GE(service.cache().disk_loads(), 1u);
+  EXPECT_TRUE(rc::tables_bit_identical(*seeded.table,
+                                       rc::SweepRunner().run(extended)));
+}
+
+TEST(Persistence, CorruptSpillIsRejectedNotServed) {
+  // Two corruption shapes, both must be rejected: a tampered *input*
+  // field (the recomputed content signature no longer matches the
+  // filename) and a tampered *result* field (inputs re-hash clean — only
+  // the payload checksum can catch it).
+  const auto tamper = [](const std::filesystem::path& file,
+                         const std::string& needle,
+                         const std::string& replacement) {
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    const auto at = text.find(needle);
+    ASSERT_NE(at, std::string::npos) << needle;
+    text.replace(at, needle.size(), replacement);
+    std::ofstream out(file, std::ios::trunc);
+    out << text;
+  };
+
+  const auto expect_rejected = [&](const char* name, const std::string& needle,
+                                   const std::string& replacement) {
+    ScratchDir dir(name);
+    const auto grid = small_grid();
+    rc::GridSignature signature;
+    {
+      rs::ServiceOptions options;
+      options.cache_dir = dir.str();
+      rs::SweepService service(options);
+      signature = service.submit(grid).signature;
+    }
+    const std::filesystem::path file =
+        dir.path() / (signature.hex() + ".json");
+    ASSERT_TRUE(std::filesystem::exists(file));
+    tamper(file, needle, replacement);
+
+    rs::ServiceOptions options;
+    options.cache_dir = dir.str();
+    rs::SweepService service(options);
+    const rs::SubmitResult result = service.submit(grid);
+    EXPECT_FALSE(result.cache_hit) << name;  // recomputed, never served
+    EXPECT_EQ(service.tables_computed(), 1u) << name;
+    EXPECT_GE(service.cache().disk_rejects(), 1u) << name;
+    EXPECT_TRUE(
+        rc::tables_bit_identical(*result.table, rc::SweepRunner().run(grid)))
+        << name;
+  };
+
+  expect_rejected("corrupt_input", "\"nodes\":512", "\"nodes\":513");
+  expect_rejected("corrupt_result", "\"segments_n\":", "\"segments_n\":9");
+}
+
+TEST(Persistence, ForeignSpillUnderWrongNameIsRejected) {
+  // A valid table file parked under another grid's signature (e.g. a
+  // mis-copied cache directory) must be recomputed, not served.
+  ScratchDir dir("foreign");
+  const auto grid_a = small_grid();
+  auto grid_b = small_grid();
+  grid_b.node_counts = {1024};
+  rc::GridSignature signature_a;
+  rc::GridSignature signature_b;
+  {
+    rs::ServiceOptions options;
+    options.cache_dir = dir.str();
+    rs::SweepService service(options);
+    signature_a = service.submit(grid_a).signature;
+    signature_b = service.submit(grid_b).signature;
+  }
+  // Overwrite A's file with B's content.
+  std::filesystem::copy_file(dir.path() / (signature_b.hex() + ".json"),
+                             dir.path() / (signature_a.hex() + ".json"),
+                             std::filesystem::copy_options::overwrite_existing);
+
+  rs::ServiceOptions options;
+  options.cache_dir = dir.str();
+  rs::SweepService service(options);
+  const rs::SubmitResult result = service.submit(grid_a);
+  EXPECT_FALSE(result.cache_hit);
+  EXPECT_GE(service.cache().disk_rejects(), 1u);
+  EXPECT_TRUE(
+      rc::tables_bit_identical(*result.table, rc::SweepRunner().run(grid_a)));
+}
+
+TEST(SeedReuse, ConcurrentRelatedSubmissionsStayBitIdentical) {
+  // The TSan target: concurrent submits of *different* but chain-sharing
+  // grids exercise the seed index (reads) against cache inserts (writes).
+  const auto base = small_grid();
+  std::vector<rc::ScenarioGrid> variants;
+  for (const std::size_t extra : {4096u, 8192u, 16384u, 32768u}) {
+    auto grid = base;
+    grid.node_counts.push_back(extra);
+    variants.push_back(std::move(grid));
+  }
+  rs::SweepService service;
+  (void)service.submit(base);
+
+  std::vector<rs::SubmitResult> results(variants.size());
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      threads.emplace_back(
+          [&, i] { results[i] = service.submit(variants[i]); });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    ASSERT_NE(results[i].table, nullptr);
+    EXPECT_TRUE(rc::tables_bit_identical(
+        *results[i].table, rc::SweepRunner().run(variants[i])))
+        << "variant " << i;
+  }
 }
 
 // ----------------------------------------------------------- streaming --

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -121,7 +122,7 @@ TEST(SweepRunner, BitIdenticalAcrossPoolSizes) {
   }
 }
 
-TEST(SweepRunner, WarmStartMatchesColdStartCellByCell) {
+TEST(SweepRunner, WarmStartIsBitIdenticalToColdStart) {
   const auto grid = small_grid();
   rc::SweepOptions warm;  // default: warm_start = true
   rc::SweepOptions cold;
@@ -136,12 +137,12 @@ TEST(SweepRunner, WarmStartMatchesColdStartCellByCell) {
     EXPECT_FALSE(b.cells[i].warm_started);
     EXPECT_EQ(a.cells[i].segments_n, b.cells[i].segments_n) << "cell " << i;
     EXPECT_EQ(a.cells[i].chunks_m, b.cells[i].chunks_m) << "cell " << i;
-    // Same lattice optimum; W from differently centered brackets agrees to
-    // within the golden-section tolerance, overhead to far better.
-    EXPECT_NEAR(a.cells[i].work, b.cells[i].work, 1.0) << "cell " << i;
-    EXPECT_NEAR(a.cells[i].overhead, b.cells[i].overhead,
-                std::fabs(b.cells[i].overhead) * 1e-9)
-        << "cell " << i;
+    // Bit-identical, not just close: the W bracket is canonical per cell
+    // (centered on the cell's own first-order W*, never a warm hint), so
+    // warm and cold sweeps must agree exactly. Cross-grid value reuse is
+    // built on this purity.
+    EXPECT_EQ(a.cells[i].work, b.cells[i].work) << "cell " << i;
+    EXPECT_EQ(a.cells[i].overhead, b.cells[i].overhead) << "cell " << i;
   }
   EXPECT_TRUE(any_warm);  // chains longer than one point must warm-start
 }
@@ -253,6 +254,204 @@ TEST(SweepRunner, StreamingDeliversEveryCellOnceBitIdentical) {
     EXPECT_TRUE(rc::tables_bit_identical(table, reference))
         << "pool size " << threads;
   }
+}
+
+// ------------------------------------------------ chain keys and seeds --
+
+TEST(ChainKey, SharedAcrossGridsDifferingOnlyInChainPosition) {
+  // The (node count, rate factor) axes position points ALONG a chain, so
+  // they must not enter the key: an extended, perturbed or disjoint axis
+  // still reuses the same chains.
+  const rc::SweepOptions options;
+  auto base = small_grid();
+  const auto base_chains = rc::grid_chains(base, options);
+  ASSERT_EQ(base_chains.size(), 3u * 2u);  // 3 platforms x 2 families
+
+  auto extended = base;
+  extended.node_counts.push_back(65536);
+  auto perturbed = base;
+  perturbed.node_counts[1] = 3000;
+  auto disjoint = base;
+  disjoint.node_counts = {777, 9001};
+  disjoint.rate_factors = {{2.0, 0.5}};
+  for (const auto* variant : {&extended, &perturbed, &disjoint}) {
+    const auto chains = rc::grid_chains(*variant, options);
+    ASSERT_EQ(chains.size(), base_chains.size());
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      EXPECT_EQ(chains[i].key, base_chains[i].key) << "chain " << i;
+      EXPECT_EQ(chains[i].platform_index, base_chains[i].platform_index);
+      EXPECT_EQ(chains[i].cost_index, base_chains[i].cost_index);
+      EXPECT_EQ(chains[i].kind, base_chains[i].kind);
+    }
+  }
+}
+
+TEST(ChainKey, SensitiveToPlatformOverrideFamilyAndOptions) {
+  const rc::SweepOptions options;
+  const rc::Platform platform = rc::hera();
+  const rc::CostOverride no_override;
+  const auto base =
+      rc::chain_key(platform, no_override, rc::PatternKind::kDMV, options);
+
+  auto other_platform = platform;
+  other_platform.disk_checkpoint *= 2.0;
+  EXPECT_NE(rc::chain_key(other_platform, no_override, rc::PatternKind::kDMV,
+                          options),
+            base);
+
+  rc::CostOverride override_cd;
+  override_cd.disk_checkpoint = 90.0;
+  EXPECT_NE(rc::chain_key(platform, override_cd, rc::PatternKind::kDMV, options),
+            base);
+
+  EXPECT_NE(rc::chain_key(platform, no_override, rc::PatternKind::kDM, options),
+            base);
+
+  rc::SweepOptions tighter = options;
+  tighter.optimizer.max_chunks = 16;
+  EXPECT_NE(rc::chain_key(platform, no_override, rc::PatternKind::kDMV, tighter),
+            base);
+
+  // Execution policy (pool, warm start, seed source) must not enter.
+  rc::SweepOptions policy = options;
+  policy.warm_start = false;
+  policy.warm_scan_radius = 3;
+  EXPECT_EQ(rc::chain_key(platform, no_override, rc::PatternKind::kDMV, policy),
+            base);
+
+  // Hex round trip.
+  EXPECT_EQ(base.hex().size(), 16u);
+  const auto parsed = rc::ChainKey::from_hex(base.hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, base);
+  EXPECT_FALSE(rc::ChainKey::from_hex("nope").has_value());
+  EXPECT_FALSE(rc::ChainKey::from_hex("123456789abcdefG").has_value());
+}
+
+namespace {
+
+/// SeedSource backed by a finished table — the core-level stand-in for
+/// the service's cache-backed source.
+class TableSeedSource final : public rc::SeedSource {
+ public:
+  TableSeedSource(const rc::ScenarioGrid& grid, const rc::SweepTable& table,
+                  const rc::SweepOptions& options)
+      : chains_(rc::grid_chains(grid, options)), table_(table) {}
+
+  std::vector<rc::ChainSeed> seeds_for(const rc::GridChain& chain) override {
+    queries_.fetch_add(1);
+    std::vector<rc::ChainSeed> seeds;
+    for (const rc::GridChain& source : chains_) {
+      if (source.key != chain.key) {
+        continue;
+      }
+      for (std::size_t p = 0; p < table_.points.size(); ++p) {
+        const rc::ScenarioPoint& point = table_.points[p];
+        if (point.platform_index != source.platform_index ||
+            point.cost_index != source.cost_index) {
+          continue;
+        }
+        seeds.push_back(rc::ChainSeed{point.platform.nodes, point.params,
+                                      table_.cell(p, source.kind)});
+      }
+    }
+    if (!seeds.empty()) {
+      supplied_.fetch_add(1);
+    }
+    return seeds;
+  }
+
+  std::atomic<int> queries_{0};
+  std::atomic<int> supplied_{0};
+
+ private:
+  std::vector<rc::GridChain> chains_;
+  const rc::SweepTable& table_;
+};
+
+/// A contract-honoring but useless source: chain keys match, yet every
+/// seed carries deliberately absurd optima at parameters that match no
+/// requested point — it may only move scan windows, never results.
+class MisleadingSeedSource final : public rc::SeedSource {
+ public:
+  std::vector<rc::ChainSeed> seeds_for(const rc::GridChain&) override {
+    rc::ChainSeed seed;
+    seed.node_count = 31415;
+    seed.params = rc::hera().scaled_to(31415).model_params();
+    seed.cell.kind = rc::PatternKind::kDMV;  // mismatched for most chains too
+    seed.cell.segments_n = 48;
+    seed.cell.chunks_m = 200;
+    seed.cell.work = 9.9e5;
+    seed.cell.overhead = 1e-3;
+    return {seed};
+  }
+};
+
+}  // namespace
+
+TEST(SweepRunner, SeedSourceReusesSiblingGridBitIdentically) {
+  // The cross-grid scenarios of ISSUE 4, at the core level: a finished
+  // base table seeds an extended, a perturbed and a disjoint grid; every
+  // variant must be bit-identical to its own cold sweep at several pool
+  // sizes.
+  const auto base = small_grid();
+  rc::SweepOptions options;
+  const auto base_table = rc::SweepRunner(options).run(base);
+
+  auto extended = base;
+  extended.node_counts.push_back(8192);
+  auto perturbed = base;
+  perturbed.node_counts[1] = 3000;
+  auto disjoint = base;
+  disjoint.node_counts = {1024, 16384};
+
+  for (const auto* variant : {&extended, &perturbed, &disjoint}) {
+    const auto cold = rc::SweepRunner(options).run(*variant);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ru::ThreadPool pool(threads);
+      rc::SweepOptions seeded = options;
+      seeded.pool = &pool;
+      TableSeedSource source(base, base_table, options);
+      seeded.seed_source = &source;
+      const auto table = rc::SweepRunner(seeded).run(*variant);
+      EXPECT_TRUE(rc::tables_bit_identical(table, cold))
+          << "pool " << threads;
+      EXPECT_GT(source.queries_.load(), 0) << "pool " << threads;
+      EXPECT_GT(source.supplied_.load(), 0) << "pool " << threads;
+    }
+  }
+}
+
+TEST(SweepRunner, MisleadingSeedsCannotChangeResults) {
+  const auto grid = small_grid();
+  const auto cold = rc::SweepRunner().run(grid);
+  MisleadingSeedSource source;
+  rc::SweepOptions seeded;
+  seeded.seed_source = &source;
+  const auto table = rc::SweepRunner(seeded).run(grid);
+  EXPECT_TRUE(rc::tables_bit_identical(table, cold));
+}
+
+TEST(SweepRunner, SeedSourceIgnoredWithoutNumericOptimum) {
+  const auto grid = small_grid();
+  rc::SweepOptions options;
+  options.numeric_optimum = false;
+  const auto cold = rc::SweepRunner(options).run(grid);
+  TableSeedSource source(grid, cold, options);
+  rc::SweepOptions seeded = options;
+  seeded.seed_source = &source;
+  const auto table = rc::SweepRunner(seeded).run(grid);
+  EXPECT_TRUE(rc::tables_bit_identical(table, cold));
+  EXPECT_EQ(source.queries_.load(), 0);  // analytic sweeps never consult it
+}
+
+TEST(GridSignature, HexRoundTrip) {
+  const auto signature = rc::grid_signature(small_grid(), rc::SweepOptions{});
+  const auto parsed = rc::GridSignature::from_hex(signature.hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, signature);
+  EXPECT_FALSE(rc::GridSignature::from_hex("").has_value());
+  EXPECT_FALSE(rc::GridSignature::from_hex("0123456789ABCDEF").has_value());
 }
 
 TEST(ScenarioGrid, ValidateNamesAxisAndIndex) {
