@@ -22,12 +22,17 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "bench_common.hpp"
 #include "resilience/core/expected_time.hpp"
 #include "resilience/core/first_order.hpp"
 #include "resilience/core/optimizer.hpp"
 #include "resilience/core/platform.hpp"
 #include "resilience/core/sweep.hpp"
+#include "resilience/net/client.hpp"
+#include "resilience/net/server.hpp"
+#include "resilience/service/jsonl_session.hpp"
 #include "resilience/service/serialize.hpp"
 #include "resilience/service/sweep_service.hpp"
 #include "resilience/sim/engine.hpp"
@@ -383,6 +388,144 @@ ReuseBenchResult run_reuse_bench() {
   return result;
 }
 
+// ------------------------------------------------------ net throughput --
+
+/// Loopback throughput of the epoll transport: a warm single-cell
+/// request (transport cost, not compute cost) answered over TCP, serial
+/// (one request in flight) vs. pipelined (every request sent before any
+/// response is read). Gated on the transported responses being
+/// byte-identical to the stdin sweep_server path — both run
+/// service::JsonlSession, and this gate pins that the network layer
+/// neither reorders, drops nor rewrites a byte.
+struct NetBenchResult {
+  std::size_t requests = 0;
+  double serial_requests_per_sec = 0.0;
+  double pipelined_requests_per_sec = 0.0;
+  bool responses_identical = false;
+  bool transport_supported = true;
+
+  [[nodiscard]] double pipelining_speedup() const {
+    return serial_requests_per_sec > 0.0
+               ? pipelined_requests_per_sec / serial_requests_per_sec
+               : 0.0;
+  }
+};
+
+NetBenchResult run_net_bench() {
+  namespace rv = resilience::service;
+  namespace rn = resilience::net;
+  NetBenchResult result;
+  if (!rn::transport_supported()) {
+    result.transport_supported = false;
+    return result;  // non-Linux build: the section reports "skipped"
+  }
+  constexpr std::size_t kRequests = 1000;
+  result.requests = kRequests;
+  // Single-cell grid: even the cold first answer streams one cell in a
+  // deterministic order, so the whole stream (1 warm-up miss + hits)
+  // compares byte for byte without normalization.
+  const std::string request =
+      "{\"id\": \"net\", \"platforms\": [\"hera\"], \"node_counts\": [1024], "
+      "\"kinds\": [\"PD\"]}";
+
+  // Reference: the stdin path over the daemon's full request sequence —
+  // 1 warm-up + kRequests serial + kRequests pipelined.
+  std::vector<std::string> expected;
+  {
+    rv::SweepService reference;
+    rv::JsonlSession session(reference,
+                             [&expected](std::string&& line, bool) {
+                               expected.push_back(std::move(line));
+                             });
+    for (std::size_t i = 0; i < 2 * kRequests + 1; ++i) {
+      session.handle_line(request);
+    }
+  }
+
+  // Construction binds (and can throw in sandboxes without loopback);
+  // keep it inside the failure path so the bench degrades to a gated
+  // "net section failed" instead of std::terminate.
+  std::unique_ptr<rn::NetServer> server;
+  std::thread serving;
+  std::vector<std::string> received;
+  received.reserve(expected.size());
+  double serial_seconds = 0.0;
+  double pipelined_seconds = 0.0;
+  try {
+    server = std::make_unique<rn::NetServer>(rn::NetServerOptions{});
+    serving = std::thread([&server] {
+      try {
+        server->run();
+      } catch (const std::exception& error) {
+        // A dying loop thread must not take the whole bench with it; the
+        // client side will observe the dead server and fail the gate.
+        std::fprintf(stderr, "bench_micro: net server died: %s\n",
+                     error.what());
+      }
+    });
+    rn::Client client;
+    client.connect("127.0.0.1", server->port());
+    // A dead server (loop thread failure) must fail the gate, not hang
+    // the bench until the CI job timeout.
+    client.set_receive_timeout(30000);
+    {  // warm-up: the one cache-miss compute, excluded from the timing
+      const auto response = client.transact(request);
+      received.insert(received.end(), response.begin(), response.end());
+    }
+    {  // serial: one request in flight at a time
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        const auto response = client.transact(request);
+        received.insert(received.end(), response.begin(), response.end());
+      }
+      serial_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    }
+    {  // pipelined: the same work, one write burst, responses streamed
+      std::string burst;
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        burst += request;
+        burst += '\n';
+      }
+      std::vector<std::string> pipelined;
+      const auto start = std::chrono::steady_clock::now();
+      client.send_raw(burst);
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        const auto response = client.read_response();
+        pipelined.insert(pipelined.end(), response.begin(), response.end());
+      }
+      pipelined_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      received.insert(received.end(), pipelined.begin(), pipelined.end());
+      result.responses_identical = received == expected;
+    }
+    client.close();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_micro: net bench failed: %s\n", error.what());
+    result.responses_identical = false;
+  }
+  if (server != nullptr) {
+    server->stop();
+  }
+  if (serving.joinable()) {
+    serving.join();
+  }
+
+  if (serial_seconds > 0.0) {
+    result.serial_requests_per_sec =
+        static_cast<double>(kRequests) / serial_seconds;
+  }
+  if (pipelined_seconds > 0.0) {
+    result.pipelined_requests_per_sec =
+        static_cast<double>(kRequests) / pipelined_seconds;
+  }
+  return result;
+}
+
 int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
   std::vector<FamilyResult> families;
   for (const auto kind : rc::all_pattern_kinds()) {
@@ -440,6 +583,18 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       reuse.speedup(), reuse.bit_identical ? "bit-identical" : "DIVERGE",
       reuse.persistence_reload_bit_identical ? "bit-identical" : "BROKEN");
 
+  const NetBenchResult net = run_net_bench();
+  if (net.transport_supported) {
+    std::printf(
+        "net    serial %8.0f req/s   pipelined %11.0f req/s   speedup %5.2fx"
+        "   responses %s\n",
+        net.serial_requests_per_sec, net.pipelined_requests_per_sec,
+        net.pipelining_speedup(),
+        net.responses_identical ? "byte-identical" : "DIVERGE");
+  } else {
+    std::printf("net    skipped (transport requires Linux epoll)\n");
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", out_path.c_str());
@@ -491,6 +646,20 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       << ",\n"
       << "    \"persistence_reload_bit_identical\": "
       << (reuse.persistence_reload_bit_identical ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"net\": {\n"
+      << "    \"workload\": \"warm single-cell request over loopback TCP, "
+         "serial vs pipelined\",\n"
+      << "    \"transport_supported\": "
+      << (net.transport_supported ? "true" : "false") << ",\n"
+      << "    \"requests\": " << net.requests << ",\n"
+      << "    \"serial_requests_per_sec\": " << net.serial_requests_per_sec
+      << ",\n"
+      << "    \"pipelined_requests_per_sec\": "
+      << net.pipelined_requests_per_sec << ",\n"
+      << "    \"pipelining_speedup\": " << net.pipelining_speedup() << ",\n"
+      << "    \"responses_identical\": "
+      << (net.responses_identical ? "true" : "false") << "\n"
       << "  },\n"
       << "  \"families\": [\n";
   for (std::size_t i = 0; i < families.size(); ++i) {
@@ -557,6 +726,19 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
                  "bench_micro: a persisted cache entry did not reload "
                  "bit-identically after a service restart\n");
     return 1;
+  }
+  if (net.transport_supported) {
+    if (!net.responses_identical) {
+      std::fprintf(stderr,
+                   "bench_micro: transported responses are not byte-identical "
+                   "to the stdin path; the net throughput is not trustworthy\n");
+      return 1;
+    }
+    if (net.serial_requests_per_sec <= 0.0 ||
+        net.pipelined_requests_per_sec <= 0.0) {
+      std::fprintf(stderr, "bench_micro: net section produced no timing\n");
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,131 @@
+// Blocking CLI client for sweep_serverd: sends a JSONL request file over
+// one connection and prints every response line to stdout — the driver
+// the CI net smoke uses to diff the daemon's responses byte for byte
+// against the stdin sweep_server path.
+//
+// Two send modes:
+//   * serial (default): send one line, read its full response, repeat —
+//     one request in flight at a time;
+//   * --pipeline: send the whole file first, then read responses until
+//     every request line has answered — exercising the daemon's
+//     per-connection pipelining.
+// The input file is forwarded verbatim (blank lines and '#' comments
+// included) so the daemon's per-line request numbering — and therefore
+// every default "line-N" id — matches a stdin run over the same file.
+//
+// Exit codes: 0 when every expected response arrived (error-line
+// responses are still responses: the server's exit-code semantics live
+// server-side), 1 on connection failures or a short response stream,
+// 2 on usage errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "resilience/net/client.hpp"
+#include "resilience/service/jsonl_session.hpp"
+#include "resilience/util/cli.hpp"
+
+namespace rn = resilience::net;
+namespace rs = resilience::service;
+namespace ru = resilience::util;
+
+int main(int argc, char** argv) {
+  ru::CliParser cli("sweep_client",
+                    "send a JSONL request file to sweep_serverd and print "
+                    "the responses");
+  cli.add_flag("host", "127.0.0.1", "daemon host");
+  cli.add_flag("port", "", "daemon port (required)");
+  cli.add_flag("input", "-", "request file ('-' = stdin)");
+  cli.add_bool_flag("pipeline",
+                    "send every request before reading any response");
+  if (!cli.parse(argc, argv)) {
+    return 2;  // usage (also --help; CliParser does not distinguish)
+  }
+  const std::string port_text = cli.get_string("port");
+  std::int64_t port = -1;
+  if (!port_text.empty()) {
+    try {
+      port = std::stoll(port_text);
+    } catch (...) {
+      port = -1;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "sweep_client: --port must be in [1, 65535]\n");
+    return 2;
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  const std::string input = cli.get_string("input");
+  if (input != "-") {
+    file.open(input);
+    if (!file) {
+      std::fprintf(stderr, "sweep_client: cannot open %s\n", input.c_str());
+      return 2;
+    }
+    in = &file;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(*in, line)) {
+    lines.push_back(line);
+  }
+
+  try {
+    rn::Client client;
+    client.connect(cli.get_string("host"), static_cast<std::uint16_t>(port));
+
+    if (cli.get_bool("pipeline")) {
+      std::size_t expected = 0;
+      std::ostringstream all;
+      for (const std::string& entry : lines) {
+        all << entry << '\n';
+        if (rs::is_request_line(entry)) {
+          ++expected;
+        }
+      }
+      client.send_raw(all.str());
+      for (std::size_t i = 0; i < expected; ++i) {
+        const std::vector<std::string> response = client.read_response();
+        if (response.empty() ||
+            !rn::is_terminal_response_line(response.back())) {
+          std::fprintf(stderr,
+                       "sweep_client: server closed after %zu of %zu "
+                       "responses\n",
+                       i, expected);
+          return 1;
+        }
+        for (const std::string& out : response) {
+          std::cout << out << '\n';
+        }
+      }
+    } else {
+      for (const std::string& entry : lines) {
+        if (!rs::is_request_line(entry)) {
+          client.send_line(entry);  // keeps line numbering aligned
+          continue;
+        }
+        const std::vector<std::string> response = client.transact(entry);
+        if (response.empty() ||
+            !rn::is_terminal_response_line(response.back())) {
+          std::fprintf(stderr, "sweep_client: incomplete response for: %s\n",
+                       entry.c_str());
+          return 1;
+        }
+        for (const std::string& out : response) {
+          std::cout << out << '\n';
+        }
+      }
+    }
+    std::cout.flush();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweep_client: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

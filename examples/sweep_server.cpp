@@ -6,9 +6,15 @@
 //                          its chain resolves it (live order on a cache
 //                          miss, table order on a hit),
 //   {"type":"done", ...}   the request summary: signature, cell count,
-//                          cache-hit/join flags,
+//                          cache-hit/join flags (plus a counter snapshot
+//                          when the request set "stats": true),
+//   {"type":"stats", ...}  the reply to a {"type":"stats"} request,
 //   {"type":"error", ...}  a validation failure naming the offending
 //                          field; the server moves on to the next line.
+//
+// The request processing itself lives in service::JsonlSession — shared
+// with the sweep_serverd network daemon, so both front ends answer any
+// request with byte-identical lines (the CI net smoke diffs them).
 //
 // Identical grids are served from the LRU table cache / deduped when
 // concurrently in flight; related grids warm-start from cached chains
@@ -19,6 +25,14 @@
 // path, so cache hits, disk reloads and seeded computes are all exercised
 // against a genuine cold reference (the CI service smoke runs this on a
 // 2-platform request file).
+//
+// Exit codes (stdout is flushed before every one of them):
+//   0  every request served
+//   1  --check found a mismatch (takes precedence: wrong bytes are worse
+//      than rejected requests)
+//   2  usage error
+//   3  at least one request in the batch was answered with an error line
+//      (partial failure used to be visible only by grepping the stream)
 
 #include <cstdio>
 #include <fstream>
@@ -29,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "resilience/service/jsonl_session.hpp"
 #include "resilience/service/scenario_request.hpp"
 #include "resilience/service/serialize.hpp"
 #include "resilience/service/sweep_service.hpp"
@@ -40,39 +55,6 @@ namespace rs = resilience::service;
 namespace ru = resilience::util;
 
 namespace {
-
-/// Streams cell lines (unless quiet) and keeps copies for --check.
-class ServerSink final : public rc::CellSink {
- public:
-  ServerSink(std::ostream& os, std::string request_id,
-             rc::GridSignature signature, bool stream, bool collect)
-      : os_(os),
-        request_id_(std::move(request_id)),
-        signature_(signature),
-        stream_(stream),
-        collect_(collect) {}
-
-  void on_cell(const rc::SweepCell& cell) override {
-    if (stream_) {
-      os_ << rs::cell_line(request_id_, signature_, cell) << '\n';
-    }
-    if (collect_) {
-      collected_.push_back(cell);
-    }
-  }
-
-  [[nodiscard]] const std::vector<rc::SweepCell>& collected() const noexcept {
-    return collected_;
-  }
-
- private:
-  std::ostream& os_;
-  std::string request_id_;
-  rc::GridSignature signature_;
-  bool stream_;
-  bool collect_;
-  std::vector<rc::SweepCell> collected_;
-};
 
 /// The streamed set must be exactly the batch table's cell set: every
 /// (point, family) cell delivered once, bit-identical — no dupes, no
@@ -160,7 +142,7 @@ int main(int argc, char** argv) {
                     "verify every streamed cell set against a fresh batch "
                     "recompute; exit 1 on any mismatch");
   if (!cli.parse(argc, argv)) {
-    return 1;
+    return 2;  // usage (also --help; CliParser does not distinguish)
   }
   const std::string input = cli.get_string("input");
   const std::int64_t threads_raw = cli.get_int("threads");
@@ -181,7 +163,7 @@ int main(int argc, char** argv) {
     file.open(input);
     if (!file) {
       std::fprintf(stderr, "sweep_server: cannot open %s\n", input.c_str());
-      return 1;
+      return 2;
     }
     in = &file;
   }
@@ -208,45 +190,40 @@ int main(int argc, char** argv) {
   }
 
   bool check_failed = false;
-  std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(*in, line)) {
-    ++line_number;
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') {
-      continue;  // blank lines and comments between requests are fine
-    }
-
-    rs::ScenarioRequest request;
-    try {
-      request = rs::ScenarioRequest::parse(line);
-    } catch (const rs::RequestError& error) {
-      std::cout << rs::error_line("line-" + std::to_string(line_number),
-                                  error.field, error.what())
-                << std::endl;
-      continue;
-    }
-    if (request.id.empty()) {
-      request.id = "line-" + std::to_string(line_number);
-    }
-
-    const rc::GridSignature signature = service.signature_for(request);
-    ServerSink sink(std::cout, request.id, signature, stream, check);
-    const rs::SubmitResult result =
-        service.submit(request, (stream || check) ? &sink : nullptr);
-    std::cout << rs::done_line(request.id, result.signature, *result.table,
-                               result.cache_hit, result.joined_in_flight)
-              << std::endl;  // flush: each request's output is complete
-
-    if (check &&
-        !check_request(request, result, sink.collected(), *verify_service)) {
-      check_failed = true;
-    }
+  rs::JsonlSession session(
+      service,
+      [](std::string&& line, bool end_of_response) {
+        std::cout << line << '\n';
+        if (end_of_response) {
+          std::cout.flush();  // each request's output is complete
+        }
+      },
+      rs::JsonlSession::Options{stream, /*collect=*/check});
+  if (check) {
+    session.set_outcome_hook([&](const rs::JsonlSession::Outcome& outcome) {
+      if (!check_request(outcome.request, outcome.result, outcome.cells,
+                         *verify_service)) {
+        check_failed = true;
+      }
+    });
   }
+
+  std::string line;
+  while (std::getline(*in, line)) {
+    session.handle_line(line);
+  }
+  std::cout.flush();
 
   if (check_failed) {
     std::fprintf(stderr, "sweep_server: --check FAILED\n");
     return 1;
+  }
+  if (session.any_request_errors()) {
+    // Partial failure must be machine-visible, not only greppable.
+    std::fprintf(stderr,
+                 "sweep_server: at least one request was answered with an "
+                 "error line\n");
+    return 3;
   }
   return 0;
 }

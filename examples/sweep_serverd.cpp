@@ -1,0 +1,160 @@
+// The scenario-sweep service as a long-lived network daemon: an epoll
+// loop accepting JSONL connections, per-connection request pipelining
+// (responses strictly in request order per connection; different
+// connections compute in parallel and identical in-flight grids dedupe
+// to one compute), bounded per-connection write queues with
+// backpressure-then-drop for slow readers, and a SIGINT/SIGTERM graceful
+// drain that finishes every request already received, flushes the
+// responses, and spills the table cache to --cache-dir exactly like the
+// stdin server's shutdown does.
+//
+// The wire protocol is the stdin sweep_server protocol, byte for byte
+// (both front ends run service::JsonlSession): connect with net::Client,
+// sweep_client, or plain `nc HOST PORT` and type request lines.
+//
+// Exit codes: 0 after a graceful drain, 2 on usage errors, 1 on fatal
+// runtime errors (bind failure, epoll breakage).
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "resilience/net/server.hpp"
+#include "resilience/util/cli.hpp"
+#include "resilience/util/thread_pool.hpp"
+
+namespace rn = resilience::net;
+namespace rs = resilience::service;
+namespace ru = resilience::util;
+
+namespace {
+
+rn::NetServer* g_server = nullptr;
+
+/// Async-signal-safe: one eventfd write inside signal_stop().
+void handle_signal(int) {
+  if (g_server != nullptr) {
+    g_server->signal_stop();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ru::CliParser cli("sweep_serverd",
+                    "network daemon for scenario sweeps: JSONL over TCP with "
+                    "pipelining, backpressure and a graceful drain");
+  cli.add_flag("host", "127.0.0.1", "address to bind");
+  cli.add_flag("port", "0", "TCP port (0 = kernel-assigned ephemeral port)");
+  cli.add_flag("port-file", "",
+               "write the bound port to this file once listening (how "
+               "scripts find an ephemeral port)");
+  cli.add_flag("threads", "0", "sweep pool threads (0 = shared global pool)");
+  cli.add_flag("request-workers", "0",
+               "threads executing request sessions (0 = auto); distinct "
+               "from the sweep pool");
+  cli.add_flag("cache-capacity", "64", "LRU table-cache capacity (0 = no cache)");
+  cli.add_flag("cache-dir", "",
+               "spill evicted/shutdown cache entries to this directory and "
+               "lazily reload them (empty = no persistence)");
+  cli.add_flag("max-conns", "256",
+               "concurrent connection limit; extra clients get one error "
+               "line and a close (0 = unlimited)");
+  cli.add_flag("write-buf-limit", std::to_string(16 << 20),
+               "outbound bytes buffered per connection before the client is "
+               "dropped as too slow; reading pauses at half this "
+               "(0 = unlimited)");
+  cli.add_flag("max-line-bytes", std::to_string(4 << 20),
+               "longest accepted request line (0 = unlimited)");
+  cli.add_flag("max-pipeline-depth", "256",
+               "unprocessed pipelined requests per connection before the "
+               "server stops reading that socket (0 = unlimited)");
+  cli.add_flag("drain-timeout-ms", "30000",
+               "graceful-drain deadline after SIGINT/SIGTERM; busy "
+               "connections are force-closed past it (0 = wait forever)");
+  if (!cli.parse(argc, argv)) {
+    return 2;  // usage (also --help; CliParser does not distinguish)
+  }
+
+  const std::int64_t port = cli.get_int("port");
+  const std::int64_t threads = cli.get_int("threads");
+  const std::int64_t workers = cli.get_int("request-workers");
+  const std::int64_t capacity = cli.get_int("cache-capacity");
+  const std::int64_t max_conns = cli.get_int("max-conns");
+  const std::int64_t write_buf = cli.get_int("write-buf-limit");
+  const std::int64_t max_line = cli.get_int("max-line-bytes");
+  const std::int64_t depth = cli.get_int("max-pipeline-depth");
+  const std::int64_t drain_ms = cli.get_int("drain-timeout-ms");
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "sweep_serverd: --port must be in [0, 65535]\n");
+    return 2;
+  }
+  if (threads < 0 || workers < 0 || capacity < 0 || max_conns < 0 ||
+      write_buf < 0 || max_line < 0 || depth < 0 || drain_ms < 0) {
+    // Negative sizes would wrap to SIZE_MAX (and a negative drain
+    // deadline would silently mean "wait forever"); fail loudly.
+    std::fprintf(stderr, "sweep_serverd: size/timeout flags must be >= 0\n");
+    return 2;
+  }
+
+  std::unique_ptr<ru::ThreadPool> pool;
+  rn::NetServerOptions options;
+  options.host = cli.get_string("host");
+  options.port = static_cast<std::uint16_t>(port);
+  options.max_connections = static_cast<std::size_t>(max_conns);
+  options.write_buffer_limit = static_cast<std::size_t>(write_buf);
+  options.max_line_bytes = static_cast<std::size_t>(max_line);
+  options.max_pipeline_depth = static_cast<std::size_t>(depth);
+  options.request_workers = static_cast<std::size_t>(workers);
+  options.drain_timeout_ms = static_cast<int>(drain_ms);
+  options.service.cache_capacity = static_cast<std::size_t>(capacity);
+  options.service.cache_dir = cli.get_string("cache-dir");
+  if (threads > 0) {
+    pool = std::make_unique<ru::ThreadPool>(static_cast<std::size_t>(threads));
+    options.service.sweep.pool = pool.get();
+  }
+
+  try {
+    rn::NetServer server(std::move(options));
+    g_server = &server;
+    struct sigaction action {};
+    action.sa_handler = handle_signal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+
+    std::fprintf(stderr, "sweep_serverd: listening on %s:%u\n",
+                 server.options().host.c_str(), server.port());
+    const std::string port_file = cli.get_string("port-file");
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      if (!out) {
+        std::fprintf(stderr, "sweep_serverd: cannot write %s\n",
+                     port_file.c_str());
+        return 2;
+      }
+      out << server.port() << '\n';
+    }
+
+    server.run();
+
+    const rn::NetServer::Stats stats = server.stats();
+    std::fprintf(stderr,
+                 "sweep_serverd: drained (accepted %llu, requests %llu, "
+                 "rejected %llu, dropped slow/framing/error %llu/%llu/%llu)\n",
+                 static_cast<unsigned long long>(stats.accepted),
+                 static_cast<unsigned long long>(stats.requests_started),
+                 static_cast<unsigned long long>(stats.rejected_over_limit),
+                 static_cast<unsigned long long>(stats.dropped_slow),
+                 static_cast<unsigned long long>(stats.dropped_framing),
+                 static_cast<unsigned long long>(stats.dropped_error));
+    g_server = nullptr;
+    // NetServer (and its SweepService) destruct here: the cache spills
+    // to --cache-dir exactly like the stdin server's exit.
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweep_serverd: fatal: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+// Blocking JSONL client for the transport daemon — what the tests, the
+// CI smoke driver and the loopback bench speak. Deliberately simple:
+// synchronous connect/send/recv over one socket, with just enough
+// structure for pipelining (send many request lines first, then collect
+// each response in order). A "response" is every line up to and
+// including the terminal line of one request: type "done", "stats" or
+// "error".
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resilience/net/framing.hpp"
+#include "resilience/net/socket.hpp"
+
+namespace resilience::net {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects (throws std::runtime_error on failure).
+  void connect(const std::string& host, std::uint16_t port);
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  void close() { fd_.reset(); }
+
+  /// Sends one request line (terminator appended) / raw bytes verbatim
+  /// (pipelining a whole request file in one write). Throws on a broken
+  /// connection.
+  void send_line(std::string_view line);
+  void send_raw(std::string_view bytes);
+
+  /// Half-close: no more requests, but keep reading responses — the
+  /// `printf ... | nc` interaction shape. The server answers everything
+  /// already sent, then closes (read_line() returns nullopt).
+  void shutdown_send();
+
+  /// Bounds every subsequent read: a response not arriving within
+  /// `timeout_ms` makes read_line()/read_response() throw instead of
+  /// blocking forever (0 = wait forever, the default). What harnesses
+  /// use so a dead server fails their gate rather than hanging them.
+  void set_receive_timeout(int timeout_ms);
+
+  /// Next response line (terminator stripped); nullopt at server EOF.
+  /// Throws on a socket error.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  /// Collects one full response: lines up to the terminal
+  /// done/stats/error line, inclusive. If the server closes first, the
+  /// partial lines received so far are returned — a complete response is
+  /// exactly one whose last line is_terminal_response_line().
+  [[nodiscard]] std::vector<std::string> read_response();
+
+  /// Convenience round trip: send one request, read its response.
+  [[nodiscard]] std::vector<std::string> transact(std::string_view line);
+
+ private:
+  Fd fd_;
+  LineFramer framer_;  ///< the server's framing rules, one implementation
+  std::deque<std::string> pending_;  ///< framed lines not yet returned
+  bool eof_ = false;
+};
+
+/// True when `line` terminates a response (its "type" is done, stats or
+/// error). Exposed for front-ends that stream rather than collect.
+[[nodiscard]] bool is_terminal_response_line(std::string_view line);
+
+}  // namespace resilience::net

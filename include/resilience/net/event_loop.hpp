@@ -1,0 +1,102 @@
+#pragma once
+
+// Single-threaded, edge-triggered epoll event loop — the reactor the
+// transport daemon runs on. One thread calls run(); it dispatches fd
+// readiness to registered handlers and drains a cross-thread task queue
+// woken through an eventfd, which is how sweep worker threads hand
+// finished cells back to the loop for writing. Edge-triggered means a
+// handler must exhaust the fd (read/write until EAGAIN) on every wake —
+// the Connection layer does — so the loop performs one epoll_wait per
+// batch of ready fds instead of one per ready byte.
+//
+// Registration hazards are handled explicitly: each fd registration gets
+// a generation token carried in the epoll user data, so a handler that
+// closes fd A (kernel may recycle the number for a fresh accept in the
+// same batch) cannot have A's stale readiness delivered to the new
+// registration.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "resilience/net/socket.hpp"
+
+namespace resilience::net {
+
+/// Readiness bits passed to handlers (mirrors EPOLLIN/EPOLLOUT plus a
+/// collapsed error/hangup bit, so handlers don't include epoll headers).
+struct IoEvents {
+  static constexpr std::uint32_t kRead = 1u << 0;
+  static constexpr std::uint32_t kWrite = 1u << 1;
+  static constexpr std::uint32_t kError = 1u << 2;
+};
+
+class EventLoop {
+ public:
+  using IoHandler = std::function<void(std::uint32_t events)>;
+  using Task = std::function<void()>;
+
+  /// Throws std::runtime_error when epoll/eventfd creation fails (or on
+  /// non-Linux platforms).
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` edge-triggered for the given IoEvents mask. The
+  /// handler runs on the loop thread. Loop thread only.
+  void add_fd(int fd, std::uint32_t events, IoHandler handler);
+  /// Changes the interest mask of a registered fd. Re-arming acts as a
+  /// fresh edge: if the condition already holds, the handler runs on the
+  /// next epoll_wait. Loop thread only.
+  void modify_fd(int fd, std::uint32_t events);
+  /// Deregisters `fd`; pending readiness for it in the current batch is
+  /// discarded (generation-checked). Does not close the fd. Loop thread
+  /// only.
+  void remove_fd(int fd);
+
+  /// Enqueues a task for the loop thread and wakes it. Safe from any
+  /// thread, including the loop thread itself (the task still runs from
+  /// the loop's drain point, never reentrantly).
+  void post(Task task);
+
+  /// Runs until stop(). Dispatch order per iteration: ready fds, then
+  /// the posted-task queue.
+  void run();
+  /// Makes run() return after the current iteration. Safe from any
+  /// thread (it posts).
+  void stop();
+
+  /// True while run() is executing on some thread.
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void dispatch_ready(int timeout_ms);
+  void drain_tasks();
+
+  struct Registration {
+    std::uint32_t generation = 0;
+    /// Shared so dispatch can pin the handler it is about to run: a
+    /// handler that deregisters its own fd (every orderly connection
+    /// close does) must not destroy the std::function currently
+    /// executing on the stack.
+    std::shared_ptr<IoHandler> handler;
+  };
+
+  Fd epoll_;
+  Fd wake_;  ///< eventfd; readable when the task queue is nonempty
+  std::unordered_map<int, Registration> registrations_;
+  std::uint32_t next_generation_ = 1;
+  bool running_ = false;
+  bool stop_requested_ = false;
+
+  std::mutex task_mutex_;
+  std::vector<Task> tasks_;
+  bool wake_armed_ = false;  ///< coalesces eventfd writes between drains
+};
+
+}  // namespace resilience::net

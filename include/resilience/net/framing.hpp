@@ -1,0 +1,85 @@
+#pragma once
+
+// Incremental JSONL framing: the wire protocol of the transport layer is
+// exactly the stdin protocol of sweep_server — one JSON document per
+// newline-terminated line — so the only thing a socket adds is that
+// lines arrive split across arbitrary read() boundaries. LineFramer
+// reassembles them: feed it byte chunks as they arrive and it invokes a
+// callback once per complete line, with the terminator (and an optional
+// preceding '\r': CRLF clients are tolerated) stripped. A line longer
+// than the configured limit is a protocol error located by line number
+// and stream offset — the framer latches the error and refuses further
+// input, because a half-skipped oversized line has no safe resync point.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace resilience::net {
+
+class LineFramer {
+ public:
+  /// Invoked once per complete line (terminator and trailing '\r'
+  /// stripped; empty lines are delivered too — the session layer decides
+  /// what blank lines mean).
+  using LineFn = std::function<void(std::string_view line)>;
+
+  /// `max_line_bytes` bounds the payload of one line, excluding the
+  /// terminator — a CRLF terminator's '\r' included (0 = unlimited). The
+  /// bound is what keeps one client from growing the server's
+  /// reassembly buffer without ever sending '\n'.
+  explicit LineFramer(std::size_t max_line_bytes = 0)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Feeds one received chunk; calls `on_line` for every line it
+  /// completes. Returns false when the length limit trips (the error
+  /// state persists; later feeds return false immediately).
+  bool feed(std::string_view chunk, const LineFn& on_line);
+
+  /// Bytes of an unterminated trailing line still buffered. A nonzero
+  /// value at connection EOF means the peer sent a final line without
+  /// '\n' — finish() delivers it.
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size();
+  }
+
+  /// Flushes the unterminated final line at EOF, if any (the stdin path
+  /// via std::getline accepts a missing trailing newline; the socket
+  /// path matches). With no terminator, a trailing '\r' is payload —
+  /// delivered verbatim and charged against the limit. Returns false on
+  /// the latched error or when the buffered tail exceeds the limit.
+  bool finish(const LineFn& on_line);
+
+  /// Lines completed so far (1-based numbering for the *next* line is
+  /// lines_delivered() + 1; blank lines count, exactly like the stdin
+  /// server's line numbering).
+  [[nodiscard]] std::size_t lines_delivered() const noexcept {
+    return lines_delivered_;
+  }
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  /// Diagnostics of the latched error: the 1-based line that overflowed
+  /// and the byte offset into the stream where its first byte arrived.
+  [[nodiscard]] const std::string& error_message() const noexcept {
+    return error_;
+  }
+  [[nodiscard]] std::size_t error_line() const noexcept { return error_line_; }
+  [[nodiscard]] std::size_t error_offset() const noexcept {
+    return error_offset_;
+  }
+
+ private:
+  bool fail_oversized();
+
+  std::size_t max_line_bytes_;
+  std::string buffer_;             ///< unterminated tail of the stream
+  std::size_t stream_offset_ = 0;  ///< bytes consumed before buffer_
+  std::size_t lines_delivered_ = 0;
+  bool failed_ = false;
+  std::string error_;
+  std::size_t error_line_ = 0;
+  std::size_t error_offset_ = 0;
+};
+
+}  // namespace resilience::net

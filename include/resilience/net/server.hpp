@@ -1,0 +1,111 @@
+#pragma once
+
+// The network front-end over SweepService: one epoll loop thread owns
+// every socket; a small executor pool runs the blocking JSONL sessions
+// (one per connection, at most one request executing per connection at a
+// time, so pipelined requests answer strictly in request order while
+// different connections compute in parallel — and identical in-flight
+// grids still dedupe to one compute inside SweepService). Worker threads
+// hand finished response lines back through each connection's bounded
+// outbound queue; the loop drains them into the sockets on writability
+// edges.
+//
+// Protocol = the stdin sweep_server protocol, byte for byte: both front
+// ends feed service::JsonlSession, so a request answered over TCP and
+// the same request answered over stdin produce identical lines (pinned
+// by test_net and the CI net smoke).
+//
+// Lifecycle: construct (binds; port 0 = ephemeral, see port()), run()
+// on the serving thread, stop()/signal_stop() from anywhere — including
+// a signal handler — to begin a graceful drain: stop accepting, stop
+// reading, finish every request already received, flush the responses,
+// then return from run(). Destroying the server (and its SweepService)
+// afterwards spills the cache to --cache-dir exactly like the stdin
+// server's shutdown.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "resilience/service/sweep_service.hpp"
+
+namespace resilience::util {
+class ThreadPool;
+}
+
+namespace resilience::net {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned; read back via port()
+  int backlog = 128;
+  /// Accepted connections beyond this are answered with one error line
+  /// and closed (0 = unlimited).
+  std::size_t max_connections = 256;
+  /// Outbound queue bound per connection: reading pauses above half of
+  /// it (backpressure), crossing it drops the connection (0 = unlimited,
+  /// dangerous with slow clients).
+  std::size_t write_buffer_limit = 16u << 20;
+  /// Longest accepted request line (0 = unlimited). Oversized lines get
+  /// a located error line and the connection is dropped (no resync).
+  std::size_t max_line_bytes = 4u << 20;
+  /// Received-but-unprocessed request lines per connection before the
+  /// server stops reading that socket (pipelining depth; 0 = unlimited).
+  std::size_t max_pipeline_depth = 256;
+  /// Threads executing request sessions (0 = one per hardware thread,
+  /// capped at 8). Distinct from the sweep pool: sessions block on
+  /// SweepService::submit, which fans out on service.sweep.pool.
+  std::size_t request_workers = 0;
+  /// Graceful-drain deadline: connections still busy this long after
+  /// stop() are force-closed (0 = wait forever).
+  int drain_timeout_ms = 30000;
+  /// SO_SNDBUF for accepted sockets (0 = kernel default). Tests and the
+  /// bench shrink it to exercise backpressure without megabytes of
+  /// traffic.
+  int send_buffer_bytes = 0;
+  service::ServiceOptions service;
+};
+
+class NetServer {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on bind
+  /// failure or on non-Linux platforms).
+  explicit NetServer(NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Serves until a graceful drain completes. Call from the thread that
+  /// owns the server (tests run it on a std::thread).
+  void run();
+
+  /// Begins the graceful drain (idempotent, any thread).
+  void stop();
+  /// Async-signal-safe stop for SIGINT/SIGTERM handlers: one write(2) to
+  /// an eventfd, nothing else.
+  void signal_stop() noexcept;
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  [[nodiscard]] service::SweepService& service() noexcept;
+  [[nodiscard]] const NetServerOptions& options() const noexcept;
+
+  /// Transport counters (monotonic; for tests, the bench and the log).
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_over_limit = 0;
+    std::uint64_t dropped_slow = 0;     ///< write-buffer overflow drops
+    std::uint64_t dropped_framing = 0;  ///< oversized-line drops
+    std::uint64_t dropped_error = 0;    ///< socket errors / resets
+    std::uint64_t requests_started = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace resilience::net

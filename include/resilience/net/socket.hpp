@@ -1,0 +1,89 @@
+#pragma once
+
+// Thin, dependency-free wrappers over the handful of POSIX socket calls
+// the transport needs. Everything that touches a raw syscall lives here
+// (and in event_loop.cpp), so the rest of net/ is plain C++ over these
+// helpers; non-Linux builds get stubs that throw, keeping the library
+// linkable everywhere while the daemon itself is Linux-only (epoll).
+
+#include <cstdint>
+#include <string>
+
+namespace resilience::net {
+
+/// True when the transport layer is functional on this platform (Linux).
+[[nodiscard]] bool transport_supported() noexcept;
+
+/// Owning file descriptor: closes on destruction, move-only. fd() is -1
+/// when empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Closes the held descriptor (EINTR-safe), leaving the object empty.
+  void reset();
+  /// Releases ownership without closing.
+  int release() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Transient outcome of a non-blocking read/write attempt.
+enum class IoStatus {
+  kOk,         ///< some bytes transferred (count in the out-parameter)
+  kWouldBlock, ///< EAGAIN/EWOULDBLOCK — retry on the next readiness edge
+  kEof,        ///< orderly peer shutdown (reads only)
+  kError,      ///< connection-fatal errno (reset, pipe, ...)
+};
+
+/// Non-blocking read/write with EINTR retry. `transferred` receives the
+/// byte count on kOk and 0 otherwise.
+IoStatus read_some(int fd, char* data, std::size_t size,
+                   std::size_t* transferred);
+IoStatus write_some(int fd, const char* data, std::size_t size,
+                    std::size_t* transferred);
+
+/// Creates a non-blocking, close-on-exec listening TCP socket bound to
+/// `host:port` (SO_REUSEADDR; port 0 = kernel-assigned). Throws
+/// std::runtime_error with the errno text on failure. `bound_port`
+/// receives the actual port (useful with port 0).
+[[nodiscard]] Fd listen_tcp(const std::string& host, std::uint16_t port,
+                            int backlog, std::uint16_t* bound_port);
+
+/// Accepts one pending connection as a non-blocking, close-on-exec fd.
+/// Returns an empty Fd when the queue is drained (EAGAIN) or on a
+/// transient per-connection error (ECONNABORTED and friends are skipped
+/// by the caller's accept loop, not fatal).
+[[nodiscard]] Fd accept_connection(int listen_fd);
+
+/// Blocking TCP connect for the client side; throws std::runtime_error
+/// on failure. TCP_NODELAY is set (request/response lines are tiny and
+/// latency-bound).
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Disables Nagle on an accepted server-side socket (best-effort).
+void set_tcp_nodelay(int fd);
+
+/// Half-closes the send direction (shutdown(SHUT_WR), best-effort): the
+/// peer sees EOF but this end keeps reading — the nc-style client shape.
+void shutdown_send_half(int fd);
+
+/// Shrinks the kernel send buffer (best-effort; the kernel clamps to its
+/// minimum). Tests use this to exercise backpressure without megabytes
+/// of traffic.
+void set_send_buffer(int fd, int bytes);
+
+/// SO_RCVTIMEO on a blocking socket (best-effort): a read that waits
+/// longer surfaces as IoStatus::kWouldBlock. 0 = wait forever.
+void set_receive_timeout(int fd, int timeout_ms);
+
+}  // namespace resilience::net

@@ -1,0 +1,106 @@
+#pragma once
+
+// One JSONL request/response session over a SweepService — the request
+// processing that used to live inside sweep_server's main loop, factored
+// out so every front-end (the stdin CLI, the epoll daemon, the loopback
+// bench) speaks byte-identical protocol BY CONSTRUCTION: they all feed
+// input lines through handle_line() and emit the lines it produces.
+//
+// Per input line:
+//   * blank / '#'-comment     — skipped (still counted: default request
+//                               ids are "line-N" over ALL input lines,
+//                               matching the historical stdin numbering);
+//   * {"type":"stats", ...}   — answered with one stats_line snapshot;
+//   * scenario request object — validated, submitted (cells streamed as
+//                               cell_lines), finished with a done_line
+//                               (carrying a stats block when the request
+//                               set "stats": true);
+//   * anything invalid        — one error_line naming the offending
+//                               field; the session keeps going.
+//
+// Cancellation: a front-end may hand in a shared cancel flag (the
+// daemon's per-connection token, set on disconnect). Once it reads true
+// the session stops formatting and emitting lines — mid-request, the
+// running submit still completes so its table lands in the cache, but no
+// more output is produced for a client that is gone.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resilience/service/scenario_request.hpp"
+#include "resilience/service/serialize.hpp"
+#include "resilience/service/sweep_service.hpp"
+
+namespace resilience::service {
+
+struct JsonlSessionOptions {
+  bool stream = true;    ///< emit cell lines (done/error always emit)
+  bool collect = false;  ///< keep streamed cells for the outcome hook
+};
+
+/// True when `line` is a request — not blank, not a '#' comment. The one
+/// copy of the protocol's skip rule: handle_line applies it, and
+/// pipelining clients use it to predict how many responses a request
+/// file will produce (every request line gets exactly one terminal
+/// done/stats/error line).
+[[nodiscard]] bool is_request_line(std::string_view line);
+
+class JsonlSession {
+ public:
+  using Options = JsonlSessionOptions;
+
+  /// Receives each response line (no terminator). `end_of_response` is
+  /// true on done/stats/error lines — the cue for per-response flushing
+  /// on buffered transports.
+  using LineFn = std::function<void(std::string&& line, bool end_of_response)>;
+
+  /// Everything sweep_server --check needs about one served request.
+  struct Outcome {
+    ScenarioRequest request;
+    SubmitResult result;
+    std::vector<core::SweepCell> cells;  ///< filled when options.collect
+  };
+  using OutcomeFn = std::function<void(const Outcome& outcome)>;
+
+  JsonlSession(SweepService& service, LineFn emit,
+               Options options = Options(),
+               std::shared_ptr<const std::atomic<bool>> cancelled = nullptr);
+
+  /// Called after each successfully served scenario request (not for
+  /// stats requests or errors).
+  void set_outcome_hook(OutcomeFn hook) { outcome_ = std::move(hook); }
+
+  /// Processes one input line end to end (submit included — callers
+  /// wanting concurrency run sessions on their own threads, one per
+  /// connection). Exceptions from the engine surface as an error_line,
+  /// never propagate.
+  void handle_line(std::string_view line);
+
+  /// Input lines seen so far (blank and comment lines included).
+  [[nodiscard]] std::size_t lines_seen() const noexcept { return lines_; }
+  /// True when any line produced an error response (parse, validation or
+  /// internal) — what sweep_server's exit code reports.
+  [[nodiscard]] bool any_request_errors() const noexcept { return errors_; }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_ != nullptr &&
+           cancelled_->load(std::memory_order_acquire);
+  }
+
+ private:
+  void emit(std::string line, bool end_of_response);
+
+  SweepService& service_;
+  LineFn emit_;
+  Options options_;
+  std::shared_ptr<const std::atomic<bool>> cancelled_;
+  OutcomeFn outcome_;
+  std::size_t lines_ = 0;
+  bool errors_ = false;
+};
+
+}  // namespace resilience::service

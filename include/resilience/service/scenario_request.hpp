@@ -48,6 +48,12 @@ struct ScenarioRequest {
   /// (results are bit-identical either way; off only forces a cold
   /// compute, e.g. for benchmarking).
   bool reuse_seeds = true;
+  /// Append a service/cache counter snapshot to this request's `done`
+  /// line ("stats": true). Off by default deliberately: the counters are
+  /// service-global, so under concurrent clients their values depend on
+  /// interleaving — responses stay byte-deterministic unless a client
+  /// explicitly asks for observability.
+  bool include_stats = false;
 
   /// Parses and validates a request object; throws RequestError.
   static ScenarioRequest from_json(const util::JsonValue& json);

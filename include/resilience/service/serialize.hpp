@@ -16,6 +16,8 @@
 
 namespace resilience::service {
 
+struct ServiceStats;  // sweep_service.hpp; serialization only reads it
+
 /// SweepCell <-> JSON. The cell's family is serialized once (as the
 /// paper's name, e.g. "PDMV*"); the nested first_order block omits it and
 /// re-inherits it on parse.
@@ -39,9 +41,17 @@ namespace resilience::service {
 [[nodiscard]] util::JsonValue to_json(const core::SweepTable& table);
 [[nodiscard]] core::SweepTable table_from_json(const util::JsonValue& json);
 
+/// ServiceStats -> JSON: {"service":{submission counters},"cache":{tier
+/// counters}} — the block a `stats` request returns and an opt-in done
+/// line embeds.
+[[nodiscard]] util::JsonValue to_json(const ServiceStats& stats);
+
 /// One streamed-response JSONL line (no trailing newline):
 ///   cell_line  -> {"type":"cell","request":...,"signature":...,<cell>}
-///   done_line  -> {"type":"done", summary of the finished table}
+///   done_line  -> {"type":"done", summary of the finished table; with a
+///                  non-null `stats` a trailing "stats" block (requests
+///                  opt in via "stats": true)}
+///   stats_line -> {"type":"stats","request":...,<ServiceStats blocks>}
 ///   error_line -> {"type":"error","request":...,"field":...,"message":...}
 [[nodiscard]] std::string cell_line(const std::string& request_id,
                                     core::GridSignature signature,
@@ -49,7 +59,10 @@ namespace resilience::service {
 [[nodiscard]] std::string done_line(const std::string& request_id,
                                     core::GridSignature signature,
                                     const core::SweepTable& table,
-                                    bool cache_hit, bool joined_in_flight);
+                                    bool cache_hit, bool joined_in_flight,
+                                    const ServiceStats* stats = nullptr);
+[[nodiscard]] std::string stats_line(const std::string& request_id,
+                                     const ServiceStats& stats);
 [[nodiscard]] std::string error_line(const std::string& request_id,
                                      const std::string& field,
                                      const std::string& message);

@@ -51,6 +51,31 @@ struct ServiceOptions {
   bool reuse_seeds = true;
 };
 
+/// Counter snapshot of a service and its cache — the observability
+/// surface the JSONL protocol exposes (a "stats" request, or the opt-in
+/// per-request `stats` flag on the done line), so a daemon's reuse
+/// behavior is visible without a debugger. Counters are monotonic over
+/// the service's lifetime; under concurrent submissions a snapshot is
+/// internally consistent only counter by counter (each is read
+/// atomically, the set is not one transaction).
+struct ServiceStats {
+  // Submission outcomes (SweepService).
+  std::uint64_t submits = 0;
+  std::uint64_t cache_hits = 0;         ///< served from the table cache
+  std::uint64_t disk_hits = 0;          ///< ...of which lazily reloaded
+  std::uint64_t joined_in_flight = 0;   ///< deduped onto a concurrent leader
+  std::uint64_t tables_computed = 0;    ///< misses that led a compute
+  std::uint64_t seeded_computes = 0;    ///< computes that consumed seeds
+  // Cache tiers (SweepCache; lookup granularity, not submissions).
+  std::uint64_t cache_lookup_hits = 0;
+  std::uint64_t cache_lookup_misses = 0;
+  std::uint64_t seed_hits = 0;    ///< seeds_for() calls that found seeds
+  std::uint64_t disk_loads = 0;   ///< spill files served after verification
+  std::uint64_t disk_rejects = 0; ///< spill files rejected (corrupt/foreign)
+  std::size_t cache_size = 0;
+  std::size_t cache_capacity = 0;
+};
+
 /// Outcome of one submission.
 struct SubmitResult {
   std::shared_ptr<const core::SweepTable> table;
@@ -97,6 +122,9 @@ class SweepService {
     return tables_computed_.load(std::memory_order_relaxed);
   }
 
+  /// Snapshot of every service/cache counter (see ServiceStats).
+  [[nodiscard]] ServiceStats stats() const;
+
  private:
   using TablePtr = std::shared_ptr<const core::SweepTable>;
 
@@ -109,6 +137,11 @@ class SweepService {
   std::mutex in_flight_mutex_;
   std::unordered_map<std::uint64_t, std::shared_future<TablePtr>> in_flight_;
   std::atomic<std::uint64_t> tables_computed_{0};
+  std::atomic<std::uint64_t> submits_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> joins_{0};
+  std::atomic<std::uint64_t> seeded_computes_{0};
 };
 
 }  // namespace resilience::service

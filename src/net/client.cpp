@@ -1,0 +1,109 @@
+#include "resilience/net/client.hpp"
+
+#include <stdexcept>
+
+namespace resilience::net {
+
+bool is_terminal_response_line(std::string_view line) {
+  // Server lines are canonical util/json dumps with "type" as the first
+  // member, so a prefix test is exact (and cheap enough for the bench's
+  // per-line hot path).
+  return line.starts_with("{\"type\":\"done\"") ||
+         line.starts_with("{\"type\":\"stats\"") ||
+         line.starts_with("{\"type\":\"error\"");
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  fd_ = connect_tcp(host, port);
+  framer_ = LineFramer();  // unlimited: the client trusts its server
+  pending_.clear();
+  eof_ = false;
+}
+
+void Client::shutdown_send() { shutdown_send_half(fd_.fd()); }
+
+void Client::set_receive_timeout(int timeout_ms) {
+  net::set_receive_timeout(fd_.fd(), timeout_ms);
+}
+
+void Client::send_raw(std::string_view bytes) {
+  if (!fd_.valid()) {
+    throw std::runtime_error("net::Client: not connected");
+  }
+  while (!bytes.empty()) {
+    std::size_t n = 0;
+    // The client socket is blocking, so kWouldBlock cannot happen; a
+    // short write just loops.
+    const IoStatus status = write_some(fd_.fd(), bytes.data(), bytes.size(), &n);
+    if (status != IoStatus::kOk) {
+      throw std::runtime_error("net::Client: connection lost while sending");
+    }
+    bytes.remove_prefix(n);
+  }
+}
+
+void Client::send_line(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  send_raw(framed);
+}
+
+std::optional<std::string> Client::read_line() {
+  if (!fd_.valid()) {
+    throw std::runtime_error("net::Client: not connected");
+  }
+  const auto stash = [this](std::string_view line) {
+    pending_.emplace_back(line);
+  };
+  for (;;) {
+    if (!pending_.empty()) {
+      std::string line = std::move(pending_.front());
+      pending_.pop_front();
+      return line;
+    }
+    if (eof_) {
+      return std::nullopt;
+    }
+    char chunk[16384];
+    std::size_t n = 0;
+    switch (read_some(fd_.fd(), chunk, sizeof(chunk), &n)) {
+      case IoStatus::kOk:
+        // Same framing rules as the server (CRLF tolerance included);
+        // the unlimited framer cannot fail.
+        (void)framer_.feed(std::string_view(chunk, n), stash);
+        break;
+      case IoStatus::kEof:
+        eof_ = true;
+        (void)framer_.finish(stash);  // unterminated tail is still a line
+        break;
+      case IoStatus::kWouldBlock:  // only with a receive timeout set
+        throw std::runtime_error("net::Client: read timed out");
+      case IoStatus::kError:
+        throw std::runtime_error("net::Client: connection lost while reading");
+    }
+  }
+}
+
+std::vector<std::string> Client::read_response() {
+  std::vector<std::string> lines;
+  for (;;) {
+    std::optional<std::string> line = read_line();
+    if (!line.has_value()) {
+      return lines.empty() ? lines : std::move(lines);
+    }
+    const bool terminal = is_terminal_response_line(*line);
+    lines.push_back(std::move(*line));
+    if (terminal) {
+      return lines;
+    }
+  }
+}
+
+std::vector<std::string> Client::transact(std::string_view line) {
+  send_line(line);
+  return read_response();
+}
+
+}  // namespace resilience::net

@@ -1,0 +1,95 @@
+#include "resilience/net/framing.hpp"
+
+namespace resilience::net {
+
+namespace {
+
+/// Strips one trailing '\r' (CRLF clients — telnet, Windows nc — are
+/// tolerated on the wire even though the canonical terminator is '\n').
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+}  // namespace
+
+bool LineFramer::fail_oversized() {
+  failed_ = true;
+  error_line_ = lines_delivered_ + 1;
+  error_offset_ = stream_offset_;
+  error_ = "line " + std::to_string(error_line_) + " (stream offset " +
+           std::to_string(error_offset_) + ") exceeds the " +
+           std::to_string(max_line_bytes_) + "-byte line limit";
+  buffer_.clear();
+  return false;
+}
+
+bool LineFramer::feed(std::string_view chunk, const LineFn& on_line) {
+  if (failed_) {
+    return false;
+  }
+  while (!chunk.empty()) {
+    const std::size_t newline = chunk.find('\n');
+    if (newline == std::string_view::npos) {
+      buffer_.append(chunk);
+      // The limit bounds the PAYLOAD: one byte of headroom is granted to
+      // a trailing '\r' that may turn out to be half of a CRLF
+      // terminator, so a limit-sized line is accepted from CRLF clients
+      // too. If no '\n' ever follows, finish() charges the '\r' as
+      // payload and the limit applies in full.
+      if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_ &&
+          !(buffer_.size() == max_line_bytes_ + 1 &&
+            buffer_.back() == '\r')) {
+        return fail_oversized();
+      }
+      return true;
+    }
+    const std::string_view head = chunk.substr(0, newline);
+    chunk.remove_prefix(newline + 1);
+    if (buffer_.empty()) {
+      // Fast path: the whole line arrived in one chunk — deliver the
+      // view straight out of the caller's buffer, no copy.
+      const std::string_view payload = strip_cr(head);
+      if (max_line_bytes_ != 0 && payload.size() > max_line_bytes_) {
+        return fail_oversized();
+      }
+      ++lines_delivered_;
+      stream_offset_ += head.size() + 1;
+      on_line(payload);
+    } else {
+      buffer_.append(head);
+      const std::string_view payload = strip_cr(buffer_);
+      if (max_line_bytes_ != 0 && payload.size() > max_line_bytes_) {
+        return fail_oversized();
+      }
+      ++lines_delivered_;
+      stream_offset_ += buffer_.size() + 1;
+      on_line(payload);
+      buffer_.clear();
+    }
+  }
+  return true;
+}
+
+bool LineFramer::finish(const LineFn& on_line) {
+  if (failed_) {
+    return false;
+  }
+  if (buffer_.empty()) {
+    return true;
+  }
+  // No terminator arrived, so a trailing '\r' is payload, not protocol:
+  // it counts toward the limit and is delivered.
+  if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_) {
+    return fail_oversized();
+  }
+  ++lines_delivered_;
+  stream_offset_ += buffer_.size();
+  on_line(buffer_);
+  buffer_.clear();
+  return true;
+}
+
+}  // namespace resilience::net

@@ -1,0 +1,515 @@
+#include "resilience/net/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "resilience/net/connection.hpp"
+#include "resilience/net/event_loop.hpp"
+#include "resilience/service/jsonl_session.hpp"
+#include "resilience/util/thread_pool.hpp"
+
+#if defined(__linux__)
+#include <cerrno>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+#endif
+
+namespace resilience::net {
+
+namespace {
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw, 2, 8);
+}
+
+}  // namespace
+
+struct NetServer::Impl {
+  /// One client connection: the socket-side state (net::Connection), the
+  /// protocol session, and the pipelining backlog of received request
+  /// lines. The backlog preserves request order; `executing` guarantees
+  /// at most one in-flight session call per connection, so responses go
+  /// out strictly in request order even though different connections run
+  /// on different executor threads.
+  struct Conn {
+    std::uint64_t id = 0;
+    std::shared_ptr<Connection> socket;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::unique_ptr<service::JsonlSession> session;
+    struct Item {
+      std::string line;
+      bool framing_error = false;  ///< deferred oversized-line error
+      std::string error_text;      ///< ...and its located message
+      std::string error_id;
+    };
+    std::deque<Item> backlog;
+    std::size_t backlog_bytes = 0;  ///< request text queued, not executing
+    bool executing = false;
+    bool input_closed = false;  ///< peer EOF / framing error / draining
+    bool read_hold = false;     ///< paused for pipeline depth or drain
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  explicit Impl(NetServerOptions opts)
+      : options(std::move(opts)),
+        service(options.service),
+        listener(options.host, options.port, options.backlog) {
+#if defined(__linux__)
+    stop_event = Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+    if (!stop_event.valid()) {
+      throw std::runtime_error("net: eventfd(stop) failed");
+    }
+    loop.add_fd(stop_event.fd(), IoEvents::kRead, [this](std::uint32_t) {
+      std::uint64_t value = 0;
+      while (::read(stop_event.fd(), &value, sizeof(value)) > 0) {
+      }
+      begin_drain();
+    });
+#endif
+    loop.add_fd(listener.fd(), IoEvents::kRead,
+                [this](std::uint32_t) { on_accept(); });
+    executor = std::make_unique<util::ThreadPool>(
+        resolve_workers(options.request_workers));
+  }
+
+  // ------------------------------------------------------------ accept --
+
+  void on_accept() {
+    for (;;) {
+      Fd fd = accept_connection(listener.fd());
+      if (!fd.valid()) {
+        return;  // queue drained (or the connection evaporated)
+      }
+      if (options.max_connections != 0 &&
+          connections.size() >= options.max_connections) {
+        rejected_over_limit.fetch_add(1, std::memory_order_relaxed);
+        // Best-effort courtesy reply; the socket closes either way.
+        const std::string line =
+            service::error_line(
+                "", "",
+                "connection limit reached (" +
+                    std::to_string(options.max_connections) + ")") +
+            "\n";
+        std::size_t n = 0;
+        (void)write_some(fd.fd(), line.data(), line.size(), &n);
+        continue;
+      }
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      set_tcp_nodelay(fd.fd());
+      if (options.send_buffer_bytes > 0) {
+        set_send_buffer(fd.fd(), options.send_buffer_bytes);
+      }
+      const int raw_fd = fd.fd();
+      const std::uint64_t id = next_id++;
+
+      auto conn = std::make_shared<Conn>();
+      conn->id = id;
+      conn->cancel = std::make_shared<std::atomic<bool>>(false);
+      conn->socket = std::make_shared<Connection>(
+          loop, std::move(fd), id, options.write_buffer_limit,
+          options.max_line_bytes);
+      // The session emit path runs on executor threads: enqueue into the
+      // bounded per-connection queue; a refused enqueue (closed or
+      // overflowed) flips the cancel token so the session stops
+      // producing for a client that is gone.
+      const auto socket = conn->socket;
+      const auto cancel = conn->cancel;
+      conn->session = std::make_unique<service::JsonlSession>(
+          service,
+          [socket, cancel](std::string&& line, bool) {
+            if (!socket->enqueue(line)) {
+              cancel->store(true, std::memory_order_release);
+            }
+          },
+          service::JsonlSession::Options{/*stream=*/true, /*collect=*/false},
+          cancel);
+      conn->socket->set_wake([this, id] {
+        loop.post([this, id] { on_wake(id); });
+      });
+      loop.add_fd(raw_fd, IoEvents::kRead,
+                  [this, id](std::uint32_t events) { on_event(id, events); });
+      connections.emplace(id, std::move(conn));
+    }
+  }
+
+  // ---------------------------------------------------------- fd events --
+
+  ConnPtr find(std::uint64_t id) {
+    const auto it = connections.find(id);
+    return it == connections.end() ? nullptr : it->second;
+  }
+
+  void on_event(std::uint64_t id, std::uint32_t events) {
+    const ConnPtr conn = find(id);
+    if (conn == nullptr) {
+      return;
+    }
+    if (events & IoEvents::kError) {
+      drop(conn, dropped_error);
+      return;
+    }
+    if ((events & IoEvents::kWrite) && !flush_conn(conn)) {
+      return;
+    }
+    if (events & IoEvents::kRead) {
+      pump(conn);
+    } else if (events & IoEvents::kWrite) {
+      // A pure writability edge can be the moment the last response byte
+      // drains on an input-closed connection (e.g. an nc client that
+      // half-closed and is waiting for our EOF) — close it now.
+      maybe_finish(conn);
+    }
+  }
+
+  void on_wake(std::uint64_t id) {
+    const ConnPtr conn = find(id);
+    if (conn == nullptr) {
+      return;
+    }
+    if (flush_conn(conn)) {
+      maybe_finish(conn);
+    }
+  }
+
+  /// Reads whatever the socket has (unless input already ended), then
+  /// advances the request pipeline. Safe to call in any connection state
+  /// — the trailing schedule()/maybe_finish() always run, so a caller
+  /// can never strand a backlog behind an input_closed early-out.
+  void pump(const ConnPtr& conn) {
+    if (conn->socket->closed()) {
+      return;
+    }
+    if (!conn->input_closed) {
+      pump_socket(conn);
+      if (conn->socket->closed()) {
+        return;  // dropped (read error / slow-client overflow)
+      }
+    }
+    schedule(conn);
+    maybe_finish(conn);
+  }
+
+  void pump_socket(const ConnPtr& conn) {
+    const auto on_line = [&](std::string_view line) {
+      conn->backlog.push_back(Conn::Item{std::string(line), false, "", ""});
+      conn->backlog_bytes += line.size();
+      if (!conn->read_hold && backlog_over_watermark(conn)) {
+        conn->read_hold = true;
+        conn->socket->set_read_hold(true);
+      }
+    };
+    switch (conn->socket->pump_reads(on_line)) {
+      case Connection::ReadResult::kOk:
+        break;
+      case Connection::ReadResult::kClosed:
+        conn->input_closed = true;
+        break;
+      case Connection::ReadResult::kError:
+        drop(conn, dropped_error);
+        return;
+      case Connection::ReadResult::kFramingError: {
+        // The error response must come after the responses of requests
+        // already pipelined ahead of it, so it rides the backlog as a
+        // deferred item instead of jumping the queue. No resync is
+        // possible after an unterminated monster line: input ends here.
+        dropped_framing.fetch_add(1, std::memory_order_relaxed);
+        const LineFramer& framer = conn->socket->framer();
+        conn->backlog.push_back(
+            Conn::Item{"", true, framer.error_message(),
+                       "line-" + std::to_string(framer.error_line())});
+        conn->input_closed = true;
+        break;
+      }
+    }
+    if (conn->socket->overflowed()) {
+      drop(conn, dropped_slow);
+      return;
+    }
+  }
+
+  // ---------------------------------------------------------- requests --
+
+  /// Read-pause watermarks for the request side, mirroring the response
+  /// side's byte bound: the backlog is capped by count AND by bytes
+  /// (half the write-buffer limit), so a client pipelining
+  /// near-max-line-bytes requests cannot buy depth x line-size of server
+  /// memory.
+  [[nodiscard]] bool backlog_over_watermark(const ConnPtr& conn) const {
+    return (options.max_pipeline_depth != 0 &&
+            conn->backlog.size() >= options.max_pipeline_depth) ||
+           (options.write_buffer_limit != 0 &&
+            conn->backlog_bytes >= options.write_buffer_limit / 2);
+  }
+
+  [[nodiscard]] bool backlog_under_resume_watermark(const ConnPtr& conn) const {
+    return (options.max_pipeline_depth == 0 ||
+            conn->backlog.size() <= options.max_pipeline_depth / 2) &&
+           (options.write_buffer_limit == 0 ||
+            conn->backlog_bytes <= options.write_buffer_limit / 4);
+  }
+
+  void schedule(const ConnPtr& conn) {
+    if (conn->executing || conn->socket->closed()) {
+      return;
+    }
+    // Blank/comment lines only tick the session's "line-N" numbering —
+    // no compute, no response. Handle them inline instead of paying an
+    // executor round trip (and inflating requests_started) per comment.
+    while (!conn->backlog.empty() && !conn->backlog.front().framing_error &&
+           !service::is_request_line(conn->backlog.front().line)) {
+      conn->backlog_bytes -= conn->backlog.front().line.size();
+      conn->session->handle_line(conn->backlog.front().line);
+      conn->backlog.pop_front();
+    }
+    if (conn->backlog.empty()) {
+      return;
+    }
+    Conn::Item item = std::move(conn->backlog.front());
+    conn->backlog.pop_front();
+    conn->backlog_bytes -= item.line.size();
+    if (item.framing_error) {
+      conn->socket->enqueue(
+          service::error_line(item.error_id, "", item.error_text));
+      (void)flush_conn(conn);
+      return;  // input_closed is set; maybe_finish will close after flush
+    }
+    conn->executing = true;
+    ++active_requests;
+    requests_started.fetch_add(1, std::memory_order_relaxed);
+    const ConnPtr held = conn;
+    executor->submit([this, held, line = std::move(item.line)] {
+      held->session->handle_line(line);
+      loop.post([this, held] { on_request_done(held); });
+    });
+  }
+
+  void on_request_done(const ConnPtr& conn) {
+    conn->executing = false;
+    if (active_requests > 0) {
+      --active_requests;
+    }
+    if (!conn->socket->closed()) {
+      if (flush_conn(conn)) {
+        if (conn->read_hold && !draining && !conn->input_closed &&
+            backlog_under_resume_watermark(conn)) {
+          conn->read_hold = false;
+          conn->socket->set_read_hold(false);
+        }
+        // pump() reads only when input is open and unpaused, and always
+        // advances the pipeline — including the deferred framing-error
+        // item of an input_closed connection.
+        pump(conn);
+      }
+    }
+    check_drain();
+  }
+
+  // ------------------------------------------------------- write drain --
+
+  /// Flushes and applies the drop policies; false when the connection
+  /// died here.
+  bool flush_conn(const ConnPtr& conn) {
+    if (conn->socket->closed()) {
+      return false;
+    }
+    const bool paused_before = conn->socket->reading_paused();
+    if (!conn->socket->flush()) {
+      drop(conn, dropped_error);
+      return false;
+    }
+    if (conn->socket->overflowed()) {
+      drop(conn, dropped_slow);
+      return false;
+    }
+    if (paused_before && !conn->socket->reading_paused() &&
+        !conn->input_closed) {
+      pump(conn);
+    }
+    return true;
+  }
+
+  // ----------------------------------------------------------- closing --
+
+  void drop(const ConnPtr& conn, std::atomic<std::uint64_t>& counter) {
+    if (!conn->socket->closed()) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
+    close_conn(conn);
+  }
+
+  void close_conn(const ConnPtr& conn) {
+    if (conn->socket->closed()) {
+      return;
+    }
+    conn->cancel->store(true, std::memory_order_release);
+    conn->socket->close();
+    conn->backlog.clear();
+    conn->backlog_bytes = 0;
+    connections.erase(conn->id);
+    check_drain();
+  }
+
+  /// Orderly close once a connection has nothing left to do: input has
+  /// ended (EOF, framing error or drain), no request is executing or
+  /// queued, and every response byte reached the socket.
+  void maybe_finish(const ConnPtr& conn) {
+    if ((conn->input_closed || draining) && !conn->executing &&
+        conn->backlog.empty() && !conn->socket->closed() &&
+        conn->socket->drained()) {
+      close_conn(conn);
+    }
+  }
+
+  // ------------------------------------------------------------- drain --
+
+  void begin_drain() {
+    if (draining) {
+      return;
+    }
+    draining = true;
+    loop.remove_fd(listener.fd());
+    listener.close();
+    std::vector<ConnPtr> snapshot;
+    snapshot.reserve(connections.size());
+    for (const auto& [id, conn] : connections) {
+      snapshot.push_back(conn);
+    }
+    for (const ConnPtr& conn : snapshot) {
+      conn->input_closed = true;  // already-received requests still run
+      conn->socket->set_read_hold(true);
+      schedule(conn);
+      maybe_finish(conn);
+    }
+    arm_drain_timer();
+    check_drain();
+  }
+
+  void arm_drain_timer() {
+#if defined(__linux__)
+    if (options.drain_timeout_ms <= 0) {
+      return;
+    }
+    drain_timer = Fd(::timerfd_create(CLOCK_MONOTONIC,
+                                      TFD_NONBLOCK | TFD_CLOEXEC));
+    if (!drain_timer.valid()) {
+      return;  // best-effort: drain just has no deadline
+    }
+    itimerspec spec{};
+    spec.it_value.tv_sec = options.drain_timeout_ms / 1000;
+    spec.it_value.tv_nsec =
+        static_cast<long>(options.drain_timeout_ms % 1000) * 1000000L;
+    if (::timerfd_settime(drain_timer.fd(), 0, &spec, nullptr) == -1) {
+      drain_timer.reset();
+      return;
+    }
+    loop.add_fd(drain_timer.fd(), IoEvents::kRead, [this](std::uint32_t) {
+      std::fprintf(stderr,
+                   "net: drain deadline (%d ms) reached with %zu connection(s) "
+                   "busy; force-closing\n",
+                   options.drain_timeout_ms, connections.size());
+      std::vector<ConnPtr> snapshot;
+      for (const auto& [id, conn] : connections) {
+        snapshot.push_back(conn);
+      }
+      for (const ConnPtr& conn : snapshot) {
+        close_conn(conn);
+      }
+      loop.stop();
+    });
+#endif
+  }
+
+  void check_drain() {
+    if (draining && connections.empty() && active_requests == 0) {
+      loop.stop();
+    }
+  }
+
+  void signal_stop() noexcept {
+#if defined(__linux__)
+    const std::uint64_t one = 1;
+    ssize_t rc;
+    do {
+      rc = ::write(stop_event.fd(), &one, sizeof(one));
+    } while (rc == -1 && errno == EINTR);
+#endif
+  }
+
+  void run() {
+    loop.run();
+    // Join the executor: jobs already running finish (their completion
+    // posts land in the stopped loop's queue, never run — harmless:
+    // their connections are closed and their tables are cached).
+    executor.reset();
+  }
+
+  NetServerOptions options;
+  service::SweepService service;
+  EventLoop loop;
+  Listener listener;
+  Fd stop_event;
+  Fd drain_timer;
+  std::unique_ptr<util::ThreadPool> executor;
+  std::unordered_map<std::uint64_t, ConnPtr> connections;
+  std::uint64_t next_id = 1;
+  std::size_t active_requests = 0;
+  bool draining = false;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected_over_limit{0};
+  std::atomic<std::uint64_t> dropped_slow{0};
+  std::atomic<std::uint64_t> dropped_framing{0};
+  std::atomic<std::uint64_t> dropped_error{0};
+  std::atomic<std::uint64_t> requests_started{0};
+};
+
+NetServer::NetServer(NetServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+NetServer::~NetServer() = default;
+
+void NetServer::run() { impl_->run(); }
+
+void NetServer::stop() { impl_->signal_stop(); }
+
+void NetServer::signal_stop() noexcept { impl_->signal_stop(); }
+
+std::uint16_t NetServer::port() const noexcept {
+  return impl_->listener.port();
+}
+
+service::SweepService& NetServer::service() noexcept {
+  return impl_->service;
+}
+
+const NetServerOptions& NetServer::options() const noexcept {
+  return impl_->options;
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats stats;
+  stats.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  stats.rejected_over_limit =
+      impl_->rejected_over_limit.load(std::memory_order_relaxed);
+  stats.dropped_slow = impl_->dropped_slow.load(std::memory_order_relaxed);
+  stats.dropped_framing =
+      impl_->dropped_framing.load(std::memory_order_relaxed);
+  stats.dropped_error = impl_->dropped_error.load(std::memory_order_relaxed);
+  stats.requests_started =
+      impl_->requests_started.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace resilience::net

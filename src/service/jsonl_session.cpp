@@ -1,0 +1,169 @@
+#include "resilience/service/jsonl_session.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace resilience::service {
+
+namespace {
+
+/// The sink a scenario request streams through: forwards formatted cell
+/// lines (unless the client is gone) and optionally keeps the raw cells
+/// for the outcome hook. The runner serializes on_cell calls, so no
+/// locking here.
+class SessionSink final : public core::CellSink {
+ public:
+  SessionSink(const std::string& request_id, core::GridSignature signature,
+              bool stream, bool collect,
+              std::function<void(std::string&&)> forward,
+              std::shared_ptr<const std::atomic<bool>> cancelled)
+      : request_id_(request_id),
+        signature_(signature),
+        stream_(stream),
+        collect_(collect),
+        forward_(std::move(forward)),
+        cancelled_(std::move(cancelled)) {}
+
+  void on_cell(const core::SweepCell& cell) override {
+    if (collect_) {
+      cells_.push_back(cell);
+    }
+    if (stream_ && !(cancelled_ != nullptr &&
+                     cancelled_->load(std::memory_order_acquire))) {
+      forward_(cell_line(request_id_, signature_, cell));
+    }
+  }
+
+  [[nodiscard]] std::vector<core::SweepCell>& cells() noexcept {
+    return cells_;
+  }
+
+ private:
+  const std::string& request_id_;  ///< outlives the sink (owned by caller)
+  core::GridSignature signature_;
+  bool stream_;
+  bool collect_;
+  std::function<void(std::string&&)> forward_;
+  std::shared_ptr<const std::atomic<bool>> cancelled_;
+  std::vector<core::SweepCell> cells_;
+};
+
+}  // namespace
+
+bool is_request_line(std::string_view line) {
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  return first != std::string_view::npos && line[first] != '#';
+}
+
+JsonlSession::JsonlSession(SweepService& service, LineFn emit, Options options,
+                           std::shared_ptr<const std::atomic<bool>> cancelled)
+    : service_(service),
+      emit_(std::move(emit)),
+      options_(options),
+      cancelled_(std::move(cancelled)) {}
+
+void JsonlSession::emit(std::string line, bool end_of_response) {
+  if (!cancelled()) {
+    emit_(std::move(line), end_of_response);
+  }
+}
+
+void JsonlSession::handle_line(std::string_view line) {
+  ++lines_;
+  if (!is_request_line(line)) {
+    return;  // blank lines and comments between requests are fine
+  }
+  if (cancelled()) {
+    return;  // client is gone; don't start work on its behalf
+  }
+  const std::string default_id = "line-" + std::to_string(lines_);
+
+  // One parse serves the type dispatch and the request constructor.
+  util::JsonValue json;
+  try {
+    json = util::JsonValue::parse(line);
+  } catch (const util::JsonError& error) {
+    errors_ = true;
+    emit(error_line(default_id, "",
+                    std::string("invalid JSON: ") + error.what()),
+         true);
+    return;
+  }
+
+  if (json.is_object()) {
+    if (const util::JsonValue* type = json.find("type")) {
+      std::string id = default_id;
+      if (const util::JsonValue* id_field = json.find("id")) {
+        if (!id_field->is_string()) {
+          errors_ = true;
+          emit(error_line(default_id, "id", "expected a string"), true);
+          return;
+        }
+        id = id_field->as_string();
+      }
+      if (!type->is_string() || type->as_string() != "stats") {
+        errors_ = true;
+        emit(error_line(id, "type",
+                        type->is_string()
+                            ? "unknown request type '" + type->as_string() +
+                                  "'"
+                            : std::string("expected a string")),
+             true);
+        return;
+      }
+      // Same strictness as scenario requests: typo'd members must not be
+      // silently ignored.
+      for (const auto& [key, value] : json.as_object()) {
+        if (key != "type" && key != "id") {
+          errors_ = true;
+          emit(error_line(id, key, "unknown field '" + key + "'"), true);
+          return;
+        }
+      }
+      emit(stats_line(id, service_.stats()), true);
+      return;
+    }
+  }
+
+  ScenarioRequest request;
+  try {
+    request = ScenarioRequest::from_json(json);
+  } catch (const RequestError& error) {
+    errors_ = true;
+    emit(error_line(default_id, error.field, error.what()), true);
+    return;
+  }
+  if (request.id.empty()) {
+    request.id = default_id;
+  }
+
+  try {
+    const core::GridSignature signature = service_.signature_for(request);
+    SessionSink sink(
+        request.id, signature, options_.stream, options_.collect,
+        [this](std::string&& cell) { emit_(std::move(cell), false); },
+        cancelled_);
+    const bool need_sink = options_.stream || options_.collect;
+    const SubmitResult result =
+        service_.submit(request, need_sink ? &sink : nullptr);
+    const ServiceStats stats =
+        request.include_stats ? service_.stats() : ServiceStats{};
+    emit(done_line(request.id, result.signature, *result.table,
+                   result.cache_hit, result.joined_in_flight,
+                   request.include_stats ? &stats : nullptr),
+         true);
+    if (outcome_) {
+      outcome_(Outcome{std::move(request), result, std::move(sink.cells())});
+    }
+  } catch (const std::exception& error) {
+    // Validation ran at parse time, so this is an engine/runtime failure
+    // (resource exhaustion, cache IO); the protocol answer is an error
+    // line, not a dropped connection or a dead server.
+    errors_ = true;
+    emit(error_line(request.id, "",
+                    std::string("internal error: ") + error.what()),
+         true);
+  }
+}
+
+}  // namespace resilience::service

@@ -173,7 +173,7 @@ ScenarioRequest ScenarioRequest::from_json(const JsonValue& json) {
   reject_unknown_fields(json, "",
                         {"id", "platforms", "node_counts", "rate_factors",
                          "cost_overrides", "kinds", "numeric_optimum",
-                         "reuse_seeds"});
+                         "reuse_seeds", "stats"});
 
   ScenarioRequest request;
   if (const JsonValue* id = json.find("id")) {
@@ -242,6 +242,12 @@ ScenarioRequest ScenarioRequest::from_json(const JsonValue& json) {
       throw RequestError("reuse_seeds", "expected a boolean");
     }
     request.reuse_seeds = reuse->as_bool();
+  }
+  if (const JsonValue* stats = json.find("stats")) {
+    if (!stats->is_bool()) {
+      throw RequestError("stats", "expected a boolean");
+    }
+    request.include_stats = stats->as_bool();
   }
 
   // Axis semantics (positivity, override sentinels) and the resolved
@@ -317,6 +323,9 @@ JsonValue ScenarioRequest::to_json() const {
   }
   out.set("numeric_optimum", numeric_optimum);
   out.set("reuse_seeds", reuse_seeds);
+  if (include_stats) {  // default-off flag stays absent, like the axes
+    out.set("stats", true);
+  }
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "resilience/service/sweep_service.hpp"
+
 namespace resilience::service {
 
 namespace {
@@ -235,10 +237,44 @@ std::string cell_line(const std::string& request_id,
   return line.dump();
 }
 
+JsonValue to_json(const ServiceStats& stats) {
+  JsonValue service = JsonValue::object();
+  service.set("submits", stats.submits);
+  service.set("cache_hits", stats.cache_hits);
+  service.set("disk_hits", stats.disk_hits);
+  service.set("joined_in_flight", stats.joined_in_flight);
+  service.set("tables_computed", stats.tables_computed);
+  service.set("seeded_computes", stats.seeded_computes);
+  JsonValue cache = JsonValue::object();
+  cache.set("size", stats.cache_size);
+  cache.set("capacity", stats.cache_capacity);
+  cache.set("hits", stats.cache_lookup_hits);
+  cache.set("misses", stats.cache_lookup_misses);
+  cache.set("seed_hits", stats.seed_hits);
+  cache.set("disk_loads", stats.disk_loads);
+  cache.set("disk_rejects", stats.disk_rejects);
+  JsonValue out = JsonValue::object();
+  out.set("service", std::move(service));
+  out.set("cache", std::move(cache));
+  return out;
+}
+
+std::string stats_line(const std::string& request_id,
+                       const ServiceStats& stats) {
+  JsonValue line = JsonValue::object();
+  line.set("type", "stats");
+  line.set("request", request_id);
+  const JsonValue blocks = to_json(stats);
+  for (const auto& [key, value] : blocks.as_object()) {
+    line.set(key, value);
+  }
+  return line.dump();
+}
+
 std::string done_line(const std::string& request_id,
                       core::GridSignature signature,
                       const core::SweepTable& table, bool cache_hit,
-                      bool joined_in_flight) {
+                      bool joined_in_flight, const ServiceStats* stats) {
   JsonValue kinds = JsonValue::array();
   for (const core::PatternKind kind : table.kinds) {
     kinds.push_back(core::pattern_name(kind));
@@ -252,6 +288,9 @@ std::string done_line(const std::string& request_id,
   line.set("cells", table.cells.size());
   line.set("cache_hit", cache_hit);
   line.set("joined_in_flight", joined_in_flight);
+  if (stats != nullptr) {
+    line.set("stats", to_json(*stats));
+  }
   return line.dump();
 }
 

@@ -92,10 +92,29 @@ core::GridSignature SweepService::signature_for(
   return core::grid_signature(request.grid, sweep);
 }
 
+ServiceStats SweepService::stats() const {
+  ServiceStats stats;
+  stats.submits = submits_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  stats.joined_in_flight = joins_.load(std::memory_order_relaxed);
+  stats.tables_computed = tables_computed_.load(std::memory_order_relaxed);
+  stats.seeded_computes = seeded_computes_.load(std::memory_order_relaxed);
+  stats.cache_lookup_hits = cache_.hits();
+  stats.cache_lookup_misses = cache_.misses();
+  stats.seed_hits = cache_.seed_hits();
+  stats.disk_loads = cache_.disk_loads();
+  stats.disk_rejects = cache_.disk_rejects();
+  stats.cache_size = cache_.size();
+  stats.cache_capacity = cache_.capacity();
+  return stats;
+}
+
 SubmitResult SweepService::submit_impl(const core::ScenarioGrid& grid,
                                        const core::SweepOptions& sweep,
                                        core::CellSink* sink,
                                        bool reuse_seeds) {
+  submits_.fetch_add(1, std::memory_order_relaxed);
   // One resolve serves validation, the signature and collision checks.
   const std::vector<core::ScenarioPoint> points = core::resolve_points(grid);
   const std::vector<core::PatternKind> kinds = grid.resolved_kinds();
@@ -134,6 +153,10 @@ SubmitResult SweepService::submit_impl(const core::ScenarioGrid& grid,
               /*seeded=*/false};
     }
     replay(*table, sink);
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (disk_hit) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
     return {std::move(table), signature, /*cache_hit=*/true, disk_hit,
             /*joined_in_flight=*/false, /*seeded=*/false};
   }
@@ -165,6 +188,7 @@ SubmitResult SweepService::submit_impl(const core::ScenarioGrid& grid,
               /*seeded=*/false};
     }
     replay(*table, sink);
+    joins_.fetch_add(1, std::memory_order_relaxed);
     return {std::move(table), signature, /*cache_hit=*/false,
             /*disk_hit=*/false, /*joined_in_flight=*/true, /*seeded=*/false};
   }
@@ -180,6 +204,9 @@ SubmitResult SweepService::submit_impl(const core::ScenarioGrid& grid,
   }
   tables_computed_.fetch_add(1, std::memory_order_relaxed);
   const bool seeded = seed_source.supplied() > 0;
+  if (seeded) {
+    seeded_computes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Publish to the cache — chains indexed so future related grids can
   // seed from this table — before waking joiners/erasing the in-flight

@@ -1,0 +1,81 @@
+#!/bin/sh
+# Network smoke: drive sweep_serverd with sweep_client over a request
+# file and diff the responses byte for byte against the stdin
+# sweep_server path (after a per-line sort: cell delivery order within a
+# cache miss varies with the pool schedule; cell CONTENT, the done/error
+# lines and the default "line-N" ids may not). Runs the serial and the
+# pipelined client against fresh daemons (a shared daemon would turn the
+# second run's cold submits into cache hits and legitimately change the
+# done-line flags), and pins the SIGTERM graceful drain (daemon exit 0).
+#
+# Usage: net_smoke.sh BUILD_DIR REQUEST_FILE
+set -u
+
+BUILD=$1
+REQUESTS=$2
+TMP=$(mktemp -d) || exit 1
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "net_smoke: $1" >&2
+  [ -f "$TMP/daemon.log" ] && cat "$TMP/daemon.log" >&2
+  exit 1
+}
+
+start_daemon() {
+  rm -f "$TMP/port"
+  "$BUILD/sweep_serverd" --port=0 --port-file="$TMP/port" \
+      --cache-capacity=8 2>>"$TMP/daemon.log" &
+  DAEMON_PID=$!
+  i=0
+  while [ ! -s "$TMP/port" ]; do
+    i=$((i + 1))
+    [ $i -gt 100 ] && fail "daemon did not bind within 10s"
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died at startup"
+    sleep 0.1
+  done
+  PORT=$(cat "$TMP/port")
+}
+
+stop_daemon() {
+  kill -TERM "$DAEMON_PID" || fail "daemon already gone"
+  wait "$DAEMON_PID"
+  rc=$?
+  DAEMON_PID=""
+  [ $rc -eq 0 ] || fail "daemon exit code $rc after SIGTERM (expected a graceful drain)"
+}
+
+# Reference: the stdin path over the same file. The smoke file contains
+# one deliberately invalid request, so the expected exit code is 3.
+"$BUILD/sweep_server" --cache-capacity=8 --input="$REQUESTS" \
+    >"$TMP/stdin.jsonl" 2>/dev/null
+rc=$?
+[ $rc -eq 3 ] || fail "sweep_server exit code $rc (expected 3: the file contains an invalid request)"
+sort "$TMP/stdin.jsonl" >"$TMP/stdin.sorted"
+
+# Serial client against a fresh daemon.
+start_daemon
+"$BUILD/sweep_client" --port="$PORT" --input="$REQUESTS" \
+    >"$TMP/serial.jsonl" || fail "serial client failed"
+stop_daemon
+sort "$TMP/serial.jsonl" >"$TMP/serial.sorted"
+diff -u "$TMP/stdin.sorted" "$TMP/serial.sorted" >&2 \
+    || fail "serial responses differ from the stdin path"
+
+# Pipelined client against a fresh daemon.
+start_daemon
+"$BUILD/sweep_client" --port="$PORT" --pipeline --input="$REQUESTS" \
+    >"$TMP/pipeline.jsonl" || fail "pipelined client failed"
+stop_daemon
+sort "$TMP/pipeline.jsonl" >"$TMP/pipeline.sorted"
+diff -u "$TMP/stdin.sorted" "$TMP/pipeline.sorted" >&2 \
+    || fail "pipelined responses differ from the stdin path"
+
+echo "net_smoke: OK (serial + pipelined byte-identical to the stdin path, graceful drain clean)"
+exit 0

@@ -1,0 +1,450 @@
+// End-to-end tests of the epoll transport daemon (net::NetServer +
+// net::Client): responses byte-identical to the stdin sweep_server path
+// (both run service::JsonlSession, and these tests pin that the network
+// adds nothing), pipelining order, two concurrent pipelined clients,
+// cancellation on disconnect, the connection limit, oversized-line
+// rejection, slow-client drop, the stats surface and the graceful drain.
+//
+// Determinism note: requests here use single-cell grids, so even a
+// cache-miss compute streams its one cell in a deterministic order and
+// full response streams compare with EXPECT_EQ — no sort-normalization
+// needed (the CI net smoke covers the multi-cell case).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resilience/net/client.hpp"
+#include "resilience/net/server.hpp"
+#include "resilience/service/jsonl_session.hpp"
+
+namespace rn = resilience::net;
+namespace rs = resilience::service;
+
+namespace {
+
+using Lines = std::vector<std::string>;
+
+/// NetServer on a background thread; the destructor drains and joins.
+class TestDaemon {
+ public:
+  explicit TestDaemon(rn::NetServerOptions options = {})
+      : server_(std::move(options)), thread_([this] { server_.run(); }) {}
+
+  ~TestDaemon() {
+    server_.stop();
+    thread_.join();
+  }
+
+  rn::NetServer& operator*() noexcept { return server_; }
+  rn::NetServer* operator->() noexcept { return &server_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+
+ private:
+  rn::NetServer server_;
+  std::thread thread_;
+};
+
+/// One-cell scenario request: deterministic response bytes even on a
+/// cache miss (single chain, single cell).
+std::string one_cell_request(const std::string& id, const std::string& platform,
+                             std::size_t nodes) {
+  return "{\"id\": \"" + id + "\", \"platforms\": [\"" + platform +
+         "\"], \"node_counts\": [" + std::to_string(nodes) +
+         "], \"kinds\": [\"PD\"]}";
+}
+
+/// The stdin sweep_server path in-process: a fresh service + JsonlSession
+/// over the given input lines — the byte-for-byte reference every
+/// transport response is held to.
+Lines stdin_path_lines(const Lines& input) {
+  rs::SweepService service;  // defaults match NetServerOptions::service
+  Lines out;
+  rs::JsonlSession session(service, [&out](std::string&& line, bool) {
+    out.push_back(std::move(line));
+  });
+  for (const std::string& line : input) {
+    session.handle_line(line);
+  }
+  return out;
+}
+
+Lines flatten(const std::vector<Lines>& responses) {
+  Lines out;
+  for (const Lines& response : responses) {
+    out.insert(out.end(), response.begin(), response.end());
+  }
+  return out;
+}
+
+TEST(NetServer, ServesByteIdenticalToStdinPath) {
+  const Lines input{
+      "# comment lines count toward line numbering",
+      one_cell_request("", "hera", 512),  // empty id -> default "line-2"
+      "",
+      one_cell_request("again", "hera", 512),     // cache hit
+      "{\"id\": \"bad\", \"platforms\": [\"hera\"], \"node_counts\": [0]}",
+      "not json at all",
+  };
+  const Lines expected = stdin_path_lines(input);
+  ASSERT_FALSE(expected.empty());
+
+  TestDaemon daemon;
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+  Lines got;
+  for (const std::string& line : input) {
+    client.send_line(line);
+  }
+  // 4 request lines (comment + blank excluded) -> 4 responses.
+  for (int i = 0; i < 4; ++i) {
+    const Lines response = client.read_response();
+    ASSERT_FALSE(response.empty()) << "response " << i;
+    got.insert(got.end(), response.begin(), response.end());
+  }
+  EXPECT_EQ(got, expected);
+
+  // The default "line-N" ids must match the stdin numbering (comments
+  // and blanks counted), or the two paths are not interchangeable.
+  bool saw_line2 = false;
+  for (const std::string& line : got) {
+    if (line.find("\"request\":\"line-2\"") != std::string::npos) {
+      saw_line2 = true;
+    }
+  }
+  EXPECT_TRUE(saw_line2);
+}
+
+TEST(NetServer, TwoConcurrentPipelinedClientsMatchTheirSerialReferences) {
+  // Disjoint request sets (no cross-client cache interference in the
+  // done-line flags); each client's stream must equal ITS OWN stdin-path
+  // reference byte for byte, concurrency notwithstanding.
+  const Lines input_a{
+      one_cell_request("a1", "hera", 256),
+      one_cell_request("a2", "hera", 1024),
+      one_cell_request("a3", "hera", 256),  // repeat -> cache_hit
+  };
+  const Lines input_b{
+      one_cell_request("b1", "atlas", 256),
+      one_cell_request("b2", "atlas", 2048),
+      one_cell_request("b3", "atlas", 2048),  // repeat -> cache_hit
+  };
+  const Lines expected_a = stdin_path_lines(input_a);
+  const Lines expected_b = stdin_path_lines(input_b);
+
+  TestDaemon daemon;
+  std::atomic<bool> failed{false};
+  const auto drive = [&](const Lines& input, const Lines& expected) {
+    try {
+      rn::Client client;
+      client.connect("127.0.0.1", daemon.port());
+      std::string all;
+      for (const std::string& line : input) {
+        all += line;
+        all += '\n';
+      }
+      client.send_raw(all);  // pipelined: every request before any read
+      std::vector<Lines> responses;
+      for (std::size_t i = 0; i < input.size(); ++i) {
+        responses.push_back(client.read_response());
+      }
+      if (flatten(responses) != expected) {
+        failed.store(true);
+      }
+    } catch (...) {
+      failed.store(true);
+    }
+  };
+  std::thread thread_a(drive, input_a, expected_a);
+  std::thread thread_b(drive, input_b, expected_b);
+  thread_a.join();
+  thread_b.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(daemon->stats().accepted, 2u);
+  EXPECT_EQ(daemon->stats().requests_started, 6u);
+}
+
+TEST(NetServer, PipelinedResponsesArriveInRequestOrder) {
+  TestDaemon daemon;
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+  constexpr int kRequests = 12;
+  std::string all;
+  for (int i = 0; i < kRequests; ++i) {
+    // Alternate two grids so hits and misses interleave.
+    all += one_cell_request("r" + std::to_string(i), "hera",
+                            i % 2 == 0 ? 512 : 4096);
+    all += '\n';
+  }
+  client.send_raw(all);
+  for (int i = 0; i < kRequests; ++i) {
+    const Lines response = client.read_response();
+    ASSERT_FALSE(response.empty());
+    const std::string tag = "\"request\":\"r" + std::to_string(i) + "\"";
+    for (const std::string& line : response) {
+      EXPECT_NE(line.find(tag), std::string::npos)
+          << "response " << i << " carried: " << line;
+    }
+    EXPECT_NE(response.back().find("\"type\":\"done\""), std::string::npos);
+  }
+}
+
+TEST(NetServer, StatsRequestAndOptInDoneLineStats) {
+  TestDaemon daemon;
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+
+  // A stats request answers with one stats line.
+  const Lines stats0 = client.transact("{\"type\": \"stats\", \"id\": \"s0\"}");
+  ASSERT_EQ(stats0.size(), 1u);
+  EXPECT_NE(stats0[0].find("\"type\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats0[0].find("\"request\":\"s0\""), std::string::npos);
+  EXPECT_NE(stats0[0].find("\"submits\":0"), std::string::npos);
+  EXPECT_NE(stats0[0].find("\"cache\":{"), std::string::npos);
+
+  // A scenario request with "stats": true gets the snapshot on its done
+  // line; without the flag the done line stays stats-free.
+  const std::string with_stats =
+      "{\"id\": \"w\", \"platforms\": [\"hera\"], \"node_counts\": [512], "
+      "\"kinds\": [\"PD\"], \"stats\": true}";
+  const Lines first = client.transact(with_stats);
+  ASSERT_FALSE(first.empty());
+  EXPECT_NE(first.back().find("\"stats\":{\"service\":{\"submits\":1"),
+            std::string::npos);
+  const Lines plain =
+      client.transact(one_cell_request("p", "hera", 512));
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain.back().find("\"stats\":{"), std::string::npos);
+
+  // After a miss + a hit the counters must say so.
+  const Lines stats1 = client.transact("{\"type\": \"stats\"}");
+  ASSERT_EQ(stats1.size(), 1u);
+  EXPECT_NE(stats1[0].find("\"submits\":2"), std::string::npos);
+  EXPECT_NE(stats1[0].find("\"cache_hits\":1"), std::string::npos);
+  EXPECT_NE(stats1[0].find("\"tables_computed\":1"), std::string::npos);
+}
+
+TEST(NetServer, UnknownTypeAnswersErrorLine) {
+  TestDaemon daemon;
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+  const Lines response =
+      client.transact("{\"type\": \"shutdown\", \"id\": \"x\"}");
+  ASSERT_EQ(response.size(), 1u);
+  EXPECT_NE(response[0].find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(response[0].find("unknown request type 'shutdown'"),
+            std::string::npos);
+}
+
+TEST(NetServer, DisconnectMidRequestLeavesServerServing) {
+  TestDaemon daemon;
+  {
+    rn::Client dropper;
+    dropper.connect("127.0.0.1", daemon.port());
+    // A 24-cell batch: enough work that the disconnect lands mid-compute
+    // on most runs (the cancellation path), and a correctness no-op when
+    // it doesn't.
+    dropper.send_line(
+        "{\"id\": \"doomed\", \"platforms\": [\"hera\", \"atlas\"], "
+        "\"node_counts\": [256, 1024]}");
+    // Wait until the request actually started executing, then vanish.
+    for (int i = 0; i < 1000 && daemon->stats().requests_started == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(daemon->stats().requests_started, 1u);
+    dropper.close();
+  }
+  // The server must keep serving other clients, bit-for-bit correct.
+  const Lines input{one_cell_request("after", "hera", 512)};
+  const Lines expected = stdin_path_lines(input);
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+  EXPECT_EQ(client.transact(input[0]), expected);
+}
+
+TEST(NetServer, ConnectionLimitAnswersErrorAndCloses) {
+  rn::NetServerOptions options;
+  options.max_connections = 1;
+  TestDaemon daemon(std::move(options));
+
+  rn::Client first;
+  first.connect("127.0.0.1", daemon.port());
+  // Prove the slot is actually taken (accept is asynchronous).
+  const Lines ok = first.transact(one_cell_request("one", "hera", 512));
+  ASSERT_FALSE(ok.empty());
+
+  rn::Client second;
+  second.connect("127.0.0.1", daemon.port());
+  const std::optional<std::string> line = second.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(line->find("connection limit reached (1)"), std::string::npos);
+  EXPECT_EQ(second.read_line(), std::nullopt);  // closed after the reply
+  EXPECT_GE(daemon->stats().rejected_over_limit, 1u);
+
+  // The admitted client is unaffected.
+  EXPECT_FALSE(first.transact(one_cell_request("two", "hera", 1024)).empty());
+}
+
+TEST(NetServer, OversizedLineGetsLocatedErrorThenClose) {
+  rn::NetServerOptions options;
+  options.max_line_bytes = 1024;
+  TestDaemon daemon(std::move(options));
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+
+  // A good request pipelined ahead of the monster line must still get
+  // its full response, in order, before the framing error line.
+  client.send_line(one_cell_request("good", "hera", 512));
+  client.send_line(std::string(4096, 'x'));
+  const Lines good = client.read_response();
+  ASSERT_FALSE(good.empty());
+  EXPECT_NE(good.back().find("\"request\":\"good\""), std::string::npos);
+  EXPECT_NE(good.back().find("\"type\":\"done\""), std::string::npos);
+
+  const Lines error = client.read_response();
+  ASSERT_EQ(error.size(), 1u);
+  EXPECT_NE(error[0].find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(error[0].find("\"request\":\"line-2\""), std::string::npos);
+  EXPECT_NE(error[0].find("1024-byte line limit"), std::string::npos);
+  EXPECT_EQ(client.read_line(), std::nullopt);  // no resync: closed
+  EXPECT_EQ(daemon->stats().dropped_framing, 1u);
+}
+
+TEST(NetServer, SlowClientIsDroppedAtTheWriteBufferLimit) {
+  rn::NetServerOptions options;
+  options.write_buffer_limit = 32 * 1024;
+  options.send_buffer_bytes = 4 * 1024;  // keep kernel buffering small
+  TestDaemon daemon(std::move(options));
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+
+  // ~200 first-order-only cells per request, several requests, and a
+  // client that never reads: the outbound queue must cross the limit and
+  // the daemon must drop the connection rather than buffer without
+  // bound.
+  std::string request =
+      "{\"platforms\": [\"hera\"], \"numeric_optimum\": false, "
+      "\"rate_factors\": [";
+  for (int i = 0; i < 200; ++i) {
+    if (i > 0) {
+      request += ", ";
+    }
+    request += "{\"fail_stop\": " + std::to_string(1.0 + i * 0.01) + "}";
+  }
+  request += "]}";
+  for (int i = 0; i < 8; ++i) {
+    client.send_line(request);
+  }
+  for (int i = 0; i < 10000 && daemon->stats().dropped_slow == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(daemon->stats().dropped_slow, 1u);
+}
+
+TEST(NetServer, GracefulDrainFinishesReceivedRequestsThenCloses) {
+  auto daemon = std::make_unique<TestDaemon>();
+  rn::Client client;
+  client.connect("127.0.0.1", daemon->port());
+  const std::string request = one_cell_request("draining", "hera", 512);
+  const Lines expected = stdin_path_lines({request});
+  client.send_line(request);
+  // Stop only once the request is in execution: "already received" work
+  // must complete and flush through the drain.
+  for (int i = 0; i < 5000 && (*daemon)->stats().requests_started == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ((*daemon)->stats().requests_started, 1u);
+  (*daemon)->stop();
+
+  Lines got;
+  for (;;) {
+    std::optional<std::string> line = client.read_line();
+    if (!line.has_value()) {
+      break;  // drained and closed
+    }
+    got.push_back(std::move(*line));
+  }
+  EXPECT_EQ(got, expected);
+  daemon.reset();  // run() must have returned; join succeeds
+}
+
+TEST(NetServer, HalfClosingClientGetsAllResponsesThenEof) {
+  // The `printf ... | nc` shape: send everything, half-close, read until
+  // the server closes. The server must answer every request and then
+  // close on its own — regression for the connection lingering open
+  // after its last response drains on a pure writability edge.
+  TestDaemon daemon;
+  const Lines input{
+      one_cell_request("h1", "hera", 512),
+      one_cell_request("h2", "hera", 1024),
+  };
+  const Lines expected = stdin_path_lines(input);
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+  for (const std::string& line : input) {
+    client.send_line(line);
+  }
+  client.shutdown_send();
+  Lines got;
+  for (;;) {
+    std::optional<std::string> line = client.read_line();
+    if (!line.has_value()) {
+      break;  // the server closed; no drain was requested
+    }
+    got.push_back(std::move(*line));
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(NetServer, FramingErrorBehindAFullPipelineStillDrainsTheBacklog) {
+  // Regression: a burst that trips the pipeline-depth read hold AND ends
+  // in an oversized line (input_closed while read_hold is set) must
+  // still answer every queued request and the deferred framing error —
+  // the hold-release path used to strand the backlog.
+  rn::NetServerOptions options;
+  options.max_pipeline_depth = 4;
+  options.max_line_bytes = 512;
+  TestDaemon daemon(std::move(options));
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+
+  constexpr int kRequests = 8;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += one_cell_request("f" + std::to_string(i), "hera", 512);
+    burst += '\n';
+  }
+  burst += std::string(2048, 'x');
+  burst += '\n';
+  client.send_raw(burst);
+
+  for (int i = 0; i < kRequests; ++i) {
+    const Lines response = client.read_response();
+    ASSERT_FALSE(response.empty()) << "response " << i;
+    EXPECT_NE(response.back().find("\"request\":\"f" + std::to_string(i) +
+                                   "\""),
+              std::string::npos);
+  }
+  const Lines error = client.read_response();
+  ASSERT_EQ(error.size(), 1u);
+  EXPECT_NE(error[0].find("512-byte line limit"), std::string::npos);
+  EXPECT_EQ(client.read_line(), std::nullopt);
+}
+
+TEST(NetServer, CrlfRequestsAreServed) {
+  TestDaemon daemon;
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+  const std::string request = one_cell_request("crlf", "hera", 512);
+  const Lines expected = stdin_path_lines({request});
+  client.send_raw(request + "\r\n");
+  EXPECT_EQ(client.read_response(), expected);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Incremental JSONL framing (net::LineFramer): lines reassembled across
+// arbitrary read boundaries, CRLF tolerance, unterminated-tail delivery
+// at EOF, and oversized lines rejected with a located (line number +
+// stream offset) latched error.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "resilience/net/framing.hpp"
+
+namespace rn = resilience::net;
+
+namespace {
+
+using Lines = std::vector<std::string>;
+
+rn::LineFramer::LineFn collect(Lines& lines) {
+  return [&lines](std::string_view line) { lines.emplace_back(line); };
+}
+
+TEST(LineFramer, SingleChunkDeliversEveryLine) {
+  rn::LineFramer framer;
+  Lines lines;
+  EXPECT_TRUE(framer.feed("alpha\nbeta\ngamma\n", collect(lines)));
+  EXPECT_EQ(lines, (Lines{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(framer.lines_delivered(), 3u);
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramer, EveryTwoChunkSplitReassemblesIdentically) {
+  const std::string stream = "first\nsecond line\r\n\nlast\n";
+  const Lines expected{"first", "second line", "", "last"};
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    rn::LineFramer framer;
+    Lines lines;
+    EXPECT_TRUE(framer.feed(stream.substr(0, cut), collect(lines)));
+    EXPECT_TRUE(framer.feed(stream.substr(cut), collect(lines)));
+    EXPECT_EQ(lines, expected) << "split at byte " << cut;
+    EXPECT_EQ(framer.buffered(), 0u) << "split at byte " << cut;
+  }
+}
+
+TEST(LineFramer, ByteAtATimeMatchesSingleChunk) {
+  const std::string stream = "a\nbb\r\nccc\n";
+  rn::LineFramer framer;
+  Lines lines;
+  for (const char byte : stream) {
+    EXPECT_TRUE(framer.feed(std::string_view(&byte, 1), collect(lines)));
+  }
+  EXPECT_EQ(lines, (Lines{"a", "bb", "ccc"}));
+}
+
+TEST(LineFramer, CrlfTerminatorDoesNotCountTowardTheLimit) {
+  // A limit-sized payload must be accepted from CRLF clients too: the
+  // tolerated '\r' is terminator, not payload — whether the line arrives
+  // whole or byte by byte.
+  rn::LineFramer whole(/*max_line_bytes=*/4);
+  Lines lines;
+  EXPECT_TRUE(whole.feed("abcd\r\n", collect(lines)));
+  EXPECT_EQ(lines, (Lines{"abcd"}));
+
+  rn::LineFramer split(/*max_line_bytes=*/4);
+  Lines split_lines;
+  for (const char byte : std::string("abcd\r\n")) {
+    EXPECT_TRUE(split.feed(std::string_view(&byte, 1), collect(split_lines)));
+  }
+  EXPECT_EQ(split_lines, (Lines{"abcd"}));
+
+  // But with no '\n' ever arriving, the '\r' is payload: EOF trips the
+  // limit (and delivers it verbatim when within bounds).
+  rn::LineFramer eof_framer(/*max_line_bytes=*/4);
+  Lines eof_lines;
+  EXPECT_TRUE(eof_framer.feed("abcd\r", collect(eof_lines)));
+  EXPECT_FALSE(eof_framer.finish(collect(eof_lines)));
+  EXPECT_TRUE(eof_framer.failed());
+
+  rn::LineFramer eof_ok(/*max_line_bytes=*/4);
+  Lines eof_ok_lines;
+  EXPECT_TRUE(eof_ok.feed("abc\r", collect(eof_ok_lines)));
+  EXPECT_TRUE(eof_ok.finish(collect(eof_ok_lines)));
+  EXPECT_EQ(eof_ok_lines, (Lines{"abc\r"}));
+}
+
+TEST(LineFramer, CrlfStrippedOnlyAtLineEnd) {
+  rn::LineFramer framer;
+  Lines lines;
+  // An interior '\r' is payload; only the terminator's '\r' is protocol.
+  EXPECT_TRUE(framer.feed("pay\rload\r\n", collect(lines)));
+  EXPECT_EQ(lines, (Lines{"pay\rload"}));
+}
+
+TEST(LineFramer, FinishDeliversUnterminatedTail) {
+  rn::LineFramer framer;
+  Lines lines;
+  EXPECT_TRUE(framer.feed("complete\npartial", collect(lines)));
+  EXPECT_EQ(lines, (Lines{"complete"}));
+  EXPECT_EQ(framer.buffered(), 7u);
+  EXPECT_TRUE(framer.finish(collect(lines)));
+  EXPECT_EQ(lines, (Lines{"complete", "partial"}));
+  EXPECT_EQ(framer.buffered(), 0u);
+  // finish() is idempotent once drained.
+  EXPECT_TRUE(framer.finish(collect(lines)));
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(LineFramer, OversizedLineLatchesLocatedError) {
+  rn::LineFramer framer(/*max_line_bytes=*/8);
+  Lines lines;
+  EXPECT_TRUE(framer.feed("ok one\nok two\n", collect(lines)));
+  EXPECT_FALSE(framer.feed("123456789\n", collect(lines)));
+  EXPECT_TRUE(framer.failed());
+  EXPECT_EQ(framer.error_line(), 3u);
+  // Offset of the offending line's first byte: "ok one\n" + "ok two\n".
+  EXPECT_EQ(framer.error_offset(), 14u);
+  EXPECT_NE(framer.error_message().find("line 3"), std::string::npos);
+  EXPECT_NE(framer.error_message().find("8-byte"), std::string::npos);
+  EXPECT_EQ(lines, (Lines{"ok one", "ok two"}));  // nothing after the error
+  // The error is latched: no resync, later input is refused.
+  EXPECT_FALSE(framer.feed("short\n", collect(lines)));
+  EXPECT_FALSE(framer.finish(collect(lines)));
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(LineFramer, OversizedDetectedWithoutTerminator) {
+  // The limit must trip while the line is still buffering — a client
+  // that never sends '\n' cannot grow the buffer unboundedly.
+  rn::LineFramer framer(/*max_line_bytes=*/16);
+  Lines lines;
+  EXPECT_TRUE(framer.feed(std::string(16, 'x'), collect(lines)));
+  EXPECT_FALSE(framer.feed("y", collect(lines)));
+  EXPECT_TRUE(framer.failed());
+  EXPECT_EQ(framer.error_line(), 1u);
+  EXPECT_EQ(framer.error_offset(), 0u);
+  EXPECT_EQ(framer.buffered(), 0u);  // buffer released on failure
+}
+
+TEST(LineFramer, OversizedTailFailsFinish) {
+  rn::LineFramer framer(/*max_line_bytes=*/4);
+  Lines lines;
+  // 4 bytes buffered is exactly at the limit — legal until more arrives
+  // or EOF asks for delivery.
+  EXPECT_TRUE(framer.feed("abcd", collect(lines)));
+  EXPECT_TRUE(framer.finish(collect(lines)));
+  EXPECT_EQ(lines, (Lines{"abcd"}));
+
+  rn::LineFramer framer2(/*max_line_bytes=*/3);
+  Lines lines2;
+  EXPECT_FALSE(framer2.feed("abcd", collect(lines2)));
+  EXPECT_TRUE(framer2.failed());
+  EXPECT_TRUE(lines2.empty());
+}
+
+TEST(LineFramer, UnlimitedByDefault) {
+  rn::LineFramer framer;
+  Lines lines;
+  const std::string big(1 << 20, 'z');
+  EXPECT_TRUE(framer.feed(big, collect(lines)));
+  EXPECT_TRUE(framer.feed("\n", collect(lines)));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].size(), big.size());
+}
+
+TEST(LineFramer, StreamOffsetsAccumulateAcrossSplitLines) {
+  rn::LineFramer framer(/*max_line_bytes=*/6);
+  Lines lines;
+  // "ab\n" (3 bytes) then "cdef" split over two feeds, then overflow.
+  EXPECT_TRUE(framer.feed("ab\ncd", collect(lines)));
+  EXPECT_TRUE(framer.feed("ef", collect(lines)));
+  EXPECT_FALSE(framer.feed("ghi", collect(lines)));
+  EXPECT_EQ(framer.error_line(), 2u);
+  EXPECT_EQ(framer.error_offset(), 3u);  // the 'c' right after "ab\n"
+}
+
+}  // namespace

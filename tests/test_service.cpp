@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "resilience/service/jsonl_session.hpp"
 #include "resilience/service/scenario_request.hpp"
 #include "resilience/service/serialize.hpp"
 #include "resilience/util/thread_pool.hpp"
@@ -719,4 +720,155 @@ TEST(Serialize, JsonlCellSinkWritesParseableLines) {
     ++count;
   }
   EXPECT_EQ(count, result.table->cells.size());
+}
+
+TEST(ServiceStats, CountersTrackSubmissionOutcomes) {
+  rs::SweepService service;
+  const rs::ServiceStats fresh = service.stats();
+  EXPECT_EQ(fresh.submits, 0u);
+  EXPECT_EQ(fresh.tables_computed, 0u);
+  EXPECT_EQ(fresh.cache_capacity, 64u);
+
+  const auto grid = small_grid();
+  (void)service.submit(grid);  // miss -> compute
+  (void)service.submit(grid);  // identity hit
+  const rs::ServiceStats after = service.stats();
+  EXPECT_EQ(after.submits, 2u);
+  EXPECT_EQ(after.tables_computed, 1u);
+  EXPECT_EQ(after.cache_hits, 1u);
+  EXPECT_EQ(after.disk_hits, 0u);
+  EXPECT_EQ(after.cache_lookup_hits, 1u);
+  EXPECT_GE(after.cache_lookup_misses, 1u);
+  EXPECT_EQ(after.cache_size, 1u);
+}
+
+TEST(ServiceStats, DiskReloadAndSeedCountersSurface) {
+  const ScratchDir dir("stats_disk");
+  {
+    rs::ServiceOptions options;
+    options.cache_dir = dir.str();
+    rs::SweepService service(options);
+    (void)service.submit(small_grid());
+  }  // destructor spills to dir
+  rs::ServiceOptions options;
+  options.cache_dir = dir.str();
+  rs::SweepService service(options);
+  (void)service.submit(small_grid());  // lazy disk reload
+  rs::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.disk_hits, 1u);
+  EXPECT_EQ(stats.disk_loads, 1u);
+  EXPECT_EQ(stats.tables_computed, 0u);
+
+  // An extended grid seeds from the reloaded table: the seed counters
+  // must say so (behavior itself is pinned by the SeedReuse tests).
+  auto extended = small_grid();
+  extended.node_counts.push_back(4096);
+  (void)service.submit(extended);
+  stats = service.stats();
+  EXPECT_EQ(stats.seeded_computes, 1u);
+  EXPECT_GE(stats.seed_hits, 1u);
+}
+
+TEST(JsonlSession, StatsRequestAndOptInDoneLineStats) {
+  rs::SweepService service;
+  std::vector<std::string> lines;
+  std::vector<bool> terminal;
+  rs::JsonlSession session(service, [&](std::string&& line, bool end) {
+    lines.push_back(std::move(line));
+    terminal.push_back(end);
+  });
+
+  session.handle_line("{\"type\": \"stats\", \"id\": \"s\"}");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(terminal[0]);
+  const auto stats0 = ru::JsonValue::parse(lines[0]);
+  EXPECT_EQ(stats0.find("type")->as_string(), "stats");
+  EXPECT_EQ(stats0.find("request")->as_string(), "s");
+  EXPECT_EQ(stats0.find("service")->find("submits")->as_double(), 0.0);
+  EXPECT_EQ(stats0.find("cache")->find("capacity")->as_double(), 64.0);
+
+  lines.clear();
+  session.handle_line(
+      "{\"id\": \"with\", \"platforms\": [\"hera\"], \"node_counts\": [512], "
+      "\"kinds\": [\"PD\"], \"stats\": true}");
+  ASSERT_FALSE(lines.empty());
+  const auto done = ru::JsonValue::parse(lines.back());
+  EXPECT_EQ(done.find("type")->as_string(), "done");
+  ASSERT_NE(done.find("stats"), nullptr);
+  EXPECT_EQ(done.find("stats")->find("service")->find("submits")->as_double(),
+            1.0);
+  EXPECT_EQ(
+      done.find("stats")->find("cache")->find("misses")->as_double() >= 1.0,
+      true);
+
+  lines.clear();
+  session.handle_line(
+      "{\"id\": \"without\", \"platforms\": [\"hera\"], "
+      "\"node_counts\": [512], \"kinds\": [\"PD\"]}");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(ru::JsonValue::parse(lines.back()).find("stats"), nullptr);
+  EXPECT_FALSE(session.any_request_errors());
+
+  // Stats requests are validated as strictly as scenario requests: a
+  // typo'd member gets a located error, not silence.
+  lines.clear();
+  session.handle_line("{\"type\": \"stats\", \"request\": \"typo\"}");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[0].find("unknown field 'request'"), std::string::npos);
+  lines.clear();
+  session.handle_line("{\"type\": \"stats\", \"id\": 7}");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"field\":\"id\""), std::string::npos);
+  EXPECT_TRUE(session.any_request_errors());
+}
+
+TEST(JsonlSession, LineNumberingAndErrorTracking) {
+  rs::SweepService service;
+  std::vector<std::string> lines;
+  rs::JsonlSession session(service, [&](std::string&& line, bool) {
+    lines.push_back(std::move(line));
+  });
+  session.handle_line("# a comment");
+  session.handle_line("");
+  EXPECT_TRUE(lines.empty());  // skipped, but counted
+  EXPECT_EQ(session.lines_seen(), 2u);
+  EXPECT_FALSE(session.any_request_errors());
+
+  session.handle_line("not json");
+  ASSERT_EQ(lines.size(), 1u);
+  // Default ids number over ALL input lines, like the stdin server.
+  EXPECT_NE(lines[0].find("\"request\":\"line-3\""), std::string::npos);
+  EXPECT_NE(lines[0].find("invalid JSON"), std::string::npos);
+  EXPECT_TRUE(session.any_request_errors());
+
+  session.handle_line("{\"platforms\": [\"hera\"], \"node_counts\": [0]}");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"request\":\"line-4\""), std::string::npos);
+
+  // A served request after errors still works; the error flag persists.
+  session.handle_line(
+      "{\"id\": \"ok\", \"platforms\": [\"hera\"], \"node_counts\": [512], "
+      "\"kinds\": [\"PD\"]}");
+  EXPECT_NE(lines.back().find("\"type\":\"done\""), std::string::npos);
+  EXPECT_TRUE(session.any_request_errors());
+}
+
+TEST(JsonlSession, CancellationStopsOutputNotTheCompute) {
+  rs::SweepService service;
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  std::vector<std::string> lines;
+  rs::JsonlSession session(
+      service,
+      [&](std::string&& line, bool) { lines.push_back(std::move(line)); },
+      rs::JsonlSession::Options(), cancelled);
+
+  cancelled->store(true);
+  session.handle_line(
+      "{\"id\": \"gone\", \"platforms\": [\"hera\"], \"node_counts\": [512], "
+      "\"kinds\": [\"PD\"]}");
+  EXPECT_TRUE(lines.empty());          // nothing emitted for a gone client
+  EXPECT_EQ(service.stats().submits, 0u);  // nor work started after cancel
 }
