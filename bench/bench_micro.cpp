@@ -403,11 +403,25 @@ struct NetBenchResult {
   double pipelined_requests_per_sec = 0.0;
   bool responses_identical = false;
   bool transport_supported = true;
+  // Deadline gate: a deliberately huge cold grid with a short
+  // "deadline_ms" must answer a located timeout error line in under
+  // 2x the deadline, and the pool must keep serving warm requests at
+  // full throughput afterwards (the timed-out sweep released its
+  // worker instead of wedging it).
+  int deadline_ms = 0;
+  double deadline_elapsed_ms = 0.0;
+  bool deadline_error_line = false;
+  double post_timeout_requests_per_sec = 0.0;
+  bool post_timeout_identical = false;
 
   [[nodiscard]] double pipelining_speedup() const {
     return serial_requests_per_sec > 0.0
                ? pipelined_requests_per_sec / serial_requests_per_sec
                : 0.0;
+  }
+  [[nodiscard]] bool deadline_within_bound() const {
+    return deadline_error_line &&
+           deadline_elapsed_ms < 2.0 * static_cast<double>(deadline_ms);
   }
 };
 
@@ -468,15 +482,21 @@ NetBenchResult run_net_bench() {
     // A dead server (loop thread failure) must fail the gate, not hang
     // the bench until the CI job timeout.
     client.set_receive_timeout(30000);
+    std::vector<std::string> warm_lines;  // one warm serial response
     {  // warm-up: the one cache-miss compute, excluded from the timing
       const auto response = client.transact(request);
-      received.insert(received.end(), response.begin(), response.end());
+      received.insert(received.end(), response.lines.begin(),
+                      response.lines.end());
     }
     {  // serial: one request in flight at a time
       const auto start = std::chrono::steady_clock::now();
       for (std::size_t i = 0; i < kRequests; ++i) {
         const auto response = client.transact(request);
-        received.insert(received.end(), response.begin(), response.end());
+        if (i == 0) {
+          warm_lines = response.lines;
+        }
+        received.insert(received.end(), response.lines.begin(),
+                        response.lines.end());
       }
       serial_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -494,7 +514,8 @@ NetBenchResult run_net_bench() {
       client.send_raw(burst);
       for (std::size_t i = 0; i < kRequests; ++i) {
         const auto response = client.read_response();
-        pipelined.insert(pipelined.end(), response.begin(), response.end());
+        pipelined.insert(pipelined.end(), response.lines.begin(),
+                         response.lines.end());
       }
       pipelined_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -502,6 +523,55 @@ NetBenchResult run_net_bench() {
               .count();
       received.insert(received.end(), pipelined.begin(), pipelined.end());
       result.responses_identical = received == expected;
+    }
+    {  // deadline: a cold ~3000-cell grid cannot finish in 100 ms, so
+      // the request must answer a timeout error line in < 2x that, and
+      // the worker it released must keep serving warm requests at full
+      // speed. (If the grid somehow computed inside the deadline the
+      // done line would be served instead — that is a gate failure,
+      // because it means the gate measured nothing.)
+      result.deadline_ms = 100;
+      const std::string doomed =
+          "{\"id\": \"doomed\", "
+          "\"platforms\": [\"hera\", \"atlas\", \"coastal\", \"coastalssd\"], "
+          "\"node_counts\": [256, 1024, 4096, 16384], "
+          "\"rate_factors\": [{\"fail_stop\": 0.71}, {\"fail_stop\": 0.73}, "
+          "{\"fail_stop\": 0.77}, {\"fail_stop\": 0.79}, "
+          "{\"fail_stop\": 0.83}, {\"fail_stop\": 0.89}, "
+          "{\"fail_stop\": 0.97}, {\"fail_stop\": 1.01}], "
+          "\"cost_overrides\": [{\"disk_checkpoint\": 291.0}, "
+          "{\"disk_checkpoint\": 293.0}, {\"disk_checkpoint\": 297.0}, "
+          "{\"disk_checkpoint\": 299.0}], "
+          "\"deadline_ms\": 100}";
+      const auto start = std::chrono::steady_clock::now();
+      const auto response = client.transact(doomed);
+      result.deadline_elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      result.deadline_error_line =
+          response.complete && !response.lines.empty() &&
+          response.lines.back().starts_with("{\"type\":\"error\"") &&
+          response.lines.back().find("deadline") != std::string::npos;
+    }
+    {  // post-timeout: the pool is healthy, not wedged by the kill
+      constexpr std::size_t kPostRequests = kRequests / 10;
+      bool identical = true;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < kPostRequests; ++i) {
+        const auto response = client.transact(request);
+        identical = identical && response.complete &&
+                    response.lines == warm_lines;
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (seconds > 0.0) {
+        result.post_timeout_requests_per_sec =
+            static_cast<double>(kPostRequests) / seconds;
+      }
+      result.post_timeout_identical = identical;
     }
     client.close();
   } catch (const std::exception& error) {
@@ -591,6 +661,13 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
         net.serial_requests_per_sec, net.pipelined_requests_per_sec,
         net.pipelining_speedup(),
         net.responses_identical ? "byte-identical" : "DIVERGE");
+    std::printf(
+        "net    deadline %.0f ms -> error in %.0f ms (%s)   post-timeout "
+        "%8.0f req/s (%s)\n",
+        static_cast<double>(net.deadline_ms), net.deadline_elapsed_ms,
+        net.deadline_within_bound() ? "in bound" : "OUT OF BOUND",
+        net.post_timeout_requests_per_sec,
+        net.post_timeout_identical ? "byte-identical" : "DIVERGE");
   } else {
     std::printf("net    skipped (transport requires Linux epoll)\n");
   }
@@ -659,7 +736,15 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       << net.pipelined_requests_per_sec << ",\n"
       << "    \"pipelining_speedup\": " << net.pipelining_speedup() << ",\n"
       << "    \"responses_identical\": "
-      << (net.responses_identical ? "true" : "false") << "\n"
+      << (net.responses_identical ? "true" : "false") << ",\n"
+      << "    \"deadline_ms\": " << net.deadline_ms << ",\n"
+      << "    \"deadline_elapsed_ms\": " << net.deadline_elapsed_ms << ",\n"
+      << "    \"deadline_within_bound\": "
+      << (net.deadline_within_bound() ? "true" : "false") << ",\n"
+      << "    \"post_timeout_requests_per_sec\": "
+      << net.post_timeout_requests_per_sec << ",\n"
+      << "    \"post_timeout_identical\": "
+      << (net.post_timeout_identical ? "true" : "false") << "\n"
       << "  },\n"
       << "  \"families\": [\n";
   for (std::size_t i = 0; i < families.size(); ++i) {
@@ -737,6 +822,25 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
     if (net.serial_requests_per_sec <= 0.0 ||
         net.pipelined_requests_per_sec <= 0.0) {
       std::fprintf(stderr, "bench_micro: net section produced no timing\n");
+      return 1;
+    }
+    if (!net.deadline_within_bound()) {
+      std::fprintf(stderr,
+                   "bench_micro: deadline-exceeded request answered in "
+                   "%.0f ms (bound: 2 x %d ms deadline)%s\n",
+                   net.deadline_elapsed_ms, net.deadline_ms,
+                   net.deadline_error_line ? ""
+                                           : "; no timeout error line at all");
+      return 1;
+    }
+    if (!net.post_timeout_identical ||
+        net.post_timeout_requests_per_sec < 0.25 * net.serial_requests_per_sec) {
+      std::fprintf(stderr,
+                   "bench_micro: post-timeout serving degraded (%.0f req/s "
+                   "vs %.0f serial%s); the timed-out sweep wedged the pool\n",
+                   net.post_timeout_requests_per_sec,
+                   net.serial_requests_per_sec,
+                   net.post_timeout_identical ? "" : ", responses DIVERGE");
       return 1;
     }
   }

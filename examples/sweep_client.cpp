@@ -13,6 +13,14 @@
 // included) so the daemon's per-line request numbering — and therefore
 // every default "line-N" id — matches a stdin run over the same file.
 //
+// --retries=N (serial mode only) switches to net::ResilientClient:
+// connect timeouts, ping-gated reconnects, exponential backoff and safe
+// re-submission — the chaos smoke drives the daemon through sweep_chaosd
+// with this mode. Resilient mode sends only request lines (comments
+// cannot be replayed meaningfully across reconnects) and default
+// "line-N" ids restart per connection, so request files for this mode
+// should carry explicit "id" fields.
+//
 // Exit codes: 0 when every expected response arrived (error-line
 // responses are still responses: the server's exit-code semantics live
 // server-side), 1 on connection failures or a short response stream,
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "resilience/net/client.hpp"
+#include "resilience/net/resilient_client.hpp"
 #include "resilience/service/jsonl_session.hpp"
 #include "resilience/util/cli.hpp"
 
@@ -42,6 +51,15 @@ int main(int argc, char** argv) {
   cli.add_flag("input", "-", "request file ('-' = stdin)");
   cli.add_bool_flag("pipeline",
                     "send every request before reading any response");
+  cli.add_flag("retries", "0",
+               "total attempts per request via the resilient client "
+               "(reconnect + backoff + ping probe); 0 = plain one-shot "
+               "client; serial mode only");
+  cli.add_flag("connect-timeout-ms", "0",
+               "bound on each connect attempt (0 = OS default)");
+  cli.add_flag("receive-timeout-ms", "0",
+               "bound on waiting for response bytes (0 = wait forever)");
+  cli.add_flag("jitter-seed", "1", "backoff jitter seed (resilient mode)");
   if (!cli.parse(argc, argv)) {
     return 2;  // usage (also --help; CliParser does not distinguish)
   }
@@ -56,6 +74,19 @@ int main(int argc, char** argv) {
   }
   if (port <= 0 || port > 65535) {
     std::fprintf(stderr, "sweep_client: --port must be in [1, 65535]\n");
+    return 2;
+  }
+  const std::int64_t retries = cli.get_int("retries");
+  const std::int64_t connect_timeout = cli.get_int("connect-timeout-ms");
+  const std::int64_t receive_timeout = cli.get_int("receive-timeout-ms");
+  if (retries < 0 || connect_timeout < 0 || receive_timeout < 0) {
+    std::fprintf(stderr, "sweep_client: retry/timeout flags must be >= 0\n");
+    return 2;
+  }
+  if (retries > 0 && cli.get_bool("pipeline")) {
+    std::fprintf(stderr,
+                 "sweep_client: --retries is serial-mode only (a retried "
+                 "pipeline would re-send requests already answered)\n");
     return 2;
   }
 
@@ -77,8 +108,46 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (retries > 0) {
+      // Resilient serial mode: each request is its own at-least-once
+      // transaction; only request lines are sent (see header comment).
+      rn::ResilientClientOptions options;
+      options.host = cli.get_string("host");
+      options.port = static_cast<std::uint16_t>(port);
+      options.connect_timeout_ms = static_cast<int>(connect_timeout);
+      options.receive_timeout_ms = static_cast<int>(receive_timeout);
+      options.max_attempts = static_cast<int>(retries);
+      options.jitter_seed =
+          static_cast<std::uint64_t>(cli.get_int("jitter-seed"));
+      rn::ResilientClient client(options);
+      for (const std::string& entry : lines) {
+        if (!rs::is_request_line(entry)) {
+          continue;
+        }
+        const rn::Client::Response response = client.transact(entry);
+        for (const std::string& out : response.lines) {
+          std::cout << out << '\n';
+        }
+      }
+      const rn::ResilientClient::Stats stats = client.stats();
+      if (stats.retries > 0) {
+        std::fprintf(stderr,
+                     "sweep_client: %llu retries, %llu reconnects, "
+                     "%llu failures healed\n",
+                     static_cast<unsigned long long>(stats.retries),
+                     static_cast<unsigned long long>(stats.reconnects),
+                     static_cast<unsigned long long>(stats.failures));
+      }
+      std::cout.flush();
+      return 0;
+    }
+
     rn::Client client;
-    client.connect(cli.get_string("host"), static_cast<std::uint16_t>(port));
+    client.connect(cli.get_string("host"), static_cast<std::uint16_t>(port),
+                   static_cast<int>(connect_timeout));
+    if (receive_timeout > 0) {
+      client.set_receive_timeout(static_cast<int>(receive_timeout));
+    }
 
     if (cli.get_bool("pipeline")) {
       std::size_t expected = 0;
@@ -91,16 +160,15 @@ int main(int argc, char** argv) {
       }
       client.send_raw(all.str());
       for (std::size_t i = 0; i < expected; ++i) {
-        const std::vector<std::string> response = client.read_response();
-        if (response.empty() ||
-            !rn::is_terminal_response_line(response.back())) {
+        const rn::Client::Response response = client.read_response();
+        if (!response.complete) {
           std::fprintf(stderr,
                        "sweep_client: server closed after %zu of %zu "
                        "responses\n",
                        i, expected);
           return 1;
         }
-        for (const std::string& out : response) {
+        for (const std::string& out : response.lines) {
           std::cout << out << '\n';
         }
       }
@@ -110,14 +178,13 @@ int main(int argc, char** argv) {
           client.send_line(entry);  // keeps line numbering aligned
           continue;
         }
-        const std::vector<std::string> response = client.transact(entry);
-        if (response.empty() ||
-            !rn::is_terminal_response_line(response.back())) {
+        const rn::Client::Response response = client.transact(entry);
+        if (!response.complete) {
           std::fprintf(stderr, "sweep_client: incomplete response for: %s\n",
                        entry.c_str());
           return 1;
         }
-        for (const std::string& out : response) {
+        for (const std::string& out : response.lines) {
           std::cout << out << '\n';
         }
       }

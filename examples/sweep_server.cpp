@@ -137,6 +137,10 @@ int main(int argc, char** argv) {
   cli.add_flag("cache-dir", "",
                "spill evicted/shutdown cache entries to this directory and "
                "lazily reload them (empty = no persistence)");
+  cli.add_flag("default-deadline-ms", "0",
+               "compute deadline for requests that carry no deadline_ms of "
+               "their own; past it the request answers a deadline error "
+               "line (0 = unbounded)");
   cli.add_bool_flag("no-stream", "emit only done/error lines, no cell lines");
   cli.add_bool_flag("check",
                     "verify every streamed cell set against a fresh batch "
@@ -147,10 +151,11 @@ int main(int argc, char** argv) {
   const std::string input = cli.get_string("input");
   const std::int64_t threads_raw = cli.get_int("threads");
   const std::int64_t capacity_raw = cli.get_int("cache-capacity");
-  if (threads_raw < 0 || capacity_raw < 0) {
+  const std::int64_t deadline_raw = cli.get_int("default-deadline-ms");
+  if (threads_raw < 0 || capacity_raw < 0 || deadline_raw < 0) {
     // A negative count would wrap to SIZE_MAX; fail loudly.
     std::fprintf(stderr,
-                 "sweep_server: --threads and --cache-capacity must be >= 0\n");
+                 "sweep_server: count/deadline flags must be >= 0\n");
     return 2;
   }
   const auto threads = static_cast<std::size_t>(threads_raw);
@@ -198,7 +203,8 @@ int main(int argc, char** argv) {
           std::cout.flush();  // each request's output is complete
         }
       },
-      rs::JsonlSession::Options{stream, /*collect=*/check});
+      rs::JsonlSession::Options{stream, /*collect=*/check,
+                                static_cast<int>(deadline_raw)});
   if (check) {
     session.set_outcome_hook([&](const rs::JsonlSession::Outcome& outcome) {
       if (!check_request(outcome.request, outcome.result, outcome.cells,

@@ -74,6 +74,10 @@ int main(int argc, char** argv) {
   cli.add_flag("drain-timeout-ms", "30000",
                "graceful-drain deadline after SIGINT/SIGTERM; busy "
                "connections are force-closed past it (0 = wait forever)");
+  cli.add_flag("default-deadline-ms", "0",
+               "compute deadline for requests that carry no deadline_ms of "
+               "their own; past it the request answers a deadline error "
+               "line (0 = unbounded)");
   if (!cli.parse(argc, argv)) {
     return 2;  // usage (also --help; CliParser does not distinguish)
   }
@@ -87,12 +91,14 @@ int main(int argc, char** argv) {
   const std::int64_t max_line = cli.get_int("max-line-bytes");
   const std::int64_t depth = cli.get_int("max-pipeline-depth");
   const std::int64_t drain_ms = cli.get_int("drain-timeout-ms");
+  const std::int64_t deadline_ms = cli.get_int("default-deadline-ms");
   if (port < 0 || port > 65535) {
     std::fprintf(stderr, "sweep_serverd: --port must be in [0, 65535]\n");
     return 2;
   }
   if (threads < 0 || workers < 0 || capacity < 0 || max_conns < 0 ||
-      write_buf < 0 || max_line < 0 || depth < 0 || drain_ms < 0) {
+      write_buf < 0 || max_line < 0 || depth < 0 || drain_ms < 0 ||
+      deadline_ms < 0) {
     // Negative sizes would wrap to SIZE_MAX (and a negative drain
     // deadline would silently mean "wait forever"); fail loudly.
     std::fprintf(stderr, "sweep_serverd: size/timeout flags must be >= 0\n");
@@ -109,6 +115,7 @@ int main(int argc, char** argv) {
   options.max_pipeline_depth = static_cast<std::size_t>(depth);
   options.request_workers = static_cast<std::size_t>(workers);
   options.drain_timeout_ms = static_cast<int>(drain_ms);
+  options.default_deadline_ms = static_cast<int>(deadline_ms);
   options.service.cache_capacity = static_cast<std::size_t>(capacity);
   options.service.cache_dir = cli.get_string("cache-dir");
   if (threads > 0) {

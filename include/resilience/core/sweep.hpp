@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "resilience/core/cancel.hpp"
 #include "resilience/core/first_order.hpp"
 #include "resilience/core/optimizer.hpp"
 #include "resilience/core/params.hpp"
@@ -304,6 +305,12 @@ struct SweepOptions {
   /// Pool the chains fan out across; nullptr means the global pool. The
   /// result is bit-identical regardless of pool size.
   util::ThreadPool* pool = nullptr;
+  /// Cooperative cancellation, polled once per cell. When it fires the
+  /// runner stops starting cells and run() throws SweepCancelled; no
+  /// partial table escapes. Execution policy like `pool`: excluded from
+  /// grid signatures (a cancelled and an uncancelled sweep of the same
+  /// grid share a cache identity — only one ever publishes a table).
+  CancelToken cancel;
 };
 
 /// Runs scenario grids. Stateless apart from options; run() may be called
@@ -313,7 +320,8 @@ class SweepRunner {
   explicit SweepRunner(SweepOptions options = {});
 
   /// Optimizes every (point, family) cell of the grid. Throws
-  /// std::invalid_argument on an invalid grid (see ScenarioGrid::validate).
+  /// std::invalid_argument on an invalid grid (see ScenarioGrid::validate)
+  /// and SweepCancelled when options().cancel fires mid-sweep.
   [[nodiscard]] SweepTable run(const ScenarioGrid& grid) const;
 
   /// Streaming variant: additionally delivers every finished cell to

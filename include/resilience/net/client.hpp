@@ -5,8 +5,8 @@
 // synchronous connect/send/recv over one socket, with just enough
 // structure for pipelining (send many request lines first, then collect
 // each response in order). A "response" is every line up to and
-// including the terminal line of one request: type "done", "stats" or
-// "error".
+// including the terminal line of one request: type "done", "stats",
+// "error" or "pong".
 
 #include <cstdint>
 #include <deque>
@@ -24,8 +24,11 @@ class Client {
  public:
   Client() = default;
 
-  /// Connects (throws std::runtime_error on failure).
-  void connect(const std::string& host, std::uint16_t port);
+  /// Connects (throws std::runtime_error on failure). A positive
+  /// `connect_timeout_ms` bounds the attempt (see connect_tcp); 0 keeps
+  /// the OS default, which on a blackholed host means minutes.
+  void connect(const std::string& host, std::uint16_t port,
+               int connect_timeout_ms = 0);
   [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
   void close() { fd_.reset(); }
 
@@ -50,24 +53,38 @@ class Client {
   /// Throws on a socket error.
   [[nodiscard]] std::optional<std::string> read_line();
 
+  /// One collected response. `complete` says explicitly whether the
+  /// terminal done/stats/error/pong line arrived — callers must not
+  /// re-derive it from the last line's shape (a server dying mid-line
+  /// can leave a partial line that still *looks* terminal to a prefix
+  /// test; the framer knows whether the stream really ended cleanly).
+  struct Response {
+    std::vector<std::string> lines;
+    bool complete = false;
+  };
+
   /// Collects one full response: lines up to the terminal
-  /// done/stats/error line, inclusive. If the server closes first, the
-  /// partial lines received so far are returned — a complete response is
-  /// exactly one whose last line is_terminal_response_line().
-  [[nodiscard]] std::vector<std::string> read_response();
+  /// done/stats/error/pong line, inclusive (complete = true). If the
+  /// server closes first, the partial lines received so far are returned
+  /// with complete = false.
+  [[nodiscard]] Response read_response();
 
   /// Convenience round trip: send one request, read its response.
-  [[nodiscard]] std::vector<std::string> transact(std::string_view line);
+  [[nodiscard]] Response transact(std::string_view line);
 
  private:
   Fd fd_;
   LineFramer framer_;  ///< the server's framing rules, one implementation
   std::deque<std::string> pending_;  ///< framed lines not yet returned
   bool eof_ = false;
+  /// The EOF delivery ended with an unterminated tail line (server died
+  /// mid-line) — that last line can never count as a clean terminal.
+  bool tail_unterminated_ = false;
 };
 
-/// True when `line` terminates a response (its "type" is done, stats or
-/// error). Exposed for front-ends that stream rather than collect.
+/// True when `line` terminates a response (its "type" is done, stats,
+/// error or pong). Exposed for front-ends that stream rather than
+/// collect.
 [[nodiscard]] bool is_terminal_response_line(std::string_view line);
 
 }  // namespace resilience::net

@@ -1,0 +1,97 @@
+#pragma once
+
+// Client-side fault tolerance over net::Client: bounded connects,
+// reconnection with exponential backoff + deterministic jitter, and safe
+// re-submission of requests whose connection died mid-flight.
+//
+// Why blind retries are SAFE against this server (and would not be
+// against most): responses are deterministic functions of the request
+// (bit-identical tables, canonical JSON), and SweepCache plus in-flight
+// dedupe make a re-submitted grid a cache hit or a join rather than a
+// second compute — so at-least-once delivery costs neither correctness
+// nor (materially) compute. The one wrinkle is request IDENTITY: default
+// "line-N" ids number each connection's input lines from 1, so a retry
+// on a fresh connection can be answered under a different default id
+// than the original. Callers that match responses to requests by id
+// should send explicit "id" fields (the chaos harness does); callers
+// that only care about payload equality need nothing.
+//
+// Each (re)connect is gated by the {"type":"ping"} health probe: a
+// connection only counts once the server answers pong, so a half-dead
+// endpoint (accepting but wedged) is treated as down, not as up.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "resilience/net/client.hpp"
+#include "resilience/net/fault.hpp"
+
+namespace resilience::net {
+
+struct ResilientClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Bound on each connect attempt (see connect_tcp); 0 = OS default.
+  int connect_timeout_ms = 2000;
+  /// Receive timeout armed on every new connection, so a server that
+  /// stalls mid-response surfaces as a retryable error instead of a
+  /// hang; 0 = wait forever.
+  int receive_timeout_ms = 10000;
+  /// Total tries per request (first attempt included). At least 1.
+  int max_attempts = 8;
+  /// Exponential backoff base: attempt k (0-based) waits about
+  /// initial * 2^(k-1) ms, capped at backoff_max_ms, half of it
+  /// deterministic jitter.
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 500;
+  /// Seed of the jitter stream — retries are as reproducible as the
+  /// faults that caused them.
+  std::uint64_t jitter_seed = 1;
+  /// Gate every (re)connect on a ping/pong round trip.
+  bool probe_on_connect = true;
+};
+
+class ResilientClient {
+ public:
+  explicit ResilientClient(ResilientClientOptions options);
+
+  /// One request, delivered at-least-once: sends `line`, collects the
+  /// response, and on ANY transport failure (connect refused/timed out,
+  /// reset, mid-response close, receive timeout, failed probe) closes,
+  /// backs off and retries on a fresh connection. Returns the first
+  /// COMPLETE response (see Client::Response). Throws std::runtime_error
+  /// carrying the last failure once max_attempts are spent.
+  [[nodiscard]] Client::Response transact(std::string_view line);
+
+  /// One ping/pong round trip on a (possibly new) connection; false when
+  /// no attempt got a pong. Never throws.
+  [[nodiscard]] bool ping();
+
+  void close() { client_.close(); }
+  [[nodiscard]] bool connected() const noexcept { return client_.connected(); }
+
+  struct Stats {
+    std::uint64_t connects = 0;    ///< successful probe-gated connects
+    std::uint64_t reconnects = 0;  ///< ...of which replaced a dead one
+    std::uint64_t retries = 0;     ///< attempts beyond each request's first
+    std::uint64_t pings = 0;       ///< probes sent
+    std::uint64_t failures = 0;    ///< attempts that ended in an error
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Connects (+ probes) if not connected; throws on failure.
+  void ensure_connected();
+  /// Sends the probe on the current connection; true on a clean pong.
+  bool probe();
+  void backoff(int attempt);
+
+  ResilientClientOptions options_;
+  Client client_;
+  FaultSchedule jitter_;
+  Stats stats_;
+  bool ever_connected_ = false;
+};
+
+}  // namespace resilience::net

@@ -65,6 +65,10 @@ struct NetServerOptions {
   /// bench shrink it to exercise backpressure without megabytes of
   /// traffic.
   int send_buffer_bytes = 0;
+  /// Deadline applied to requests that carry no "deadline_ms" of their
+  /// own (0 = unbounded). A guard against runaway grids hogging workers;
+  /// see JsonlSessionOptions::default_deadline_ms.
+  int default_deadline_ms = 0;
   service::ServiceOptions service;
 };
 

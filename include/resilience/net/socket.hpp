@@ -67,8 +67,28 @@ IoStatus write_some(int fd, const char* data, std::size_t size,
 
 /// Blocking TCP connect for the client side; throws std::runtime_error
 /// on failure. TCP_NODELAY is set (request/response lines are tiny and
-/// latency-bound).
-[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
+/// latency-bound). With `timeout_ms` > 0 the attempt is bounded: the
+/// connect runs non-blocking, waits for writability up to the timeout
+/// (ETIMEDOUT past it) and reads the real outcome from SO_ERROR — the
+/// same readiness dance the EINTR path always needed — then returns the
+/// socket restored to blocking mode. 0 keeps the OS default (which on a
+/// blackholed host means minutes of SYN retries).
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port,
+                             int timeout_ms = 0);
+
+/// Restores a (SOCK_NONBLOCK-accepted) descriptor to blocking mode
+/// (best-effort) — for thread-per-connection code pumping with plain
+/// blocking reads.
+void set_blocking(int fd);
+
+/// The inverse (best-effort): O_NONBLOCK on, for poll-driven pumps over
+/// sockets that were created blocking (e.g. a connect_tcp result).
+void set_nonblocking(int fd);
+
+/// Arms SO_LINGER{on, 0s}: the next close() aborts the connection with a
+/// TCP RST instead of an orderly FIN. The fault injector uses this to
+/// simulate crashed peers (the receiver sees ECONNRESET, not EOF).
+void set_linger_reset(int fd);
 
 /// Disables Nagle on an accepted server-side socket (best-effort).
 void set_tcp_nodelay(int fd);

@@ -11,6 +11,8 @@
 //                               ids are "line-N" over ALL input lines,
 //                               matching the historical stdin numbering);
 //   * {"type":"stats", ...}   — answered with one stats_line snapshot;
+//   * {"type":"ping", ...}    — answered with one pong_line; the health /
+//                               readiness probe (no compute involved);
 //   * scenario request object — validated, submitted (cells streamed as
 //                               cell_lines), finished with a done_line
 //                               (carrying a stats block when the request
@@ -21,8 +23,21 @@
 // Cancellation: a front-end may hand in a shared cancel flag (the
 // daemon's per-connection token, set on disconnect). Once it reads true
 // the session stops formatting and emitting lines — mid-request, the
-// running submit still completes so its table lands in the cache, but no
-// more output is produced for a client that is gone.
+// flag folds into the submit's cancel token, so the abandoned sweep also
+// unwinds at its next cell instead of computing for a client that is
+// gone (a cancelled sweep publishes no table; the next submission of the
+// grid recomputes it).
+//
+// Deadlines: a request's "deadline_ms" (or, when absent, the session's
+// default_deadline_ms) bounds COMPUTE time, measured from when
+// handle_line starts executing the request — queue/transport wait is
+// excluded, so the bound a client states is about the engine, not about
+// pipeline depth. On expiry the request answers with one located
+// {"type":"error"} line (field "deadline_ms") and the session moves on;
+// cells already streamed before expiry remain valid (their values never
+// depend on cancellation). If the submit manages to finish despite an
+// expired deadline — e.g. a cache hit raced the clock — the finished
+// done line is served rather than discarded.
 
 #include <atomic>
 #include <cstddef>
@@ -41,6 +56,10 @@ namespace resilience::service {
 struct JsonlSessionOptions {
   bool stream = true;    ///< emit cell lines (done/error always emit)
   bool collect = false;  ///< keep streamed cells for the outcome hook
+  /// Deadline applied to requests that carry none of their own
+  /// ("deadline_ms" absent or 0); 0 = unbounded. A request's explicit
+  /// field always wins.
+  int default_deadline_ms = 0;
 };
 
 /// True when `line` is a request — not blank, not a '#' comment. The one

@@ -18,8 +18,10 @@
 //    "cost_overrides": [{"disk_checkpoint": 90.0}],
 //    "kinds": ["PD", "PDMV"],         // optional; default all six families
 //    "numeric_optimum": true,         // optional; default true
-//    "reuse_seeds": true}             // optional; default true (bit-identical
+//    "reuse_seeds": true,             // optional; default true (bit-identical
 //                                     //   either way; see SweepService)
+//    "deadline_ms": 5000}             // optional; 0 (default) = no deadline;
+//                                     //   exceeded -> {"type":"error"} line
 
 #include <stdexcept>
 #include <string>
@@ -54,6 +56,13 @@ struct ScenarioRequest {
   /// interleaving — responses stay byte-deterministic unless a client
   /// explicitly asks for observability.
   bool include_stats = false;
+  /// Compute budget in milliseconds, measured from when execution starts
+  /// (queue wait excluded); 0 means none. On expiry the request answers
+  /// with a located {"type":"error"} timeout line instead of occupying a
+  /// worker indefinitely. Execution policy: not part of the grid, so it
+  /// never enters the signature — a timed-out and an unbounded submission
+  /// of the same grid share a cache identity.
+  int deadline_ms = 0;
 
   /// Parses and validates a request object; throws RequestError.
   static ScenarioRequest from_json(const util::JsonValue& json);

@@ -53,6 +53,8 @@ struct ServiceStats;  // sweep_service.hpp; serialization only reads it
 ///                  opt in via "stats": true)}
 ///   stats_line -> {"type":"stats","request":...,<ServiceStats blocks>}
 ///   error_line -> {"type":"error","request":...,"field":...,"message":...}
+///   pong_line  -> {"type":"pong","request":...} — the health probe's
+///                 answer; a terminal line like done/stats/error
 [[nodiscard]] std::string cell_line(const std::string& request_id,
                                     core::GridSignature signature,
                                     const core::SweepCell& cell);
@@ -66,6 +68,7 @@ struct ServiceStats;  // sweep_service.hpp; serialization only reads it
 [[nodiscard]] std::string error_line(const std::string& request_id,
                                      const std::string& field,
                                      const std::string& message);
+[[nodiscard]] std::string pong_line(const std::string& request_id);
 
 /// CellSink writing one cell_line per cell to an ostream. The runner
 /// serializes sink calls, so this needs no locking of its own.

@@ -66,6 +66,7 @@ struct ServiceStats {
   std::uint64_t joined_in_flight = 0;   ///< deduped onto a concurrent leader
   std::uint64_t tables_computed = 0;    ///< misses that led a compute
   std::uint64_t seeded_computes = 0;    ///< computes that consumed seeds
+  std::uint64_t deadline_timeouts = 0;  ///< submits aborted by a deadline
   // Cache tiers (SweepCache; lookup granularity, not submissions).
   std::uint64_t cache_lookup_hits = 0;
   std::uint64_t cache_lookup_misses = 0;
@@ -98,12 +99,21 @@ class SweepService {
   /// once: live from the runner on a compute, replayed in table order on
   /// a cache hit or in-flight join. submit() is safe to call from
   /// multiple threads (but not from inside a pool task).
+  ///
+  /// `cancel` is polled at cell granularity on every path (compute and
+  /// replay); when it fires, submit throws core::SweepCancelled and no
+  /// partial table is published or returned. A submission whose compute
+  /// leader gets cancelled by a DIFFERENT caller's token does not fail:
+  /// the joiner transparently retries (re-checking the cache, possibly
+  /// becoming the new leader under its own token).
   SubmitResult submit(const ScenarioRequest& request,
-                      core::CellSink* sink = nullptr);
+                      core::CellSink* sink = nullptr,
+                      core::CancelToken cancel = {});
 
   /// Grid-level variant using the service's sweep options as-is.
   SubmitResult submit(const core::ScenarioGrid& grid,
-                      core::CellSink* sink = nullptr);
+                      core::CellSink* sink = nullptr,
+                      core::CancelToken cancel = {});
 
   /// The signature submit(request) will use (the request's
   /// numeric_optimum applied over the service sweep options). Lets
@@ -130,7 +140,8 @@ class SweepService {
 
   SubmitResult submit_impl(const core::ScenarioGrid& grid,
                            const core::SweepOptions& sweep,
-                           core::CellSink* sink, bool reuse_seeds);
+                           core::CellSink* sink, bool reuse_seeds,
+                           const core::CancelToken& cancel);
 
   ServiceOptions options_;
   SweepCache cache_;
@@ -142,6 +153,7 @@ class SweepService {
   std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> joins_{0};
   std::atomic<std::uint64_t> seeded_computes_{0};
+  std::atomic<std::uint64_t> deadline_timeouts_{0};
 };
 
 }  // namespace resilience::service

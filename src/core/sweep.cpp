@@ -1,5 +1,6 @@
 #include "resilience/core/sweep.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -489,6 +490,13 @@ SweepTable SweepRunner::run_impl(const ScenarioGrid& grid,
   // uncontended relative to the per-cell optimization cost.
   std::mutex sink_mutex;
 
+  // Cancellation: the first chain to observe the token fired latches
+  // `aborted` so every other chain bails at its next cell boundary
+  // without re-reading the clock, and run_impl throws after the fan-in.
+  // Cells already streamed to the sink stay valid (their values never
+  // depended on the cancellation), but no table is returned.
+  std::atomic<bool> aborted{false};
+
   util::ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : util::global_pool();
   pool.parallel_for(
@@ -524,6 +532,11 @@ SweepTable SweepRunner::run_impl(const ScenarioGrid& grid,
         double warm_work = 0.0;
         for (std::size_t in = 0; in < nodes_n; ++in) {
           for (std::size_t ir = 0; ir < rates_n; ++ir) {
+            if (aborted.load(std::memory_order_relaxed) ||
+                options_.cancel.cancelled()) {
+              aborted.store(true, std::memory_order_relaxed);
+              return;  // abandon this chain; peers bail at their next cell
+            }
             const std::size_t point_index =
                 ((ip * nodes_n + in) * rates_n + ir) * costs_n + ic;
             const ScenarioPoint& point = table.points[point_index];
@@ -618,6 +631,9 @@ SweepTable SweepRunner::run_impl(const ScenarioGrid& grid,
         }
       },
       /*grain=*/1);  // chains are heavyweight; one ticket each
+  if (aborted.load(std::memory_order_relaxed) || options_.cancel.cancelled()) {
+    throw SweepCancelled(options_.cancel.deadline_expired());
+  }
   return table;
 }
 

@@ -10,14 +10,17 @@ bool is_terminal_response_line(std::string_view line) {
   // per-line hot path).
   return line.starts_with("{\"type\":\"done\"") ||
          line.starts_with("{\"type\":\"stats\"") ||
-         line.starts_with("{\"type\":\"error\"");
+         line.starts_with("{\"type\":\"error\"") ||
+         line.starts_with("{\"type\":\"pong\"");
 }
 
-void Client::connect(const std::string& host, std::uint16_t port) {
-  fd_ = connect_tcp(host, port);
+void Client::connect(const std::string& host, std::uint16_t port,
+                     int connect_timeout_ms) {
+  fd_ = connect_tcp(host, port, connect_timeout_ms);
   framer_ = LineFramer();  // unlimited: the client trusts its server
   pending_.clear();
   eof_ = false;
+  tail_unterminated_ = false;
 }
 
 void Client::shutdown_send() { shutdown_send_half(fd_.fd()); }
@@ -76,7 +79,11 @@ std::optional<std::string> Client::read_line() {
         break;
       case IoStatus::kEof:
         eof_ = true;
-        (void)framer_.finish(stash);  // unterminated tail is still a line
+        // An unterminated tail is still delivered as a line, but flagged:
+        // it may LOOK like a terminal line to the prefix test while being
+        // a truncation of one.
+        tail_unterminated_ = framer_.buffered() > 0;
+        (void)framer_.finish(stash);
         break;
       case IoStatus::kWouldBlock:  // only with a receive timeout set
         throw std::runtime_error("net::Client: read timed out");
@@ -86,22 +93,30 @@ std::optional<std::string> Client::read_line() {
   }
 }
 
-std::vector<std::string> Client::read_response() {
-  std::vector<std::string> lines;
+Client::Response Client::read_response() {
+  Response response;
   for (;;) {
     std::optional<std::string> line = read_line();
     if (!line.has_value()) {
-      return lines.empty() ? lines : std::move(lines);
+      return response;  // server closed first: complete stays false
     }
     const bool terminal = is_terminal_response_line(*line);
-    lines.push_back(std::move(*line));
-    if (terminal) {
-      return lines;
+    // The line just handed out was the EOF tail iff the queue is now
+    // drained after an unterminated finish — and a truncated line never
+    // completes a response, terminal-looking or not.
+    const bool truncated = eof_ && pending_.empty() && tail_unterminated_;
+    response.lines.push_back(std::move(*line));
+    if (terminal && !truncated) {
+      response.complete = true;
+      return response;
+    }
+    if (truncated) {
+      return response;  // nothing further can arrive
     }
   }
 }
 
-std::vector<std::string> Client::transact(std::string_view line) {
+Client::Response Client::transact(std::string_view line) {
   send_line(line);
   return read_response();
 }

@@ -1,0 +1,124 @@
+#include "resilience/net/resilient_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace resilience::net {
+
+ResilientClient::ResilientClient(ResilientClientOptions options)
+    : options_(std::move(options)), jitter_(options_.jitter_seed) {
+  if (options_.max_attempts < 1) {
+    options_.max_attempts = 1;
+  }
+}
+
+bool ResilientClient::probe() {
+  ++stats_.pings;
+  try {
+    // Explicit id: default ids are per-connection line numbers, and the
+    // probe must not shift them for the caller's own requests... it
+    // still counts as an input line, so callers matching by id should
+    // use explicit ids anyway (see header).
+    const Client::Response response =
+        client_.transact("{\"type\":\"ping\",\"id\":\"__probe__\"}");
+    return response.complete && response.lines.size() == 1 &&
+           response.lines.front().starts_with("{\"type\":\"pong\"");
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void ResilientClient::ensure_connected() {
+  if (client_.connected()) {
+    return;
+  }
+  client_.connect(options_.host, options_.port, options_.connect_timeout_ms);
+  if (options_.receive_timeout_ms > 0) {
+    client_.set_receive_timeout(options_.receive_timeout_ms);
+  }
+  if (options_.probe_on_connect && !probe()) {
+    client_.close();
+    throw std::runtime_error(
+        "ResilientClient: endpoint accepted but failed the ping probe");
+  }
+  ++stats_.connects;
+  if (ever_connected_) {
+    ++stats_.reconnects;
+  }
+  ever_connected_ = true;
+}
+
+void ResilientClient::backoff(int attempt) {
+  // attempt is 1-based here (the first RETRY passes 1). Exponential base
+  // capped at backoff_max_ms; the top half is jitter drawn from the
+  // deterministic stream, so two clients with different seeds desync.
+  const int exponent = std::min(attempt - 1, 20);
+  const std::int64_t base =
+      std::min<std::int64_t>(options_.backoff_max_ms,
+                             static_cast<std::int64_t>(options_.backoff_initial_ms)
+                                 << exponent);
+  if (base <= 0) {
+    return;
+  }
+  const int wait =
+      static_cast<int>(base / 2) + jitter_.pick_ms(static_cast<int>(base / 2));
+  if (wait > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  }
+}
+
+bool ResilientClient::ping() {
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      backoff(attempt);
+    }
+    try {
+      if (!client_.connected()) {
+        ensure_connected();
+        if (options_.probe_on_connect) {
+          return true;  // ensure_connected() already got a pong
+        }
+      }
+      if (probe()) {
+        return true;
+      }
+      client_.close();
+    } catch (const std::exception&) {
+      client_.close();
+    }
+  }
+  return false;
+}
+
+Client::Response ResilientClient::transact(std::string_view line) {
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      backoff(attempt);
+    }
+    try {
+      ensure_connected();
+      Client::Response response = client_.transact(line);
+      if (response.complete) {
+        return response;
+      }
+      // Server closed mid-response: the partial lines are worthless (the
+      // retry re-delivers every cell — dedupe makes that a replay, not a
+      // recompute), so drop them and go again.
+      last_error = "response truncated by server close";
+    } catch (const std::exception& error) {
+      last_error = error.what();
+    }
+    ++stats_.failures;
+    client_.close();
+  }
+  throw std::runtime_error("ResilientClient: request failed after " +
+                           std::to_string(options_.max_attempts) +
+                           " attempts; last error: " + last_error);
+}
+
+}  // namespace resilience::net

@@ -133,7 +133,8 @@ struct NetServer::Impl {
               cancel->store(true, std::memory_order_release);
             }
           },
-          service::JsonlSession::Options{/*stream=*/true, /*collect=*/false},
+          service::JsonlSession::Options{/*stream=*/true, /*collect=*/false,
+                                         options.default_deadline_ms},
           cancel);
       conn->socket->set_wake([this, id] {
         loop.post([this, id] { on_wake(id); });

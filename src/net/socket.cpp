@@ -167,26 +167,38 @@ Fd accept_connection(int listen_fd) {
   }
 }
 
-Fd connect_tcp(const std::string& host, std::uint16_t port) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+Fd connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
+  // A bounded connect must run non-blocking (a blocking ::connect cannot
+  // be interrupted short of SYN-retry exhaustion); the unbounded path
+  // stays blocking but shares the poll + SO_ERROR completion below when
+  // EINTR leaves the connect establishing in the kernel.
+  const int flags =
+      SOCK_STREAM | SOCK_CLOEXEC | (timeout_ms > 0 ? SOCK_NONBLOCK : 0);
+  Fd fd(::socket(AF_INET, flags, 0));
   if (!fd.valid()) {
     throw_errno("socket");
   }
   sockaddr_in addr = resolve_ipv4(host, port);
   int rc =
       ::connect(fd.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc == -1 && errno == EINTR) {
-    // POSIX: an EINTR'd connect keeps establishing in the kernel, and
-    // calling connect() again yields EALREADY/EISCONN, not a restart —
-    // wait for writability and read the real outcome from SO_ERROR.
+  if (rc == -1 && (errno == EINTR || errno == EINPROGRESS)) {
+    // POSIX: an EINTR'd (or non-blocking in-progress) connect keeps
+    // establishing in the kernel, and calling connect() again yields
+    // EALREADY/EISCONN, not a restart — wait for writability and read
+    // the real outcome from SO_ERROR.
     pollfd ready{};
     ready.fd = fd.fd();
     ready.events = POLLOUT;
     do {
-      rc = ::poll(&ready, 1, -1);
+      rc = ::poll(&ready, 1, timeout_ms > 0 ? timeout_ms : -1);
     } while (rc == -1 && errno == EINTR);
     if (rc == -1) {
       throw_errno("poll(connect " + host + ":" + std::to_string(port) + ")");
+    }
+    if (rc == 0) {
+      throw std::runtime_error("net: connect " + host + ":" +
+                               std::to_string(port) + ": timed out after " +
+                               std::to_string(timeout_ms) + " ms");
     }
     int error = 0;
     socklen_t len = sizeof(error);
@@ -203,8 +215,32 @@ Fd connect_tcp(const std::string& host, std::uint16_t port) {
   if (rc == -1) {
     throw_errno("connect " + host + ":" + std::to_string(port));
   }
+  if (timeout_ms > 0) {
+    set_blocking(fd.fd());  // callers expect a blocking client socket
+  }
   set_tcp_nodelay(fd.fd());
   return fd;
+}
+
+void set_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags != -1) {
+    (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags != -1) {
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+void set_linger_reset(int fd) {
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
 }
 
 void set_tcp_nodelay(int fd) {
@@ -246,7 +282,10 @@ Fd listen_tcp(const std::string&, std::uint16_t, int, std::uint16_t*) {
   unsupported();
 }
 Fd accept_connection(int) { unsupported(); }
-Fd connect_tcp(const std::string&, std::uint16_t) { unsupported(); }
+Fd connect_tcp(const std::string&, std::uint16_t, int) { unsupported(); }
+void set_blocking(int) {}
+void set_nonblocking(int) {}
+void set_linger_reset(int) {}
 void set_tcp_nodelay(int) {}
 void set_send_buffer(int, int) {}
 void shutdown_send_half(int) {}

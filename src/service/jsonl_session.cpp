@@ -1,5 +1,6 @@
 #include "resilience/service/jsonl_session.hpp"
 
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -101,7 +102,9 @@ void JsonlSession::handle_line(std::string_view line) {
         }
         id = id_field->as_string();
       }
-      if (!type->is_string() || type->as_string() != "stats") {
+      const bool is_stats = type->is_string() && type->as_string() == "stats";
+      const bool is_ping = type->is_string() && type->as_string() == "ping";
+      if (!is_stats && !is_ping) {
         errors_ = true;
         emit(error_line(id, "type",
                         type->is_string()
@@ -120,7 +123,7 @@ void JsonlSession::handle_line(std::string_view line) {
           return;
         }
       }
-      emit(stats_line(id, service_.stats()), true);
+      emit(is_ping ? pong_line(id) : stats_line(id, service_.stats()), true);
       return;
     }
   }
@@ -137,6 +140,18 @@ void JsonlSession::handle_line(std::string_view line) {
     request.id = default_id;
   }
 
+  // Compute budget: the request's own deadline wins; the session default
+  // covers requests that state none. Anchored here — execution start —
+  // so transport/queue wait never eats into the stated budget.
+  const int deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms
+                              : options_.default_deadline_ms;
+  core::CancelToken cancel(cancelled_);
+  if (deadline_ms > 0) {
+    cancel.set_deadline(std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms));
+  }
+
   try {
     const core::GridSignature signature = service_.signature_for(request);
     SessionSink sink(
@@ -145,7 +160,7 @@ void JsonlSession::handle_line(std::string_view line) {
         cancelled_);
     const bool need_sink = options_.stream || options_.collect;
     const SubmitResult result =
-        service_.submit(request, need_sink ? &sink : nullptr);
+        service_.submit(request, need_sink ? &sink : nullptr, cancel);
     const ServiceStats stats =
         request.include_stats ? service_.stats() : ServiceStats{};
     emit(done_line(request.id, result.signature, *result.table,
@@ -155,6 +170,15 @@ void JsonlSession::handle_line(std::string_view line) {
     if (outcome_) {
       outcome_(Outcome{std::move(request), result, std::move(sink.cells())});
     }
+  } catch (const core::SweepCancelled& cancelled) {
+    if (!cancelled.deadline_expired()) {
+      return;  // disconnect cancellation: the client is gone, stay silent
+    }
+    errors_ = true;
+    emit(error_line(request.id, "deadline_ms",
+                    "deadline of " + std::to_string(deadline_ms) +
+                        " ms exceeded before the sweep completed"),
+         true);
   } catch (const std::exception& error) {
     // Validation ran at parse time, so this is an engine/runtime failure
     // (resource exhaustion, cache IO); the protocol answer is an error

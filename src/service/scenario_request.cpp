@@ -173,7 +173,7 @@ ScenarioRequest ScenarioRequest::from_json(const JsonValue& json) {
   reject_unknown_fields(json, "",
                         {"id", "platforms", "node_counts", "rate_factors",
                          "cost_overrides", "kinds", "numeric_optimum",
-                         "reuse_seeds", "stats"});
+                         "reuse_seeds", "stats", "deadline_ms"});
 
   ScenarioRequest request;
   if (const JsonValue* id = json.find("id")) {
@@ -248,6 +248,15 @@ ScenarioRequest ScenarioRequest::from_json(const JsonValue& json) {
       throw RequestError("stats", "expected a boolean");
     }
     request.include_stats = stats->as_bool();
+  }
+  if (const JsonValue* deadline = json.find("deadline_ms")) {
+    const double number = as_number(*deadline, "deadline_ms");
+    if (!(number >= 0.0) || number != std::floor(number) || number > 1e9) {
+      throw RequestError("deadline_ms",
+                         "expected a non-negative integer number of "
+                         "milliseconds (0 = no deadline)");
+    }
+    request.deadline_ms = static_cast<int>(number);
   }
 
   // Axis semantics (positivity, override sentinels) and the resolved
@@ -325,6 +334,9 @@ JsonValue ScenarioRequest::to_json() const {
   out.set("reuse_seeds", reuse_seeds);
   if (include_stats) {  // default-off flag stays absent, like the axes
     out.set("stats", true);
+  }
+  if (deadline_ms > 0) {  // the 0 default stays absent too
+    out.set("deadline_ms", deadline_ms);
   }
   return out;
 }

@@ -245,6 +245,7 @@ JsonValue to_json(const ServiceStats& stats) {
   service.set("joined_in_flight", stats.joined_in_flight);
   service.set("tables_computed", stats.tables_computed);
   service.set("seeded_computes", stats.seeded_computes);
+  service.set("deadline_timeouts", stats.deadline_timeouts);
   JsonValue cache = JsonValue::object();
   cache.set("size", stats.cache_size);
   cache.set("capacity", stats.cache_capacity);
@@ -291,6 +292,13 @@ std::string done_line(const std::string& request_id,
   if (stats != nullptr) {
     line.set("stats", to_json(*stats));
   }
+  return line.dump();
+}
+
+std::string pong_line(const std::string& request_id) {
+  JsonValue line = JsonValue::object();
+  line.set("type", "pong");
+  line.set("request", request_id);
   return line.dump();
 }
 

@@ -1,0 +1,105 @@
+#!/bin/sh
+# Chaos smoke: one long-lived sweep_serverd, hammered through the
+# fault-injecting sweep_chaosd proxy across many seeds by the resilient
+# sweep_client (--retries). For every seed the completed responses must
+# be byte-identical to a fault-free warm run — no sort-normalization:
+# warm cache-hit replays stream cells in table order, so the whole
+# stream is deterministic. The daemon survives every seed (one final
+# direct run must still match, and its SIGTERM drain must exit 0), and
+# each chaosd instance itself shuts down cleanly on SIGTERM.
+#
+# Usage: chaos_smoke.sh BUILD_DIR REQUEST_FILE [SEEDS]
+set -u
+
+BUILD=$1
+REQUESTS=$2
+SEEDS=${3:-16}
+TMP=$(mktemp -d) || exit 1
+DAEMON_PID=""
+CHAOS_PID=""
+
+cleanup() {
+  [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2>/dev/null
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos_smoke: $1" >&2
+  [ -f "$TMP/daemon.log" ] && cat "$TMP/daemon.log" >&2
+  [ -f "$TMP/chaos.log" ] && cat "$TMP/chaos.log" >&2
+  exit 1
+}
+
+wait_for_port() {
+  # $1 = port file, $2 = pid, $3 = name
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i + 1))
+    [ $i -gt 100 ] && fail "$3 did not bind within 10s"
+    kill -0 "$2" 2>/dev/null || fail "$3 died at startup"
+    sleep 0.1
+  done
+}
+
+# One daemon for the whole barrage: surviving every seed on a single
+# process is the point.
+rm -f "$TMP/port"
+"$BUILD/sweep_serverd" --port=0 --port-file="$TMP/port" \
+    --cache-capacity=8 2>>"$TMP/daemon.log" &
+DAEMON_PID=$!
+wait_for_port "$TMP/port" "$DAEMON_PID" "daemon"
+PORT=$(cat "$TMP/port")
+
+# Warm the cache, then record the warm fault-free reference.
+"$BUILD/sweep_client" --port="$PORT" --input="$REQUESTS" \
+    >/dev/null || fail "warm-up client failed"
+"$BUILD/sweep_client" --port="$PORT" --input="$REQUESTS" \
+    >"$TMP/reference.jsonl" || fail "reference client failed"
+[ -s "$TMP/reference.jsonl" ] || fail "reference run produced no output"
+
+seed=1
+while [ "$seed" -le "$SEEDS" ]; do
+  rm -f "$TMP/chaos_port"
+  "$BUILD/sweep_chaosd" --port=0 --port-file="$TMP/chaos_port" \
+      --upstream-port="$PORT" --seed="$seed" \
+      --max-chunk=64 --stall-every=32 --stall-max-ms=1 \
+      --kill-every=48 --kill-budget=6 2>>"$TMP/chaos.log" &
+  CHAOS_PID=$!
+  wait_for_port "$TMP/chaos_port" "$CHAOS_PID" "chaosd (seed $seed)"
+  CHAOS_PORT=$(cat "$TMP/chaos_port")
+
+  # More attempts than the proxy has kills: completion is guaranteed, so
+  # a failure is a bug, not bad luck.
+  "$BUILD/sweep_client" --port="$CHAOS_PORT" --input="$REQUESTS" \
+      --retries=12 --connect-timeout-ms=2000 --receive-timeout-ms=10000 \
+      >"$TMP/chaos_$seed.jsonl" 2>>"$TMP/chaos.log" \
+      || fail "resilient client failed under seed $seed"
+  diff -u "$TMP/reference.jsonl" "$TMP/chaos_$seed.jsonl" >&2 \
+      || fail "seed $seed responses differ from the fault-free run"
+
+  kill -TERM "$CHAOS_PID" || fail "chaosd (seed $seed) already gone"
+  wait "$CHAOS_PID"
+  rc=$?
+  CHAOS_PID=""
+  [ $rc -eq 0 ] || fail "chaosd exit code $rc after SIGTERM (seed $seed)"
+  seed=$((seed + 1))
+done
+
+# The daemon took the whole barrage: a direct run still matches, and the
+# graceful drain still works.
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during the barrage"
+"$BUILD/sweep_client" --port="$PORT" --input="$REQUESTS" \
+    >"$TMP/after.jsonl" || fail "post-chaos direct client failed"
+diff -u "$TMP/reference.jsonl" "$TMP/after.jsonl" >&2 \
+    || fail "post-chaos responses differ from the fault-free run"
+
+kill -TERM "$DAEMON_PID" || fail "daemon already gone"
+wait "$DAEMON_PID"
+rc=$?
+DAEMON_PID=""
+[ $rc -eq 0 ] || fail "daemon exit code $rc after SIGTERM (expected a graceful drain)"
+
+echo "chaos_smoke: OK ($SEEDS seeds byte-identical to the fault-free run, daemon drained clean)"
+exit 0

@@ -21,6 +21,7 @@
 
 #include "resilience/net/client.hpp"
 #include "resilience/net/server.hpp"
+#include "resilience/net/socket.hpp"
 #include "resilience/service/jsonl_session.hpp"
 
 namespace rn = resilience::net;
@@ -82,6 +83,14 @@ Lines flatten(const std::vector<Lines>& responses) {
   return out;
 }
 
+/// Unwraps a response the test expects the server to have finished; an
+/// incomplete one (server closed mid-response) fails the test here
+/// instead of as a confusing line-diff downstream.
+Lines complete_lines(rn::Client::Response response) {
+  EXPECT_TRUE(response.complete);
+  return std::move(response.lines);
+}
+
 TEST(NetServer, ServesByteIdenticalToStdinPath) {
   const Lines input{
       "# comment lines count toward line numbering",
@@ -103,7 +112,7 @@ TEST(NetServer, ServesByteIdenticalToStdinPath) {
   }
   // 4 request lines (comment + blank excluded) -> 4 responses.
   for (int i = 0; i < 4; ++i) {
-    const Lines response = client.read_response();
+    const Lines response = complete_lines(client.read_response());
     ASSERT_FALSE(response.empty()) << "response " << i;
     got.insert(got.end(), response.begin(), response.end());
   }
@@ -151,7 +160,11 @@ TEST(NetServer, TwoConcurrentPipelinedClientsMatchTheirSerialReferences) {
       client.send_raw(all);  // pipelined: every request before any read
       std::vector<Lines> responses;
       for (std::size_t i = 0; i < input.size(); ++i) {
-        responses.push_back(client.read_response());
+        rn::Client::Response response = client.read_response();
+        if (!response.complete) {
+          failed.store(true);
+        }
+        responses.push_back(std::move(response.lines));
       }
       if (flatten(responses) != expected) {
         failed.store(true);
@@ -183,7 +196,7 @@ TEST(NetServer, PipelinedResponsesArriveInRequestOrder) {
   }
   client.send_raw(all);
   for (int i = 0; i < kRequests; ++i) {
-    const Lines response = client.read_response();
+    const Lines response = complete_lines(client.read_response());
     ASSERT_FALSE(response.empty());
     const std::string tag = "\"request\":\"r" + std::to_string(i) + "\"";
     for (const std::string& line : response) {
@@ -200,7 +213,8 @@ TEST(NetServer, StatsRequestAndOptInDoneLineStats) {
   client.connect("127.0.0.1", daemon.port());
 
   // A stats request answers with one stats line.
-  const Lines stats0 = client.transact("{\"type\": \"stats\", \"id\": \"s0\"}");
+  const Lines stats0 =
+      complete_lines(client.transact("{\"type\": \"stats\", \"id\": \"s0\"}"));
   ASSERT_EQ(stats0.size(), 1u);
   EXPECT_NE(stats0[0].find("\"type\":\"stats\""), std::string::npos);
   EXPECT_NE(stats0[0].find("\"request\":\"s0\""), std::string::npos);
@@ -212,17 +226,17 @@ TEST(NetServer, StatsRequestAndOptInDoneLineStats) {
   const std::string with_stats =
       "{\"id\": \"w\", \"platforms\": [\"hera\"], \"node_counts\": [512], "
       "\"kinds\": [\"PD\"], \"stats\": true}";
-  const Lines first = client.transact(with_stats);
+  const Lines first = complete_lines(client.transact(with_stats));
   ASSERT_FALSE(first.empty());
   EXPECT_NE(first.back().find("\"stats\":{\"service\":{\"submits\":1"),
             std::string::npos);
   const Lines plain =
-      client.transact(one_cell_request("p", "hera", 512));
+      complete_lines(client.transact(one_cell_request("p", "hera", 512)));
   ASSERT_FALSE(plain.empty());
   EXPECT_EQ(plain.back().find("\"stats\":{"), std::string::npos);
 
   // After a miss + a hit the counters must say so.
-  const Lines stats1 = client.transact("{\"type\": \"stats\"}");
+  const Lines stats1 = complete_lines(client.transact("{\"type\": \"stats\"}"));
   ASSERT_EQ(stats1.size(), 1u);
   EXPECT_NE(stats1[0].find("\"submits\":2"), std::string::npos);
   EXPECT_NE(stats1[0].find("\"cache_hits\":1"), std::string::npos);
@@ -233,8 +247,8 @@ TEST(NetServer, UnknownTypeAnswersErrorLine) {
   TestDaemon daemon;
   rn::Client client;
   client.connect("127.0.0.1", daemon.port());
-  const Lines response =
-      client.transact("{\"type\": \"shutdown\", \"id\": \"x\"}");
+  const Lines response = complete_lines(
+      client.transact("{\"type\": \"shutdown\", \"id\": \"x\"}"));
   ASSERT_EQ(response.size(), 1u);
   EXPECT_NE(response[0].find("\"type\":\"error\""), std::string::npos);
   EXPECT_NE(response[0].find("unknown request type 'shutdown'"),
@@ -264,7 +278,7 @@ TEST(NetServer, DisconnectMidRequestLeavesServerServing) {
   const Lines expected = stdin_path_lines(input);
   rn::Client client;
   client.connect("127.0.0.1", daemon.port());
-  EXPECT_EQ(client.transact(input[0]), expected);
+  EXPECT_EQ(complete_lines(client.transact(input[0])), expected);
 }
 
 TEST(NetServer, ConnectionLimitAnswersErrorAndCloses) {
@@ -275,7 +289,8 @@ TEST(NetServer, ConnectionLimitAnswersErrorAndCloses) {
   rn::Client first;
   first.connect("127.0.0.1", daemon.port());
   // Prove the slot is actually taken (accept is asynchronous).
-  const Lines ok = first.transact(one_cell_request("one", "hera", 512));
+  const Lines ok =
+      complete_lines(first.transact(one_cell_request("one", "hera", 512)));
   ASSERT_FALSE(ok.empty());
 
   rn::Client second;
@@ -288,7 +303,9 @@ TEST(NetServer, ConnectionLimitAnswersErrorAndCloses) {
   EXPECT_GE(daemon->stats().rejected_over_limit, 1u);
 
   // The admitted client is unaffected.
-  EXPECT_FALSE(first.transact(one_cell_request("two", "hera", 1024)).empty());
+  EXPECT_FALSE(
+      complete_lines(first.transact(one_cell_request("two", "hera", 1024)))
+          .empty());
 }
 
 TEST(NetServer, OversizedLineGetsLocatedErrorThenClose) {
@@ -302,12 +319,12 @@ TEST(NetServer, OversizedLineGetsLocatedErrorThenClose) {
   // its full response, in order, before the framing error line.
   client.send_line(one_cell_request("good", "hera", 512));
   client.send_line(std::string(4096, 'x'));
-  const Lines good = client.read_response();
+  const Lines good = complete_lines(client.read_response());
   ASSERT_FALSE(good.empty());
   EXPECT_NE(good.back().find("\"request\":\"good\""), std::string::npos);
   EXPECT_NE(good.back().find("\"type\":\"done\""), std::string::npos);
 
-  const Lines error = client.read_response();
+  const Lines error = complete_lines(client.read_response());
   ASSERT_EQ(error.size(), 1u);
   EXPECT_NE(error[0].find("\"type\":\"error\""), std::string::npos);
   EXPECT_NE(error[0].find("\"request\":\"line-2\""), std::string::npos);
@@ -425,13 +442,13 @@ TEST(NetServer, FramingErrorBehindAFullPipelineStillDrainsTheBacklog) {
   client.send_raw(burst);
 
   for (int i = 0; i < kRequests; ++i) {
-    const Lines response = client.read_response();
+    const Lines response = complete_lines(client.read_response());
     ASSERT_FALSE(response.empty()) << "response " << i;
     EXPECT_NE(response.back().find("\"request\":\"f" + std::to_string(i) +
                                    "\""),
               std::string::npos);
   }
-  const Lines error = client.read_response();
+  const Lines error = complete_lines(client.read_response());
   ASSERT_EQ(error.size(), 1u);
   EXPECT_NE(error[0].find("512-byte line limit"), std::string::npos);
   EXPECT_EQ(client.read_line(), std::nullopt);
@@ -444,7 +461,208 @@ TEST(NetServer, CrlfRequestsAreServed) {
   const std::string request = one_cell_request("crlf", "hera", 512);
   const Lines expected = stdin_path_lines({request});
   client.send_raw(request + "\r\n");
-  EXPECT_EQ(client.read_response(), expected);
+  EXPECT_EQ(complete_lines(client.read_response()), expected);
+}
+
+TEST(NetServer, PingAnswersOnePongLine) {
+  TestDaemon daemon;
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+
+  const std::string ping = "{\"type\": \"ping\", \"id\": \"hp\"}";
+  const Lines response = complete_lines(client.transact(ping));
+  ASSERT_EQ(response.size(), 1u);
+  EXPECT_EQ(response[0], "{\"type\":\"pong\",\"request\":\"hp\"}");
+  // Same bytes as the stdin path — the probe is part of the protocol,
+  // not a daemon-only extra.
+  EXPECT_EQ(response, stdin_path_lines({ping}));
+
+  // A ping is not a compute submit: the counters must stay untouched.
+  const Lines stats = complete_lines(client.transact("{\"type\": \"stats\"}"));
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_NE(stats[0].find("\"submits\":0"), std::string::npos);
+}
+
+/// A grid guaranteed not to finish inside a short deadline: ~3000 cells
+/// of full numeric optimization.
+std::string doomed_request(const std::string& id, int deadline_ms) {
+  std::string request =
+      "{\"id\": \"" + id +
+      "\", \"platforms\": [\"hera\", \"atlas\", \"coastal\", \"coastalssd\"], "
+      "\"node_counts\": [256, 1024, 4096, 16384], \"rate_factors\": [";
+  for (int i = 0; i < 8; ++i) {
+    if (i > 0) {
+      request += ", ";
+    }
+    request += "{\"fail_stop\": " + std::to_string(0.611 + i * 0.017) + "}";
+  }
+  request += "], \"cost_overrides\": [{\"disk_checkpoint\": 311.0}, "
+             "{\"disk_checkpoint\": 313.0}, {\"disk_checkpoint\": 317.0}, "
+             "{\"disk_checkpoint\": 319.0}]";
+  if (deadline_ms > 0) {
+    request += ", \"deadline_ms\": " + std::to_string(deadline_ms);
+  }
+  request += "}";
+  return request;
+}
+
+TEST(NetServer, DeadlineExceededAnswersErrorAndServerKeepsServing) {
+  TestDaemon daemon;
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+
+  const auto start = std::chrono::steady_clock::now();
+  const Lines response =
+      complete_lines(client.transact(doomed_request("doomed", 100)));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(response.empty());
+  EXPECT_NE(response.back().find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(response.back().find("\"request\":\"doomed\""), std::string::npos);
+  EXPECT_NE(response.back().find("deadline of 100 ms exceeded"),
+            std::string::npos);
+  // The tight 2x-deadline bound is the bench's gate; here a lenient one
+  // catches only "the deadline did nothing" (CI machines can stall).
+  EXPECT_LT(elapsed_ms, 5000.0);
+
+  // The timeout is visible in the stats surface...
+  const Lines stats = complete_lines(client.transact("{\"type\": \"stats\"}"));
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_NE(stats[0].find("\"deadline_timeouts\":1"), std::string::npos);
+
+  // ...and the worker it released still serves, bit-for-bit correct.
+  const std::string after = one_cell_request("after", "hera", 512);
+  EXPECT_EQ(complete_lines(client.transact(after)),
+            stdin_path_lines({after}));
+}
+
+TEST(NetServer, DefaultDeadlineAppliesWhenRequestCarriesNone) {
+  rn::NetServerOptions options;
+  options.default_deadline_ms = 50;
+  TestDaemon daemon(std::move(options));
+  rn::Client client;
+  client.connect("127.0.0.1", daemon.port());
+
+  // No deadline_ms in the request: the server default must bound it.
+  const Lines response =
+      complete_lines(client.transact(doomed_request("defaulted", 0)));
+  ASSERT_FALSE(response.empty());
+  EXPECT_NE(response.back().find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(response.back().find("deadline of 50 ms exceeded"),
+            std::string::npos);
+
+  // An explicit request deadline wins over the default: long enough for
+  // a single-cell grid to finish normally.
+  const std::string roomy =
+      "{\"id\": \"roomy\", \"platforms\": [\"hera\"], \"node_counts\": [512], "
+      "\"kinds\": [\"PD\"], \"deadline_ms\": 60000}";
+  const Lines served = complete_lines(client.transact(roomy));
+  ASSERT_FALSE(served.empty());
+  EXPECT_NE(served.back().find("\"type\":\"done\""), std::string::npos);
+}
+
+/// A deliberately misbehaving server for client-robustness tests: accepts
+/// one connection, writes `payload`, then either stalls (holding the
+/// socket open) or closes. Runs on its own thread; release() unblocks
+/// the stall and joins.
+class MisbehavingServer {
+ public:
+  MisbehavingServer(std::string payload, bool close_after_payload)
+      : listener_(rn::listen_tcp("127.0.0.1", 0, 4, &port_)),
+        thread_([this, payload = std::move(payload), close_after_payload] {
+          rn::Fd conn;
+          for (int i = 0; i < 10000 && !conn.valid() && !done_.load(); ++i) {
+            conn = rn::accept_connection(listener_.fd());
+            if (!conn.valid()) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+          }
+          std::size_t sent = 0;
+          while (conn.valid() && sent < payload.size() && !done_.load()) {
+            std::size_t n = 0;
+            const rn::IoStatus status = rn::write_some(
+                conn.fd(), payload.data() + sent, payload.size() - sent, &n);
+            if (status == rn::IoStatus::kOk) {
+              sent += n;
+            } else if (status == rn::IoStatus::kWouldBlock) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            } else {
+              return;
+            }
+          }
+          if (close_after_payload) {
+            conn.reset();  // orderly FIN mid-response
+          }
+          while (!done_.load()) {  // stall: keep the socket open, say nothing
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }) {}
+
+  ~MisbehavingServer() { release(); }
+
+  void release() {
+    done_.store(true);
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  std::uint16_t port_ = 0;
+  rn::Fd listener_;
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+TEST(NetClient, ReceiveTimeoutSurfacesMidResponseStall) {
+  // One cell line arrives, then the server stalls forever mid-response:
+  // with a receive timeout armed the client must throw instead of
+  // hanging (the error the resilient client turns into a retry).
+  MisbehavingServer server("{\"type\":\"cell\",\"request\":\"x\"}\n",
+                           /*close_after_payload=*/false);
+  rn::Client client;
+  client.connect("127.0.0.1", server.port());
+  client.set_receive_timeout(100);
+  // Nothing is sent: the misbehaving server talks unprompted, and unread
+  // request bytes at its close would turn the FIN into an RST.
+  EXPECT_THROW((void)client.read_response(), std::runtime_error);
+  server.release();
+}
+
+TEST(NetClient, MidResponseCloseReportsIncomplete) {
+  // The server dies after a non-terminal line: read_response must hand
+  // back what arrived with complete == false, not spin or invent a
+  // terminal line.
+  MisbehavingServer server("{\"type\":\"cell\",\"request\":\"x\"}\n",
+                           /*close_after_payload=*/true);
+  rn::Client client;
+  client.connect("127.0.0.1", server.port());
+  const rn::Client::Response response = client.read_response();
+  EXPECT_FALSE(response.complete);
+  ASSERT_EQ(response.lines.size(), 1u);
+  EXPECT_EQ(response.lines[0], "{\"type\":\"cell\",\"request\":\"x\"}");
+  server.release();
+}
+
+TEST(NetClient, TruncatedTerminalLookingTailReportsIncomplete) {
+  // The nasty case: the connection dies mid-LINE, and the unterminated
+  // tail happens to prefix-match a terminal line. The complete flag must
+  // still say no — this is exactly the truncation the old
+  // is-last-line-terminal heuristic could not see.
+  MisbehavingServer server(
+      "{\"type\":\"cell\",\"request\":\"x\"}\n{\"type\":\"done\",\"requ",
+      /*close_after_payload=*/true);
+  rn::Client client;
+  client.connect("127.0.0.1", server.port());
+  const rn::Client::Response response = client.read_response();
+  EXPECT_FALSE(response.complete);
+  ASSERT_EQ(response.lines.size(), 2u);
+  EXPECT_EQ(response.lines[1], "{\"type\":\"done\",\"requ");
+  server.release();
 }
 
 }  // namespace

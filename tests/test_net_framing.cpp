@@ -1,13 +1,16 @@
 // Incremental JSONL framing (net::LineFramer): lines reassembled across
 // arbitrary read boundaries, CRLF tolerance, unterminated-tail delivery
 // at EOF, and oversized lines rejected with a located (line number +
-// stream offset) latched error.
+// stream offset) latched error — including boundaries drawn from the
+// chaos injector's seeded split schedules.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "resilience/net/fault.hpp"
 #include "resilience/net/framing.hpp"
 
 namespace rn = resilience::net;
@@ -160,6 +163,99 @@ TEST(LineFramer, UnlimitedByDefault) {
   EXPECT_TRUE(framer.feed("\n", collect(lines)));
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0].size(), big.size());
+}
+
+TEST(FaultSchedule, SameSeedSameDraws) {
+  rn::FaultSchedule a(42);
+  rn::FaultSchedule b(42);
+  rn::FaultSchedule c(43);
+  bool all_equal = true;
+  bool any_differ = false;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t draw = a.next();
+    all_equal = all_equal && draw == b.next();
+    any_differ = any_differ || draw != c.next();
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differ);
+  EXPECT_NE(rn::FaultSchedule::mix(1, 2), rn::FaultSchedule::mix(2, 1));
+}
+
+TEST(FaultSchedule, ChunkLenStaysInBounds) {
+  rn::FaultSchedule schedule(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t len = schedule.chunk_len(/*available=*/100,
+                                               /*max_chunk=*/16);
+    EXPECT_GE(len, 1u);
+    EXPECT_LE(len, 16u);
+  }
+  // available below max_chunk caps the draw at available.
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t len = schedule.chunk_len(/*available=*/3,
+                                               /*max_chunk=*/512);
+    EXPECT_GE(len, 1u);
+    EXPECT_LE(len, 3u);
+  }
+}
+
+TEST(LineFramer, InjectorSplitSchedulesReassembleIdentically) {
+  // The chaos proxy's read boundaries, applied straight to the framer:
+  // for many seeds, feed a JSONL stream in FaultSchedule-drawn chunks
+  // and require exactly the lines a single feed delivers. This is the
+  // in-vitro version of what every chaos run exercises over TCP.
+  const std::string stream =
+      "{\"type\":\"cell\",\"request\":\"r\"}\n"
+      "{\"type\":\"cell\",\"request\":\"r\",\"i\":2}\r\n"
+      "\n"
+      "{\"type\":\"done\",\"request\":\"r\"}\n";
+  rn::LineFramer whole;
+  Lines expected;
+  ASSERT_TRUE(whole.feed(stream, collect(expected)));
+  ASSERT_EQ(expected.size(), 4u);
+
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    rn::FaultSchedule schedule(seed);
+    rn::LineFramer framer;
+    Lines lines;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t len =
+          schedule.chunk_len(stream.size() - offset, /*max_chunk=*/5);
+      ASSERT_TRUE(
+          framer.feed(stream.substr(offset, len), collect(lines)))
+          << "seed " << seed;
+      offset += len;
+    }
+    EXPECT_EQ(lines, expected) << "seed " << seed;
+    EXPECT_EQ(framer.buffered(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(LineFramer, InjectorSplitTailDeliveredUnterminatedAtEof) {
+  // A mid-line kill leaves an unterminated tail whatever the split
+  // schedule was: finish() must deliver exactly the truncated prefix.
+  const std::string stream =
+      "{\"type\":\"cell\",\"request\":\"r\"}\n{\"type\":\"done\",\"requ";
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    rn::FaultSchedule schedule(seed);
+    rn::LineFramer framer;
+    Lines lines;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t len =
+          schedule.chunk_len(stream.size() - offset, /*max_chunk=*/7);
+      ASSERT_TRUE(
+          framer.feed(stream.substr(offset, len), collect(lines)))
+          << "seed " << seed;
+      offset += len;
+    }
+    EXPECT_GT(framer.buffered(), 0u) << "seed " << seed;
+    EXPECT_TRUE(framer.finish(collect(lines))) << "seed " << seed;
+    EXPECT_EQ(lines,
+              (Lines{"{\"type\":\"cell\",\"request\":\"r\"}",
+                     "{\"type\":\"done\",\"requ"}))
+        << "seed " << seed;
+  }
 }
 
 TEST(LineFramer, StreamOffsetsAccumulateAcrossSplitLines) {
