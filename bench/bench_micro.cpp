@@ -31,6 +31,7 @@
 #include "resilience/core/platform.hpp"
 #include "resilience/core/sweep.hpp"
 #include "resilience/net/client.hpp"
+#include "resilience/net/router.hpp"
 #include "resilience/net/server.hpp"
 #include "resilience/service/jsonl_session.hpp"
 #include "resilience/service/serialize.hpp"
@@ -596,6 +597,225 @@ NetBenchResult run_net_bench() {
   return result;
 }
 
+// ----------------------------------------------------------- fleet merge --
+
+/// The sharded-fleet front end driven fully in-process: N real NetServer
+/// shards, a ShardFleet routing grid chains by consistent hash, and a
+/// RouterSession merging the shard streams. Gated on byte-identity to
+/// the single-process service::JsonlSession path: cold merges match per
+/// response after a per-line sort (cold compute streams cells in pool
+/// order; the router merges into table order), warm merges match
+/// exactly. The robustness headline is kill recovery: one shard of
+/// three stopped under a warm fleet, and the next pass must fail its
+/// chains over to the survivors — still matching the reference (cells
+/// never change; a done flag may legitimately report the cold recompute
+/// of a merged failover unit) — with the elapsed time recorded.
+struct FleetBenchResult {
+  bool transport_supported = true;
+  std::size_t requests = 0;  ///< per pass
+  double one_shard_requests_per_sec = 0.0;
+  double two_shard_requests_per_sec = 0.0;
+  double three_shard_requests_per_sec = 0.0;
+  bool merged_identical = false;  ///< cold sorted + warm exact, every N
+  double kill_recovery_ms = 0.0;
+  std::uint64_t failovers = 0;
+  bool post_kill_identical = false;
+};
+
+FleetBenchResult run_fleet_bench() {
+  namespace rv = resilience::service;
+  namespace rn = resilience::net;
+  FleetBenchResult result;
+  if (!rn::transport_supported()) {
+    result.transport_supported = false;
+    return result;
+  }
+
+  // Distinct multi-chain grids: chains spread over every shard, and no
+  // done flag depends on another request having been served first.
+  const std::vector<std::string> workload = {
+      "{\"id\": \"m1\", \"platforms\": [\"hera\", \"atlas\"], "
+      "\"node_counts\": [256, 1024, 4096], \"kinds\": [\"PD\", \"PDMV\"]}",
+      "{\"id\": \"m2\", \"platforms\": [\"atlas\", \"coastal\"], "
+      "\"node_counts\": [512, 2048], \"kinds\": [\"PDM\", \"PDMV*\"]}",
+      "{\"id\": \"m3\", \"platforms\": [\"hera\", \"coastal\"], "
+      "\"node_counts\": [384, 1536, 6144], \"kinds\": [\"PDV\", \"PDMV\"]}",
+      "{\"id\": \"m4\", \"platforms\": [\"hera\", \"atlas\", \"coastal\"], "
+      "\"node_counts\": [320, 1280], \"kinds\": [\"PD\", \"PDV*\"]}",
+      "{\"id\": \"m5\", \"platforms\": [\"hera\", \"coastal\"], "
+      "\"node_counts\": [448, 1792], \"cost_overrides\": "
+      "[{\"disk_checkpoint\": 311.0}, {}], \"kinds\": [\"PDMV\"]}",
+      "{\"id\": \"m6\", \"platforms\": [\"atlas\"], "
+      "\"node_counts\": [640, 2560, 10240], \"kinds\": [\"PD\", \"PDM\", "
+      "\"PDMV\"]}",
+  };
+  result.requests = workload.size();
+
+  using Responses = std::vector<std::vector<std::string>>;
+  const auto sorted = [](Responses responses) {
+    for (auto& lines : responses) {
+      std::sort(lines.begin(), lines.end());
+    }
+    return responses;
+  };
+
+  // Single-process truth: one cold stream, one warm stream.
+  Responses cold_reference;
+  Responses warm_reference;
+  {
+    rv::SweepService reference;
+    Responses* sink = &cold_reference;
+    std::vector<std::string> current;
+    rv::JsonlSession session(reference,
+                             [&sink, &current](std::string&& line, bool end) {
+                               current.push_back(std::move(line));
+                               if (end) {
+                                 sink->push_back(std::move(current));
+                                 current.clear();
+                               }
+                             });
+    for (const std::string& request : workload) {
+      session.handle_line(request);
+    }
+    sink = &warm_reference;
+    for (const std::string& request : workload) {
+      session.handle_line(request);
+    }
+  }
+
+  /// A real shard: NetServer (full SweepService) on its own thread.
+  struct Shard {
+    std::unique_ptr<rn::NetServer> server;
+    std::thread thread;
+    Shard()
+        : server(std::make_unique<rn::NetServer>(rn::NetServerOptions{})),
+          thread([this] {
+            try {
+              server->run();
+            } catch (const std::exception& error) {
+              std::fprintf(stderr, "bench_micro: fleet shard died: %s\n",
+                           error.what());
+            }
+          }) {}
+    void stop() {
+      if (server != nullptr) {
+        server->stop();
+      }
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+    ~Shard() { stop(); }
+  };
+
+  // Stable ring ids (ports are ephemeral): the chain assignment — and
+  // therefore which shard the kill below orphans — is deterministic
+  // across runs.
+  const auto fleet_options = [](const std::vector<std::unique_ptr<Shard>>&
+                                    shards) {
+    rn::RouterOptions options;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      rn::ShardConfig config;
+      config.port = shards[i]->server->port();
+      config.id = "shard-" + std::to_string(i);
+      options.shards.push_back(config);
+    }
+    options.connect_timeout_ms = 2000;
+    options.receive_timeout_ms = 30000;
+    options.attempts_per_shard = 2;
+    options.backoff_initial_ms = 1;
+    options.backoff_max_ms = 10;
+    return options;
+  };
+
+  const auto run_pass = [&workload](rn::ShardFleet& fleet) {
+    Responses responses;
+    std::vector<std::string> current;
+    rn::RouterSession session(
+        fleet, [&responses, &current](std::string&& line, bool end) {
+          current.push_back(std::move(line));
+          if (end) {
+            responses.push_back(std::move(current));
+            current.clear();
+          }
+        });
+    for (const std::string& request : workload) {
+      session.handle_line(request);
+    }
+    return responses;
+  };
+
+  try {
+    bool identical = true;
+    constexpr std::size_t kWarmPasses = 20;
+    for (std::size_t shard_count = 1; shard_count <= 3; ++shard_count) {
+      std::vector<std::unique_ptr<Shard>> shards;
+      for (std::size_t i = 0; i < shard_count; ++i) {
+        shards.push_back(std::make_unique<Shard>());
+      }
+      rn::ShardFleet fleet(fleet_options(shards));
+
+      identical = identical &&
+                  sorted(run_pass(fleet)) == sorted(cold_reference) &&
+                  run_pass(fleet) == warm_reference;
+
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t pass = 0; pass < kWarmPasses; ++pass) {
+        identical = identical && run_pass(fleet) == warm_reference;
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double per_sec =
+          seconds > 0.0
+              ? static_cast<double>(kWarmPasses * workload.size()) / seconds
+              : 0.0;
+      (shard_count == 1   ? result.one_shard_requests_per_sec
+       : shard_count == 2 ? result.two_shard_requests_per_sec
+                          : result.three_shard_requests_per_sec) = per_sec;
+    }
+    result.merged_identical = identical;
+
+    // Kill recovery: a warm 3-shard fleet loses one shard, and the next
+    // pass pays the detection + failover + recompute bill. Every
+    // response must still match the reference bytes — warm where the
+    // dead shard owned nothing, cold-flagged where a failed-over unit
+    // recomputed — with no line dropped or duplicated.
+    {
+      std::vector<std::unique_ptr<Shard>> shards;
+      for (std::size_t i = 0; i < 3; ++i) {
+        shards.push_back(std::make_unique<Shard>());
+      }
+      rn::ShardFleet fleet(fleet_options(shards));
+      run_pass(fleet);  // warm every shard (identity gated above)
+
+      shards[2]->stop();  // fail-stop under a warm fleet
+      const auto start = std::chrono::steady_clock::now();
+      const Responses after = sorted(run_pass(fleet));
+      result.kill_recovery_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      bool post_identical = after.size() == warm_reference.size();
+      const Responses warm_sorted = sorted(warm_reference);
+      const Responses cold_sorted = sorted(cold_reference);
+      for (std::size_t i = 0; i < after.size() && post_identical; ++i) {
+        post_identical =
+            after[i] == warm_sorted[i] || after[i] == cold_sorted[i];
+      }
+      result.post_kill_identical = post_identical;
+      result.failovers = fleet.stats().failovers;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_micro: fleet bench failed: %s\n",
+                 error.what());
+    result.merged_identical = false;
+    result.post_kill_identical = false;
+  }
+  return result;
+}
+
 int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
   std::vector<FamilyResult> families;
   for (const auto kind : rc::all_pattern_kinds()) {
@@ -672,6 +892,22 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
     std::printf("net    skipped (transport requires Linux epoll)\n");
   }
 
+  const FleetBenchResult fleet = run_fleet_bench();
+  if (fleet.transport_supported) {
+    std::printf(
+        "fleet  1/2/3 shards %7.0f /%7.0f /%7.0f req/s   merge %s\n",
+        fleet.one_shard_requests_per_sec, fleet.two_shard_requests_per_sec,
+        fleet.three_shard_requests_per_sec,
+        fleet.merged_identical ? "byte-identical" : "DIVERGE");
+    std::printf(
+        "fleet  kill recovery %6.0f ms   failovers %llu   post-kill %s\n",
+        fleet.kill_recovery_ms,
+        static_cast<unsigned long long>(fleet.failovers),
+        fleet.post_kill_identical ? "byte-identical" : "DIVERGE");
+  } else {
+    std::printf("fleet  skipped (transport requires Linux epoll)\n");
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", out_path.c_str());
@@ -745,6 +981,25 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       << net.post_timeout_requests_per_sec << ",\n"
       << "    \"post_timeout_identical\": "
       << (net.post_timeout_identical ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"fleet\": {\n"
+      << "    \"workload\": \"6 distinct multi-chain grids merged by "
+         "sweep_router over in-process NetServer shards\",\n"
+      << "    \"transport_supported\": "
+      << (fleet.transport_supported ? "true" : "false") << ",\n"
+      << "    \"requests_per_pass\": " << fleet.requests << ",\n"
+      << "    \"one_shard_requests_per_sec\": "
+      << fleet.one_shard_requests_per_sec << ",\n"
+      << "    \"two_shard_requests_per_sec\": "
+      << fleet.two_shard_requests_per_sec << ",\n"
+      << "    \"three_shard_requests_per_sec\": "
+      << fleet.three_shard_requests_per_sec << ",\n"
+      << "    \"merged_identical\": "
+      << (fleet.merged_identical ? "true" : "false") << ",\n"
+      << "    \"kill_recovery_ms\": " << fleet.kill_recovery_ms << ",\n"
+      << "    \"failovers\": " << fleet.failovers << ",\n"
+      << "    \"post_kill_identical\": "
+      << (fleet.post_kill_identical ? "true" : "false") << "\n"
       << "  },\n"
       << "  \"families\": [\n";
   for (std::size_t i = 0; i < families.size(); ++i) {
@@ -841,6 +1096,31 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
                    net.post_timeout_requests_per_sec,
                    net.serial_requests_per_sec,
                    net.post_timeout_identical ? "" : ", responses DIVERGE");
+      return 1;
+    }
+  }
+  if (fleet.transport_supported) {
+    if (!fleet.merged_identical) {
+      std::fprintf(stderr,
+                   "bench_micro: fleet-merged responses are not "
+                   "byte-identical to the single-process path; the fleet "
+                   "throughput is not trustworthy\n");
+      return 1;
+    }
+    if (fleet.one_shard_requests_per_sec <= 0.0 ||
+        fleet.two_shard_requests_per_sec <= 0.0 ||
+        fleet.three_shard_requests_per_sec <= 0.0) {
+      std::fprintf(stderr, "bench_micro: fleet section produced no timing\n");
+      return 1;
+    }
+    if (!fleet.post_kill_identical || fleet.failovers == 0) {
+      std::fprintf(stderr,
+                   "bench_micro: the kill-recovery pass %s (failovers: "
+                   "%llu)\n",
+                   fleet.post_kill_identical
+                       ? "recorded no failover despite the shard kill"
+                       : "dropped, duplicated or rewrote a response line",
+                   static_cast<unsigned long long>(fleet.failovers));
       return 1;
     }
   }

@@ -17,11 +17,11 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <thread>
 
 #include "resilience/net/fault.hpp"
+#include "resilience/util/atomic_file.hpp"
 #include "resilience/util/cli.hpp"
 
 namespace rn = resilience::net;
@@ -120,13 +120,15 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cli.get_int("seed")));
     const std::string port_file = cli.get_string("port-file");
     if (!port_file.empty()) {
-      std::ofstream out(port_file);
-      if (!out) {
-        std::fprintf(stderr, "sweep_chaosd: cannot write %s\n",
-                     port_file.c_str());
+      // Atomic: port-file pollers must never read a partial port.
+      std::string error;
+      if (!ru::write_file_atomic(port_file,
+                                 std::to_string(proxy.port()) + "\n",
+                                 &error)) {
+        std::fprintf(stderr, "sweep_chaosd: cannot write %s (%s)\n",
+                     port_file.c_str(), error.c_str());
         return 2;
       }
-      out << proxy.port() << '\n';
     }
 
     while (!g_stop.load(std::memory_order_relaxed)) {

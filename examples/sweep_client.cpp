@@ -120,24 +120,38 @@ int main(int argc, char** argv) {
       options.jitter_seed =
           static_cast<std::uint64_t>(cli.get_int("jitter-seed"));
       rn::ResilientClient client(options);
-      for (const std::string& entry : lines) {
-        if (!rs::is_request_line(entry)) {
-          continue;
+      // The healing summary prints on BOTH exits: a success that needed
+      // retries, and a final failure — the attempts spent on a request
+      // that never completed are exactly the diagnostics a dead fleet
+      // leaves behind.
+      const auto print_healing_stats = [&client] {
+        const rn::ResilientClient::Stats stats = client.stats();
+        if (stats.retries > 0 || stats.failures > 0) {
+          std::fprintf(stderr,
+                       "sweep_client: %llu retries, %llu reconnects, "
+                       "%llu attempt failures\n",
+                       static_cast<unsigned long long>(stats.retries),
+                       static_cast<unsigned long long>(stats.reconnects),
+                       static_cast<unsigned long long>(stats.failures));
         }
-        const rn::Client::Response response = client.transact(entry);
-        for (const std::string& out : response.lines) {
-          std::cout << out << '\n';
+      };
+      try {
+        for (const std::string& entry : lines) {
+          if (!rs::is_request_line(entry)) {
+            continue;
+          }
+          const rn::Client::Response response = client.transact(entry);
+          for (const std::string& out : response.lines) {
+            std::cout << out << '\n';
+          }
         }
+      } catch (const std::exception& error) {
+        std::cout.flush();
+        std::fprintf(stderr, "sweep_client: %s\n", error.what());
+        print_healing_stats();
+        return 1;
       }
-      const rn::ResilientClient::Stats stats = client.stats();
-      if (stats.retries > 0) {
-        std::fprintf(stderr,
-                     "sweep_client: %llu retries, %llu reconnects, "
-                     "%llu failures healed\n",
-                     static_cast<unsigned long long>(stats.retries),
-                     static_cast<unsigned long long>(stats.reconnects),
-                     static_cast<unsigned long long>(stats.failures));
-      }
+      print_healing_stats();
       std::cout.flush();
       return 0;
     }

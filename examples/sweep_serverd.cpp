@@ -17,11 +17,11 @@
 
 #include <csignal>
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <string>
 
 #include "resilience/net/server.hpp"
+#include "resilience/util/atomic_file.hpp"
 #include "resilience/util/cli.hpp"
 #include "resilience/util/thread_pool.hpp"
 
@@ -135,13 +135,16 @@ int main(int argc, char** argv) {
                  server.options().host.c_str(), server.port());
     const std::string port_file = cli.get_string("port-file");
     if (!port_file.empty()) {
-      std::ofstream out(port_file);
-      if (!out) {
-        std::fprintf(stderr, "sweep_serverd: cannot write %s\n",
-                     port_file.c_str());
+      // Atomic: pollers (tests, sweep_router shard discovery) race this
+      // write and must never read a partial port.
+      std::string error;
+      if (!ru::write_file_atomic(port_file,
+                                 std::to_string(server.port()) + "\n",
+                                 &error)) {
+        std::fprintf(stderr, "sweep_serverd: cannot write %s (%s)\n",
+                     port_file.c_str(), error.c_str());
         return 2;
       }
-      out << server.port() << '\n';
     }
 
     server.run();

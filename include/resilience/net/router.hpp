@@ -1,0 +1,201 @@
+#pragma once
+
+// The sharded-fleet front end: sweep_router speaks the exact JSONL wire
+// protocol of sweep_serverd, but instead of computing, it partitions
+// each scenario request into its grid *chains* (the engine's independent
+// scheduling unit: fixed platform + cost override + family, walking the
+// node-count and rate-factor axes), routes every chain to a shard by
+// consistent hashing over its ChainKey, fans the resulting sub-requests
+// out over ResilientClient backends, and merges the streamed cells back
+// into one response that is byte-identical to a single-process run.
+//
+// Why chain-level sharding preserves bytes: a chain's sub-grid resolves
+// to bit-identical ScenarioPoints as the parent grid (the axes are the
+// same cartesian product, just restricted to one platform/override/
+// family), cell values are pure functions of (kind, resolved params,
+// result-affecting options), warm_started is recomputed canonically from
+// the chain's own schedule, and all JSON is canonical (serialize ->
+// parse -> re-serialize is byte-identical) — so a shard's cell line can
+// be re-emitted under the parent id/signature with the point index
+// remapped and not a byte of payload changes. The router emits the
+// merged cells in table order (the same order a warm cache-hit replay
+// streams), then one done line whose cache_hit/joined_in_flight flags
+// are the AND over the sub-responses.
+//
+// Robustness model (the paper's fail-stop assumption, applied to the
+// serving fleet itself):
+//   * health   — every shard is Up or Down. Down shards are excluded
+//     from the ring. State changes come from {"type":"ping"} probes (a
+//     background prober, plus probe_round() on demand) and from request
+//     failures (a shard whose ResilientClient exhausts its attempts is
+//     declared Down).
+//   * failover — chains owned by a dead shard are re-routed through the
+//     ring of survivors and replayed. Replays are at-least-once safe for
+//     the same reason PR 6's client retries are: responses are
+//     deterministic, and shard-side caching / in-flight dedupe absorb
+//     duplicate submissions without recompute.
+//   * rejoin   — a probe answering pong puts the shard back on the ring;
+//     ring positions depend only on shard identity, so the pre-failure
+//     assignment is restored exactly (pinned by test_router).
+//   * empty ring — a request that finds no live shard answers one
+//     located {"type":"error"} line (field "shards") instead of hanging.
+//
+// Observability: {"type":"stats"} answers a fleet block (per-shard
+// state and counters, failovers, replays, rebalances, probes) instead of
+// a single daemon's service/cache block. A request's "stats": true flag
+// is answered without the embedded stats block (service counters do not
+// exist here); everything else matches the single-daemon bytes.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "resilience/net/hash_ring.hpp"
+#include "resilience/service/line_session.hpp"
+#include "resilience/service/scenario_request.hpp"
+#include "resilience/util/json.hpp"
+
+namespace resilience::net {
+
+struct ShardConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Ring identity; defaults to "host:port". Stable ids are what make
+  /// rejoin restore the original assignment.
+  std::string id;
+};
+
+struct RouterOptions {
+  std::vector<ShardConfig> shards;
+  std::size_t ring_vnodes = 64;
+  /// Per-attempt transport bounds for the shard-facing ResilientClients.
+  int connect_timeout_ms = 2000;
+  int receive_timeout_ms = 10000;
+  /// Attempts per sub-request on one shard before that shard is declared
+  /// Down and its chains fail over to the survivors. At least 1.
+  int attempts_per_shard = 2;
+  int backoff_initial_ms = 5;
+  int backoff_max_ms = 100;
+  std::uint64_t jitter_seed = 1;
+  /// Background health-probe period (ping every shard, Up and Down); 0
+  /// disables the prober thread — tests and the bench drive
+  /// probe_round() by hand.
+  int probe_interval_ms = 0;
+};
+
+/// Shared fleet state: shard configs, Up/Down health, the consistent-
+/// hash ring of live shards, and the failover counters. Thread-safe —
+/// router sessions on executor threads and the prober thread share one
+/// fleet.
+class ShardFleet {
+ public:
+  explicit ShardFleet(RouterOptions options);
+  ~ShardFleet();
+
+  ShardFleet(const ShardFleet&) = delete;
+  ShardFleet& operator=(const ShardFleet&) = delete;
+
+  /// Starts the background prober (no-op when probe_interval_ms <= 0 or
+  /// already started).
+  void start_prober();
+  /// One synchronous probe pass over every shard: pong -> Up (rejoin),
+  /// failure -> Down.
+  void probe_round();
+
+  /// Ring owner of a 64-bit chain key; nullopt when no shard is Up.
+  [[nodiscard]] std::optional<std::string> route(std::uint64_t key) const;
+  [[nodiscard]] std::optional<ShardConfig> config(const std::string& id) const;
+  [[nodiscard]] const RouterOptions& options() const noexcept {
+    return options_;
+  }
+  /// Configured shard ids in configuration order (routing uses the ring;
+  /// this is for deterministic iteration in stats and dispatch).
+  [[nodiscard]] std::vector<std::string> shard_ids() const;
+
+  /// Health transitions; each returns true when the state actually
+  /// flipped (and the ring membership changed — a "rebalance").
+  bool mark_down(const std::string& id);
+  bool mark_up(const std::string& id);
+  [[nodiscard]] bool is_up(const std::string& id) const;
+  [[nodiscard]] std::size_t up_count() const;
+
+  /// Counter hooks for the router sessions.
+  void note_request(const std::string& id);
+  void note_failure(const std::string& id);
+  void note_failover();
+  void note_replays(std::size_t chains);
+
+  struct Stats {
+    std::uint64_t failovers = 0;   ///< shard-death events that re-routed work
+    std::uint64_t replays = 0;     ///< chains re-dispatched after a failover
+    std::uint64_t rebalances = 0;  ///< ring membership changes (down + rejoin)
+    std::uint64_t probes = 0;      ///< pings sent by probe rounds
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// The {"type":"stats"} fleet block: per-shard state/counters plus the
+  /// fleet-wide counters above.
+  [[nodiscard]] util::JsonValue stats_json() const;
+
+ private:
+  struct Shard {
+    ShardConfig config;
+    bool up = true;
+    std::uint64_t requests = 0;  ///< sub-requests answered
+    std::uint64_t failures = 0;  ///< transact failures charged to it
+  };
+
+  [[nodiscard]] const Shard* find_locked(const std::string& id) const;
+  [[nodiscard]] Shard* find_locked(const std::string& id);
+
+  RouterOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Shard> shards_;
+  HashRing ring_;
+  Stats counters_;
+
+  std::thread prober_;
+  std::mutex prober_mutex_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+};
+
+/// One JSONL protocol session over the fleet — the router's counterpart
+/// of service::JsonlSession, pluggable into NetServer via its session
+/// factory (and drivable directly in tests, no TCP front needed).
+class RouterSession final : public service::LineSession {
+ public:
+  using LineFn = service::LineSession::LineFn;
+
+  RouterSession(ShardFleet& fleet, LineFn emit,
+                std::shared_ptr<const std::atomic<bool>> cancelled = nullptr);
+
+  void handle_line(std::string_view line) override;
+
+  [[nodiscard]] std::size_t lines_seen() const noexcept { return lines_; }
+  [[nodiscard]] bool any_request_errors() const noexcept { return errors_; }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_ != nullptr &&
+           cancelled_->load(std::memory_order_acquire);
+  }
+
+ private:
+  void emit(std::string line, bool end_of_response);
+  void serve_scenario(const service::ScenarioRequest& request);
+
+  ShardFleet& fleet_;
+  LineFn emit_;
+  std::shared_ptr<const std::atomic<bool>> cancelled_;
+  std::size_t lines_ = 0;
+  bool errors_ = false;
+};
+
+}  // namespace resilience::net

@@ -26,9 +26,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "resilience/service/line_session.hpp"
 #include "resilience/service/sweep_service.hpp"
 
 namespace resilience::util {
@@ -70,6 +72,18 @@ struct NetServerOptions {
   /// see JsonlSessionOptions::default_deadline_ms.
   int default_deadline_ms = 0;
   service::ServiceOptions service;
+  /// Builds the protocol session serving each accepted connection. Null
+  /// (the default) builds a service::JsonlSession over the server-owned
+  /// SweepService — the sweep daemon. sweep_router installs a factory
+  /// producing net::RouterSession instead; the transport (pipelining,
+  /// backpressure, graceful drain) is identical either way. The factory
+  /// receives the connection's emit callback and cancel flag: sessions
+  /// must forward response lines through `emit` and stop producing once
+  /// the flag reads true (the client is gone).
+  using SessionFactory = std::function<std::unique_ptr<service::LineSession>(
+      service::LineSession::LineFn emit,
+      std::shared_ptr<std::atomic<bool>> cancel)>;
+  SessionFactory session_factory;
 };
 
 class NetServer {

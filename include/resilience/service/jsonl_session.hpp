@@ -47,6 +47,7 @@
 #include <string_view>
 #include <vector>
 
+#include "resilience/service/line_session.hpp"
 #include "resilience/service/scenario_request.hpp"
 #include "resilience/service/serialize.hpp"
 #include "resilience/service/sweep_service.hpp"
@@ -69,14 +70,14 @@ struct JsonlSessionOptions {
 /// done/stats/error line).
 [[nodiscard]] bool is_request_line(std::string_view line);
 
-class JsonlSession {
+class JsonlSession final : public LineSession {
  public:
   using Options = JsonlSessionOptions;
 
   /// Receives each response line (no terminator). `end_of_response` is
   /// true on done/stats/error lines — the cue for per-response flushing
   /// on buffered transports.
-  using LineFn = std::function<void(std::string&& line, bool end_of_response)>;
+  using LineFn = LineSession::LineFn;
 
   /// Everything sweep_server --check needs about one served request.
   struct Outcome {
@@ -98,7 +99,7 @@ class JsonlSession {
   /// wanting concurrency run sessions on their own threads, one per
   /// connection). Exceptions from the engine surface as an error_line,
   /// never propagate.
-  void handle_line(std::string_view line);
+  void handle_line(std::string_view line) override;
 
   /// Input lines seen so far (blank and comment lines included).
   [[nodiscard]] std::size_t lines_seen() const noexcept { return lines_; }

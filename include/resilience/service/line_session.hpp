@@ -1,0 +1,31 @@
+#pragma once
+
+// The protocol-session interface the network front-end drives: one
+// object per connection, fed input lines, answering through an emit
+// callback. service::JsonlSession (the sweep service protocol) and
+// net::RouterSession (the sharded-fleet front) both implement it, which
+// is what lets one epoll transport serve either role — the transport
+// never knows whether a line is computed locally or fanned out to
+// shards.
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace resilience::service {
+
+class LineSession {
+ public:
+  /// Receives each response line (no terminator). `end_of_response` is
+  /// true on terminal lines (done/stats/error/pong) — the cue for
+  /// per-response flushing on buffered transports.
+  using LineFn = std::function<void(std::string&& line, bool end_of_response)>;
+
+  virtual ~LineSession() = default;
+
+  /// Processes one input line end to end. Implementations must not let
+  /// exceptions escape — protocol failures answer with an error line.
+  virtual void handle_line(std::string_view line) = 0;
+};
+
+}  // namespace resilience::service

@@ -1,0 +1,21 @@
+#pragma once
+
+// Atomic whole-file writes: write to a unique temp name in the target
+// directory, flush, then rename over the destination. A reader polling
+// the path (port-file watchers, the cache loader, the seed-index parser)
+// observes either the old complete content or the new complete content,
+// never a torn half-write — and a crash mid-write leaves at worst a
+// stray ".tmpN" file, never a corrupt destination.
+
+#include <string>
+
+namespace resilience::util {
+
+/// Writes `content` to `path` atomically (unique temp file + rename).
+/// Returns false on any failure; when `error` is non-null it receives a
+/// one-line description. The temp file is cleaned up best-effort on
+/// failure.
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error = nullptr);
+
+}  // namespace resilience::util

@@ -1,0 +1,699 @@
+#include "resilience/net/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <unordered_map>
+#include <utility>
+
+#include "resilience/net/client.hpp"
+#include "resilience/net/resilient_client.hpp"
+#include "resilience/service/jsonl_session.hpp"  // is_request_line
+#include "resilience/service/serialize.hpp"
+
+namespace resilience::net {
+
+namespace {
+
+std::string default_shard_id(const ShardConfig& config) {
+  return config.host + ":" + std::to_string(config.port);
+}
+
+}  // namespace
+
+// ============================================================ ShardFleet ==
+
+ShardFleet::ShardFleet(RouterOptions options)
+    : options_(std::move(options)), ring_(options_.ring_vnodes) {
+  shards_.reserve(options_.shards.size());
+  for (ShardConfig config : options_.shards) {
+    if (config.id.empty()) {
+      config.id = default_shard_id(config);
+    }
+    Shard shard;
+    shard.config = std::move(config);
+    shard.up = true;  // optimistic: the first failure or probe corrects it
+    ring_.add(shard.config.id);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardFleet::~ShardFleet() {
+  {
+    const std::lock_guard<std::mutex> lock(prober_mutex_);
+    prober_stop_ = true;
+  }
+  prober_cv_.notify_all();
+  if (prober_.joinable()) {
+    prober_.join();
+  }
+}
+
+void ShardFleet::start_prober() {
+  if (options_.probe_interval_ms <= 0 || prober_.joinable()) {
+    return;
+  }
+  prober_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(prober_mutex_);
+    while (!prober_stop_) {
+      prober_cv_.wait_for(lock,
+                          std::chrono::milliseconds(options_.probe_interval_ms),
+                          [this] { return prober_stop_; });
+      if (prober_stop_) {
+        return;
+      }
+      lock.unlock();
+      probe_round();
+      lock.lock();
+    }
+  });
+}
+
+void ShardFleet::probe_round() {
+  // Probe every shard, Down ones included — a pong from a Down shard is
+  // the rejoin signal. Snapshot the configs first; the pings themselves
+  // run without the fleet lock.
+  std::vector<ShardConfig> configs;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    configs.reserve(shards_.size());
+    for (const Shard& shard : shards_) {
+      configs.push_back(shard.config);
+    }
+  }
+  for (const ShardConfig& config : configs) {
+    ResilientClientOptions probe_options;
+    probe_options.host = config.host;
+    probe_options.port = config.port;
+    probe_options.connect_timeout_ms = options_.connect_timeout_ms;
+    probe_options.receive_timeout_ms = options_.receive_timeout_ms;
+    probe_options.max_attempts = 1;
+    probe_options.backoff_initial_ms = 1;
+    probe_options.backoff_max_ms = 1;
+    probe_options.jitter_seed = options_.jitter_seed;
+    ResilientClient prober(probe_options);
+    const bool alive = prober.ping();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.probes;
+    }
+    if (alive) {
+      mark_up(config.id);
+    } else {
+      mark_down(config.id);
+    }
+  }
+}
+
+std::optional<std::string> ShardFleet::route(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.owner(key);
+}
+
+std::optional<ShardConfig> ShardFleet::config(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Shard* shard = find_locked(id);
+  return shard == nullptr ? std::nullopt
+                          : std::optional<ShardConfig>(shard->config);
+}
+
+std::vector<std::string> ShardFleet::shard_ids() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    ids.push_back(shard.config.id);
+  }
+  return ids;
+}
+
+const ShardFleet::Shard* ShardFleet::find_locked(const std::string& id) const {
+  for (const Shard& shard : shards_) {
+    if (shard.config.id == id) {
+      return &shard;
+    }
+  }
+  return nullptr;
+}
+
+ShardFleet::Shard* ShardFleet::find_locked(const std::string& id) {
+  return const_cast<Shard*>(
+      static_cast<const ShardFleet*>(this)->find_locked(id));
+}
+
+bool ShardFleet::mark_down(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Shard* shard = find_locked(id);
+  if (shard == nullptr || !shard->up) {
+    return false;
+  }
+  shard->up = false;
+  ring_.remove(id);
+  ++counters_.rebalances;
+  return true;
+}
+
+bool ShardFleet::mark_up(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Shard* shard = find_locked(id);
+  if (shard == nullptr || shard->up) {
+    return false;
+  }
+  shard->up = true;
+  ring_.add(id);
+  ++counters_.rebalances;
+  return true;
+}
+
+bool ShardFleet::is_up(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Shard* shard = find_locked(id);
+  return shard != nullptr && shard->up;
+}
+
+std::size_t ShardFleet::up_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+void ShardFleet::note_request(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Shard* shard = find_locked(id)) {
+    ++shard->requests;
+  }
+}
+
+void ShardFleet::note_failure(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Shard* shard = find_locked(id)) {
+    ++shard->failures;
+  }
+}
+
+void ShardFleet::note_failover() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.failovers;
+}
+
+void ShardFleet::note_replays(std::size_t chains) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.replays += chains;
+}
+
+ShardFleet::Stats ShardFleet::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+util::JsonValue ShardFleet::stats_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::JsonValue shards = util::JsonValue::array();
+  for (const Shard& shard : shards_) {
+    util::JsonValue entry = util::JsonValue::object();
+    entry.set("id", shard.config.id);
+    entry.set("host", shard.config.host);
+    entry.set("port", shard.config.port);
+    entry.set("state", shard.up ? "up" : "down");
+    entry.set("requests", shard.requests);
+    entry.set("failures", shard.failures);
+    shards.push_back(std::move(entry));
+  }
+  util::JsonValue fleet = util::JsonValue::object();
+  fleet.set("shards", std::move(shards));
+  fleet.set("up", ring_.size());
+  fleet.set("failovers", counters_.failovers);
+  fleet.set("replays", counters_.replays);
+  fleet.set("rebalances", counters_.rebalances);
+  fleet.set("probes", counters_.probes);
+  return fleet;
+}
+
+// ========================================================= RouterSession ==
+
+RouterSession::RouterSession(
+    ShardFleet& fleet, LineFn emit,
+    std::shared_ptr<const std::atomic<bool>> cancelled)
+    : fleet_(fleet), emit_(std::move(emit)), cancelled_(std::move(cancelled)) {}
+
+void RouterSession::emit(std::string line, bool end_of_response) {
+  if (!cancelled()) {
+    emit_(std::move(line), end_of_response);
+  }
+}
+
+// The parse/dispatch front matter deliberately mirrors
+// service::JsonlSession line by line: the byte-identity gate runs the
+// same request file through both, so every shared error path must
+// produce the same error_line bytes.
+void RouterSession::handle_line(std::string_view line) {
+  ++lines_;
+  if (!service::is_request_line(line)) {
+    return;
+  }
+  if (cancelled()) {
+    return;
+  }
+  const std::string default_id = "line-" + std::to_string(lines_);
+
+  util::JsonValue json;
+  try {
+    json = util::JsonValue::parse(line);
+  } catch (const util::JsonError& error) {
+    errors_ = true;
+    emit(service::error_line(default_id, "",
+                             std::string("invalid JSON: ") + error.what()),
+         true);
+    return;
+  }
+
+  if (json.is_object()) {
+    if (const util::JsonValue* type = json.find("type")) {
+      std::string id = default_id;
+      if (const util::JsonValue* id_field = json.find("id")) {
+        if (!id_field->is_string()) {
+          errors_ = true;
+          emit(service::error_line(default_id, "id", "expected a string"),
+               true);
+          return;
+        }
+        id = id_field->as_string();
+      }
+      const bool is_stats = type->is_string() && type->as_string() == "stats";
+      const bool is_ping = type->is_string() && type->as_string() == "ping";
+      if (!is_stats && !is_ping) {
+        errors_ = true;
+        emit(service::error_line(
+                 id, "type",
+                 type->is_string()
+                     ? "unknown request type '" + type->as_string() + "'"
+                     : std::string("expected a string")),
+             true);
+        return;
+      }
+      for (const auto& [key, value] : json.as_object()) {
+        if (key != "type" && key != "id") {
+          errors_ = true;
+          emit(service::error_line(id, key, "unknown field '" + key + "'"),
+               true);
+          return;
+        }
+      }
+      if (is_ping) {
+        emit(service::pong_line(id), true);
+      } else {
+        // The router's stats surface is the FLEET, not a service/cache
+        // block: per-shard health and the failover counters.
+        util::JsonValue stats = util::JsonValue::object();
+        stats.set("type", "stats");
+        stats.set("request", id);
+        stats.set("fleet", fleet_.stats_json());
+        emit(stats.dump(), true);
+      }
+      return;
+    }
+  }
+
+  service::ScenarioRequest request;
+  try {
+    request = service::ScenarioRequest::from_json(json);
+  } catch (const service::RequestError& error) {
+    errors_ = true;
+    emit(service::error_line(default_id, error.field, error.what()), true);
+    return;
+  }
+  if (request.id.empty()) {
+    request.id = default_id;
+  }
+
+  try {
+    serve_scenario(request);
+  } catch (const std::exception& error) {
+    errors_ = true;
+    emit(service::error_line(request.id, "",
+                             std::string("internal error: ") + error.what()),
+         true);
+  }
+}
+
+void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
+  const core::ScenarioGrid& grid = request.grid;
+  // The shards run default sweep options with the request's
+  // numeric_optimum applied (SweepService::signature_for does the same),
+  // so signatures and chain keys computed here match theirs.
+  core::SweepOptions sweep;
+  sweep.numeric_optimum = request.numeric_optimum;
+
+  std::vector<core::ScenarioPoint> points = core::resolve_points(grid);
+  const std::vector<core::PatternKind> kinds = grid.resolved_kinds();
+  const core::GridSignature signature =
+      core::grid_signature(points, kinds, sweep);
+  const std::vector<core::GridChain> chains = core::grid_chains(grid, sweep);
+
+  const std::size_t nodes_n = std::max<std::size_t>(1, grid.node_counts.size());
+  const std::size_t rates_n =
+      std::max<std::size_t>(1, grid.rate_factors.size());
+  const std::size_t costs_n =
+      std::max<std::size_t>(1, grid.cost_overrides.size());
+  const std::size_t chain_len = nodes_n * rates_n;
+
+  // The merged result is assembled into a full parent table: replayed
+  // cells after a failover simply overwrite identical content, so
+  // at-least-once dispatch can never duplicate (or drop) a response
+  // line. Emission happens once, at the end, in table order — the same
+  // deterministic order a warm cache-hit replay streams.
+  core::SweepTable table;
+  table.points = std::move(points);
+  table.kinds = kinds;
+  table.cells.assign(table.points.size() * kinds.size(), core::SweepCell{});
+  table.index_kinds();
+  std::vector<unsigned char> filled(table.cells.size(), 0);
+
+  // Work units: chains grouped by (owning shard, platform, cost
+  // override) — one sub-request per unit, so a shard parallelizes the
+  // unit's families across its own pool while the router parallelizes
+  // across shards.
+  struct Unit {
+    std::size_t platform_index = 0;
+    std::size_t cost_index = 0;
+    std::vector<std::size_t> chain_indices;  ///< into `chains`
+  };
+
+  std::mutex merge_mutex;
+  bool any_error = false;
+  std::string error_field;
+  std::string error_message;
+  bool all_cache_hit = true;
+  bool all_joined = true;
+
+  std::vector<std::size_t> pending(chains.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    pending[i] = i;
+  }
+
+  const RouterOptions& options = fleet_.options();
+  // Every round either finishes or removes at least one shard from the
+  // ring, so shards + 2 rounds bounds the loop even with rejoins racing.
+  const int max_rounds = static_cast<int>(options.shards.size()) + 2;
+  int round = 0;
+
+  while (!pending.empty() && !any_error) {
+    if (cancelled()) {
+      return;  // client is gone: stop dispatching on its behalf
+    }
+    ++round;
+    if (round > 1) {
+      fleet_.note_replays(pending.size());
+    }
+
+    // Route every pending chain through the current ring. An exhausted
+    // round budget answers like an empty ring: a located error, never a
+    // hang (a shard flapping up and down forever is indistinguishable
+    // from one that is down).
+    std::unordered_map<std::string, std::vector<std::size_t>> by_shard;
+    for (const std::size_t chain_index : pending) {
+      const std::optional<std::string> owner =
+          round > max_rounds
+              ? std::optional<std::string>()
+              : fleet_.route(chains[chain_index].key.value);
+      if (!owner) {
+        errors_ = true;
+        emit(service::error_line(
+                 request.id, "shards",
+                 "no shard available: " +
+                     std::to_string(options.shards.size()) +
+                     " configured shard(s), " +
+                     std::to_string(fleet_.up_count()) + " up"),
+             true);
+        return;
+      }
+      by_shard[*owner].push_back(chain_index);
+    }
+    pending.clear();
+
+    // Deterministic shard order (configuration order) for the dispatch
+    // round; within a shard, units in first-seen chain order.
+    struct ShardWork {
+      std::string shard;
+      std::vector<Unit> units;
+    };
+    std::vector<ShardWork> work;
+    for (const std::string& shard_id : fleet_.shard_ids()) {
+      const auto it = by_shard.find(shard_id);
+      if (it == by_shard.end()) {
+        continue;
+      }
+      ShardWork shard_work;
+      shard_work.shard = shard_id;
+      for (const std::size_t chain_index : it->second) {
+        const core::GridChain& chain = chains[chain_index];
+        Unit* unit = nullptr;
+        for (Unit& candidate : shard_work.units) {
+          if (candidate.platform_index == chain.platform_index &&
+              candidate.cost_index == chain.cost_index) {
+            unit = &candidate;
+            break;
+          }
+        }
+        if (unit == nullptr) {
+          shard_work.units.push_back(
+              Unit{chain.platform_index, chain.cost_index, {}});
+          unit = &shard_work.units.back();
+        }
+        unit->chain_indices.push_back(chain_index);
+      }
+      work.push_back(std::move(shard_work));
+    }
+
+    const auto run_shard = [&](const ShardWork& shard_work) {
+      const std::optional<ShardConfig> config =
+          fleet_.config(shard_work.shard);
+      bool shard_dead = !config.has_value();
+      std::vector<std::size_t> leftover;
+
+      ResilientClientOptions client_options;
+      if (config) {
+        client_options.host = config->host;
+        client_options.port = config->port;
+      }
+      client_options.connect_timeout_ms = options.connect_timeout_ms;
+      client_options.receive_timeout_ms = options.receive_timeout_ms;
+      client_options.max_attempts = std::max(1, options.attempts_per_shard);
+      client_options.backoff_initial_ms = options.backoff_initial_ms;
+      client_options.backoff_max_ms = options.backoff_max_ms;
+      client_options.jitter_seed = options.jitter_seed;
+      ResilientClient client(client_options);
+
+      for (const Unit& unit : shard_work.units) {
+        if (shard_dead) {
+          leftover.insert(leftover.end(), unit.chain_indices.begin(),
+                          unit.chain_indices.end());
+          continue;
+        }
+
+        // The unit's sub-grid: the parent axes restricted to one
+        // platform and one cost override, families = the unit's chains.
+        service::ScenarioRequest sub;
+        sub.grid.platforms = {grid.platforms[unit.platform_index]};
+        sub.grid.node_counts = grid.node_counts;
+        sub.grid.rate_factors = grid.rate_factors;
+        if (!grid.cost_overrides.empty()) {
+          sub.grid.cost_overrides = {grid.cost_overrides[unit.cost_index]};
+        }
+        for (const std::size_t chain_index : unit.chain_indices) {
+          sub.grid.kinds.push_back(chains[chain_index].kind);
+        }
+        sub.numeric_optimum = request.numeric_optimum;
+        sub.reuse_seeds = request.reuse_seeds;
+        sub.include_stats = false;
+        sub.deadline_ms = request.deadline_ms;
+        // Explicit id: resilient retries land on fresh connections where
+        // default line numbering restarts. The id never reaches the
+        // merged output (cells re-emit under the parent id).
+        sub.id = request.id + "#" +
+                 chains[unit.chain_indices.front()].key.hex();
+        const std::string sub_line = sub.to_json().dump();
+        // What the shard must answer with — a mismatch means the shard
+        // runs different result-affecting options than the router
+        // assumes, and wrong bytes must fail loudly, not merge quietly.
+        const core::GridSignature sub_signature = core::grid_signature(
+            core::resolve_points(sub.grid), sub.grid.resolved_kinds(), sweep);
+
+        Client::Response response;
+        try {
+          response = client.transact(sub_line);
+        } catch (const std::exception&) {
+          fleet_.note_failure(shard_work.shard);
+          shard_dead = true;
+          leftover.insert(leftover.end(), unit.chain_indices.begin(),
+                          unit.chain_indices.end());
+          continue;
+        }
+        fleet_.note_request(shard_work.shard);
+
+        // Parse the sub-response: cells to remap, one terminal line.
+        bool done_seen = false;
+        bool malformed = false;
+        bool unit_error = false;
+        std::string unit_error_field;
+        std::string unit_error_message;
+        bool unit_cache_hit = false;
+        bool unit_joined = false;
+        std::vector<core::SweepCell> cells;
+        try {
+          for (const std::string& response_line : response.lines) {
+            const util::JsonValue response_json =
+                util::JsonValue::parse(response_line);
+            const util::JsonValue* type = response_json.find("type");
+            const std::string type_name =
+                type != nullptr && type->is_string() ? type->as_string() : "";
+            if (type_name == "cell") {
+              const util::JsonValue* cell_signature =
+                  response_json.find("signature");
+              if (cell_signature == nullptr ||
+                  cell_signature->as_string() != sub_signature.hex()) {
+                malformed = true;
+                break;
+              }
+              cells.push_back(service::cell_from_json(response_json));
+            } else if (type_name == "done") {
+              const util::JsonValue* done_signature =
+                  response_json.find("signature");
+              if (done_signature == nullptr ||
+                  done_signature->as_string() != sub_signature.hex()) {
+                malformed = true;
+                break;
+              }
+              unit_cache_hit = response_json.find("cache_hit") != nullptr &&
+                               response_json.find("cache_hit")->as_bool();
+              unit_joined =
+                  response_json.find("joined_in_flight") != nullptr &&
+                  response_json.find("joined_in_flight")->as_bool();
+              done_seen = true;
+            } else if (type_name == "error") {
+              const util::JsonValue* field = response_json.find("field");
+              const util::JsonValue* message = response_json.find("message");
+              unit_error = true;
+              unit_error_field =
+                  field != nullptr && field->is_string() ? field->as_string()
+                                                         : "";
+              unit_error_message = message != nullptr && message->is_string()
+                                       ? message->as_string()
+                                       : "shard error";
+            } else {
+              malformed = true;
+              break;
+            }
+          }
+        } catch (const std::exception&) {
+          malformed = true;
+        }
+
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        if (unit_error) {
+          // A protocol-level answer (deadline expiry, shard-side engine
+          // failure): the parent request fails with the shard's own
+          // field/message — exactly the line a single daemon would have
+          // answered, re-tagged with the parent id.
+          if (!any_error) {
+            any_error = true;
+            error_field = unit_error_field;
+            error_message = unit_error_message;
+          }
+          continue;
+        }
+        if (malformed || !done_seen ||
+            cells.size() != chain_len * unit.chain_indices.size()) {
+          if (!any_error) {
+            any_error = true;
+            error_field = "";
+            error_message = "internal error: shard " + shard_work.shard +
+                            " returned an invalid response for " + sub.id;
+          }
+          continue;
+        }
+        for (core::SweepCell& cell : cells) {
+          const std::size_t sub_index = cell.point_index;
+          const std::size_t slot_index = static_cast<std::size_t>(cell.kind);
+          const int slot = table.kind_slot[slot_index];
+          if (sub_index >= chain_len || slot < 0) {
+            if (!any_error) {
+              any_error = true;
+              error_field = "";
+              error_message = "internal error: shard " + shard_work.shard +
+                              " returned an out-of-grid cell for " + sub.id;
+            }
+            break;
+          }
+          const std::size_t node_index = sub_index / rates_n;
+          const std::size_t rate_index = sub_index % rates_n;
+          const std::size_t parent_index =
+              ((unit.platform_index * nodes_n + node_index) * rates_n +
+               rate_index) *
+                  costs_n +
+              unit.cost_index;
+          cell.point_index = parent_index;
+          const std::size_t position =
+              parent_index * kinds.size() + static_cast<std::size_t>(slot);
+          table.cells[position] = cell;
+          filled[position] = 1;
+        }
+        all_cache_hit = all_cache_hit && unit_cache_hit;
+        all_joined = all_joined && unit_joined;
+      }
+
+      if (shard_dead) {
+        if (fleet_.mark_down(shard_work.shard)) {
+          fleet_.note_failover();
+        }
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        pending.insert(pending.end(), leftover.begin(), leftover.end());
+      }
+    };
+
+    if (work.size() == 1) {
+      run_shard(work.front());  // no thread spawn on the single-shard path
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(work.size());
+      for (const ShardWork& shard_work : work) {
+        threads.emplace_back([&run_shard, &shard_work] {
+          run_shard(shard_work);
+        });
+      }
+      for (std::thread& thread : threads) {
+        thread.join();
+      }
+    }
+  }
+
+  if (cancelled()) {
+    return;
+  }
+  if (any_error) {
+    errors_ = true;
+    emit(service::error_line(request.id, error_field, error_message), true);
+    return;
+  }
+  for (const unsigned char was_filled : filled) {
+    if (was_filled == 0) {
+      errors_ = true;
+      emit(service::error_line(request.id, "",
+                               "internal error: merged response is missing "
+                               "cells"),
+           true);
+      return;
+    }
+  }
+
+  // The merged stream: every cell in table order (point-major,
+  // family-minor — the warm replay order), then the done summary whose
+  // reuse flags are the AND over the sub-responses.
+  for (const core::SweepCell& cell : table.cells) {
+    emit(service::cell_line(request.id, signature, cell), false);
+  }
+  emit(service::done_line(request.id, signature, table, all_cache_hit,
+                          all_joined, nullptr),
+       true);
+}
+
+}  // namespace resilience::net

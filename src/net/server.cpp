@@ -47,7 +47,7 @@ struct NetServer::Impl {
     std::uint64_t id = 0;
     std::shared_ptr<Connection> socket;
     std::shared_ptr<std::atomic<bool>> cancel;
-    std::unique_ptr<service::JsonlSession> session;
+    std::unique_ptr<service::LineSession> session;
     struct Item {
       std::string line;
       bool framing_error = false;  ///< deferred oversized-line error
@@ -126,16 +126,21 @@ struct NetServer::Impl {
       // producing for a client that is gone.
       const auto socket = conn->socket;
       const auto cancel = conn->cancel;
-      conn->session = std::make_unique<service::JsonlSession>(
-          service,
+      service::LineSession::LineFn emit =
           [socket, cancel](std::string&& line, bool) {
             if (!socket->enqueue(line)) {
               cancel->store(true, std::memory_order_release);
             }
-          },
-          service::JsonlSession::Options{/*stream=*/true, /*collect=*/false,
-                                         options.default_deadline_ms},
-          cancel);
+          };
+      if (options.session_factory) {
+        conn->session = options.session_factory(std::move(emit), cancel);
+      } else {
+        conn->session = std::make_unique<service::JsonlSession>(
+            service, std::move(emit),
+            service::JsonlSession::Options{/*stream=*/true, /*collect=*/false,
+                                           options.default_deadline_ms},
+            cancel);
+      }
       conn->socket->set_wake([this, id] {
         loop.post([this, id] { on_wake(id); });
       });

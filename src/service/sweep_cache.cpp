@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "resilience/service/serialize.hpp"
+#include "resilience/util/atomic_file.hpp"
 #include "resilience/util/json.hpp"
 
 namespace resilience::service {
@@ -52,36 +53,17 @@ std::string spill_document(const core::SweepTable& table) {
          payload_checksum(payload).hex() + "\",\"table\":" + payload + "}";
 }
 
-/// Writes one spill file atomically (unique temp file + rename): a
-/// concurrent lazy load must never observe a truncated half-write, only
-/// the old or the new complete document — and the per-writer temp name
-/// keeps two concurrent spills of the same signature (identical content,
-/// so last rename wins harmlessly) from interleaving into one tmp file.
-/// Returns false (after a warning) on failure.
+/// Writes one spill file atomically (util::write_file_atomic: unique
+/// temp file + rename): a concurrent lazy load must never observe a
+/// truncated half-write, only the old or the new complete document — and
+/// the per-writer temp name keeps two concurrent spills of the same
+/// signature (identical content, so last rename wins harmlessly) from
+/// interleaving into one tmp file. Returns false (after a warning) on
+/// failure.
 bool write_spill_file(const fs::path& path, const std::string& document) {
-  static std::atomic<std::uint64_t> temp_serial{0};
-  const fs::path temp =
-      path.string() + ".tmp" +
-      std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
-  try {
-    {
-      std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-      if (!out) {
-        warn("cannot open spill file for writing", temp.string());
-        return false;
-      }
-      out << document;
-      out.flush();
-      if (!out) {
-        warn("short write while spilling", temp.string());
-        return false;
-      }
-    }
-    fs::rename(temp, path);
-  } catch (const std::exception& error) {
-    warn("spill failed", error.what());
-    std::error_code ignored;
-    fs::remove(temp, ignored);
+  std::string error;
+  if (!util::write_file_atomic(path.string(), document, &error)) {
+    warn("spill failed", error);
     return false;
   }
   return true;
@@ -453,15 +435,13 @@ void SweepCache::write_sidecar_locked() {
   sidecar.set("version", 1);
   sidecar.set("entries", std::move(entries));
 
+  // Atomic like the spill files themselves: a crash (or a concurrent
+  // reader) must never see a truncated sidecar — it would poison the
+  // next startup's seed index for every spilled table at once.
   const fs::path path = fs::path(cache_dir_) / kSidecarName;
-  try {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out << sidecar.dump(2);
-    if (!out) {
-      warn("cannot write seed sidecar", path.string());
-    }
-  } catch (const std::exception& error) {
-    warn("seed sidecar write failed", error.what());
+  std::string error;
+  if (!util::write_file_atomic(path.string(), sidecar.dump(2), &error)) {
+    warn("seed sidecar write failed", error);
   }
 }
 

@@ -1,0 +1,54 @@
+#include "resilience/util/atomic_file.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace resilience::util {
+
+namespace fs = std::filesystem;
+
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error) {
+  // Per-writer unique temp name: two concurrent writers of the same
+  // destination never interleave into one temp file — the last rename
+  // wins whole.
+  static std::atomic<std::uint64_t> temp_serial{0};
+  const fs::path temp =
+      path + ".tmp" +
+      std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
+  try {
+    {
+      std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        if (error != nullptr) {
+          *error = "cannot open " + temp.string() + " for writing";
+        }
+        return false;
+      }
+      out << content;
+      out.flush();
+      if (!out) {
+        if (error != nullptr) {
+          *error = "short write to " + temp.string();
+        }
+        std::error_code ignored;
+        fs::remove(temp, ignored);
+        return false;
+      }
+    }
+    fs::rename(temp, path);
+  } catch (const std::exception& failure) {
+    if (error != nullptr) {
+      *error = failure.what();
+    }
+    std::error_code ignored;
+    fs::remove(temp, ignored);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace resilience::util

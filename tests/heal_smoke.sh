@@ -1,0 +1,132 @@
+#!/bin/sh
+# Heal smoke: sweep_serverd SIGKILLed mid-stream and relaunched on the
+# same port, with sweep_client --retries healing through — the completed
+# output must match an undisturbed fresh-daemon run byte for byte after
+# a per-line sort (cold compute streams cells in pool order), with no
+# response dropped or duplicated, and the healing stats must reach
+# stderr. A final run against a dead endpoint pins that the stats line
+# is printed even when the client ultimately fails (exit 1): the
+# attempts spent are exactly the diagnostics a dead fleet leaves behind.
+#
+# Usage: heal_smoke.sh BUILD_DIR
+set -u
+
+BUILD=$1
+TMP=$(mktemp -d) || exit 1
+DAEMON_PID=""
+CLIENT_PID=""
+
+cleanup() {
+  [ -n "$CLIENT_PID" ] && kill "$CLIENT_PID" 2>/dev/null
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "heal_smoke: $1" >&2
+  for log in "$TMP"/*.log; do
+    [ -f "$log" ] && { echo "--- $log" >&2; cat "$log" >&2; }
+  done
+  exit 1
+}
+
+wait_for_port() {
+  # $1 = port file, $2 = pid, $3 = name
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i + 1))
+    [ $i -gt 100 ] && fail "$3 did not bind within 10s"
+    kill -0 "$2" 2>/dev/null || fail "$3 died at startup"
+    sleep 0.1
+  done
+}
+
+# All-distinct grids with explicit ids (retries land on fresh
+# connections, where default "line-N" ids restart), sized so the
+# barrage takes long enough for the kill to land mid-stream.
+i=1
+while [ $i -le 20 ]; do
+  case $((i % 3)) in
+    0) platforms='"hera", "atlas"' ;;
+    1) platforms='"atlas", "coastal"' ;;
+    2) platforms='"hera", "coastal"' ;;
+  esac
+  base=$((96 + i * 8))
+  printf '{"id": "h%d", "platforms": [%s], "node_counts": [%d, %d, %d, %d, %d, %d], "rate_factors": [{"fail_stop": 0.5}, {"fail_stop": 1.0}, {"fail_stop": 2.0}], "kinds": ["PD", "PDMV"]}\n' \
+      "$i" "$platforms" "$base" $((base * 2)) $((base * 4)) \
+      $((base * 8)) $((base * 16)) $((base * 32)) >>"$TMP/requests.jsonl"
+  i=$((i + 1))
+done
+
+# ------------------------------------------------- undisturbed truth --
+"$BUILD/sweep_serverd" --port=0 --port-file="$TMP/ref.port" \
+    2>>"$TMP/ref.log" &
+DAEMON_PID=$!
+wait_for_port "$TMP/ref.port" "$DAEMON_PID" "reference daemon"
+"$BUILD/sweep_client" --port="$(cat "$TMP/ref.port")" \
+    --input="$TMP/requests.jsonl" >"$TMP/reference.jsonl" \
+    || fail "reference client failed"
+[ -s "$TMP/reference.jsonl" ] || fail "reference run produced no output"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
+[ $? -eq 0 ] || fail "reference daemon did not drain cleanly"
+DAEMON_PID=""
+sort "$TMP/reference.jsonl" >"$TMP/reference.sorted"
+
+# ------------------------------------- kill and relaunch mid-stream --
+"$BUILD/sweep_serverd" --port=0 --port-file="$TMP/heal.port" \
+    2>>"$TMP/heal.log" &
+DAEMON_PID=$!
+wait_for_port "$TMP/heal.port" "$DAEMON_PID" "daemon"
+PORT=$(cat "$TMP/heal.port")
+
+"$BUILD/sweep_client" --port="$PORT" --input="$TMP/requests.jsonl" \
+    --retries=10 --connect-timeout-ms=2000 --receive-timeout-ms=10000 \
+    >"$TMP/healed.jsonl" 2>"$TMP/client.log" &
+CLIENT_PID=$!
+
+# SIGKILL the daemon once the stream is demonstrably underway.
+i=0
+while :; do
+  done_n=$(grep -c '"type":"done"' "$TMP/healed.jsonl" 2>/dev/null || true)
+  [ "${done_n:-0}" -ge 3 ] && break
+  kill -0 "$CLIENT_PID" 2>/dev/null \
+      || fail "barrage finished before the kill landed; enlarge the workload"
+  i=$((i + 1))
+  [ $i -gt 500 ] && fail "barrage made no progress"
+  sleep 0.02
+done
+kill -9 "$DAEMON_PID" 2>/dev/null || fail "daemon already gone before the kill"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+
+# Relaunch on the SAME port: the client's reconnect backoff must ride
+# over the gap and resume against the fresh process.
+"$BUILD/sweep_serverd" --port="$PORT" --port-file="$TMP/heal2.port" \
+    2>>"$TMP/heal.log" &
+DAEMON_PID=$!
+wait_for_port "$TMP/heal2.port" "$DAEMON_PID" "relaunched daemon"
+
+wait "$CLIENT_PID" || fail "client did not heal through the kill"
+CLIENT_PID=""
+sort "$TMP/healed.jsonl" >"$TMP/healed.sorted"
+diff -u "$TMP/reference.sorted" "$TMP/healed.sorted" >&2 \
+    || fail "healed responses differ from the undisturbed run"
+grep -q "retries" "$TMP/client.log" \
+    || fail "healing stats line never reached stderr: $(cat "$TMP/client.log")"
+
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
+[ $? -eq 0 ] || fail "relaunched daemon did not drain cleanly"
+DAEMON_PID=""
+
+# ---------------------------- dead endpoint: stats on final failure --
+"$BUILD/sweep_client" --port="$PORT" --input="$TMP/requests.jsonl" \
+    --retries=2 --connect-timeout-ms=200 \
+    >"$TMP/dead.jsonl" 2>"$TMP/dead.log"
+rc=$?
+[ $rc -eq 1 ] || fail "dead-endpoint run exited $rc (expected 1)"
+grep -q "attempt failures" "$TMP/dead.log" \
+    || fail "healing stats missing from the failed run's stderr: $(cat "$TMP/dead.log")"
+
+echo "heal_smoke: OK (healed through SIGKILL+relaunch byte-identically; stats on stderr in success and failure)"
+exit 0

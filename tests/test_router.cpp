@@ -1,0 +1,420 @@
+// Router suite: the consistent-hash ring properties the fleet's failover
+// correctness rests on, and the sweep_router front end driven fully
+// in-process — a ShardFleet over real NetServer shards, with
+// RouterSession merging their streams. The gate throughout is
+// byte-identity against a single-process daemon: cold runs compare per
+// response after a per-line sort (a cold daemon streams cells in pool
+// order; the router always merges into table order), warm runs compare
+// exactly. Failover and rejoin are exercised by really destroying and
+// re-binding shard daemons, not by mocking health.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resilience/net/client.hpp"
+#include "resilience/net/hash_ring.hpp"
+#include "resilience/net/router.hpp"
+#include "resilience/net/server.hpp"
+#include "resilience/net/socket.hpp"
+
+namespace rn = resilience::net;
+namespace rs = resilience::service;
+
+namespace {
+
+using Lines = std::vector<std::string>;
+
+// ---------------------------------------------------------------- ring --
+
+TEST(HashRing, EmptyRingOwnsNothing) {
+  rn::HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_FALSE(ring.owner(0).has_value());
+  EXPECT_FALSE(ring.owner(0xdeadbeefULL).has_value());
+}
+
+TEST(HashRing, AddAndRemoveAreIdempotent) {
+  rn::HashRing ring;
+  ring.add("a");
+  ring.add("a");
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_TRUE(ring.contains("a"));
+  ring.remove("a");
+  ring.remove("a");
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.contains("a"));
+}
+
+TEST(HashRing, EveryShardOwnsASliceAndRoutingIsDeterministic) {
+  rn::HashRing ring;
+  ring.add("alpha");
+  ring.add("beta");
+  ring.add("gamma");
+  std::map<std::string, std::size_t> owned;
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    const auto owner = ring.owner(key * 0x9e3779b97f4a7c15ULL);
+    ASSERT_TRUE(owner.has_value());
+    ++owned[*owner];
+    // Same membership, same key, same owner.
+    EXPECT_EQ(ring.owner(key * 0x9e3779b97f4a7c15ULL), owner);
+  }
+  EXPECT_EQ(owned.size(), 3u);
+  for (const auto& [shard, count] : owned) {
+    EXPECT_GT(count, 0u) << shard;
+  }
+}
+
+TEST(HashRing, RemovalMovesOnlyTheDeadShardsKeys) {
+  rn::HashRing ring;
+  const std::vector<std::string> shards = {"s0", "s1", "s2", "s3"};
+  for (const std::string& shard : shards) {
+    ring.add(shard);
+  }
+  std::vector<std::uint64_t> keys;
+  std::vector<std::string> before;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    keys.push_back(i * 0x9e3779b97f4a7c15ULL + 12345);
+    before.push_back(*ring.owner(keys.back()));
+  }
+
+  ring.remove("s1");
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string after = *ring.owner(keys[i]);
+    EXPECT_NE(after, "s1");
+    if (before[i] == "s1") {
+      ++moved;  // had to move — its owner died
+    } else {
+      // The stability property: a healthy shard's keys never reshuffle.
+      EXPECT_EQ(after, before[i]) << "key " << i << " moved without cause";
+    }
+  }
+  // The dead shard really owned something, or this proved nothing.
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(HashRing, RejoinRestoresTheExactOriginalAssignment) {
+  rn::HashRing ring;
+  ring.add("s0");
+  ring.add("s1");
+  ring.add("s2");
+  std::vector<std::uint64_t> keys;
+  std::vector<std::string> before;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    keys.push_back(i * 0x2545f4914f6cdd1dULL + 7);
+    before.push_back(*ring.owner(keys.back()));
+  }
+  ring.remove("s2");
+  ring.add("s2");  // vnode positions depend only on (id, index)
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(*ring.owner(keys[i]), before[i]) << "key " << i;
+  }
+}
+
+// -------------------------------------------------------- test helpers --
+
+/// NetServer on a background thread; the destructor drains and joins.
+class TestDaemon {
+ public:
+  explicit TestDaemon(rn::NetServerOptions options = {})
+      : server_(std::move(options)), thread_([this] { server_.run(); }) {}
+
+  ~TestDaemon() {
+    server_.stop();
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+
+ private:
+  rn::NetServer server_;
+  std::thread thread_;
+};
+
+/// Groups RouterSession output into responses on the end_of_response
+/// marker — the in-process stand-in for a client reading the socket.
+struct Collector {
+  std::vector<Lines> responses;
+  Lines current;
+
+  rs::LineSession::LineFn fn() {
+    return [this](std::string&& line, bool end_of_response) {
+      current.push_back(std::move(line));
+      if (end_of_response) {
+        responses.push_back(std::move(current));
+        current.clear();
+      }
+    };
+  }
+};
+
+/// The byte-identity workload: multi-chain grids (so chains spread over
+/// shards), a single-chain grid, a cost-override axis, a ping, an
+/// invalid request and an unknown type (error bytes must match too).
+Lines fleet_workload() {
+  return {
+      "{\"id\": \"f1\", \"platforms\": [\"hera\", \"atlas\"], "
+      "\"node_counts\": [256, 1024], \"kinds\": [\"PD\", \"PDMV\"]}",
+      "{\"id\": \"f2\", \"platforms\": [\"coastal\"], "
+      "\"node_counts\": [4096], \"kinds\": [\"PD\"]}",
+      "{\"id\": \"f3\", \"platforms\": [\"hera\", \"coastal\"], "
+      "\"node_counts\": [512], \"cost_overrides\": "
+      "[{\"disk_checkpoint\": 311.0}, {}], \"kinds\": [\"PDMV\"]}",
+      "{\"type\": \"ping\", \"id\": \"f4\"}",
+      "{\"id\": \"f5\", \"platforms\": [\"hera\"], \"node_counts\": [0]}",
+      "{\"type\": \"nope\", \"id\": \"f6\"}",
+  };
+}
+
+/// Runs the workload through one fresh RouterSession.
+std::vector<Lines> run_router(rn::ShardFleet& fleet, const Lines& workload) {
+  Collector collector;
+  rn::RouterSession session(fleet, collector.fn());
+  for (const std::string& line : workload) {
+    session.handle_line(line);
+  }
+  return collector.responses;
+}
+
+/// Runs the workload against a single daemon over one connection.
+std::vector<Lines> run_reference(std::uint16_t port, const Lines& workload) {
+  rn::Client client;
+  client.connect("127.0.0.1", port);
+  std::vector<Lines> responses;
+  for (const std::string& request : workload) {
+    rn::Client::Response response = client.transact(request);
+    EXPECT_TRUE(response.complete);
+    responses.push_back(std::move(response.lines));
+  }
+  return responses;
+}
+
+Lines sorted(Lines lines) {
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+rn::RouterOptions fleet_options(const std::vector<std::uint16_t>& ports) {
+  rn::RouterOptions options;
+  for (const std::uint16_t port : ports) {
+    rn::ShardConfig shard;
+    shard.port = port;
+    options.shards.push_back(shard);
+  }
+  options.connect_timeout_ms = 500;
+  options.receive_timeout_ms = 10000;
+  options.attempts_per_shard = 2;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 10;
+  return options;
+}
+
+// -------------------------------------------------------------- router --
+
+TEST(Router, EmptyFleetAnswersALocatedErrorNotAHang) {
+  rn::ShardFleet fleet{rn::RouterOptions{}};
+  Collector collector;
+  rn::RouterSession session(fleet, collector.fn());
+  session.handle_line(
+      "{\"id\": \"e\", \"platforms\": [\"hera\"], \"node_counts\": [512]}");
+  ASSERT_EQ(collector.responses.size(), 1u);
+  ASSERT_EQ(collector.responses[0].size(), 1u);
+  const std::string& line = collector.responses[0][0];
+  EXPECT_NE(line.find("\"type\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"field\":\"shards\""), std::string::npos) << line;
+  EXPECT_NE(line.find("no shard available"), std::string::npos) << line;
+  EXPECT_TRUE(session.any_request_errors());
+
+  // Control traffic needs no shards: ping answers, stats reports up=0.
+  session.handle_line("{\"type\": \"ping\", \"id\": \"p\"}");
+  session.handle_line("{\"type\": \"stats\", \"id\": \"s\"}");
+  ASSERT_EQ(collector.responses.size(), 3u);
+  EXPECT_NE(collector.responses[1][0].find("\"type\":\"pong\""),
+            std::string::npos);
+  EXPECT_NE(collector.responses[2][0].find("\"up\":0"), std::string::npos);
+}
+
+TEST(Router, AllShardsDownAnswersALocatedError) {
+  if (!rn::transport_supported()) {
+    GTEST_SKIP() << "transport requires Linux";
+  }
+  auto daemon = std::make_unique<TestDaemon>();
+  rn::ShardFleet fleet{fleet_options({daemon->port()})};
+  daemon.reset();  // the only shard is gone
+  fleet.probe_round();
+  EXPECT_EQ(fleet.up_count(), 0u);
+  EXPECT_GE(fleet.stats().rebalances, 1u);
+
+  Collector collector;
+  rn::RouterSession session(fleet, collector.fn());
+  session.handle_line(
+      "{\"id\": \"d\", \"platforms\": [\"hera\"], \"node_counts\": [512]}");
+  ASSERT_EQ(collector.responses.size(), 1u);
+  EXPECT_NE(collector.responses[0][0].find("no shard available: 1 configured "
+                                           "shard(s), 0 up"),
+            std::string::npos)
+      << collector.responses[0][0];
+}
+
+TEST(Router, ThreeShardMergeIsByteIdenticalToASingleDaemon) {
+  if (!rn::transport_supported()) {
+    GTEST_SKIP() << "transport requires Linux";
+  }
+  TestDaemon reference_daemon;
+  TestDaemon s1, s2, s3;
+  const Lines workload = fleet_workload();
+  const std::vector<Lines> cold_reference =
+      run_reference(reference_daemon.port(), workload);
+  const std::vector<Lines> warm_reference =
+      run_reference(reference_daemon.port(), workload);
+
+  rn::ShardFleet fleet{fleet_options({s1.port(), s2.port(), s3.port()})};
+  const std::vector<Lines> cold = run_router(fleet, workload);
+  const std::vector<Lines> warm = run_router(fleet, workload);
+
+  ASSERT_EQ(cold.size(), cold_reference.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    // Cold single-daemon cells stream in pool order; the router merges
+    // into table order — same multiset of bytes, different order.
+    EXPECT_EQ(sorted(cold[i]), sorted(cold_reference[i])) << "response " << i;
+  }
+  // Warm runs are cache-hit replays on both sides: exact bytes, exact
+  // order, including the done line's cache_hit flag.
+  EXPECT_EQ(warm, warm_reference);
+
+  // The workload's chains actually spread: every shard served requests.
+  const auto stats = fleet.stats_json().dump();
+  EXPECT_EQ(fleet.up_count(), 3u);
+  EXPECT_EQ(fleet.stats().failovers, 0u);
+  for (const std::string& id : fleet.shard_ids()) {
+    SCOPED_TRACE(id);
+    EXPECT_NE(stats.find("\"id\":\"" + id + "\""), std::string::npos);
+  }
+}
+
+TEST(Router, FailoverReroutesADeadShardsChainsWithoutChangingBytes) {
+  if (!rn::transport_supported()) {
+    GTEST_SKIP() << "transport requires Linux";
+  }
+  TestDaemon reference_daemon;
+  const Lines workload = fleet_workload();
+  const std::vector<Lines> cold_reference =
+      run_reference(reference_daemon.port(), workload);
+  const std::vector<Lines> warm_reference =
+      run_reference(reference_daemon.port(), workload);
+
+  auto s1 = std::make_unique<TestDaemon>();
+  auto s2 = std::make_unique<TestDaemon>();
+  auto s3 = std::make_unique<TestDaemon>();
+  rn::ShardFleet fleet{fleet_options({s1->port(), s2->port(), s3->port()})};
+  run_router(fleet, workload);  // warm every shard's cache
+
+  s2.reset();  // fail-stop: the shard is gone, its port closed
+
+  // First post-kill run: chains owned by the dead shard fail over and
+  // recompute cold on survivors, so a response's done flag is the warm
+  // one when untouched and the cold one when any chain moved — the cell
+  // bytes themselves never change.
+  const std::vector<Lines> after = run_router(fleet, workload);
+  ASSERT_EQ(after.size(), warm_reference.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    const Lines got = sorted(after[i]);
+    EXPECT_TRUE(got == sorted(warm_reference[i]) ||
+                got == sorted(cold_reference[i]))
+        << "response " << i << " matches neither warm nor cold reference";
+  }
+  EXPECT_GE(fleet.stats().failovers, 1u);
+  EXPECT_GE(fleet.stats().replays, 1u);
+  EXPECT_EQ(fleet.up_count(), 2u);
+
+  // The failover changed the unit layout: a survivor that inherited
+  // chains now receives one merged sub-request covering its old chains
+  // plus the inherited ones — a sub-grid it has never cached, so the
+  // second post-kill run can still compute (cold done flag, same cell
+  // bytes). By the third run the new layout is fully cached: exact warm
+  // bytes, down one shard.
+  const std::vector<Lines> second = run_router(fleet, workload);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    const Lines got = sorted(second[i]);
+    EXPECT_TRUE(got == sorted(warm_reference[i]) ||
+                got == sorted(cold_reference[i]))
+        << "response " << i;
+  }
+  EXPECT_EQ(run_router(fleet, workload), warm_reference);
+}
+
+TEST(Router, RejoinRestoresTheShardAndItsAssignment) {
+  if (!rn::transport_supported()) {
+    GTEST_SKIP() << "transport requires Linux";
+  }
+  auto s1 = std::make_unique<TestDaemon>();
+  auto s2 = std::make_unique<TestDaemon>();
+  const std::uint16_t s2_port = s2->port();
+  rn::ShardFleet fleet{fleet_options({s1->port(), s2_port})};
+
+  fleet.probe_round();
+  EXPECT_EQ(fleet.up_count(), 2u);
+  std::vector<std::string> before;
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    before.push_back(*fleet.route(key * 0x9e3779b97f4a7c15ULL));
+  }
+
+  s2.reset();
+  fleet.probe_round();
+  EXPECT_EQ(fleet.up_count(), 1u);
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    EXPECT_NE(*fleet.route(key * 0x9e3779b97f4a7c15ULL),
+              "127.0.0.1:" + std::to_string(s2_port));
+  }
+
+  // Rebind the shard on its old port (SO_REUSEADDR) and probe: the ring
+  // must restore the exact pre-failure assignment.
+  rn::NetServerOptions options;
+  options.port = s2_port;
+  s2 = std::make_unique<TestDaemon>(std::move(options));
+  ASSERT_EQ(s2->port(), s2_port);
+  fleet.probe_round();
+  EXPECT_EQ(fleet.up_count(), 2u);
+  EXPECT_GE(fleet.stats().rebalances, 2u);  // down + rejoin
+  EXPECT_GE(fleet.stats().probes, 6u);      // 3 rounds x 2 shards
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    EXPECT_EQ(*fleet.route(key * 0x9e3779b97f4a7c15ULL), before[key]);
+  }
+
+  // And the rejoined fleet still serves correct bytes.
+  TestDaemon reference_daemon;
+  const Lines workload = fleet_workload();
+  const std::vector<Lines> reference =
+      run_reference(reference_daemon.port(), workload);
+  const std::vector<Lines> merged = run_router(fleet, workload);
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(sorted(merged[i]), sorted(reference[i])) << "response " << i;
+  }
+}
+
+TEST(Router, CancelledSessionStopsDispatchingSilently) {
+  if (!rn::transport_supported()) {
+    GTEST_SKIP() << "transport requires Linux";
+  }
+  TestDaemon shard;
+  rn::ShardFleet fleet{fleet_options({shard.port()})};
+  auto cancelled = std::make_shared<std::atomic<bool>>(true);
+  Collector collector;
+  rn::RouterSession session(fleet, collector.fn(), cancelled);
+  session.handle_line(
+      "{\"id\": \"c\", \"platforms\": [\"hera\"], \"node_counts\": [512]}");
+  // The client is gone: no lines were produced on its behalf.
+  EXPECT_TRUE(collector.responses.empty());
+  EXPECT_TRUE(collector.current.empty());
+}
+
+}  // namespace
