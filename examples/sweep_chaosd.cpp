@@ -68,40 +68,30 @@ int main(int argc, char** argv) {
     return 2;  // usage (also --help; CliParser does not distinguish)
   }
 
-  const std::int64_t port = cli.get_int("port");
-  const std::int64_t upstream_port = cli.get_int("upstream-port");
-  const std::int64_t max_chunk = cli.get_int("max-chunk");
-  const std::int64_t stall_every = cli.get_int("stall-every");
-  const std::int64_t stall_max_ms = cli.get_int("stall-max-ms");
-  const std::int64_t kill_every = cli.get_int("kill-every");
-  const std::int64_t kill_budget = cli.get_int("kill-budget");
-  if (port < 0 || port > 65535) {
-    std::fprintf(stderr, "sweep_chaosd: --port must be in [0, 65535]\n");
-    return 2;
-  }
-  if (upstream_port <= 0 || upstream_port > 65535) {
-    std::fprintf(stderr,
-                 "sweep_chaosd: --upstream-port must be in [1, 65535]\n");
-    return 2;
-  }
-  if (max_chunk < 1 || stall_every < 0 || stall_max_ms < 0 ||
-      kill_every < 0 || kill_budget < 0) {
-    std::fprintf(stderr,
-                 "sweep_chaosd: profile flags must be >= 0 (max-chunk >= 1)\n");
+  const auto port = cli.checked_int("port", 0, 65535);
+  const auto upstream_port = cli.checked_int("upstream-port", 1, 65535);
+  const auto max_chunk = cli.checked_int("max-chunk", 1);
+  const auto stall_every = cli.checked_int("stall-every", 0);
+  const auto stall_max_ms = cli.checked_int("stall-max-ms", 0);
+  const auto kill_every = cli.checked_int("kill-every", 0);
+  const auto kill_budget = cli.checked_int("kill-budget", 0);
+  const auto seed = cli.checked_int("seed", 0);
+  if (!port || !upstream_port || !max_chunk || !stall_every ||
+      !stall_max_ms || !kill_every || !kill_budget || !seed) {
     return 2;
   }
 
   rn::ChaosProxyOptions options;
   options.listen_host = cli.get_string("host");
-  options.listen_port = static_cast<std::uint16_t>(port);
+  options.listen_port = static_cast<std::uint16_t>(*port);
   options.upstream_host = cli.get_string("upstream-host");
-  options.upstream_port = static_cast<std::uint16_t>(upstream_port);
-  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  options.profile.max_chunk_bytes = static_cast<std::size_t>(max_chunk);
-  options.profile.stall_every = static_cast<std::uint64_t>(stall_every);
-  options.profile.stall_max_ms = static_cast<int>(stall_max_ms);
-  options.profile.kill_every = static_cast<std::uint64_t>(kill_every);
-  options.profile.kill_budget = static_cast<std::size_t>(kill_budget);
+  options.upstream_port = static_cast<std::uint16_t>(*upstream_port);
+  options.seed = static_cast<std::uint64_t>(*seed);
+  options.profile.max_chunk_bytes = static_cast<std::size_t>(*max_chunk);
+  options.profile.stall_every = static_cast<std::uint64_t>(*stall_every);
+  options.profile.stall_max_ms = static_cast<int>(*stall_max_ms);
+  options.profile.kill_every = static_cast<std::uint64_t>(*kill_every);
+  options.profile.kill_budget = static_cast<std::size_t>(*kill_budget);
   options.profile.reset_on_kill = !cli.get_bool("kill-fin");
 
   try {
@@ -116,8 +106,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sweep_chaosd: %s:%u -> %s:%u (seed %llu)\n",
                  cli.get_string("host").c_str(), proxy.port(),
                  cli.get_string("upstream-host").c_str(),
-                 static_cast<unsigned>(upstream_port),
-                 static_cast<unsigned long long>(cli.get_int("seed")));
+                 static_cast<unsigned>(*upstream_port),
+                 static_cast<unsigned long long>(*seed));
     const std::string port_file = cli.get_string("port-file");
     if (!port_file.empty()) {
       // Atomic: port-file pollers must never read a partial port.

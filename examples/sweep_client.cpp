@@ -63,26 +63,19 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) {
     return 2;  // usage (also --help; CliParser does not distinguish)
   }
-  const std::string port_text = cli.get_string("port");
-  std::int64_t port = -1;
-  if (!port_text.empty()) {
-    try {
-      port = std::stoll(port_text);
-    } catch (...) {
-      port = -1;
-    }
-  }
-  if (port <= 0 || port > 65535) {
-    std::fprintf(stderr, "sweep_client: --port must be in [1, 65535]\n");
+  const auto port_value = cli.checked_int("port", 1, 65535);
+  const auto retries_value = cli.checked_int("retries", 0);
+  const auto connect_value = cli.checked_int("connect-timeout-ms", 0);
+  const auto receive_value = cli.checked_int("receive-timeout-ms", 0);
+  const auto jitter_value = cli.checked_int("jitter-seed", 0);
+  if (!port_value || !retries_value || !connect_value || !receive_value ||
+      !jitter_value) {
     return 2;
   }
-  const std::int64_t retries = cli.get_int("retries");
-  const std::int64_t connect_timeout = cli.get_int("connect-timeout-ms");
-  const std::int64_t receive_timeout = cli.get_int("receive-timeout-ms");
-  if (retries < 0 || connect_timeout < 0 || receive_timeout < 0) {
-    std::fprintf(stderr, "sweep_client: retry/timeout flags must be >= 0\n");
-    return 2;
-  }
+  const std::int64_t port = *port_value;
+  const std::int64_t retries = *retries_value;
+  const std::int64_t connect_timeout = *connect_value;
+  const std::int64_t receive_timeout = *receive_value;
   if (retries > 0 && cli.get_bool("pipeline")) {
     std::fprintf(stderr,
                  "sweep_client: --retries is serial-mode only (a retried "
@@ -117,8 +110,7 @@ int main(int argc, char** argv) {
       options.connect_timeout_ms = static_cast<int>(connect_timeout);
       options.receive_timeout_ms = static_cast<int>(receive_timeout);
       options.max_attempts = static_cast<int>(retries);
-      options.jitter_seed =
-          static_cast<std::uint64_t>(cli.get_int("jitter-seed"));
+      options.jitter_seed = static_cast<std::uint64_t>(*jitter_value);
       rn::ResilientClient client(options);
       // The healing summary prints on BOTH exits: a success that needed
       // retries, and a final failure — the attempts spent on a request
@@ -126,13 +118,15 @@ int main(int argc, char** argv) {
       // leaves behind.
       const auto print_healing_stats = [&client] {
         const rn::ResilientClient::Stats stats = client.stats();
-        if (stats.retries > 0 || stats.failures > 0) {
+        if (stats.retries > 0 || stats.failures > 0 ||
+            stats.overloaded > 0) {
           std::fprintf(stderr,
                        "sweep_client: %llu retries, %llu reconnects, "
-                       "%llu attempt failures\n",
+                       "%llu attempt failures, %llu overloaded answers\n",
                        static_cast<unsigned long long>(stats.retries),
                        static_cast<unsigned long long>(stats.reconnects),
-                       static_cast<unsigned long long>(stats.failures));
+                       static_cast<unsigned long long>(stats.failures),
+                       static_cast<unsigned long long>(stats.overloaded));
         }
       };
       try {

@@ -109,33 +109,37 @@ int main(int argc, char** argv) {
   cli.add_flag("drain-timeout-ms", "30000",
                "graceful-drain deadline after SIGINT/SIGTERM (0 = wait "
                "forever)");
+  cli.add_flag("overload-rounds", "8",
+               "dispatch rounds a request may spend waiting on busy "
+               "(overloaded) shards before the router sheds it "
+               "retriably itself");
+  cli.add_flag("max-queue-cost", "0",
+               "the router's own admission budget in predicted compute "
+               "units over waiting requests (0 = unlimited)");
+  cli.add_flag("max-queue-depth", "0",
+               "companion bound on the router's waiting requests (0 = "
+               "unlimited)");
   if (!cli.parse(argc, argv)) {
     return 2;  // usage (also --help; CliParser does not distinguish)
   }
 
-  const std::int64_t port = cli.get_int("port");
-  const std::int64_t vnodes = cli.get_int("vnodes");
-  const std::int64_t probe_ms = cli.get_int("probe-interval-ms");
-  const std::int64_t attempts = cli.get_int("attempts-per-shard");
-  const std::int64_t connect_ms = cli.get_int("connect-timeout-ms");
-  const std::int64_t receive_ms = cli.get_int("receive-timeout-ms");
-  const std::int64_t workers = cli.get_int("request-workers");
-  const std::int64_t max_conns = cli.get_int("max-conns");
-  const std::int64_t depth = cli.get_int("max-pipeline-depth");
-  const std::int64_t drain_ms = cli.get_int("drain-timeout-ms");
-  if (port < 0 || port > 65535) {
-    std::fprintf(stderr, "sweep_router: --port must be in [0, 65535]\n");
-    return 2;
-  }
-  if (vnodes <= 0 || attempts <= 0) {
-    std::fprintf(stderr,
-                 "sweep_router: --vnodes and --attempts-per-shard must be "
-                 ">= 1\n");
-    return 2;
-  }
-  if (probe_ms < 0 || connect_ms < 0 || receive_ms < 0 || workers < 0 ||
-      max_conns < 0 || depth < 0 || drain_ms < 0) {
-    std::fprintf(stderr, "sweep_router: size/timeout flags must be >= 0\n");
+  const auto port = cli.checked_int("port", 0, 65535);
+  const auto vnodes = cli.checked_int("vnodes", 1);
+  const auto probe_ms = cli.checked_int("probe-interval-ms", 0);
+  const auto attempts = cli.checked_int("attempts-per-shard", 1);
+  const auto connect_ms = cli.checked_int("connect-timeout-ms", 0);
+  const auto receive_ms = cli.checked_int("receive-timeout-ms", 0);
+  const auto workers = cli.checked_int("request-workers", 0);
+  const auto max_conns = cli.checked_int("max-conns", 0);
+  const auto depth = cli.checked_int("max-pipeline-depth", 0);
+  const auto drain_ms = cli.checked_int("drain-timeout-ms", 0);
+  const auto jitter = cli.checked_int("jitter-seed", 0);
+  const auto overload_rounds = cli.checked_int("overload-rounds", 0);
+  const auto queue_cost = cli.checked_double("max-queue-cost", 0.0, 1e18);
+  const auto queue_depth = cli.checked_int("max-queue-depth", 0);
+  if (!port || !vnodes || !probe_ms || !attempts || !connect_ms ||
+      !receive_ms || !workers || !max_conns || !depth || !drain_ms ||
+      !jitter || !overload_rounds || !queue_cost || !queue_depth) {
     return 2;
   }
   std::vector<rn::ShardConfig> shards;
@@ -148,13 +152,13 @@ int main(int argc, char** argv) {
 
   rn::RouterOptions router_options;
   router_options.shards = std::move(shards);
-  router_options.ring_vnodes = static_cast<std::size_t>(vnodes);
-  router_options.probe_interval_ms = static_cast<int>(probe_ms);
-  router_options.attempts_per_shard = static_cast<int>(attempts);
-  router_options.connect_timeout_ms = static_cast<int>(connect_ms);
-  router_options.receive_timeout_ms = static_cast<int>(receive_ms);
-  router_options.jitter_seed =
-      static_cast<std::uint64_t>(cli.get_int("jitter-seed"));
+  router_options.ring_vnodes = static_cast<std::size_t>(*vnodes);
+  router_options.probe_interval_ms = static_cast<int>(*probe_ms);
+  router_options.attempts_per_shard = static_cast<int>(*attempts);
+  router_options.connect_timeout_ms = static_cast<int>(*connect_ms);
+  router_options.receive_timeout_ms = static_cast<int>(*receive_ms);
+  router_options.jitter_seed = static_cast<std::uint64_t>(*jitter);
+  router_options.overload_rounds = static_cast<int>(*overload_rounds);
 
   try {
     rn::ShardFleet fleet(router_options);
@@ -162,20 +166,31 @@ int main(int argc, char** argv) {
 
     rn::NetServerOptions options;
     options.host = cli.get_string("host");
-    options.port = static_cast<std::uint16_t>(port);
-    options.max_connections = static_cast<std::size_t>(max_conns);
-    options.max_pipeline_depth = static_cast<std::size_t>(depth);
-    options.request_workers = static_cast<std::size_t>(workers);
-    options.drain_timeout_ms = static_cast<int>(drain_ms);
+    options.port = static_cast<std::uint16_t>(*port);
+    options.max_connections = static_cast<std::size_t>(*max_conns);
+    options.max_pipeline_depth = static_cast<std::size_t>(*depth);
+    options.request_workers = static_cast<std::size_t>(*workers);
+    options.drain_timeout_ms = static_cast<int>(*drain_ms);
+    options.max_queue_cost = *queue_cost;
+    options.max_queue_depth = static_cast<std::size_t>(*queue_depth);
     options.service.cache_capacity = 0;  // the router computes nothing
+    // The factory outlives this scope inside the server, and the server
+    // pointer only exists after construction — hence the shared holder.
+    auto server_holder = std::make_shared<rn::NetServer*>(nullptr);
     options.session_factory =
-        [&fleet](rs::LineSession::LineFn emit,
-                 std::shared_ptr<std::atomic<bool>> cancel) {
-          return std::make_unique<rn::RouterSession>(fleet, std::move(emit),
-                                                     std::move(cancel));
+        [&fleet, server_holder](rs::LineSession::LineFn emit,
+                                std::shared_ptr<std::atomic<bool>> cancel) {
+          auto session = std::make_unique<rn::RouterSession>(
+              fleet, std::move(emit), std::move(cancel));
+          if (rn::NetServer* server = *server_holder) {
+            session->set_transport_stats(
+                [server] { return server->overload_stats_json(); });
+          }
+          return session;
         };
 
     rn::NetServer server(std::move(options));
+    *server_holder = &server;
     g_server = &server;
     struct sigaction action {};
     action.sa_handler = handle_signal;
@@ -202,11 +217,12 @@ int main(int argc, char** argv) {
     const rn::ShardFleet::Stats stats = fleet.stats();
     std::fprintf(stderr,
                  "sweep_router: drained (failovers %llu, replays %llu, "
-                 "rebalances %llu, probes %llu)\n",
+                 "rebalances %llu, probes %llu, sheds %llu)\n",
                  static_cast<unsigned long long>(stats.failovers),
                  static_cast<unsigned long long>(stats.replays),
                  static_cast<unsigned long long>(stats.rebalances),
-                 static_cast<unsigned long long>(stats.probes));
+                 static_cast<unsigned long long>(stats.probes),
+                 static_cast<unsigned long long>(stats.sheds));
     g_server = nullptr;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sweep_router: fatal: %s\n", error.what());

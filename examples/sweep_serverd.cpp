@@ -77,49 +77,57 @@ int main(int argc, char** argv) {
   cli.add_flag("default-deadline-ms", "0",
                "compute deadline for requests that carry no deadline_ms of "
                "their own; past it the request answers a deadline error "
-               "line (0 = unbounded)");
+               "line (0 = unbounded); also bounds queue wait");
+  cli.add_flag("max-queue-cost", "0",
+               "admission budget in predicted compute units over all "
+               "waiting requests; past it new scenario requests answer a "
+               "retriable 'overloaded' error (0 = unlimited)");
+  cli.add_flag("max-queue-depth", "0",
+               "companion bound on waiting scenario requests (0 = "
+               "unlimited)");
   if (!cli.parse(argc, argv)) {
     return 2;  // usage (also --help; CliParser does not distinguish)
   }
 
-  const std::int64_t port = cli.get_int("port");
-  const std::int64_t threads = cli.get_int("threads");
-  const std::int64_t workers = cli.get_int("request-workers");
-  const std::int64_t capacity = cli.get_int("cache-capacity");
-  const std::int64_t max_conns = cli.get_int("max-conns");
-  const std::int64_t write_buf = cli.get_int("write-buf-limit");
-  const std::int64_t max_line = cli.get_int("max-line-bytes");
-  const std::int64_t depth = cli.get_int("max-pipeline-depth");
-  const std::int64_t drain_ms = cli.get_int("drain-timeout-ms");
-  const std::int64_t deadline_ms = cli.get_int("default-deadline-ms");
-  if (port < 0 || port > 65535) {
-    std::fprintf(stderr, "sweep_serverd: --port must be in [0, 65535]\n");
-    return 2;
-  }
-  if (threads < 0 || workers < 0 || capacity < 0 || max_conns < 0 ||
-      write_buf < 0 || max_line < 0 || depth < 0 || drain_ms < 0 ||
-      deadline_ms < 0) {
-    // Negative sizes would wrap to SIZE_MAX (and a negative drain
-    // deadline would silently mean "wait forever"); fail loudly.
-    std::fprintf(stderr, "sweep_serverd: size/timeout flags must be >= 0\n");
+  // Negative sizes would wrap to SIZE_MAX (and a negative drain deadline
+  // would silently mean "wait forever"); checked_int fails loudly on
+  // those AND on non-numeric text std::stoll would half-accept.
+  const auto port = cli.checked_int("port", 0, 65535);
+  const auto threads = cli.checked_int("threads", 0);
+  const auto workers = cli.checked_int("request-workers", 0);
+  const auto capacity = cli.checked_int("cache-capacity", 0);
+  const auto max_conns = cli.checked_int("max-conns", 0);
+  const auto write_buf = cli.checked_int("write-buf-limit", 0);
+  const auto max_line = cli.checked_int("max-line-bytes", 0);
+  const auto depth = cli.checked_int("max-pipeline-depth", 0);
+  const auto drain_ms = cli.checked_int("drain-timeout-ms", 0);
+  const auto deadline_ms = cli.checked_int("default-deadline-ms", 0);
+  const auto queue_cost = cli.checked_double("max-queue-cost", 0.0, 1e18);
+  const auto queue_depth = cli.checked_int("max-queue-depth", 0);
+  if (!port || !threads || !workers || !capacity || !max_conns ||
+      !write_buf || !max_line || !depth || !drain_ms || !deadline_ms ||
+      !queue_cost || !queue_depth) {
     return 2;
   }
 
   std::unique_ptr<ru::ThreadPool> pool;
   rn::NetServerOptions options;
   options.host = cli.get_string("host");
-  options.port = static_cast<std::uint16_t>(port);
-  options.max_connections = static_cast<std::size_t>(max_conns);
-  options.write_buffer_limit = static_cast<std::size_t>(write_buf);
-  options.max_line_bytes = static_cast<std::size_t>(max_line);
-  options.max_pipeline_depth = static_cast<std::size_t>(depth);
-  options.request_workers = static_cast<std::size_t>(workers);
-  options.drain_timeout_ms = static_cast<int>(drain_ms);
-  options.default_deadline_ms = static_cast<int>(deadline_ms);
-  options.service.cache_capacity = static_cast<std::size_t>(capacity);
+  options.port = static_cast<std::uint16_t>(*port);
+  options.max_connections = static_cast<std::size_t>(*max_conns);
+  options.write_buffer_limit = static_cast<std::size_t>(*write_buf);
+  options.max_line_bytes = static_cast<std::size_t>(*max_line);
+  options.max_pipeline_depth = static_cast<std::size_t>(*depth);
+  options.request_workers = static_cast<std::size_t>(*workers);
+  options.drain_timeout_ms = static_cast<int>(*drain_ms);
+  options.default_deadline_ms = static_cast<int>(*deadline_ms);
+  options.max_queue_cost = *queue_cost;
+  options.max_queue_depth = static_cast<std::size_t>(*queue_depth);
+  options.service.cache_capacity = static_cast<std::size_t>(*capacity);
   options.service.cache_dir = cli.get_string("cache-dir");
-  if (threads > 0) {
-    pool = std::make_unique<ru::ThreadPool>(static_cast<std::size_t>(threads));
+  if (*threads > 0) {
+    pool =
+        std::make_unique<ru::ThreadPool>(static_cast<std::size_t>(*threads));
     options.service.sweep.pool = pool.get();
   }
 
@@ -150,15 +158,19 @@ int main(int argc, char** argv) {
     server.run();
 
     const rn::NetServer::Stats stats = server.stats();
+    const rn::OverloadStats overload = server.overload_stats();
     std::fprintf(stderr,
                  "sweep_serverd: drained (accepted %llu, requests %llu, "
-                 "rejected %llu, dropped slow/framing/error %llu/%llu/%llu)\n",
+                 "rejected %llu, dropped slow/framing/error %llu/%llu/%llu, "
+                 "shed overload/expired %llu/%llu)\n",
                  static_cast<unsigned long long>(stats.accepted),
                  static_cast<unsigned long long>(stats.requests_started),
                  static_cast<unsigned long long>(stats.rejected_over_limit),
                  static_cast<unsigned long long>(stats.dropped_slow),
                  static_cast<unsigned long long>(stats.dropped_framing),
-                 static_cast<unsigned long long>(stats.dropped_error));
+                 static_cast<unsigned long long>(stats.dropped_error),
+                 static_cast<unsigned long long>(overload.shed_overload),
+                 static_cast<unsigned long long>(overload.shed_expired));
     g_server = nullptr;
     // NetServer (and its SweepService) destruct here: the cache spills
     // to --cache-dir exactly like the stdin server's exit.

@@ -50,7 +50,25 @@ struct ResilientClientOptions {
   std::uint64_t jitter_seed = 1;
   /// Gate every (re)connect on a ping/pong round trip.
   bool probe_on_connect = true;
+  /// When a request is shed with {"code":"overloaded","retry_after_ms":N}
+  /// (admission control — see NetServerOptions::max_queue_cost), wait the
+  /// server-stated N (capped below) before re-sending instead of the
+  /// exponential backoff: the server knows its queue drain rate better
+  /// than a blind doubling does. The connection stays open — a shed is a
+  /// clean answer, not a transport failure. Off restores plain backoff.
+  bool honor_retry_after = true;
+  /// Upper bound on one honored retry_after_ms wait.
+  int retry_after_cap_ms = 5000;
 };
+
+/// True when `response` is complete and terminates in an admission-shed
+/// error line ({"type":"error",...,"code":"overloaded"}). Writes the
+/// server's retry_after_ms hint (0 when absent) through `retry_after_ms`
+/// when non-null. Shared by ResilientClient's backoff and the router's
+/// backpressure handling.
+[[nodiscard]] bool is_overloaded_response(const Client::Response& response,
+                                          std::int64_t* retry_after_ms =
+                                              nullptr);
 
 class ResilientClient {
  public:
@@ -61,7 +79,11 @@ class ResilientClient {
   /// reset, mid-response close, receive timeout, failed probe) closes,
   /// backs off and retries on a fresh connection. Returns the first
   /// COMPLETE response (see Client::Response). Throws std::runtime_error
-  /// carrying the last failure once max_attempts are spent.
+  /// carrying the last failure once max_attempts are spent. A complete
+  /// "overloaded" shed answer is retried too (after the server's
+  /// retry_after_ms when honor_retry_after is set); if every attempt is
+  /// shed, the LAST shed response is returned — not thrown — so callers
+  /// can distinguish backpressure from a dead endpoint.
   [[nodiscard]] Client::Response transact(std::string_view line);
 
   /// One ping/pong round trip on a (possibly new) connection; false when
@@ -77,6 +99,7 @@ class ResilientClient {
     std::uint64_t retries = 0;     ///< attempts beyond each request's first
     std::uint64_t pings = 0;       ///< probes sent
     std::uint64_t failures = 0;    ///< attempts that ended in an error
+    std::uint64_t overloaded = 0;  ///< admission-shed answers received
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

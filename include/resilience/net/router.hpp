@@ -40,15 +40,27 @@
 //   * empty ring — a request that finds no live shard answers one
 //     located {"type":"error"} line (field "shards") instead of hanging.
 //
+// Overload (PR 8): a shard answering {"code":"overloaded"} is BUSY, not
+// dead — its chains re-dispatch after a short retry_after_ms-guided wait
+// without touching ring membership (no failover, no replay storm onto
+// the survivors, which are probably just as loaded). Only when the
+// overload round budget is spent does the router give up, propagating
+// the retriable overloaded error under the parent id so the CLIENT's
+// backoff takes over.
+//
 // Observability: {"type":"stats"} answers a fleet block (per-shard
-// state and counters, failovers, replays, rebalances, probes) instead of
-// a single daemon's service/cache block. A request's "stats": true flag
-// is answered without the embedded stats block (service counters do not
+// state and counters plus per-shard shed counts, failovers, replays,
+// rebalances, probes), an "aggregate" block folding every Up shard's
+// own service/cache/transport counters into one fleet-wide sum (see
+// collect_shard_stats), and — under NetServer — the router daemon's own
+// "transport" scheduler block. A request's "stats": true flag is
+// answered without the embedded stats block (service counters do not
 // exist here); everything else matches the single-daemon bytes.
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -89,6 +101,14 @@ struct RouterOptions {
   /// disables the prober thread — tests and the bench drive
   /// probe_round() by hand.
   int probe_interval_ms = 0;
+  /// Overload (admission-shed) answers are BACKPRESSURE, not death: the
+  /// shard stays on the ring and its chains re-dispatch after a short
+  /// wait. This bounds how many such overload rounds one request may
+  /// burn (on top of the failover round budget) before the router gives
+  /// up and propagates the shard's retriable "overloaded" error.
+  int overload_rounds = 8;
+  /// Cap on the per-round wait honoring a shard's retry_after_ms hint.
+  int overload_backoff_cap_ms = 250;
 };
 
 /// Shared fleet state: shard configs, Up/Down health, the consistent-
@@ -130,14 +150,19 @@ class ShardFleet {
   /// Counter hooks for the router sessions.
   void note_request(const std::string& id);
   void note_failure(const std::string& id);
+  /// A sub-request answered "overloaded" — backpressure charged to the
+  /// shard's shed counter, never to its failure counter (the shard is
+  /// healthy, just busy).
+  void note_shed(const std::string& id);
   void note_failover();
   void note_replays(std::size_t chains);
 
   struct Stats {
     std::uint64_t failovers = 0;   ///< shard-death events that re-routed work
-    std::uint64_t replays = 0;     ///< chains re-dispatched after a failover
+    std::uint64_t replays = 0;  ///< chains re-dispatched (failover/overload)
     std::uint64_t rebalances = 0;  ///< ring membership changes (down + rejoin)
     std::uint64_t probes = 0;      ///< pings sent by probe rounds
+    std::uint64_t sheds = 0;       ///< sub-requests answered "overloaded"
   };
   [[nodiscard]] Stats stats() const;
 
@@ -145,12 +170,21 @@ class ShardFleet {
   /// fleet-wide counters above.
   [[nodiscard]] util::JsonValue stats_json() const;
 
+  /// Fans one {"type":"stats"} request to every Up shard and folds the
+  /// answers into a single fleet-wide view: numeric fields summed block
+  /// by block (service/cache/transport), "reporting" counting the shards
+  /// that answered. A shard that fails to answer is skipped (and NOT
+  /// marked down — observability must not shoot the fleet). Does network
+  /// I/O; call it from request threads, never under the fleet lock.
+  [[nodiscard]] util::JsonValue collect_shard_stats();
+
  private:
   struct Shard {
     ShardConfig config;
     bool up = true;
     std::uint64_t requests = 0;  ///< sub-requests answered
     std::uint64_t failures = 0;  ///< transact failures charged to it
+    std::uint64_t sheds = 0;     ///< "overloaded" answers (backpressure)
   };
 
   [[nodiscard]] const Shard* find_locked(const std::string& id) const;
@@ -178,6 +212,14 @@ class RouterSession final : public service::LineSession {
   RouterSession(ShardFleet& fleet, LineFn emit,
                 std::shared_ptr<const std::atomic<bool>> cancelled = nullptr);
 
+  /// When set, {"type":"stats"} answers additionally carry the router
+  /// daemon's OWN scheduler/latency snapshot as a "transport" block
+  /// (sweep_router wires NetServer::overload_stats_json here) — the
+  /// fleet front is itself an overload-controlled server.
+  void set_transport_stats(std::function<util::JsonValue()> hook) {
+    transport_stats_ = std::move(hook);
+  }
+
   void handle_line(std::string_view line) override;
 
   [[nodiscard]] std::size_t lines_seen() const noexcept { return lines_; }
@@ -194,6 +236,7 @@ class RouterSession final : public service::LineSession {
   ShardFleet& fleet_;
   LineFn emit_;
   std::shared_ptr<const std::atomic<bool>> cancelled_;
+  std::function<util::JsonValue()> transport_stats_;
   std::size_t lines_ = 0;
   bool errors_ = false;
 };

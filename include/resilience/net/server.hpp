@@ -10,6 +10,29 @@
 // outbound queue; the loop drains them into the sockets on writability
 // edges.
 //
+// Scheduling & overload control (PR 8): received request lines no longer
+// drain FIFO into the executor. Each line is *priced* at admission
+// (service::estimate_line_cost — cache-aware predicted compute units)
+// and queued per connection; a start-time fair queue picks the next
+// request globally — the connection whose head carries the smallest
+// virtual start tag wins, earliest queue deadline breaking ties — so
+// cheap requests from other connections overtake a heavy client's
+// backlog while each connection's own responses still answer strictly
+// in its request order. Three shedding layers keep overload graceful:
+//   * admission control — when the waiting queue already holds
+//     max_queue_depth requests or max_queue_cost units, new scenario
+//     requests answer a located {"type":"error","code":"overloaded",
+//     "retry_after_ms":N} line (N from the EWMA queue drain rate) and
+//     never queue; an oversized request with an *empty* waiting queue is
+//     always admitted (it would never fit otherwise);
+//   * expired-in-queue — a request whose deadline passes while queued
+//     answers its located deadline error without ever occupying a
+//     worker;
+//   * ping/stats/invalid lines are always admitted at nominal cost —
+//     observability keeps working exactly when the server is busiest.
+// Every stage is measured: queue-wait / compute / write latency
+// histograms plus admitted/shed counters, via overload_stats[_json]().
+//
 // Protocol = the stdin sweep_server protocol, byte for byte: both front
 // ends feed service::JsonlSession, so a request answered over TCP and
 // the same request answered over stdin produce identical lines (pinned
@@ -23,7 +46,9 @@
 // afterwards spills the cache to --cache-dir exactly like the stdin
 // server's shutdown.
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -32,12 +57,67 @@
 
 #include "resilience/service/line_session.hpp"
 #include "resilience/service/sweep_service.hpp"
+#include "resilience/util/json.hpp"
 
 namespace resilience::util {
 class ThreadPool;
 }
 
 namespace resilience::net {
+
+/// Power-of-two-bucket latency histogram in microseconds: bucket i counts
+/// samples whose bit width is i (bucket 0: 0-1 us, bucket i: [2^(i-1),
+/// 2^i) us), plus exact count/total/max. Percentiles are approximate —
+/// the upper bound of the bucket holding the requested rank — which is
+/// plenty for an overload dashboard and keeps recording O(1).
+struct LatencyHistogram {
+  std::array<std::uint64_t, 32> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+
+  void record(std::uint64_t us) noexcept {
+    const unsigned width = static_cast<unsigned>(std::bit_width(us));
+    buckets[width < buckets.size() ? width : buckets.size() - 1] += 1;
+    ++count;
+    total_us += us;
+    if (us > max_us) {
+      max_us = us;
+    }
+  }
+
+  /// Upper bound (us) of the bucket containing the p-quantile sample
+  /// (0 < p <= 1); 0 when empty.
+  [[nodiscard]] std::uint64_t approx_percentile_us(double p) const noexcept {
+    if (count == 0) {
+      return 0;
+    }
+    const double rank = p * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      seen += buckets[i];
+      if (static_cast<double>(seen) >= rank) {
+        return i == 0 ? 1 : (std::uint64_t{1} << i) - 1;
+      }
+    }
+    return max_us;
+  }
+};
+
+/// Scheduler/admission snapshot — the "transport" block of a daemon's
+/// {"type":"stats"} answer (see NetServer::overload_stats_json).
+struct OverloadStats {
+  std::uint64_t admitted = 0;       ///< scenario requests admitted
+  std::uint64_t shed_overload = 0;  ///< rejected at admission (retriable)
+  std::uint64_t shed_expired = 0;   ///< deadline expired while queued
+  double queued_cost = 0.0;         ///< current waiting cost units
+  std::size_t queued_depth = 0;     ///< current waiting scenario requests
+  double drain_rate_units_per_ms = 0.0;  ///< EWMA completion rate
+  std::int64_t retry_after_ms = 0;  ///< hint a shed answered right now gets
+  LatencyHistogram queue_wait;      ///< admission -> worker dispatch
+  LatencyHistogram compute;         ///< worker dispatch -> response done
+  LatencyHistogram write;           ///< response done -> socket drained
+};
 
 struct NetServerOptions {
   std::string host = "127.0.0.1";
@@ -69,8 +149,21 @@ struct NetServerOptions {
   int send_buffer_bytes = 0;
   /// Deadline applied to requests that carry no "deadline_ms" of their
   /// own (0 = unbounded). A guard against runaway grids hogging workers;
-  /// see JsonlSessionOptions::default_deadline_ms.
+  /// see JsonlSessionOptions::default_deadline_ms. A request's deadline
+  /// additionally bounds its QUEUE wait: expiring while queued answers
+  /// the located deadline error without occupying a worker (the compute
+  /// budget itself still starts when execution starts, as before).
   int default_deadline_ms = 0;
+  /// Admission budget in predicted compute units over all *waiting*
+  /// (queued, not executing) scenario requests; 0 = unlimited. A scenario
+  /// request that would push the waiting total past the budget is shed
+  /// with a retriable "overloaded" error — unless the waiting queue is
+  /// empty, so a single request larger than the whole budget is still
+  /// servable.
+  double max_queue_cost = 0.0;
+  /// Companion depth bound: waiting scenario requests beyond this are
+  /// shed regardless of cost; 0 = unlimited.
+  std::size_t max_queue_depth = 0;
   service::ServiceOptions service;
   /// Builds the protocol session serving each accepted connection. Null
   /// (the default) builds a service::JsonlSession over the server-owned
@@ -120,6 +213,14 @@ class NetServer {
     std::uint64_t requests_started = 0;
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Scheduler/admission snapshot (thread-safe; callable from executor
+  /// threads — the stats request handler does).
+  [[nodiscard]] OverloadStats overload_stats() const;
+  /// The same snapshot as the canonical "transport" JSON block:
+  /// {"scheduler":{counters...},"latency_us":{"queue_wait":{...},
+  /// "compute":{...},"write":{...}}}.
+  [[nodiscard]] util::JsonValue overload_stats_json() const;
 
  private:
   struct Impl;

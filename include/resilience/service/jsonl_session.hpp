@@ -61,6 +61,11 @@ struct JsonlSessionOptions {
   /// ("deadline_ms" absent or 0); 0 = unbounded. A request's explicit
   /// field always wins.
   int default_deadline_ms = 0;
+  /// When set, a {"type":"stats"} answer additionally carries this
+  /// snapshot as a trailing "transport" block (the daemon wires
+  /// NetServer::overload_stats_json here). Unset on the stdin path, so
+  /// its stats bytes are exactly the historical ones.
+  std::function<util::JsonValue()> transport_stats;
 };
 
 /// True when `line` is a request — not blank, not a '#' comment. The one
@@ -100,6 +105,11 @@ class JsonlSession final : public LineSession {
   /// connection). Exceptions from the engine surface as an error_line,
   /// never propagate.
   void handle_line(std::string_view line) override;
+
+  /// A transport consumed one input line without handing it over (shed at
+  /// admission): tick the line counter so later default "line-N" ids stay
+  /// aligned with a run where every line reached handle_line.
+  void note_skipped_line() override { ++lines_; }
 
   /// Input lines seen so far (blank and comment lines included).
   [[nodiscard]] std::size_t lines_seen() const noexcept { return lines_; }

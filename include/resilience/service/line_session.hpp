@@ -26,6 +26,14 @@ class LineSession {
   /// Processes one input line end to end. Implementations must not let
   /// exceptions escape — protocol failures answer with an error line.
   virtual void handle_line(std::string_view line) = 0;
+
+  /// Informs the session of an input line the TRANSPORT consumed without
+  /// ever calling handle_line — e.g. a request shed at admission, whose
+  /// rejection the transport formatted itself. Sessions that number
+  /// default request ids by input line ("line-N") must count these, or
+  /// every id after a shed would drift off the stdin numbering. Default:
+  /// no-op (sessions without line-positional state don't care).
+  virtual void note_skipped_line() {}
 };
 
 }  // namespace resilience::service

@@ -8,6 +8,7 @@
 // form of util/json, and serialize -> parse -> re-serialize is
 // byte-identical (pinned by test_service).
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -17,6 +18,7 @@
 namespace resilience::service {
 
 struct ServiceStats;  // sweep_service.hpp; serialization only reads it
+struct CostEstimate;  // cost_model.hpp; serialization only reads it
 
 /// SweepCell <-> JSON. The cell's family is serialized once (as the
 /// paper's name, e.g. "PDMV*"); the nested first_order block omits it and
@@ -46,6 +48,12 @@ struct ServiceStats;  // sweep_service.hpp; serialization only reads it
 /// line embeds.
 [[nodiscard]] util::JsonValue to_json(const ServiceStats& stats);
 
+/// CostEstimate -> JSON: {"units","cells","chains","seeded_chains",
+/// "identity_hit"} — the admission-time prediction, embedded as the
+/// "cost" member of an opt-in done-line stats block so estimates are
+/// auditable against the latencies the transport records.
+[[nodiscard]] util::JsonValue to_json(const CostEstimate& estimate);
+
 /// One streamed-response JSONL line (no trailing newline):
 ///   cell_line  -> {"type":"cell","request":...,"signature":...,<cell>}
 ///   done_line  -> {"type":"done", summary of the finished table; with a
@@ -53,8 +61,18 @@ struct ServiceStats;  // sweep_service.hpp; serialization only reads it
 ///                  opt in via "stats": true)}
 ///   stats_line -> {"type":"stats","request":...,<ServiceStats blocks>}
 ///   error_line -> {"type":"error","request":...,"field":...,"message":...}
+///   overloaded_line -> an error line extended with a machine-readable
+///                  "code":"overloaded" and a "retry_after_ms" hint — the
+///                  admission-control rejection; retriable by contract
+///                  (nothing executed), unlike plain error lines
 ///   pong_line  -> {"type":"pong","request":...} — the health probe's
 ///                 answer; a terminal line like done/stats/error
+/// done_line's optional `cost` appends the admission-time CostEstimate as
+/// a "cost" member of the (also optional) stats block; stats_line's
+/// optional `transport` appends a transport-layer block (scheduler
+/// counters + latency histograms — see NetServer::overload_stats_json)
+/// after the service/cache blocks. Both are opt-in so the stdin path's
+/// bytes are untouched.
 [[nodiscard]] std::string cell_line(const std::string& request_id,
                                     core::GridSignature signature,
                                     const core::SweepCell& cell);
@@ -62,12 +80,16 @@ struct ServiceStats;  // sweep_service.hpp; serialization only reads it
                                     core::GridSignature signature,
                                     const core::SweepTable& table,
                                     bool cache_hit, bool joined_in_flight,
-                                    const ServiceStats* stats = nullptr);
+                                    const ServiceStats* stats = nullptr,
+                                    const CostEstimate* cost = nullptr);
 [[nodiscard]] std::string stats_line(const std::string& request_id,
-                                     const ServiceStats& stats);
+                                     const ServiceStats& stats,
+                                     const util::JsonValue* transport = nullptr);
 [[nodiscard]] std::string error_line(const std::string& request_id,
                                      const std::string& field,
                                      const std::string& message);
+[[nodiscard]] std::string overloaded_line(const std::string& request_id,
+                                          std::int64_t retry_after_ms);
 [[nodiscard]] std::string pong_line(const std::string& request_id);
 
 /// CellSink writing one cell_line per cell to an ostream. The runner

@@ -87,6 +87,18 @@ class SweepCache {
   [[nodiscard]] std::vector<core::ChainSeed> seeds_for(
       core::ChainKey key, const core::SweepOptions& options);
 
+  /// Non-mutating probe: would find(signature) hit (memory or disk tier)?
+  /// Purely observational — no LRU promotion, no hit/miss counter bump, no
+  /// disk IO — so cost estimation can consult the cache without perturbing
+  /// the stats the protocol exposes. A `true` for a disk-resident entry is
+  /// optimistic (the file might still fail verification on load); the
+  /// estimator only needs "probably warm", not a guarantee.
+  [[nodiscard]] bool contains(core::GridSignature signature) const;
+
+  /// Non-mutating probe: does the seed tier advertise at least one cached
+  /// chain under `key`? Same observational contract as contains().
+  [[nodiscard]] bool has_seeds(core::ChainKey key) const;
+
   /// Spills all in-memory entries (and the seed sidecar) without dropping
   /// them from memory; no-op without a cache_dir. The destructor calls it.
   void persist_now();

@@ -31,6 +31,19 @@ class CliParser {
   [[nodiscard]] bool get_bool(const std::string& name) const;
   [[nodiscard]] bool was_set(const std::string& name) const;
 
+  /// Strict numeric flag accessors — THE one place every binary's "is
+  /// this flag a sane number" check lives, so the tools can't drift
+  /// apart in what they accept (get_int's std::stoll tolerates trailing
+  /// junk and throws raw exceptions on garbage; these do neither).
+  /// The whole value must parse, be finite, and land in [min, max];
+  /// otherwise a one-line "<program>: --<name> ..." diagnostic goes to
+  /// stderr and nullopt comes back — callers exit 2 (usage error).
+  [[nodiscard]] std::optional<std::int64_t> checked_int(
+      const std::string& name, std::int64_t min_value,
+      std::int64_t max_value = INT64_MAX) const;
+  [[nodiscard]] std::optional<double> checked_double(
+      const std::string& name, double min_value, double max_value) const;
+
   /// Positional arguments left over after flag parsing.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;

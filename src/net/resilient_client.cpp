@@ -2,11 +2,48 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "resilience/util/json.hpp"
+
 namespace resilience::net {
+
+bool is_overloaded_response(const Client::Response& response,
+                            std::int64_t* retry_after_ms) {
+  if (retry_after_ms != nullptr) {
+    *retry_after_ms = 0;
+  }
+  if (!response.complete || response.lines.empty()) {
+    return false;
+  }
+  // Cheap reject before parsing: almost every response is not a shed.
+  const std::string& last = response.lines.back();
+  if (last.find("\"code\":\"overloaded\"") == std::string::npos) {
+    return false;
+  }
+  try {
+    const util::JsonValue json = util::JsonValue::parse(last);
+    const util::JsonValue* code = json.find("code");
+    if (code == nullptr || !code->is_string() ||
+        code->as_string() != "overloaded") {
+      return false;
+    }
+    if (retry_after_ms != nullptr) {
+      if (const util::JsonValue* retry = json.find("retry_after_ms")) {
+        if (retry->is_number()) {
+          *retry_after_ms =
+              static_cast<std::int64_t>(std::llround(retry->as_double()));
+        }
+      }
+    }
+    return true;
+  } catch (const util::JsonError&) {
+    return false;  // substring matched inside some payload string
+  }
+}
 
 ResilientClient::ResilientClient(ResilientClientOptions options)
     : options_(std::move(options)), jitter_(options_.jitter_seed) {
@@ -95,15 +132,38 @@ bool ResilientClient::ping() {
 
 Client::Response ResilientClient::transact(std::string_view line) {
   std::string last_error = "no attempt made";
+  bool slept_on_hint = false;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
-      backoff(attempt);
+      if (!slept_on_hint) {
+        backoff(attempt);
+      }
     }
+    slept_on_hint = false;
     try {
       ensure_connected();
       Client::Response response = client_.transact(line);
       if (response.complete) {
+        std::int64_t hint = 0;
+        if (is_overloaded_response(response, &hint)) {
+          // A shed is a healthy, complete answer — the connection stays
+          // open and the attempt is not a failure. Wait the server-stated
+          // drain estimate (capped) and re-send; once the attempt budget
+          // is spent, hand the overloaded response to the caller so it
+          // can tell backpressure from a dead endpoint (the router does).
+          ++stats_.overloaded;
+          if (attempt + 1 >= options_.max_attempts) {
+            return response;
+          }
+          if (options_.honor_retry_after && hint > 0) {
+            const std::int64_t wait = std::min<std::int64_t>(
+                hint, std::max(options_.retry_after_cap_ms, 1));
+            std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+            slept_on_hint = true;
+          }
+          continue;
+        }
         return response;
       }
       // Server closed mid-response: the partial lines are worthless (the

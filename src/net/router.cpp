@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -190,6 +191,14 @@ void ShardFleet::note_failure(const std::string& id) {
   }
 }
 
+void ShardFleet::note_shed(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.sheds;
+  if (Shard* shard = find_locked(id)) {
+    ++shard->sheds;
+  }
+}
+
 void ShardFleet::note_failover() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.failovers;
@@ -216,6 +225,7 @@ util::JsonValue ShardFleet::stats_json() const {
     entry.set("state", shard.up ? "up" : "down");
     entry.set("requests", shard.requests);
     entry.set("failures", shard.failures);
+    entry.set("sheds", shard.sheds);
     shards.push_back(std::move(entry));
   }
   util::JsonValue fleet = util::JsonValue::object();
@@ -225,7 +235,110 @@ util::JsonValue ShardFleet::stats_json() const {
   fleet.set("replays", counters_.replays);
   fleet.set("rebalances", counters_.rebalances);
   fleet.set("probes", counters_.probes);
+  fleet.set("sheds", counters_.sheds);
   return fleet;
+}
+
+namespace {
+
+/// Folds `addend` into `total` field by field: numbers sum, nested
+/// objects recurse, anything else keeps the first value seen. Built for
+/// the daemon's stats blocks, which are numeric counters all the way
+/// down — and rebuilt key by key because JsonValue::find() is const-only.
+void sum_json_counters(util::JsonValue& total, const util::JsonValue& addend) {
+  if (!total.is_object() || !addend.is_object()) {
+    return;
+  }
+  util::JsonValue merged = util::JsonValue::object();
+  for (const auto& [key, value] : total.as_object()) {
+    const util::JsonValue* other = addend.find(key);
+    if (other == nullptr) {
+      merged.set(key, value);
+    } else if (value.is_number() && other->is_number()) {
+      merged.set(key, value.as_double() + other->as_double());
+    } else if (value.is_object() && other->is_object()) {
+      util::JsonValue sub = value;
+      sum_json_counters(sub, *other);
+      merged.set(key, std::move(sub));
+    } else {
+      merged.set(key, value);
+    }
+  }
+  // Fields the first reporter lacked (version skew across the fleet):
+  // carry them through rather than dropping them.
+  for (const auto& [key, value] : addend.as_object()) {
+    if (merged.find(key) == nullptr) {
+      merged.set(key, value);
+    }
+  }
+  total = std::move(merged);
+}
+
+}  // namespace
+
+util::JsonValue ShardFleet::collect_shard_stats() {
+  std::vector<ShardConfig> up_configs;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Shard& shard : shards_) {
+      if (shard.up) {
+        up_configs.push_back(shard.config);
+      }
+    }
+  }
+
+  std::size_t reporting = 0;
+  util::JsonValue merged = util::JsonValue::object();
+  for (const ShardConfig& config : up_configs) {
+    ResilientClientOptions client_options;
+    client_options.host = config.host;
+    client_options.port = config.port;
+    client_options.connect_timeout_ms = options_.connect_timeout_ms;
+    client_options.receive_timeout_ms = options_.receive_timeout_ms;
+    client_options.max_attempts = 1;  // a stats miss is not worth a retry
+    client_options.probe_on_connect = false;
+    ResilientClient client(client_options);
+    Client::Response response;
+    try {
+      response = client.transact("{\"type\":\"stats\",\"id\":\"__fleet__\"}");
+    } catch (const std::exception&) {
+      continue;  // skipped, not marked down: stats must not shoot the fleet
+    }
+    if (!response.complete || response.lines.size() != 1) {
+      continue;
+    }
+    util::JsonValue answer;
+    try {
+      answer = util::JsonValue::parse(response.lines.front());
+    } catch (const util::JsonError&) {
+      continue;
+    }
+    if (!answer.is_object()) {
+      continue;
+    }
+    ++reporting;
+    // Every block except the envelope (type/request) is counters —
+    // service, cache and (for overload-controlled daemons) transport.
+    for (const auto& [key, value] : answer.as_object()) {
+      if (key == "type" || key == "request") {
+        continue;
+      }
+      if (const util::JsonValue* existing = merged.find(key)) {
+        util::JsonValue total = *existing;
+        sum_json_counters(total, value);
+        merged.set(key, std::move(total));
+      } else {
+        merged.set(key, value);
+      }
+    }
+  }
+
+  util::JsonValue aggregate = util::JsonValue::object();
+  aggregate.set("reporting", reporting);
+  for (const auto& [key, value] : merged.as_object()) {
+    aggregate.set(key, value);
+  }
+  return aggregate;
 }
 
 // ========================================================= RouterSession ==
@@ -302,11 +415,17 @@ void RouterSession::handle_line(std::string_view line) {
         emit(service::pong_line(id), true);
       } else {
         // The router's stats surface is the FLEET, not a service/cache
-        // block: per-shard health and the failover counters.
+        // block: per-shard health and the failover counters, plus the
+        // fleet-wide sum of every Up shard's own counters and — when the
+        // router runs under NetServer — its own transport block.
         util::JsonValue stats = util::JsonValue::object();
         stats.set("type", "stats");
         stats.set("request", id);
         stats.set("fleet", fleet_.stats_json());
+        stats.set("aggregate", fleet_.collect_shard_stats());
+        if (transport_stats_) {
+          stats.set("transport", transport_stats_());
+        }
         emit(stats.dump(), true);
       }
       return;
@@ -384,6 +503,8 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
   std::string error_message;
   bool all_cache_hit = true;
   bool all_joined = true;
+  bool round_overload = false;       ///< some unit was shed this round
+  std::int64_t overload_hint_ms = 0; ///< largest retry_after_ms seen
 
   std::vector<std::size_t> pending(chains.size());
   for (std::size_t i = 0; i < pending.size(); ++i) {
@@ -391,10 +512,14 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
   }
 
   const RouterOptions& options = fleet_.options();
-  // Every round either finishes or removes at least one shard from the
-  // ring, so shards + 2 rounds bounds the loop even with rejoins racing.
+  // Every non-overload round either finishes or removes at least one
+  // shard from the ring, so shards + 2 such rounds bounds the loop even
+  // with rejoins racing; overload rounds (busy shard, ring unchanged)
+  // have their own budget on top.
   const int max_rounds = static_cast<int>(options.shards.size()) + 2;
+  const int max_overload_rounds = std::max(0, options.overload_rounds);
   int round = 0;
+  int overload_rounds_used = 0;
 
   while (!pending.empty() && !any_error) {
     if (cancelled()) {
@@ -404,6 +529,7 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
     if (round > 1) {
       fleet_.note_replays(pending.size());
     }
+    round_overload = false;
 
     // Route every pending chain through the current ring. An exhausted
     // round budget answers like an empty ring: a located error, never a
@@ -412,7 +538,7 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
     std::unordered_map<std::string, std::vector<std::size_t>> by_shard;
     for (const std::size_t chain_index : pending) {
       const std::optional<std::string> owner =
-          round > max_rounds
+          round - overload_rounds_used > max_rounds
               ? std::optional<std::string>()
               : fleet_.route(chains[chain_index].key.value);
       if (!owner) {
@@ -481,6 +607,10 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
       client_options.backoff_initial_ms = options.backoff_initial_ms;
       client_options.backoff_max_ms = options.backoff_max_ms;
       client_options.jitter_seed = options.jitter_seed;
+      // A busy shard's retry_after_ms is honored, but capped low: the
+      // router holds whole rounds of work while one client waits.
+      client_options.retry_after_cap_ms =
+          std::max(1, options.overload_backoff_cap_ms);
       ResilientClient client(client_options);
 
       for (const Unit& unit : shard_work.units) {
@@ -526,6 +656,21 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
           shard_dead = true;
           leftover.insert(leftover.end(), unit.chain_indices.begin(),
                           unit.chain_indices.end());
+          continue;
+        }
+
+        // Backpressure, not death: an admission-shed answer means the
+        // shard is healthy but full. It keeps its ring positions (no
+        // failover — the survivors are probably just as loaded) and the
+        // unit's chains go back to pending for a later overload round.
+        std::int64_t shed_hint_ms = 0;
+        if (is_overloaded_response(response, &shed_hint_ms)) {
+          fleet_.note_shed(shard_work.shard);
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          round_overload = true;
+          overload_hint_ms = std::max(overload_hint_ms, shed_hint_ms);
+          pending.insert(pending.end(), unit.chain_indices.begin(),
+                         unit.chain_indices.end());
           continue;
         }
         fleet_.note_request(shard_work.shard);
@@ -663,6 +808,24 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
       for (std::thread& thread : threads) {
         thread.join();
       }
+    }
+
+    if (round_overload && !pending.empty() && !any_error) {
+      ++overload_rounds_used;
+      if (overload_rounds_used > max_overload_rounds) {
+        // Budget spent waiting on busy shards: give up RETRIABLY — the
+        // parent answer is the same "overloaded" error a single daemon
+        // sheds with, so the client's own retry_after backoff takes over.
+        errors_ = true;
+        emit(service::overloaded_line(
+                 request.id, overload_hint_ms > 0 ? overload_hint_ms : 1000),
+             true);
+        return;
+      }
+      const std::int64_t wait = std::min<std::int64_t>(
+          std::max<std::int64_t>(overload_hint_ms, 1),
+          std::max(1, options.overload_backoff_cap_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
     }
   }
 

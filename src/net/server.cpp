@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -12,6 +15,7 @@
 
 #include "resilience/net/connection.hpp"
 #include "resilience/net/event_loop.hpp"
+#include "resilience/service/cost_model.hpp"
 #include "resilience/service/jsonl_session.hpp"
 #include "resilience/util/thread_pool.hpp"
 
@@ -26,12 +30,41 @@ namespace resilience::net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 std::size_t resolve_workers(std::size_t requested) {
   if (requested > 0) {
     return requested;
   }
   const std::size_t hw = std::thread::hardware_concurrency();
   return std::clamp<std::size_t>(hw, 2, 8);
+}
+
+/// Fair-share charge for request lines that are not scenario requests
+/// (ping, stats, malformed JSON): they answer in microseconds, are never
+/// shed, and must barely advance their connection's finish tag.
+constexpr double kNonScenarioCost = 1.0 / 64.0;
+/// Floor for a scenario charge so fully-warm requests still advance the
+/// virtual clock.
+constexpr double kMinScenarioCost = 1.0 / 1024.0;
+
+std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
+  if (to <= from) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+util::JsonValue histogram_json(const LatencyHistogram& histogram) {
+  util::JsonValue out = util::JsonValue::object();
+  out.set("count", histogram.count);
+  out.set("total_us", histogram.total_us);
+  out.set("max_us", histogram.max_us);
+  out.set("p50_us", histogram.approx_percentile_us(0.5));
+  out.set("p99_us", histogram.approx_percentile_us(0.99));
+  return out;
 }
 
 }  // namespace
@@ -53,12 +86,32 @@ struct NetServer::Impl {
       bool framing_error = false;  ///< deferred oversized-line error
       std::string error_text;      ///< ...and its located message
       std::string error_id;
+      // ---- scheduler state, filled at admission (admit_line) ----
+      bool request = false;   ///< is_request_line (else numbering-only)
+      bool scenario = false;  ///< priced scenario request
+      bool shed = false;      ///< rejected at admission; shed_text answers
+      std::string shed_text;  ///< pre-formatted overloaded error line
+      std::string response_id;  ///< id a transport-side answer would use
+      double cost = 0.0;        ///< predicted compute units (charge)
+      double start_tag = 0.0;   ///< fair-queue virtual start time
+      int deadline_ms = 0;      ///< resolved deadline (0 = none)
+      bool has_queue_deadline = false;
+      Clock::time_point enqueued{};
+      Clock::time_point queue_deadline{};
     };
     std::deque<Item> backlog;
     std::size_t backlog_bytes = 0;  ///< request text queued, not executing
     bool executing = false;
     bool input_closed = false;  ///< peer EOF / framing error / draining
     bool read_hold = false;     ///< paused for pipeline depth or drain
+    // ---- scheduler state ----
+    std::uint64_t lines_received = 0;  ///< mirrors the session's "line-N"
+    double finish_tag = 0.0;    ///< virtual finish time of last admission
+    bool executing_scenario = false;
+    double executing_cost = 0.0;
+    Clock::time_point exec_start{};
+    bool write_pending = false;  ///< measuring done -> socket drained
+    Clock::time_point write_start{};
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
@@ -80,8 +133,8 @@ struct NetServer::Impl {
 #endif
     loop.add_fd(listener.fd(), IoEvents::kRead,
                 [this](std::uint32_t) { on_accept(); });
-    executor = std::make_unique<util::ThreadPool>(
-        resolve_workers(options.request_workers));
+    worker_count = resolve_workers(options.request_workers);
+    executor = std::make_unique<util::ThreadPool>(worker_count);
   }
 
   // ------------------------------------------------------------ accept --
@@ -135,11 +188,17 @@ struct NetServer::Impl {
       if (options.session_factory) {
         conn->session = options.session_factory(std::move(emit), cancel);
       } else {
+        service::JsonlSession::Options session_options;
+        session_options.stream = true;
+        session_options.collect = false;
+        session_options.default_deadline_ms = options.default_deadline_ms;
+        // The daemon's stats answers carry the scheduler snapshot; the
+        // stdin path never sets this, so its bytes are unchanged.
+        session_options.transport_stats = [this] {
+          return overload_stats_json();
+        };
         conn->session = std::make_unique<service::JsonlSession>(
-            service, std::move(emit),
-            service::JsonlSession::Options{/*stream=*/true, /*collect=*/false,
-                                           options.default_deadline_ms},
-            cancel);
+            service, std::move(emit), std::move(session_options), cancel);
       }
       conn->socket->set_wake([this, id] {
         loop.post([this, id] { on_wake(id); });
@@ -203,14 +262,13 @@ struct NetServer::Impl {
         return;  // dropped (read error / slow-client overflow)
       }
     }
-    schedule(conn);
+    dispatch_all();
     maybe_finish(conn);
   }
 
   void pump_socket(const ConnPtr& conn) {
     const auto on_line = [&](std::string_view line) {
-      conn->backlog.push_back(Conn::Item{std::string(line), false, "", ""});
-      conn->backlog_bytes += line.size();
+      admit_line(conn, line);
       if (!conn->read_hold && backlog_over_watermark(conn)) {
         conn->read_hold = true;
         conn->socket->set_read_hold(true);
@@ -232,9 +290,11 @@ struct NetServer::Impl {
         // possible after an unterminated monster line: input ends here.
         dropped_framing.fetch_add(1, std::memory_order_relaxed);
         const LineFramer& framer = conn->socket->framer();
-        conn->backlog.push_back(
-            Conn::Item{"", true, framer.error_message(),
-                       "line-" + std::to_string(framer.error_line())});
+        Conn::Item item;
+        item.framing_error = true;
+        item.error_text = framer.error_message();
+        item.error_id = "line-" + std::to_string(framer.error_line());
+        conn->backlog.push_back(std::move(item));
         conn->input_closed = true;
         break;
       }
@@ -266,32 +326,245 @@ struct NetServer::Impl {
             conn->backlog_bytes <= options.write_buffer_limit / 4);
   }
 
-  void schedule(const ConnPtr& conn) {
-    if (conn->executing || conn->socket->closed()) {
-      return;
+  // -------------------------------------------------------- admission --
+
+  /// Prices one received line and either queues it (with its fair-queue
+  /// start tag) or pre-formats its shed answer. Runs on the loop thread;
+  /// the parse is the admission fee — the transport cannot place a line
+  /// it has not classified.
+  void admit_line(const ConnPtr& conn, std::string_view line) {
+    ++conn->lines_received;
+    Conn::Item item;
+    item.line = std::string(line);
+    item.enqueued = Clock::now();
+    item.request = service::is_request_line(line);
+    if (item.request) {
+      const service::LineCost priced = service::estimate_line_cost(
+          line, &service, options.default_deadline_ms);
+      item.scenario = priced.scenario;
+      item.cost = priced.scenario
+                      ? std::max(priced.estimate.units, kMinScenarioCost)
+                      : kNonScenarioCost;
+      item.deadline_ms = priced.deadline_ms;
+      item.response_id =
+          priced.id.empty() ? "line-" + std::to_string(conn->lines_received)
+                            : priced.id;
+      if (item.scenario && should_shed(item.cost)) {
+        item.shed = true;
+        std::int64_t retry_after = 0;
+        {
+          const std::lock_guard<std::mutex> lock(ostats_mutex);
+          ++ostats.shed_overload;
+          retry_after = retry_after_ms_locked();
+        }
+        item.shed_text = service::overloaded_line(item.response_id,
+                                                  retry_after);
+      } else {
+        // Admitted: charge the waiting budget and stamp the fair-queue
+        // tag. Start-time fair queueing: the tag is where the global
+        // virtual clock will be once every byte this connection admitted
+        // before has had its fair share — so one connection's deep
+        // backlog pushes its OWN later requests back, never another
+        // connection's.
+        item.start_tag = std::max(virtual_time, conn->finish_tag);
+        conn->finish_tag = item.start_tag + item.cost;
+        if (item.scenario) {
+          {
+            const std::lock_guard<std::mutex> lock(ostats_mutex);
+            ++ostats.admitted;
+            ostats.queued_cost += item.cost;
+            ++ostats.queued_depth;
+          }
+          if (item.deadline_ms > 0) {
+            item.has_queue_deadline = true;
+            item.queue_deadline =
+                item.enqueued + std::chrono::milliseconds(item.deadline_ms);
+            arm_sched_timer(item.queue_deadline);
+          }
+        }
+      }
     }
-    // Blank/comment lines only tick the session's "line-N" numbering —
-    // no compute, no response. Handle them inline instead of paying an
-    // executor round trip (and inflating requests_started) per comment.
-    while (!conn->backlog.empty() && !conn->backlog.front().framing_error &&
-           !service::is_request_line(conn->backlog.front().line)) {
-      conn->backlog_bytes -= conn->backlog.front().line.size();
-      conn->session->handle_line(conn->backlog.front().line);
-      conn->backlog.pop_front();
+    conn->backlog_bytes += item.line.size();
+    conn->backlog.push_back(std::move(item));
+  }
+
+  [[nodiscard]] bool should_shed(double cost) const {
+    if (options.max_queue_depth != 0 &&
+        ostats.queued_depth >= options.max_queue_depth) {
+      return true;
     }
-    if (conn->backlog.empty()) {
-      return;
+    // The non-empty-queue condition keeps oversized singletons servable:
+    // a request bigger than the whole budget admits when nothing else
+    // waits (shedding it forever would make the budget a size limit, not
+    // an overload control).
+    return options.max_queue_cost > 0.0 && ostats.queued_depth > 0 &&
+           ostats.queued_cost + cost > options.max_queue_cost;
+  }
+
+  /// Retry hint from the EWMA drain rate: how long until the work ahead
+  /// of a newly shed request (waiting + executing units) has drained.
+  /// Requires ostats_mutex.
+  [[nodiscard]] std::int64_t retry_after_ms_locked() const {
+    const double backlog_units = ostats.queued_cost + executing_units;
+    std::int64_t hint = 1000;  // no completions yet: a round second
+    if (ostats.drain_rate_units_per_ms > 1e-9) {
+      hint = static_cast<std::int64_t>(
+          std::llround(backlog_units / ostats.drain_rate_units_per_ms));
     }
-    Conn::Item item = std::move(conn->backlog.front());
+    return std::clamp<std::int64_t>(hint, 1, 60000);
+  }
+
+  void discharge(const Conn::Item& item) {
+    const std::lock_guard<std::mutex> lock(ostats_mutex);
+    ostats.queued_cost = std::max(0.0, ostats.queued_cost - item.cost);
+    if (ostats.queued_depth > 0) {
+      --ostats.queued_depth;
+    }
+  }
+
+  // -------------------------------------------------------- scheduler --
+
+  /// Answers every head item of `conn` that needs no worker — numbering
+  /// ticks for blank/comment lines, deferred framing errors, admission
+  /// sheds, and queue-deadline expiries — until the head is a runnable
+  /// request (or the backlog empties). Only legal while the connection
+  /// is not executing: inline answers would otherwise interleave with
+  /// the in-flight request's response stream.
+  void advance_conn(const ConnPtr& conn) {
+    while (!conn->executing && !conn->socket->closed() &&
+           !conn->backlog.empty()) {
+      Conn::Item& head = conn->backlog.front();
+      if (head.framing_error) {
+        conn->socket->enqueue(
+            service::error_line(head.error_id, "", head.error_text));
+        pop_head(conn);
+        (void)flush_conn(conn);
+        continue;  // input_closed is set; maybe_finish closes after flush
+      }
+      if (!head.request) {
+        // Blank lines and comments only tick the session's "line-N"
+        // numbering — no compute, no response, no executor round trip.
+        conn->session->handle_line(head.line);
+        pop_head(conn);
+        continue;
+      }
+      if (head.shed) {
+        conn->session->note_skipped_line();
+        conn->socket->enqueue(head.shed_text);
+        pop_head(conn);
+        if (!flush_conn(conn)) {
+          return;
+        }
+        continue;
+      }
+      if (head.scenario && head.has_queue_deadline &&
+          Clock::now() >= head.queue_deadline) {
+        // Expired while queued: answer the located deadline error right
+        // here — the request never touches a worker.
+        discharge(head);
+        {
+          const std::lock_guard<std::mutex> lock(ostats_mutex);
+          ++ostats.shed_expired;
+        }
+        conn->session->note_skipped_line();
+        conn->socket->enqueue(service::error_line(
+            head.response_id, "deadline_ms",
+            "deadline of " + std::to_string(head.deadline_ms) +
+                " ms expired while the request was queued"));
+        pop_head(conn);
+        if (!flush_conn(conn)) {
+          return;
+        }
+        continue;
+      }
+      return;  // runnable head: needs a worker slot
+    }
+  }
+
+  void pop_head(const ConnPtr& conn) {
+    conn->backlog_bytes -= conn->backlog.front().line.size();
     conn->backlog.pop_front();
-    conn->backlog_bytes -= item.line.size();
-    if (item.framing_error) {
-      conn->socket->enqueue(
-          service::error_line(item.error_id, "", item.error_text));
-      (void)flush_conn(conn);
-      return;  // input_closed is set; maybe_finish will close after flush
+  }
+
+  /// The global dispatch pass: advances every connection's inline items,
+  /// then fills free worker slots with the fairest runnable heads —
+  /// smallest virtual start tag first, earliest queue deadline breaking
+  /// ties, connection id as the final deterministic tie-break. Re-entrant
+  /// calls (via flush_conn -> pump) fold into the outer pass.
+  void dispatch_all() {
+    if (in_dispatch) {
+      dispatch_again = true;
+      return;
+    }
+    in_dispatch = true;
+    do {
+      dispatch_again = false;
+      dispatch_pass();
+    } while (dispatch_again);
+    in_dispatch = false;
+  }
+
+  void dispatch_pass() {
+    for (;;) {
+      // Snapshot: advance_conn can close connections (flush failures),
+      // which mutates `connections` mid-iteration.
+      std::vector<ConnPtr> snapshot;
+      snapshot.reserve(connections.size());
+      for (const auto& [id, conn] : connections) {
+        snapshot.push_back(conn);
+      }
+      ConnPtr best;
+      for (const ConnPtr& conn : snapshot) {
+        advance_conn(conn);
+        if (conn->executing || conn->socket->closed() ||
+            conn->backlog.empty()) {
+          continue;
+        }
+        if (best == nullptr || head_before(conn, best)) {
+          best = conn;
+        }
+      }
+      if (best == nullptr || active_requests >= worker_count) {
+        return;
+      }
+      start_item(best);
+    }
+  }
+
+  [[nodiscard]] static bool head_before(const ConnPtr& a, const ConnPtr& b) {
+    const Conn::Item& ha = a->backlog.front();
+    const Conn::Item& hb = b->backlog.front();
+    if (ha.start_tag != hb.start_tag) {
+      return ha.start_tag < hb.start_tag;
+    }
+    if (ha.has_queue_deadline != hb.has_queue_deadline) {
+      return ha.has_queue_deadline;  // a stated deadline outranks none
+    }
+    if (ha.has_queue_deadline && ha.queue_deadline != hb.queue_deadline) {
+      return ha.queue_deadline < hb.queue_deadline;
+    }
+    return a->id < b->id;
+  }
+
+  void start_item(const ConnPtr& conn) {
+    Conn::Item item = std::move(conn->backlog.front());
+    pop_head(conn);
+    const auto now = Clock::now();
+    virtual_time = std::max(virtual_time, item.start_tag);
+    if (item.scenario) {
+      discharge(item);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(ostats_mutex);
+      ostats.queue_wait.record(elapsed_us(item.enqueued, now));
+      if (item.scenario) {
+        executing_units += item.cost;
+      }
     }
     conn->executing = true;
+    conn->executing_scenario = item.scenario;
+    conn->executing_cost = item.cost;
+    conn->exec_start = now;
     ++active_requests;
     requests_started.fetch_add(1, std::memory_order_relaxed);
     const ConnPtr held = conn;
@@ -302,10 +575,36 @@ struct NetServer::Impl {
   }
 
   void on_request_done(const ConnPtr& conn) {
+    const auto now = Clock::now();
     conn->executing = false;
     if (active_requests > 0) {
       --active_requests;
     }
+    {
+      const std::lock_guard<std::mutex> lock(ostats_mutex);
+      ostats.compute.record(elapsed_us(conn->exec_start, now));
+      if (conn->executing_scenario) {
+        executing_units = std::max(0.0, executing_units - conn->executing_cost);
+        // EWMA drain rate in units/ms, sampled per completion over the
+        // wall time since the previous one (first sample: this request's
+        // own compute time). Overload arithmetic only — never results.
+        const Clock::time_point since =
+            last_completion == Clock::time_point{} ? conn->exec_start
+                                                   : last_completion;
+        const double dt_ms = std::max(
+            static_cast<double>(elapsed_us(since, now)) / 1000.0, 0.01);
+        const double instant = conn->executing_cost / dt_ms;
+        ostats.drain_rate_units_per_ms =
+            ostats.drain_rate_units_per_ms <= 0.0
+                ? instant
+                : 0.2 * instant + 0.8 * ostats.drain_rate_units_per_ms;
+        last_completion = now;
+      }
+    }
+    conn->executing_scenario = false;
+    conn->executing_cost = 0.0;
+    conn->write_pending = true;
+    conn->write_start = now;
     if (!conn->socket->closed()) {
       if (flush_conn(conn)) {
         if (conn->read_hold && !draining && !conn->input_closed &&
@@ -318,8 +617,97 @@ struct NetServer::Impl {
         // item of an input_closed connection.
         pump(conn);
       }
+    } else {
+      dispatch_all();  // this connection died mid-request; others wait
     }
     check_drain();
+  }
+
+  // ------------------------------------------------- queue-expiry timer --
+
+  /// One timer covers the earliest queue deadline among admitted items:
+  /// when it fires, expired heads answer promptly instead of waiting for
+  /// the next socket event. Items behind an in-flight request still wait
+  /// their turn — per-connection response order is absolute.
+  void arm_sched_timer(Clock::time_point deadline) {
+#if defined(__linux__)
+    if (sched_timer_armed && sched_timer_deadline <= deadline) {
+      return;
+    }
+    if (!sched_timer.valid()) {
+      sched_timer =
+          Fd(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC));
+      if (!sched_timer.valid()) {
+        return;  // best-effort: expiry then happens on the next event
+      }
+      loop.add_fd(sched_timer.fd(), IoEvents::kRead, [this](std::uint32_t) {
+        std::uint64_t expirations = 0;
+        while (::read(sched_timer.fd(), &expirations, sizeof(expirations)) >
+               0) {
+        }
+        sched_timer_armed = false;
+        on_sched_timer();
+      });
+    }
+    const auto delta = deadline - Clock::now();
+    const auto ns = std::max<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count(),
+        1000000);  // >= 1 ms; 0 would disarm the timer
+    itimerspec spec{};
+    spec.it_value.tv_sec = ns / 1000000000;
+    spec.it_value.tv_nsec = static_cast<long>(ns % 1000000000);
+    if (::timerfd_settime(sched_timer.fd(), 0, &spec, nullptr) == 0) {
+      sched_timer_armed = true;
+      sched_timer_deadline = deadline;
+    }
+#else
+    (void)deadline;
+#endif
+  }
+
+  void on_sched_timer() {
+    dispatch_all();
+    // Re-arm for the earliest deadline still queued.
+    Clock::time_point earliest{};
+    bool found = false;
+    for (const auto& [id, conn] : connections) {
+      for (const Conn::Item& item : conn->backlog) {
+        if (item.scenario && !item.shed && item.has_queue_deadline &&
+            (!found || item.queue_deadline < earliest)) {
+          earliest = item.queue_deadline;
+          found = true;
+        }
+      }
+    }
+    if (found) {
+      arm_sched_timer(earliest);
+    }
+  }
+
+  util::JsonValue overload_stats_json() const {
+    OverloadStats snapshot;
+    {
+      const std::lock_guard<std::mutex> lock(ostats_mutex);
+      snapshot = ostats;
+      snapshot.retry_after_ms = retry_after_ms_locked();
+    }
+    util::JsonValue scheduler = util::JsonValue::object();
+    scheduler.set("admitted", snapshot.admitted);
+    scheduler.set("shed_overload", snapshot.shed_overload);
+    scheduler.set("shed_expired", snapshot.shed_expired);
+    scheduler.set("queued_cost", snapshot.queued_cost);
+    scheduler.set("queued_depth", snapshot.queued_depth);
+    scheduler.set("drain_rate_units_per_ms",
+                  snapshot.drain_rate_units_per_ms);
+    scheduler.set("retry_after_ms", snapshot.retry_after_ms);
+    util::JsonValue latency = util::JsonValue::object();
+    latency.set("queue_wait", histogram_json(snapshot.queue_wait));
+    latency.set("compute", histogram_json(snapshot.compute));
+    latency.set("write", histogram_json(snapshot.write));
+    util::JsonValue out = util::JsonValue::object();
+    out.set("scheduler", std::move(scheduler));
+    out.set("latency_us", std::move(latency));
+    return out;
   }
 
   // ------------------------------------------------------- write drain --
@@ -338,6 +726,13 @@ struct NetServer::Impl {
     if (conn->socket->overflowed()) {
       drop(conn, dropped_slow);
       return false;
+    }
+    if (conn->write_pending && conn->socket->drained()) {
+      // The response that finished last on this connection has fully
+      // reached the kernel: close the write-stage measurement.
+      conn->write_pending = false;
+      const std::lock_guard<std::mutex> lock(ostats_mutex);
+      ostats.write.record(elapsed_us(conn->write_start, Clock::now()));
     }
     if (paused_before && !conn->socket->reading_paused() &&
         !conn->input_closed) {
@@ -361,6 +756,13 @@ struct NetServer::Impl {
     }
     conn->cancel->store(true, std::memory_order_release);
     conn->socket->close();
+    // Queued admissions die with the connection: refund their charge, or
+    // the waiting budget would leak and eventually shed everything.
+    for (const Conn::Item& item : conn->backlog) {
+      if (item.scenario && !item.shed) {
+        discharge(item);
+      }
+    }
     conn->backlog.clear();
     conn->backlog_bytes = 0;
     connections.erase(conn->id);
@@ -395,7 +797,9 @@ struct NetServer::Impl {
     for (const ConnPtr& conn : snapshot) {
       conn->input_closed = true;  // already-received requests still run
       conn->socket->set_read_hold(true);
-      schedule(conn);
+    }
+    dispatch_all();
+    for (const ConnPtr& conn : snapshot) {
       maybe_finish(conn);
     }
     arm_drain_timer();
@@ -471,7 +875,22 @@ struct NetServer::Impl {
   std::unordered_map<std::uint64_t, ConnPtr> connections;
   std::uint64_t next_id = 1;
   std::size_t active_requests = 0;
+  std::size_t worker_count = 1;
   bool draining = false;
+
+  // Scheduler state. Everything below lives on the loop thread; the
+  // ostats block is additionally read by overload_stats() from executor
+  // threads (the stats handler) and tests, hence its mutex.
+  double virtual_time = 0.0;
+  bool in_dispatch = false;
+  bool dispatch_again = false;
+  Fd sched_timer;
+  bool sched_timer_armed = false;
+  Clock::time_point sched_timer_deadline{};
+  double executing_units = 0.0;  ///< cost of requests on workers right now
+  Clock::time_point last_completion{};
+  mutable std::mutex ostats_mutex;
+  OverloadStats ostats;
 
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> rejected_over_limit{0};
@@ -502,6 +921,17 @@ service::SweepService& NetServer::service() noexcept {
 
 const NetServerOptions& NetServer::options() const noexcept {
   return impl_->options;
+}
+
+OverloadStats NetServer::overload_stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->ostats_mutex);
+  OverloadStats snapshot = impl_->ostats;
+  snapshot.retry_after_ms = impl_->retry_after_ms_locked();
+  return snapshot;
+}
+
+util::JsonValue NetServer::overload_stats_json() const {
+  return impl_->overload_stats_json();
 }
 
 NetServer::Stats NetServer::stats() const {

@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "resilience/service/cost_model.hpp"
+
 namespace resilience::service {
 
 namespace {
@@ -123,7 +125,14 @@ void JsonlSession::handle_line(std::string_view line) {
           return;
         }
       }
-      emit(is_ping ? pong_line(id) : stats_line(id, service_.stats()), true);
+      if (is_ping) {
+        emit(pong_line(id), true);
+      } else if (options_.transport_stats) {
+        const util::JsonValue transport = options_.transport_stats();
+        emit(stats_line(id, service_.stats(), &transport), true);
+      } else {
+        emit(stats_line(id, service_.stats()), true);
+      }
       return;
     }
   }
@@ -154,6 +163,13 @@ void JsonlSession::handle_line(std::string_view line) {
 
   try {
     const core::GridSignature signature = service_.signature_for(request);
+    // Price the request BEFORE submitting: the estimate must reflect the
+    // cache state an admission controller saw, not the state after this
+    // very request published its table. Only when the client asked for
+    // stats — the probe is cheap but not free.
+    const CostEstimate cost = request.include_stats
+                                  ? estimate_cost(request, &service_)
+                                  : CostEstimate{};
     SessionSink sink(
         request.id, signature, options_.stream, options_.collect,
         [this](std::string&& cell) { emit_(std::move(cell), false); },
@@ -165,7 +181,8 @@ void JsonlSession::handle_line(std::string_view line) {
         request.include_stats ? service_.stats() : ServiceStats{};
     emit(done_line(request.id, result.signature, *result.table,
                    result.cache_hit, result.joined_in_flight,
-                   request.include_stats ? &stats : nullptr),
+                   request.include_stats ? &stats : nullptr,
+                   request.include_stats ? &cost : nullptr),
          true);
     if (outcome_) {
       outcome_(Outcome{std::move(request), result, std::move(sink.cells())});

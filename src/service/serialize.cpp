@@ -4,6 +4,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "resilience/service/cost_model.hpp"
 #include "resilience/service/sweep_service.hpp"
 
 namespace resilience::service {
@@ -260,8 +261,18 @@ JsonValue to_json(const ServiceStats& stats) {
   return out;
 }
 
-std::string stats_line(const std::string& request_id,
-                       const ServiceStats& stats) {
+JsonValue to_json(const CostEstimate& estimate) {
+  JsonValue out = JsonValue::object();
+  out.set("units", estimate.units);
+  out.set("cells", estimate.cells);
+  out.set("chains", estimate.chains);
+  out.set("seeded_chains", estimate.seeded_chains);
+  out.set("identity_hit", estimate.identity_hit);
+  return out;
+}
+
+std::string stats_line(const std::string& request_id, const ServiceStats& stats,
+                       const util::JsonValue* transport) {
   JsonValue line = JsonValue::object();
   line.set("type", "stats");
   line.set("request", request_id);
@@ -269,13 +280,17 @@ std::string stats_line(const std::string& request_id,
   for (const auto& [key, value] : blocks.as_object()) {
     line.set(key, value);
   }
+  if (transport != nullptr) {
+    line.set("transport", *transport);
+  }
   return line.dump();
 }
 
 std::string done_line(const std::string& request_id,
                       core::GridSignature signature,
                       const core::SweepTable& table, bool cache_hit,
-                      bool joined_in_flight, const ServiceStats* stats) {
+                      bool joined_in_flight, const ServiceStats* stats,
+                      const CostEstimate* cost) {
   JsonValue kinds = JsonValue::array();
   for (const core::PatternKind kind : table.kinds) {
     kinds.push_back(core::pattern_name(kind));
@@ -290,7 +305,13 @@ std::string done_line(const std::string& request_id,
   line.set("cache_hit", cache_hit);
   line.set("joined_in_flight", joined_in_flight);
   if (stats != nullptr) {
-    line.set("stats", to_json(*stats));
+    JsonValue stats_json = to_json(*stats);
+    if (cost != nullptr) {
+      // Appended AFTER the service/cache blocks: existing consumers match
+      // the stats prefix textually, and insertion order is emission order.
+      stats_json.set("cost", to_json(*cost));
+    }
+    line.set("stats", std::move(stats_json));
   }
   return line.dump();
 }
@@ -309,6 +330,24 @@ std::string error_line(const std::string& request_id, const std::string& field,
   line.set("request", request_id);
   line.set("field", field);
   line.set("message", message);
+  return line.dump();
+}
+
+std::string overloaded_line(const std::string& request_id,
+                            std::int64_t retry_after_ms) {
+  // An error line (same leading fields, so clients that only know
+  // "type":"error" still terminate the request) extended with the
+  // machine-readable shed marker. "field" is empty: the request itself
+  // was fine — the server's queue was not.
+  JsonValue line = JsonValue::object();
+  line.set("type", "error");
+  line.set("request", request_id);
+  line.set("field", "");
+  line.set("message",
+           "server overloaded: request shed at admission; retry after " +
+               std::to_string(retry_after_ms) + " ms");
+  line.set("code", "overloaded");
+  line.set("retry_after_ms", retry_after_ms);
   return line.dump();
 }
 

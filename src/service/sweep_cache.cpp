@@ -274,6 +274,17 @@ std::vector<core::ChainSeed> SweepCache::seeds_for(
   return seeds;
 }
 
+bool SweepCache::contains(core::GridSignature signature) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.find(signature.value) != index_.end() ||
+         disk_index_.count(signature.value) != 0;
+}
+
+bool SweepCache::has_seeds(core::ChainKey key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return seed_index_.find(key.value) != seed_index_.end();
+}
+
 void SweepCache::persist_now() {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (cache_dir_.empty()) {

@@ -1,7 +1,10 @@
 #include "resilience/util/cli.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <system_error>
 
 namespace resilience::util {
 
@@ -77,6 +80,63 @@ double CliParser::get_double(const std::string& name) const {
 bool CliParser::get_bool(const std::string& name) const {
   const std::string v = get_string(name);
   return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::optional<std::int64_t> CliParser::checked_int(
+    const std::string& name, std::int64_t min_value,
+    std::int64_t max_value) const {
+  const std::string text = get_string(name);
+  std::int64_t value = 0;
+  const char* const end = text.data() + text.size();
+  const std::from_chars_result result =
+      std::from_chars(text.data(), end, value, 10);
+  if (text.empty() || result.ec != std::errc() || result.ptr != end) {
+    std::fprintf(stderr, "%s: --%s expects an integer, got '%s'\n",
+                 program_.c_str(), name.c_str(), text.c_str());
+    return std::nullopt;
+  }
+  if (value < min_value || value > max_value) {
+    if (max_value == INT64_MAX) {
+      std::fprintf(stderr, "%s: --%s must be >= %lld, got %lld\n",
+                   program_.c_str(), name.c_str(),
+                   static_cast<long long>(min_value),
+                   static_cast<long long>(value));
+    } else {
+      std::fprintf(stderr, "%s: --%s must be in [%lld, %lld], got %lld\n",
+                   program_.c_str(), name.c_str(),
+                   static_cast<long long>(min_value),
+                   static_cast<long long>(max_value),
+                   static_cast<long long>(value));
+    }
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> CliParser::checked_double(const std::string& name,
+                                                double min_value,
+                                                double max_value) const {
+  const std::string text = get_string(name);
+  double value = 0.0;
+  std::size_t consumed = 0;
+  bool parsed = false;
+  try {
+    value = std::stod(text, &consumed);
+    parsed = consumed == text.size() && std::isfinite(value);
+  } catch (const std::exception&) {
+    parsed = false;
+  }
+  if (!parsed) {
+    std::fprintf(stderr, "%s: --%s expects a finite number, got '%s'\n",
+                 program_.c_str(), name.c_str(), text.c_str());
+    return std::nullopt;
+  }
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr, "%s: --%s must be in [%g, %g], got %g\n",
+                 program_.c_str(), name.c_str(), min_value, max_value, value);
+    return std::nullopt;
+  }
+  return value;
 }
 
 bool CliParser::was_set(const std::string& name) const {

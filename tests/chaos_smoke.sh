@@ -14,34 +14,11 @@ set -u
 BUILD=$1
 REQUESTS=$2
 SEEDS=${3:-16}
-TMP=$(mktemp -d) || exit 1
+SMOKE_NAME=chaos_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init
 DAEMON_PID=""
 CHAOS_PID=""
-
-cleanup() {
-  [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2>/dev/null
-  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
-  rm -rf "$TMP"
-}
-trap cleanup EXIT
-
-fail() {
-  echo "chaos_smoke: $1" >&2
-  [ -f "$TMP/daemon.log" ] && cat "$TMP/daemon.log" >&2
-  [ -f "$TMP/chaos.log" ] && cat "$TMP/chaos.log" >&2
-  exit 1
-}
-
-wait_for_port() {
-  # $1 = port file, $2 = pid, $3 = name
-  i=0
-  while [ ! -s "$1" ]; do
-    i=$((i + 1))
-    [ $i -gt 100 ] && fail "$3 did not bind within 10s"
-    kill -0 "$2" 2>/dev/null || fail "$3 died at startup"
-    sleep 0.1
-  done
-}
 
 # One daemon for the whole barrage: surviving every seed on a single
 # process is the point.
@@ -49,6 +26,7 @@ rm -f "$TMP/port"
 "$BUILD/sweep_serverd" --port=0 --port-file="$TMP/port" \
     --cache-capacity=8 2>>"$TMP/daemon.log" &
 DAEMON_PID=$!
+track_pid "$DAEMON_PID"
 wait_for_port "$TMP/port" "$DAEMON_PID" "daemon"
 PORT=$(cat "$TMP/port")
 
@@ -67,6 +45,7 @@ while [ "$seed" -le "$SEEDS" ]; do
       --max-chunk=64 --stall-every=32 --stall-max-ms=1 \
       --kill-every=48 --kill-budget=6 2>>"$TMP/chaos.log" &
   CHAOS_PID=$!
+  track_pid "$CHAOS_PID"
   wait_for_port "$TMP/chaos_port" "$CHAOS_PID" "chaosd (seed $seed)"
   CHAOS_PORT=$(cat "$TMP/chaos_port")
 
@@ -79,11 +58,8 @@ while [ "$seed" -le "$SEEDS" ]; do
   diff -u "$TMP/reference.jsonl" "$TMP/chaos_$seed.jsonl" >&2 \
       || fail "seed $seed responses differ from the fault-free run"
 
-  kill -TERM "$CHAOS_PID" || fail "chaosd (seed $seed) already gone"
-  wait "$CHAOS_PID"
-  rc=$?
+  expect_drain "$CHAOS_PID" "chaosd (seed $seed)"
   CHAOS_PID=""
-  [ $rc -eq 0 ] || fail "chaosd exit code $rc after SIGTERM (seed $seed)"
   seed=$((seed + 1))
 done
 
@@ -95,11 +71,8 @@ kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during the barrage"
 diff -u "$TMP/reference.jsonl" "$TMP/after.jsonl" >&2 \
     || fail "post-chaos responses differ from the fault-free run"
 
-kill -TERM "$DAEMON_PID" || fail "daemon already gone"
-wait "$DAEMON_PID"
-rc=$?
+expect_drain "$DAEMON_PID" "daemon"
 DAEMON_PID=""
-[ $rc -eq 0 ] || fail "daemon exit code $rc after SIGTERM (expected a graceful drain)"
 
 echo "chaos_smoke: OK ($SEEDS seeds byte-identical to the fault-free run, daemon drained clean)"
 exit 0

@@ -20,50 +20,29 @@ set -u
 
 BUILD=$1
 REQUESTS=$2
-TMP=$(mktemp -d) || exit 1
-PIDS=""
+SMOKE_NAME=fleet_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init
 ROUTER_PID=""
 S3_PID=""
 
-cleanup() {
-  [ -n "$ROUTER_PID" ] && kill "$ROUTER_PID" 2>/dev/null
-  [ -n "$S3_PID" ] && kill "$S3_PID" 2>/dev/null
-  for pid in $PIDS; do
-    kill "$pid" 2>/dev/null
-  done
-  rm -rf "$TMP"
-}
-trap cleanup EXIT
-
-fail() {
-  echo "fleet_smoke: $1" >&2
-  for log in "$TMP"/*.log; do
-    [ -f "$log" ] && { echo "--- $log" >&2; cat "$log" >&2; }
-  done
-  exit 1
-}
-
-wait_for_port() {
-  # $1 = port file, $2 = pid, $3 = name
-  i=0
-  while [ ! -s "$1" ]; do
-    i=$((i + 1))
-    [ $i -gt 100 ] && fail "$3 did not bind within 10s"
-    kill -0 "$2" 2>/dev/null || fail "$3 died at startup"
-    sleep 0.1
-  done
+# Asks the router for its fleet stats; the answer lands in $TMP/stats.jsonl.
+router_stats() {
+  printf '{"type":"stats","id":"fs"}\n' \
+      | "$BUILD/sweep_client" --port="$ROUTER_PORT" --input=- \
+      >"$TMP/stats.jsonl" || fail "stats request failed"
 }
 
 # ------------------------------------------------- single-daemon truth --
 "$BUILD/sweep_serverd" --port=0 --port-file="$TMP/ref.port" \
     --cache-capacity=0 2>>"$TMP/ref.log" &
 REF_PID=$!
+track_pid "$REF_PID"
 wait_for_port "$TMP/ref.port" "$REF_PID" "reference daemon"
 "$BUILD/sweep_client" --port="$(cat "$TMP/ref.port")" --input="$REQUESTS" \
     >"$TMP/reference.jsonl" || fail "reference client failed"
 [ -s "$TMP/reference.jsonl" ] || fail "reference run produced no output"
-kill -TERM "$REF_PID" && wait "$REF_PID"
-[ $? -eq 0 ] || fail "reference daemon did not drain cleanly"
+expect_drain "$REF_PID" "reference daemon"
 sort "$TMP/reference.jsonl" >"$TMP/reference.sorted"
 
 # -------------------------------------------------------------- topology --
@@ -71,10 +50,10 @@ for shard in 1 2 3; do
   "$BUILD/sweep_serverd" --port=0 --port-file="$TMP/s$shard.port" \
       --cache-capacity=0 2>>"$TMP/s$shard.log" &
   eval "S${shard}_PID=\$!"
+  track_pid "$(eval echo "\$S${shard}_PID")"
   wait_for_port "$TMP/s$shard.port" "$(eval echo "\$S${shard}_PID")" \
       "shard $shard"
 done
-PIDS="$S1_PID $S2_PID"
 
 # Shard 2 is only reachable through the chaos proxy: torn chunks and
 # stalls, no kills (a killed sub-request would legitimately retry into
@@ -85,8 +64,8 @@ PIDS="$S1_PID $S2_PID"
     --max-chunk=48 --stall-every=24 --stall-max-ms=2 --kill-every=0 \
     2>>"$TMP/chaos.log" &
 CHAOS_PID=$!
+track_pid "$CHAOS_PID"
 wait_for_port "$TMP/chaos.port" "$CHAOS_PID" "chaosd"
-PIDS="$PIDS $CHAOS_PID"
 
 S3_PORT=$(cat "$TMP/s3.port")
 SHARDS="$(cat "$TMP/s1.port"),$(cat "$TMP/chaos.port"),$S3_PORT"
@@ -98,6 +77,7 @@ SHARDS="$(cat "$TMP/s1.port"),$(cat "$TMP/chaos.port"),$S3_PORT"
     --connect-timeout-ms=2000 --receive-timeout-ms=10000 \
     2>>"$TMP/router.log" &
 ROUTER_PID=$!
+track_pid "$ROUTER_PID"
 wait_for_port "$TMP/router.port" "$ROUTER_PID" "router"
 ROUTER_PORT=$(cat "$TMP/router.port")
 
@@ -112,6 +92,7 @@ diff -u "$TMP/reference.sorted" "$TMP/phase1.sorted" >&2 \
 "$BUILD/sweep_client" --port="$ROUTER_PORT" --input="$REQUESTS" \
     >"$TMP/phase2.jsonl" &
 CLIENT_PID=$!
+track_pid "$CLIENT_PID"
 
 # Kill shard 3 once the barrage is demonstrably mid-stream.
 i=0
@@ -128,15 +109,26 @@ kill -9 "$S3_PID" 2>/dev/null || fail "shard 3 already gone before the kill"
 wait "$S3_PID" 2>/dev/null
 S3_PID=""
 
-# Leave the port dead long enough that an in-flight sub-request exhausts
-# its attempts (the failover path), rather than its retry landing on the
-# relaunched process.
-sleep 0.4
+# Relaunch only after the router has RECORDED the failover — an in-flight
+# sub-request exhausted its attempts against the dead port — so the retry
+# cannot race onto the relaunched process (this poll replaces a blind
+# sleep that made the race merely unlikely).
+i=0
+while :; do
+  router_stats
+  grep -q '"failovers":0' "$TMP/stats.jsonl" || break
+  kill -0 "$CLIENT_PID" 2>/dev/null \
+      || fail "phase 2 barrage finished without tripping the failover"
+  i=$((i + 1))
+  [ $i -gt 200 ] && fail "router never recorded the failover"
+  sleep 0.05
+done
 
 # Relaunch it on the same port; the prober must rejoin it on its own.
 "$BUILD/sweep_serverd" --port="$S3_PORT" --port-file="$TMP/s3b.port" \
     --cache-capacity=0 2>>"$TMP/s3.log" &
 S3_PID=$!
+track_pid "$S3_PID"
 wait_for_port "$TMP/s3b.port" "$S3_PID" "relaunched shard 3"
 
 wait "$CLIENT_PID" || fail "phase 2 client failed"
@@ -144,13 +136,10 @@ sort "$TMP/phase2.jsonl" >"$TMP/phase2.sorted"
 diff -u "$TMP/reference.sorted" "$TMP/phase2.sorted" >&2 \
     || fail "phase 2 responses differ after the shard kill"
 
-# The router noticed the death (failover + ring rebalance) and the
-# prober rejoined the relaunched shard: poll stats until up=3 again.
+# The prober rejoined the relaunched shard: poll stats until up=3 again.
 i=0
 while :; do
-  printf '{"type":"stats","id":"fs"}\n' \
-      | "$BUILD/sweep_client" --port="$ROUTER_PORT" --input=- \
-      >"$TMP/stats.jsonl" || fail "stats request failed"
+  router_stats
   grep -q '"up":3' "$TMP/stats.jsonl" && break
   i=$((i + 1))
   [ $i -gt 100 ] && { cat "$TMP/stats.jsonl" >&2; \
@@ -168,19 +157,11 @@ diff -u "$TMP/reference.sorted" "$TMP/phase3.sorted" >&2 \
     || fail "post-rejoin responses differ"
 
 # ------------------------------------------------------ graceful drains --
-kill -TERM "$ROUTER_PID" || fail "router already gone"
-wait "$ROUTER_PID"
-rc=$?
+expect_drain "$ROUTER_PID" "router"
 ROUTER_PID=""
-[ $rc -eq 0 ] || fail "router exit code $rc after SIGTERM"
-
-for pid in $PIDS $S3_PID; do
-  kill -TERM "$pid" 2>/dev/null || fail "a fleet process died early (pid $pid)"
-  wait "$pid"
-  rc=$?
-  [ $rc -eq 0 ] || fail "fleet process $pid exit code $rc after SIGTERM"
+for pid in $S1_PID $S2_PID $CHAOS_PID $S3_PID; do
+  expect_drain "$pid" "fleet process $pid"
 done
-PIDS=""
 S3_PID=""
 
 echo "fleet_smoke: OK (healthy, mid-barrage kill, and post-rejoin barrages all byte-identical; clean drains)"

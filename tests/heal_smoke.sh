@@ -12,35 +12,11 @@
 set -u
 
 BUILD=$1
-TMP=$(mktemp -d) || exit 1
+SMOKE_NAME=heal_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init
 DAEMON_PID=""
 CLIENT_PID=""
-
-cleanup() {
-  [ -n "$CLIENT_PID" ] && kill "$CLIENT_PID" 2>/dev/null
-  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
-  rm -rf "$TMP"
-}
-trap cleanup EXIT
-
-fail() {
-  echo "heal_smoke: $1" >&2
-  for log in "$TMP"/*.log; do
-    [ -f "$log" ] && { echo "--- $log" >&2; cat "$log" >&2; }
-  done
-  exit 1
-}
-
-wait_for_port() {
-  # $1 = port file, $2 = pid, $3 = name
-  i=0
-  while [ ! -s "$1" ]; do
-    i=$((i + 1))
-    [ $i -gt 100 ] && fail "$3 did not bind within 10s"
-    kill -0 "$2" 2>/dev/null || fail "$3 died at startup"
-    sleep 0.1
-  done
-}
 
 # All-distinct grids with explicit ids (retries land on fresh
 # connections, where default "line-N" ids restart), sized so the
@@ -63,13 +39,13 @@ done
 "$BUILD/sweep_serverd" --port=0 --port-file="$TMP/ref.port" \
     2>>"$TMP/ref.log" &
 DAEMON_PID=$!
+track_pid "$DAEMON_PID"
 wait_for_port "$TMP/ref.port" "$DAEMON_PID" "reference daemon"
 "$BUILD/sweep_client" --port="$(cat "$TMP/ref.port")" \
     --input="$TMP/requests.jsonl" >"$TMP/reference.jsonl" \
     || fail "reference client failed"
 [ -s "$TMP/reference.jsonl" ] || fail "reference run produced no output"
-kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
-[ $? -eq 0 ] || fail "reference daemon did not drain cleanly"
+expect_drain "$DAEMON_PID" "reference daemon"
 DAEMON_PID=""
 sort "$TMP/reference.jsonl" >"$TMP/reference.sorted"
 
@@ -77,6 +53,7 @@ sort "$TMP/reference.jsonl" >"$TMP/reference.sorted"
 "$BUILD/sweep_serverd" --port=0 --port-file="$TMP/heal.port" \
     2>>"$TMP/heal.log" &
 DAEMON_PID=$!
+track_pid "$DAEMON_PID"
 wait_for_port "$TMP/heal.port" "$DAEMON_PID" "daemon"
 PORT=$(cat "$TMP/heal.port")
 
@@ -84,6 +61,7 @@ PORT=$(cat "$TMP/heal.port")
     --retries=10 --connect-timeout-ms=2000 --receive-timeout-ms=10000 \
     >"$TMP/healed.jsonl" 2>"$TMP/client.log" &
 CLIENT_PID=$!
+track_pid "$CLIENT_PID"
 
 # SIGKILL the daemon once the stream is demonstrably underway.
 i=0
@@ -105,6 +83,7 @@ DAEMON_PID=""
 "$BUILD/sweep_serverd" --port="$PORT" --port-file="$TMP/heal2.port" \
     2>>"$TMP/heal.log" &
 DAEMON_PID=$!
+track_pid "$DAEMON_PID"
 wait_for_port "$TMP/heal2.port" "$DAEMON_PID" "relaunched daemon"
 
 wait "$CLIENT_PID" || fail "client did not heal through the kill"
@@ -115,8 +94,7 @@ diff -u "$TMP/reference.sorted" "$TMP/healed.sorted" >&2 \
 grep -q "retries" "$TMP/client.log" \
     || fail "healing stats line never reached stderr: $(cat "$TMP/client.log")"
 
-kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
-[ $? -eq 0 ] || fail "relaunched daemon did not drain cleanly"
+expect_drain "$DAEMON_PID" "relaunched daemon"
 DAEMON_PID=""
 
 # ---------------------------- dead endpoint: stats on final failure --

@@ -13,42 +13,24 @@ set -u
 
 BUILD=$1
 REQUESTS=$2
-TMP=$(mktemp -d) || exit 1
+SMOKE_NAME=net_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init
 DAEMON_PID=""
-
-cleanup() {
-  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
-  rm -rf "$TMP"
-}
-trap cleanup EXIT
-
-fail() {
-  echo "net_smoke: $1" >&2
-  [ -f "$TMP/daemon.log" ] && cat "$TMP/daemon.log" >&2
-  exit 1
-}
 
 start_daemon() {
   rm -f "$TMP/port"
   "$BUILD/sweep_serverd" --port=0 --port-file="$TMP/port" \
       --cache-capacity=8 2>>"$TMP/daemon.log" &
   DAEMON_PID=$!
-  i=0
-  while [ ! -s "$TMP/port" ]; do
-    i=$((i + 1))
-    [ $i -gt 100 ] && fail "daemon did not bind within 10s"
-    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died at startup"
-    sleep 0.1
-  done
+  track_pid "$DAEMON_PID"
+  wait_for_port "$TMP/port" "$DAEMON_PID" "daemon"
   PORT=$(cat "$TMP/port")
 }
 
 stop_daemon() {
-  kill -TERM "$DAEMON_PID" || fail "daemon already gone"
-  wait "$DAEMON_PID"
-  rc=$?
+  expect_drain "$DAEMON_PID" "daemon"
   DAEMON_PID=""
-  [ $rc -eq 0 ] || fail "daemon exit code $rc after SIGTERM (expected a graceful drain)"
 }
 
 # Reference: the stdin path over the same file. The smoke file contains

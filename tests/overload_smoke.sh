@@ -1,0 +1,119 @@
+#!/bin/sh
+# Overload smoke: one sweep_serverd with a deliberately small admission
+# budget (--max-queue-cost), hammered by four concurrent resilient
+# clients — three streaming heavy grids, one streaming cheap single-cell
+# grids. The heavy streams collide on the queue budget and get shed with
+# retriable "overloaded" answers; the clients honor retry_after_ms and
+# re-send until everything completes. Gates:
+#   - every client exits 0 (no request is lost to shedding — at-least-once
+#     delivery rides through admission control);
+#   - each client's completed responses are byte-identical (per-line sort)
+#     to an unloaded single-daemon run of the same file — a shed detour
+#     may delay bytes, never change them;
+#   - the daemon's stats report at least one overload shed (the barrage
+#     actually exercised admission control) and zero expired requests;
+#   - the drained daemon still exits 0.
+# Caching and seed reuse are off (--cache-capacity=0) so every compute is
+# cold and the done-line flags cannot depend on arrival order.
+#
+# Usage: overload_smoke.sh BUILD_DIR
+set -u
+
+BUILD=$1
+SMOKE_NAME=overload_smoke
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init
+DAEMON_PID=""
+
+# ---------------------------------------------------- request files --
+# Three heavy clients: 3 requests each of 3 platforms x 16 nodes x
+# 4 rates x 2 families = 384 cells (~384 cost units cold). All grids
+# distinct across clients and rounds so no in-flight joins can differ
+# between the serial reference and the concurrent barrage.
+for c in 1 2 3; do
+  r=1
+  while [ $r -le 3 ]; do
+    base=$((c * 1000 + r * 100))
+    nodes=""
+    i=0
+    while [ $i -lt 16 ]; do
+      [ -n "$nodes" ] && nodes="$nodes, "
+      nodes="$nodes$((base + i * 16))"
+      i=$((i + 1))
+    done
+    printf '{"id": "h%d_%d", "platforms": ["hera", "atlas", "coastal"], "node_counts": [%s], "rate_factors": [{"fail_stop": 0.5}, {"fail_stop": 1.0}, {"fail_stop": 2.0}, {"fail_stop": 4.0}], "kinds": ["PD", "PDMV"]}\n' \
+        "$c" "$r" "$nodes" >>"$TMP/heavy$c.jsonl"
+    r=$((r + 1))
+  done
+done
+# One cheap client: 12 single-cell requests (1 cost unit each — they must
+# keep being admitted alongside a queued heavy).
+r=1
+while [ $r -le 12 ]; do
+  printf '{"id": "c_%d", "platforms": ["hera"], "node_counts": [%d], "kinds": ["PD"]}\n' \
+      "$r" $((64 + r)) >>"$TMP/cheap.jsonl"
+  r=$((r + 1))
+done
+
+# ------------------------------------------------- unloaded references --
+"$BUILD/sweep_serverd" --port=0 --port-file="$TMP/ref.port" \
+    --cache-capacity=0 2>>"$TMP/ref.log" &
+DAEMON_PID=$!
+track_pid "$DAEMON_PID"
+wait_for_port "$TMP/ref.port" "$DAEMON_PID" "reference daemon"
+REF_PORT=$(cat "$TMP/ref.port")
+for f in heavy1 heavy2 heavy3 cheap; do
+  "$BUILD/sweep_client" --port="$REF_PORT" --input="$TMP/$f.jsonl" \
+      >"$TMP/ref_$f.jsonl" || fail "reference run for $f failed"
+  [ -s "$TMP/ref_$f.jsonl" ] || fail "reference run for $f produced no output"
+  sort "$TMP/ref_$f.jsonl" >"$TMP/ref_$f.sorted"
+done
+expect_drain "$DAEMON_PID" "reference daemon"
+
+# ------------------------------------- overloaded daemon + barrage --
+# Budget 400: one queued heavy (384 units) fits, a second heavy on top
+# does not (768 > 400) and is shed; a cheap request alongside a queued
+# heavy (385) still fits. Depth 8 backstops the cheap stream.
+"$BUILD/sweep_serverd" --port=0 --port-file="$TMP/port" \
+    --cache-capacity=0 --max-queue-cost=400 --max-queue-depth=8 \
+    2>>"$TMP/daemon.log" &
+DAEMON_PID=$!
+track_pid "$DAEMON_PID"
+wait_for_port "$TMP/port" "$DAEMON_PID" "daemon"
+PORT=$(cat "$TMP/port")
+
+for f in heavy1 heavy2 heavy3 cheap; do
+  "$BUILD/sweep_client" --port="$PORT" --input="$TMP/$f.jsonl" \
+      --retries=40 --connect-timeout-ms=2000 --receive-timeout-ms=30000 \
+      >"$TMP/run_$f.jsonl" 2>>"$TMP/clients.log" &
+  eval "C_${f}_PID=\$!"
+  track_pid "$(eval echo "\$C_${f}_PID")"
+done
+for f in heavy1 heavy2 heavy3 cheap; do
+  wait "$(eval echo "\$C_${f}_PID")" \
+      || fail "client $f failed under overload (shed never healed?)"
+done
+
+# Byte identity per client: a shed-then-retry answer must match the
+# unloaded run exactly.
+for f in heavy1 heavy2 heavy3 cheap; do
+  sort "$TMP/run_$f.jsonl" >"$TMP/run_$f.sorted"
+  diff -u "$TMP/ref_$f.sorted" "$TMP/run_$f.sorted" >&2 \
+      || fail "client $f responses differ from the unloaded run"
+done
+
+# The barrage demonstrably tripped admission control, and nothing
+# expired (no request carried a deadline).
+printf '{"type":"stats","id":"os"}\n' \
+    | "$BUILD/sweep_client" --port="$PORT" --input=- >"$TMP/stats.jsonl" \
+    || fail "stats request failed"
+grep -q '"shed_overload":0' "$TMP/stats.jsonl" \
+    && fail "no overload shed was recorded: $(cat "$TMP/stats.jsonl")"
+grep -q '"shed_expired":0' "$TMP/stats.jsonl" \
+    || fail "requests expired in queue unexpectedly: $(cat "$TMP/stats.jsonl")"
+
+expect_drain "$DAEMON_PID" "daemon"
+DAEMON_PID=""
+
+echo "overload_smoke: OK (4 concurrent clients healed through admission sheds byte-identically; sheds recorded, nothing expired, clean drain)"
+exit 0

@@ -1,0 +1,88 @@
+# Shared plumbing for the serving smoke scripts (net/heal/chaos/fleet/
+# overload): ONE copy of the port-file polling, the bounded waits and the
+# trap-based temp-dir cleanup, so a de-flake fix lands in every script at
+# once instead of drifting per copy.
+#
+# Usage (POSIX sh; source after setting SMOKE_NAME):
+#   SMOKE_NAME=net_smoke
+#   . "$(dirname "$0")/smoke_lib.sh"
+#   smoke_init                 # makes $TMP, installs the EXIT trap
+#   ... &
+#   track_pid $!               # killed (best effort) by the trap
+#   wait_for_port "$TMP/port" "$!" "daemon"
+#   fail "message"             # prefixed + $TMP/*.log dump + exit 1
+#
+# Every wait is bounded: a wedged process turns into a loud fail with
+# the logs attached, never a hanging CI job.
+
+SMOKE_NAME=${SMOKE_NAME:-smoke}
+SMOKE_PIDS=""
+TMP=""
+
+smoke_cleanup() {
+  for smoke_pid in $SMOKE_PIDS; do
+    kill "$smoke_pid" 2>/dev/null
+  done
+  [ -n "$TMP" ] && rm -rf "$TMP"
+}
+
+# Creates the temp dir and installs the cleanup trap. Call once, first.
+smoke_init() {
+  TMP=$(mktemp -d) || exit 1
+  trap smoke_cleanup EXIT
+}
+
+# Registers a background pid for best-effort kill at exit. Killing an
+# already-reaped pid is harmless (the trap ignores errors), so callers
+# never need to unregister.
+track_pid() {
+  SMOKE_PIDS="$SMOKE_PIDS $1"
+}
+
+# Prefixed failure: message, then every $TMP/*.log for the post-mortem.
+fail() {
+  echo "$SMOKE_NAME: $1" >&2
+  if [ -n "$TMP" ]; then
+    for smoke_log in "$TMP"/*.log; do
+      [ -f "$smoke_log" ] && { echo "--- $smoke_log" >&2; cat "$smoke_log" >&2; }
+    done
+  fi
+  exit 1
+}
+
+# wait_for_port PORT_FILE PID NAME [POLLS]
+# Polls (0.1 s apart, default 100 polls = 10 s) until PORT_FILE is
+# non-empty — the daemons write it atomically once listening — failing
+# fast if the process dies first.
+wait_for_port() {
+  wfp_polls=${4:-100}
+  wfp_i=0
+  while [ ! -s "$1" ]; do
+    wfp_i=$((wfp_i + 1))
+    [ "$wfp_i" -gt "$wfp_polls" ] && fail "$3 did not bind in time"
+    kill -0 "$2" 2>/dev/null || fail "$3 died at startup"
+    sleep 0.1
+  done
+}
+
+# wait_for_grep FILE PATTERN NAME [POLLS]
+# Polls (0.1 s apart) until PATTERN appears in FILE; bounded like
+# wait_for_port. FILE may not exist yet.
+wait_for_grep() {
+  wfg_polls=${4:-100}
+  wfg_i=0
+  until grep -q "$2" "$1" 2>/dev/null; do
+    wfg_i=$((wfg_i + 1))
+    [ "$wfg_i" -gt "$wfg_polls" ] && fail "$3 (pattern '$2' never appeared in $1)"
+    sleep 0.1
+  done
+}
+
+# expect_drain PID NAME — SIGTERM + wait, failing unless the graceful
+# drain exits 0.
+expect_drain() {
+  kill -TERM "$1" 2>/dev/null || fail "$2 already gone"
+  wait "$1"
+  ed_rc=$?
+  [ "$ed_rc" -eq 0 ] || fail "$2 exit code $ed_rc after SIGTERM (expected a graceful drain)"
+}
