@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
+#include <iterator>
 #include <limits>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +38,8 @@
 #include "resilience/net/server.hpp"
 #include "resilience/service/jsonl_session.hpp"
 #include "resilience/service/serialize.hpp"
+#include "resilience/service/sim_service.hpp"
+#include "resilience/service/sim_table.hpp"
 #include "resilience/service/sweep_service.hpp"
 #include "resilience/sim/engine.hpp"
 #include "resilience/sim/runner.hpp"
@@ -1050,6 +1053,82 @@ OverloadBenchResult run_overload_bench() {
   return result;
 }
 
+// -------------------------------------------------------------- simulate --
+
+/// Monte Carlo serving: one fixed-seed "mode": "simulate" request (hera x
+/// 4096 nodes x all 6 families x 2 Weibull shapes x 2 faulty-ops factors,
+/// CI-bounded at 5%) answered through the full JsonlSession pipeline at
+/// pool sizes 1, 2 and 8. The determinism contract says the response
+/// stream is byte-identical at ANY pool size — parallelism lives inside a
+/// cell's campaign, never across the emission order — so the gate diffs
+/// the emitted lines across the three pools; throughput is the
+/// SimService's runs/sec counter at the largest pool. A warm replay of
+/// the same request must hit the sim cache tier and serve a table
+/// bit-identical to a cold recompute.
+struct SimBenchResult {
+  std::size_t cells = 0;
+  std::uint64_t runs = 0;
+  double runs_per_sec = 0.0;
+  bool pool_identical = false;
+  bool replay_identical = false;
+};
+
+SimBenchResult run_sim_bench() {
+  namespace rv = resilience::service;
+  SimBenchResult result;
+
+  const std::string request_line =
+      R"({"id": "sim-bench", "platforms": ["hera"], "node_counts": [4096],)"
+      R"( "mode": "simulate", "sim": {"seed": 42, "target_ci": 0.05,)"
+      R"( "max_runs": 256, "weibull_shape": [1.0, 0.7],)"
+      R"( "faulty_ops": [1.0, 0.0]}})";
+
+  const std::size_t pool_sizes[] = {1, 2, 8};
+  std::vector<std::string> streams;
+  for (const std::size_t threads : pool_sizes) {
+    ru::ThreadPool pool(threads);
+    rv::ServiceOptions options;
+    options.sweep.pool = &pool;
+    rv::SweepService service(options);
+    std::string lines;
+    rv::JsonlSession session(service, [&](std::string&& line, bool) {
+      lines += line;
+      lines += '\n';
+    });
+    session.handle_line(request_line);
+    streams.push_back(std::move(lines));
+
+    if (threads == pool_sizes[std::size(pool_sizes) - 1]) {
+      result.runs = service.sim().runs_executed();
+      result.runs_per_sec = service.sim().runs_per_second();
+
+      // Warm replay vs a genuinely cold recompute, bit for bit.
+      const rv::ScenarioRequest request =
+          rv::ScenarioRequest::parse(request_line);
+      const rv::SimSubmitResult warm = service.sim().submit(request);
+      rv::SweepService cold_service(options);
+      const rv::SimSubmitResult cold = cold_service.sim().submit(request);
+      result.cells = warm.table->cell_count();
+      result.replay_identical =
+          warm.cache_hit && !cold.cache_hit &&
+          rv::sim_tables_bit_identical(*warm.table, *cold.table);
+    }
+  }
+  result.pool_identical = streams.size() == std::size(pool_sizes) &&
+                          streams[0] == streams[1] && streams[1] == streams[2];
+  if (!result.pool_identical) {
+    for (std::size_t i = 1; i < streams.size(); ++i) {
+      if (streams[i] != streams[0]) {
+        std::fprintf(stderr,
+                     "bench_micro: simulate stream at pool %zu differs from "
+                     "pool %zu\n",
+                     pool_sizes[i], pool_sizes[0]);
+      }
+    }
+  }
+  return result;
+}
+
 int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
   std::vector<FamilyResult> families;
   for (const auto kind : rc::all_pattern_kinds()) {
@@ -1156,6 +1235,14 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
   } else {
     std::printf("overload skipped (transport requires Linux epoll)\n");
   }
+
+  const SimBenchResult sim = run_sim_bench();
+  std::printf(
+      "sim    %zu cells, %llu runs at %10.0f runs/s   pools 1/2/8 %s   "
+      "replay %s\n",
+      sim.cells, static_cast<unsigned long long>(sim.runs), sim.runs_per_sec,
+      sim.pool_identical ? "byte-identical" : "DIVERGE",
+      sim.replay_identical ? "bit-identical" : "DIVERGES");
 
   std::ofstream out(out_path);
   if (!out) {
@@ -1270,6 +1357,18 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
       << "    \"warm_loaded_ratio\": " << overload.loaded_ratio() << ",\n"
       << "    \"warm_loaded_identical\": "
       << (overload.warm_loaded_identical ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"simulate\": {\n"
+      << "    \"workload\": \"hera x 4096 nodes x 6 families x 2 Weibull "
+         "shapes x 2 faulty-ops factors, target_ci 0.05, max_runs 256, "
+         "pools 1/2/8\",\n"
+      << "    \"cells\": " << sim.cells << ",\n"
+      << "    \"runs\": " << sim.runs << ",\n"
+      << "    \"runs_per_sec\": " << sim.runs_per_sec << ",\n"
+      << "    \"pool_identical\": "
+      << (sim.pool_identical ? "true" : "false") << ",\n"
+      << "    \"replay_identical\": "
+      << (sim.replay_identical ? "true" : "false") << "\n"
       << "  },\n"
       << "  \"families\": [\n";
   for (std::size_t i = 0; i < families.size(); ++i) {
@@ -1435,6 +1534,24 @@ int run_json_mode(std::uint64_t patterns, const std::string& out_path) {
                    overload.warm_unloaded_requests_per_sec, loaded_bar);
       return 1;
     }
+  }
+  if (!sim.pool_identical) {
+    std::fprintf(stderr,
+                 "bench_micro: simulate responses are not byte-identical "
+                 "across pool sizes 1/2/8; the determinism contract is "
+                 "broken\n");
+    return 1;
+  }
+  if (!sim.replay_identical) {
+    std::fprintf(stderr,
+                 "bench_micro: a warm simulate replay is not bit-identical "
+                 "to a cold recompute; the sim cache tier is not "
+                 "trustworthy\n");
+    return 1;
+  }
+  if (sim.runs_per_sec <= 0.0 || sim.runs == 0) {
+    std::fprintf(stderr, "bench_micro: simulate section produced no timing\n");
+    return 1;
   }
   return 0;
 }

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   const auto stall_max_ms = cli.checked_int("stall-max-ms", 0);
   const auto kill_every = cli.checked_int("kill-every", 0);
   const auto kill_budget = cli.checked_int("kill-budget", 0);
-  const auto seed = cli.checked_int("seed", 0);
+  const auto seed = cli.checked_uint64("seed");
   if (!port || !upstream_port || !max_chunk || !stall_every ||
       !stall_max_ms || !kill_every || !kill_budget || !seed) {
     return 2;
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   options.listen_port = static_cast<std::uint16_t>(*port);
   options.upstream_host = cli.get_string("upstream-host");
   options.upstream_port = static_cast<std::uint16_t>(*upstream_port);
-  options.seed = static_cast<std::uint64_t>(*seed);
+  options.seed = *seed;
   options.profile.max_chunk_bytes = static_cast<std::size_t>(*max_chunk);
   options.profile.stall_every = static_cast<std::uint64_t>(*stall_every);
   options.profile.stall_max_ms = static_cast<int>(*stall_max_ms);

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   const auto retries_value = cli.checked_int("retries", 0);
   const auto connect_value = cli.checked_int("connect-timeout-ms", 0);
   const auto receive_value = cli.checked_int("receive-timeout-ms", 0);
-  const auto jitter_value = cli.checked_int("jitter-seed", 0);
+  const auto jitter_value = cli.checked_uint64("jitter-seed");
   if (!port_value || !retries_value || !connect_value || !receive_value ||
       !jitter_value) {
     return 2;
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
       options.connect_timeout_ms = static_cast<int>(connect_timeout);
       options.receive_timeout_ms = static_cast<int>(receive_timeout);
       options.max_attempts = static_cast<int>(retries);
-      options.jitter_seed = static_cast<std::uint64_t>(*jitter_value);
+      options.jitter_seed = *jitter_value;
       rn::ResilientClient client(options);
       // The healing summary prints on BOTH exits: a success that needed
       // retries, and a final failure — the attempts spent on a request

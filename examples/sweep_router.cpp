@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
   const auto max_conns = cli.checked_int("max-conns", 0);
   const auto depth = cli.checked_int("max-pipeline-depth", 0);
   const auto drain_ms = cli.checked_int("drain-timeout-ms", 0);
-  const auto jitter = cli.checked_int("jitter-seed", 0);
+  const auto jitter = cli.checked_uint64("jitter-seed");
   const auto overload_rounds = cli.checked_int("overload-rounds", 0);
   const auto queue_cost = cli.checked_double("max-queue-cost", 0.0, 1e18);
   const auto queue_depth = cli.checked_int("max-queue-depth", 0);
@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
   router_options.attempts_per_shard = static_cast<int>(*attempts);
   router_options.connect_timeout_ms = static_cast<int>(*connect_ms);
   router_options.receive_timeout_ms = static_cast<int>(*receive_ms);
-  router_options.jitter_seed = static_cast<std::uint64_t>(*jitter);
+  router_options.jitter_seed = *jitter;
   router_options.overload_rounds = static_cast<int>(*overload_rounds);
 
   try {

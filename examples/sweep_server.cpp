@@ -141,6 +141,10 @@ int main(int argc, char** argv) {
                "compute deadline for requests that carry no deadline_ms of "
                "their own; past it the request answers a deadline error "
                "line (0 = unbounded)");
+  cli.add_flag("sim-max-runs", "0",
+               "hard cap on a simulate request's sim.max_runs; over-cap "
+               "requests answer an error line before any compute (0 = "
+               "uncapped)");
   cli.add_bool_flag("no-stream", "emit only done/error lines, no cell lines");
   cli.add_bool_flag("check",
                     "verify every streamed cell set against a fresh batch "
@@ -152,6 +156,10 @@ int main(int argc, char** argv) {
   const std::int64_t threads_raw = cli.get_int("threads");
   const std::int64_t capacity_raw = cli.get_int("cache-capacity");
   const std::int64_t deadline_raw = cli.get_int("default-deadline-ms");
+  const auto sim_max_runs = cli.checked_uint64("sim-max-runs");
+  if (!sim_max_runs) {
+    return 2;
+  }
   if (threads_raw < 0 || capacity_raw < 0 || deadline_raw < 0) {
     // A negative count would wrap to SIZE_MAX; fail loudly.
     std::fprintf(stderr,
@@ -195,6 +203,9 @@ int main(int argc, char** argv) {
   }
 
   bool check_failed = false;
+  rs::JsonlSession::Options session_options{stream, /*collect=*/check,
+                                            static_cast<int>(deadline_raw)};
+  session_options.sim_max_runs = *sim_max_runs;
   rs::JsonlSession session(
       service,
       [](std::string&& line, bool end_of_response) {
@@ -203,8 +214,7 @@ int main(int argc, char** argv) {
           std::cout.flush();  // each request's output is complete
         }
       },
-      rs::JsonlSession::Options{stream, /*collect=*/check,
-                                static_cast<int>(deadline_raw)});
+      session_options);
   if (check) {
     session.set_outcome_hook([&](const rs::JsonlSession::Outcome& outcome) {
       if (!check_request(outcome.request, outcome.result, outcome.cells,

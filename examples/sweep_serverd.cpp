@@ -85,6 +85,10 @@ int main(int argc, char** argv) {
   cli.add_flag("max-queue-depth", "0",
                "companion bound on waiting scenario requests (0 = "
                "unlimited)");
+  cli.add_flag("sim-max-runs", "0",
+               "hard cap on a simulate request's sim.max_runs; over-cap "
+               "requests answer an error line before any compute (0 = "
+               "uncapped)");
   if (!cli.parse(argc, argv)) {
     return 2;  // usage (also --help; CliParser does not distinguish)
   }
@@ -104,9 +108,10 @@ int main(int argc, char** argv) {
   const auto deadline_ms = cli.checked_int("default-deadline-ms", 0);
   const auto queue_cost = cli.checked_double("max-queue-cost", 0.0, 1e18);
   const auto queue_depth = cli.checked_int("max-queue-depth", 0);
+  const auto sim_max_runs = cli.checked_uint64("sim-max-runs");
   if (!port || !threads || !workers || !capacity || !max_conns ||
       !write_buf || !max_line || !depth || !drain_ms || !deadline_ms ||
-      !queue_cost || !queue_depth) {
+      !queue_cost || !queue_depth || !sim_max_runs) {
     return 2;
   }
 
@@ -123,6 +128,7 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = static_cast<int>(*deadline_ms);
   options.max_queue_cost = *queue_cost;
   options.max_queue_depth = static_cast<std::size_t>(*queue_depth);
+  options.sim_max_runs = *sim_max_runs;
   options.service.cache_capacity = static_cast<std::size_t>(*capacity);
   options.service.cache_dir = cli.get_string("cache-dir");
   if (*threads > 0) {

@@ -48,14 +48,25 @@
 // the retriable overloaded error under the parent id so the CLIENT's
 // backoff takes over.
 //
+// Simulate mode ("mode": "simulate") shards exactly like the analytic
+// path — by grid chains — with the sim block travelling verbatim in
+// every sub-request. Per-cell RNG streams are content-addressed
+// (service::sim_cell_seed is a pure function of the request seed and
+// the cell's resolved parameters, never of grid position), so a shard
+// computing one slice emits the very cell bytes a whole-grid compute
+// would, and the merged SimTable stream is byte-identical to a single
+// daemon's — the identity tests/sim_smoke.sh pins over a 3-shard fleet.
+//
 // Observability: {"type":"stats"} answers a fleet block (per-shard
 // state and counters plus per-shard shed counts, failovers, replays,
 // rebalances, probes), an "aggregate" block folding every Up shard's
 // own service/cache/transport counters into one fleet-wide sum (see
 // collect_shard_stats), and — under NetServer — the router daemon's own
-// "transport" scheduler block. A request's "stats": true flag is
-// answered without the embedded stats block (service counters do not
-// exist here); everything else matches the single-daemon bytes.
+// "transport" scheduler block. A request's "stats": true flag fans out
+// to the shards and the merged done line embeds the per-shard blocks as
+// a {"shards": [{"id", "stats"}, ...]} stats block in fleet
+// configuration order (the router has no service counters of its own);
+// everything else matches the single-daemon bytes.
 
 #include <atomic>
 #include <cstddef>

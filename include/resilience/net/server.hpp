@@ -164,6 +164,10 @@ struct NetServerOptions {
   /// Companion depth bound: waiting scenario requests beyond this are
   /// shed regardless of cost; 0 = unlimited.
   std::size_t max_queue_depth = 0;
+  /// Hard cap on a simulate request's sim.max_runs (0 = uncapped); see
+  /// JsonlSessionOptions::sim_max_runs. Over-cap requests answer one
+  /// located error line before any compute.
+  std::uint64_t sim_max_runs = 0;
   service::ServiceOptions service;
   /// Builds the protocol session serving each accepted connection. Null
   /// (the default) builds a service::JsonlSession over the server-owned

@@ -40,6 +40,12 @@ inline constexpr double kCostFirstOrderCell = 1.0 / 16.0;
 inline constexpr double kCostSeededCell = 1.0 / 8.0;
 /// Identity cache hit: the whole table replays from memory/disk.
 inline constexpr double kCostReplayCell = 1.0 / 1024.0;
+/// Simulate-mode cells are priced by their run budget: one unit per this
+/// many (run x pattern) draws — calibrated so a default sim cell
+/// (1000 runs x 100 patterns) costs about one cold analytic cell. Cells
+/// that early-stop under target_ci cost less than estimated; admission
+/// control only needs an upper bound.
+inline constexpr double kCostSimDrawsPerUnit = 100000.0;
 
 /// Predicted cost of one scenario request.
 struct CostEstimate {

@@ -16,7 +16,10 @@
 //   * scenario request object — validated, submitted (cells streamed as
 //                               cell_lines), finished with a done_line
 //                               (carrying a stats block when the request
-//                               set "stats": true);
+//                               set "stats": true); "mode": "simulate"
+//                               requests route to the SimService instead
+//                               (Monte Carlo cells, a "mode":"simulate"
+//                               done line) through the same emit seam;
 //   * anything invalid        — one error_line naming the offending
 //                               field; the session keeps going.
 //
@@ -41,6 +44,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -66,6 +70,11 @@ struct JsonlSessionOptions {
   /// NetServer::overload_stats_json here). Unset on the stdin path, so
   /// its stats bytes are exactly the historical ones.
   std::function<util::JsonValue()> transport_stats;
+  /// Hard server-side cap on a simulate request's sim.max_runs (0 =
+  /// uncapped). A request over the cap answers with one error line
+  /// (field "sim.max_runs") before any compute — the simulate analogue
+  /// of bounding compute budgets at admission.
+  std::uint64_t sim_max_runs = 0;
 };
 
 /// True when `line` is a request — not blank, not a '#' comment. The one
@@ -96,8 +105,9 @@ class JsonlSession final : public LineSession {
                Options options = Options(),
                std::shared_ptr<const std::atomic<bool>> cancelled = nullptr);
 
-  /// Called after each successfully served scenario request (not for
-  /// stats requests or errors).
+  /// Called after each successfully served ANALYTIC scenario request
+  /// (not for stats requests, errors, or "mode": "simulate" requests —
+  /// sim determinism is pinned by test_sim_service, not --check).
   void set_outcome_hook(OutcomeFn hook) { outcome_ = std::move(hook); }
 
   /// Processes one input line end to end (submit included — callers

@@ -20,12 +20,20 @@
 //    "numeric_optimum": true,         // optional; default true
 //    "reuse_seeds": true,             // optional; default true (bit-identical
 //                                     //   either way; see SweepService)
-//    "deadline_ms": 5000}             // optional; 0 (default) = no deadline;
+//    "deadline_ms": 5000,             // optional; 0 (default) = no deadline;
 //                                     //   exceeded -> {"type":"error"} line
+//    "mode": "simulate",              // optional; default "sweep" (analytic)
+//    "sim": {"seed": 42,              // only with mode "simulate":
+//            "target_ci": 0.05,       //   CI-bounded Monte Carlo per cell
+//            "max_runs": 1000, "min_runs": 64, "patterns_per_run": 100,
+//            "weibull_shape": [1.0, 0.7],  // extra grid axes the analytic
+//            "faulty_ops": [1.0, 0.0]}}    //   path cannot express
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "resilience/core/sweep.hpp"
 #include "resilience/util/json.hpp"
@@ -39,6 +47,33 @@ class RequestError : public std::runtime_error {
   RequestError(std::string field_path, const std::string& message);
 
   std::string field;
+};
+
+/// The `sim` block of a `"mode": "simulate"` request: the Monte Carlo
+/// budget plus the two extra grid axes only the simulator can express.
+/// Every field is result-affecting and enters the sim signature (the
+/// per-cell seeds are content-addressed from `seed` and the cell's
+/// parameters, so identical requests replay identical bytes from cache).
+struct SimParams {
+  /// Base RNG seed. JSON values are doubles, so request seeds are capped
+  /// at 1e15 (integers stay exact well past that).
+  std::uint64_t seed = 0x5eedULL;
+  /// Relative 95% CI stopping target per cell; 0 = run every cell to
+  /// max_runs. Checked at doubling batch boundaries, never before
+  /// min_runs.
+  double target_ci = 0.0;
+  std::uint64_t max_runs = 1000;  ///< hard per-cell run cap
+  std::uint64_t min_runs = 64;    ///< first batch; no stopping before it
+  std::uint64_t patterns_per_run = 100;
+  /// Weibull-shape axis (renewal inter-arrivals at the platform's MTBF);
+  /// 1.0 = the paper's exponential model (Poisson fast path).
+  std::vector<double> weibull_shape = {1.0};
+  /// Faulty-operations axis: factor scaling the fail-stop rate seen by
+  /// NON-computation operations (verifications, checkpoints, recoveries);
+  /// 1.0 = uniform (the paper's model), 0 = error-free operations.
+  std::vector<double> faulty_ops = {1.0};
+
+  [[nodiscard]] bool operator==(const SimParams&) const = default;
 };
 
 /// One parsed scenario batch.
@@ -63,6 +98,12 @@ struct ScenarioRequest {
   /// never enters the signature — a timed-out and an unbounded submission
   /// of the same grid share a cache identity.
   int deadline_ms = 0;
+  /// `"mode": "simulate"`: answer the grid with budgeted Monte Carlo
+  /// (mean/CI cells) instead of the analytic evaluator.
+  bool simulate = false;
+  /// Monte Carlo budget and sim-only axes; meaningful only when
+  /// `simulate` is true (the `sim` field is rejected otherwise).
+  SimParams sim;
 
   /// Parses and validates a request object; throws RequestError.
   static ScenarioRequest from_json(const util::JsonValue& json);

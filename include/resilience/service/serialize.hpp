@@ -19,6 +19,8 @@ namespace resilience::service {
 
 struct ServiceStats;  // sweep_service.hpp; serialization only reads it
 struct CostEstimate;  // cost_model.hpp; serialization only reads it
+struct SimCell;       // sim_table.hpp; serialization only reads them
+struct SimTable;
 
 /// SweepCell <-> JSON. The cell's family is serialized once (as the
 /// paper's name, e.g. "PDMV*"); the nested first_order block omits it and
@@ -43,9 +45,20 @@ struct CostEstimate;  // cost_model.hpp; serialization only reads it
 [[nodiscard]] util::JsonValue to_json(const core::SweepTable& table);
 [[nodiscard]] core::SweepTable table_from_json(const util::JsonValue& json);
 
+/// SimCell <-> JSON (simulate mode); the family is serialized as the
+/// paper's name like SweepCell's.
+[[nodiscard]] util::JsonValue to_json(const SimCell& cell);
+[[nodiscard]] SimCell sim_cell_from_json(const util::JsonValue& json);
+
+/// SimTable <-> JSON. sim_table_from_json() re-validates the canonical
+/// point-major/family/shape/ops cell order, so index arithmetic works on
+/// a deserialized table.
+[[nodiscard]] util::JsonValue to_json(const SimTable& table);
+[[nodiscard]] SimTable sim_table_from_json(const util::JsonValue& json);
+
 /// ServiceStats -> JSON: {"service":{submission counters},"cache":{tier
-/// counters}} — the block a `stats` request returns and an opt-in done
-/// line embeds.
+/// counters},"sim":{simulate-mode counters}} — the block a `stats`
+/// request returns and an opt-in done line embeds.
 [[nodiscard]] util::JsonValue to_json(const ServiceStats& stats);
 
 /// CostEstimate -> JSON: {"units","cells","chains","seeded_chains",
@@ -82,6 +95,32 @@ struct CostEstimate;  // cost_model.hpp; serialization only reads it
                                     bool cache_hit, bool joined_in_flight,
                                     const ServiceStats* stats = nullptr,
                                     const CostEstimate* cost = nullptr);
+/// Variant taking a pre-assembled stats block verbatim — the router's
+/// merged done line embeds {"shards": [...]} (per-shard stats in fleet
+/// config order), which is not a local ServiceStats snapshot.
+[[nodiscard]] std::string done_line(const std::string& request_id,
+                                    core::GridSignature signature,
+                                    const core::SweepTable& table,
+                                    bool cache_hit, bool joined_in_flight,
+                                    const util::JsonValue& stats_block);
+/// Simulate-mode lines, same shape discipline as the sweep ones:
+///   sim_cell_line -> {"type":"cell", ..., "mean","ci_low","ci_high",
+///                     "runs","early_stopped"}
+///   sim_done_line -> {"type":"done", ..., "mode":"simulate", "runs"
+///                     (total over all cells), optional stats/cost}
+/// The JsonValue-stats variant mirrors done_line's (router merges).
+[[nodiscard]] std::string sim_cell_line(const std::string& request_id,
+                                        core::GridSignature signature,
+                                        const SimCell& cell);
+[[nodiscard]] std::string sim_done_line(const std::string& request_id,
+                                        core::GridSignature signature,
+                                        const SimTable& table, bool cache_hit,
+                                        const ServiceStats* stats = nullptr,
+                                        const CostEstimate* cost = nullptr);
+[[nodiscard]] std::string sim_done_line(const std::string& request_id,
+                                        core::GridSignature signature,
+                                        const SimTable& table, bool cache_hit,
+                                        const util::JsonValue& stats_block);
 [[nodiscard]] std::string stats_line(const std::string& request_id,
                                      const ServiceStats& stats,
                                      const util::JsonValue* transport = nullptr);

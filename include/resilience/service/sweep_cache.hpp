@@ -20,6 +20,13 @@
 //    rejects — with a stderr warning — any file whose content does not
 //    hash back to its filename. A corrupt or foreign spill (or one written
 //    under different result-affecting options) is never served.
+//
+// Simulate-mode tables (service/sim_table.hpp) get a parallel identity
+// tier — find_sim/insert_sim/contains_sim over their own LRU of the same
+// capacity, spilled to '<dir>/<signature-hex>.sim.json' with the same
+// checksum + content-signature verification. Sim tables have no seed
+// tier: Monte Carlo campaigns share no "bit-equal point" granularity the
+// way analytic chains do.
 
 #include <cstddef>
 #include <cstdint>
@@ -34,6 +41,8 @@
 #include "resilience/core/sweep.hpp"
 
 namespace resilience::service {
+
+struct SimTable;  // sim_table.hpp; the cache only stores shared tables
 
 class SweepCache {
  public:
@@ -99,6 +108,21 @@ class SweepCache {
   /// chain under `key`? Same observational contract as contains().
   [[nodiscard]] bool has_seeds(core::ChainKey key) const;
 
+  /// Sim identity tier: memory-then-disk lookup of a simulate table. A
+  /// disk hit re-derives the content signature (sim_signature over the
+  /// loaded points/kinds/params) and rejects mismatches exactly like the
+  /// sweep tier. Sets *loaded_from_disk on a disk-tier hit.
+  [[nodiscard]] std::shared_ptr<const SimTable> find_sim(
+      core::GridSignature signature, bool* loaded_from_disk = nullptr);
+
+  /// Inserts (or refreshes) a sim table; evictions spill to
+  /// '<hex>.sim.json' when the disk tier is enabled.
+  void insert_sim(core::GridSignature signature,
+                  std::shared_ptr<const SimTable> table);
+
+  /// Non-mutating probe like contains(), over the sim tier.
+  [[nodiscard]] bool contains_sim(core::GridSignature signature) const;
+
   /// Spills all in-memory entries (and the seed sidecar) without dropping
   /// them from memory; no-op without a cache_dir. The destructor calls it.
   void persist_now();
@@ -127,6 +151,11 @@ class SweepCache {
     std::vector<core::GridChain> chains;
   };
 
+  struct SimEntry {
+    core::GridSignature signature;
+    std::shared_ptr<const SimTable> table;
+  };
+
   /// Serializes and writes `victims` to the disk tier with the mutex
   /// RELEASED (table serialization and file IO are the expensive part of
   /// an eviction; doing them under the lock would stall every concurrent
@@ -146,6 +175,9 @@ class SweepCache {
   void load_disk_index_locked();
   [[nodiscard]] std::shared_ptr<const core::SweepTable> load_from_disk_locked(
       core::GridSignature signature, const core::SweepOptions& options);
+  void spill_sim_locked(const SimEntry& entry);
+  [[nodiscard]] std::shared_ptr<const SimTable> load_sim_from_disk_locked(
+      core::GridSignature signature);
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
@@ -157,6 +189,10 @@ class SweepCache {
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> seed_index_;
   /// Signatures with a (not yet invalidated) file in the disk tier.
   std::unordered_set<std::uint64_t> disk_index_;
+  /// Sim identity tier (own LRU of the same capacity; no seed tier).
+  std::list<SimEntry> sim_lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<SimEntry>::iterator> sim_index_;
+  std::unordered_set<std::uint64_t> sim_disk_index_;
   /// Chains of disk-resident tables (from spills + the sidecar), so a
   /// reloaded entry keeps feeding the seed tier after a later re-eviction.
   std::unordered_map<std::uint64_t, std::vector<core::GridChain>> disk_chains_;

@@ -37,6 +37,8 @@
 
 namespace resilience::service {
 
+class SimService;  // sim_service.hpp; owned via pointer
+
 struct ServiceOptions {
   /// Execution options for cache misses. The pool/warm-start/seed fields
   /// do not enter the grid signature (they cannot change results).
@@ -75,6 +77,16 @@ struct ServiceStats {
   std::uint64_t disk_rejects = 0; ///< spill files rejected (corrupt/foreign)
   std::size_t cache_size = 0;
   std::size_t cache_capacity = 0;
+  // Simulate mode (SimService).
+  std::uint64_t sim_submits = 0;
+  std::uint64_t sim_cache_hits = 0;   ///< served from the sim table cache
+  std::uint64_t sim_disk_hits = 0;    ///< ...of which lazily reloaded
+  std::uint64_t sim_cells = 0;        ///< cells computed (not replayed)
+  std::uint64_t sim_runs = 0;         ///< Monte Carlo runs executed
+  std::uint64_t sim_early_stops = 0;  ///< cells stopped by target_ci
+  /// Aggregate Monte Carlo throughput over every computed cell
+  /// (sim_runs / compute wall time); 0 until the first compute.
+  double sim_runs_per_second = 0.0;
 };
 
 /// Outcome of one submission.
@@ -92,6 +104,7 @@ struct SubmitResult {
 class SweepService {
  public:
   explicit SweepService(ServiceOptions options = {});
+  ~SweepService();
 
   /// Serves a parsed request; request.numeric_optimum overrides the
   /// service-level sweep option (and participates in the signature). When
@@ -126,6 +139,11 @@ class SweepService {
   }
   [[nodiscard]] SweepCache& cache() noexcept { return cache_; }
   [[nodiscard]] const SweepCache& cache() const noexcept { return cache_; }
+  /// The simulate-mode companion: shares this service's cache and
+  /// executor pool, serves "mode": "simulate" requests (see
+  /// sim_service.hpp). Its counters fold into stats() as the sim block.
+  [[nodiscard]] SimService& sim() noexcept { return *sim_; }
+  [[nodiscard]] const SimService& sim() const noexcept { return *sim_; }
   /// Number of tables actually computed (cache misses that led compute);
   /// lets tests assert that concurrent identical submissions deduped.
   [[nodiscard]] std::uint64_t tables_computed() const noexcept {
@@ -145,6 +163,8 @@ class SweepService {
 
   ServiceOptions options_;
   SweepCache cache_;
+  std::unique_ptr<SimService> sim_;  // after cache_: shares it, so it must
+                                     // be destroyed first
   std::mutex in_flight_mutex_;
   std::unordered_map<std::uint64_t, std::shared_future<TablePtr>> in_flight_;
   std::atomic<std::uint64_t> tables_computed_{0};

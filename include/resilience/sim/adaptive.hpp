@@ -1,0 +1,60 @@
+#pragma once
+
+// CI-bounded adaptive Monte Carlo: grows a campaign in deterministic
+// batches until the relative 95% confidence interval of the mean overhead
+// drops below a target (or a hard run cap is hit). Determinism contract:
+// the batch schedule is a pure function of (min_runs, max_runs) — batch
+// boundaries double from min_runs — and every run draws the RNG
+// sub-stream indexed by its GLOBAL run number (MonteCarloConfig::
+// first_run), so run i computes identical bits whether it executed in the
+// first batch or the fifth, on 1 thread or 8. Raising max_runs can only
+// append runs past the old cap (it truncates nothing but the final
+// batch), so a cell that stops on target_ci below both caps is
+// bit-identical under either — the "a misleading max_runs can cap but
+// never change" property the service's byte-identity gate relies on.
+
+#include <cstdint>
+#include <functional>
+
+#include "resilience/sim/runner.hpp"
+
+namespace resilience::sim {
+
+struct AdaptiveConfig {
+  std::uint64_t seed = 0x5eedULL;
+  /// Relative CI target: stop once ci_halfwidth / |mean overhead| falls
+  /// below this (evaluated at batch boundaries, never mid-batch). 0
+  /// disables the test — the campaign always runs to max_runs.
+  double target_ci = 0.0;
+  std::uint64_t max_runs = 1000;  ///< hard cap; always >= min_runs
+  std::uint64_t min_runs = 64;    ///< first batch; no stopping before this
+  std::uint64_t patterns_per_run = 100;
+  util::ThreadPool* pool = nullptr;
+  ErrorModelFactory model_factory;  ///< per-run model; empty = Poisson fast path
+  /// Polled between batches; throw to abandon the campaign (the service
+  /// passes a lambda that throws SweepCancelled on deadline/disconnect).
+  std::function<void()> check_cancel;
+};
+
+struct AdaptiveResult {
+  AggregateMetrics aggregate;  ///< cross-run statistics over all batches
+  RunMetrics totals;           ///< event totals over all batches
+  std::uint64_t runs = 0;      ///< runs actually executed
+  bool early_stopped = false;  ///< target_ci met before max_runs
+
+  [[nodiscard]] double mean_overhead() const {
+    return aggregate.overhead.mean();
+  }
+  [[nodiscard]] double overhead_ci() const {
+    return aggregate.overhead.ci_halfwidth();
+  }
+};
+
+/// Runs batches of run_monte_carlo until the stopping rule fires.
+/// Bit-identical across pool sizes for fixed (seed, target_ci, max_runs,
+/// min_runs, patterns_per_run, model choice).
+[[nodiscard]] AdaptiveResult run_adaptive_monte_carlo(
+    const core::PatternSpec& pattern, const core::ModelParams& params,
+    const AdaptiveConfig& config);
+
+}  // namespace resilience::sim

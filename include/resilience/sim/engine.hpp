@@ -95,6 +95,22 @@ struct Context {
     return true;
   }
 
+  /// Same bookkeeping, but routed through the model's operation-site
+  /// sampler — verifications, checkpoints and recoveries expose here so a
+  /// faulty-operations ablation can rescale their error rate without
+  /// touching computation windows. Every stock model forwards to
+  /// sample_fail_stop, so default traces are unchanged.
+  bool expose_op(double length) {
+    const FailStopOutcome outcome = errors.sample_fail_stop_op(length);
+    clock += outcome.time_survived;
+    if (outcome.struck) {
+      ++metrics.fail_stop_errors;
+      notify(Event::kFailStop);
+      return false;
+    }
+    return true;
+  }
+
   /// Full fail-stop recovery: restore the disk checkpoint, then the memory
   /// copy. Either restore may itself be interrupted by a fail-stop error,
   /// in which case the whole recovery restarts (the paper's Eqs. (30)-(31)
@@ -102,13 +118,13 @@ struct Context {
   void recover_from_fail_stop() {
     for (;;) {
       // Disk recovery retries independently until it completes.
-      while (!expose(params.costs.disk_recovery)) {
+      while (!expose_op(params.costs.disk_recovery)) {
       }
       ++metrics.disk_recoveries;
       notify(Event::kDiskRecovery);
       // Memory restore: a strike here destroys the partially restored
       // memory image, so fall back to the top (fresh disk recovery).
-      if (expose(params.costs.memory_recovery)) {
+      if (expose_op(params.costs.memory_recovery)) {
         ++metrics.memory_recoveries;
         notify(Event::kMemoryRecovery);
         return;
@@ -121,7 +137,7 @@ struct Context {
   /// which case the full disk path has already been taken and the caller
   /// must restart the pattern rather than the segment.
   bool recover_from_silent() {
-    if (expose(params.costs.memory_recovery)) {
+    if (expose_op(params.costs.memory_recovery)) {
       ++metrics.memory_recoveries;
       notify(Event::kMemoryRecovery);
       return true;
@@ -170,7 +186,7 @@ SegmentOutcome run_segment(Context<Model, Observer>& ctx,
     // boundaries, guaranteed for the segment end.
     const double verif_cost =
         is_last ? costs.guaranteed_verification : intermediate_cost;
-    if (!ctx.expose(verif_cost)) {
+    if (!ctx.expose_op(verif_cost)) {
       ctx.recover_from_fail_stop();
       return SegmentOutcome::kRestartPattern;
     }
@@ -194,7 +210,7 @@ SegmentOutcome run_segment(Context<Model, Observer>& ctx,
   }
 
   // Segment verified clean: commit the in-memory checkpoint.
-  if (!ctx.expose(costs.memory_checkpoint)) {
+  if (!ctx.expose_op(costs.memory_checkpoint)) {
     ctx.recover_from_fail_stop();
     return SegmentOutcome::kRestartPattern;
   }
@@ -243,7 +259,7 @@ template <typename Model, typename Observer = NullObserver>
         continue;  // re-run the whole pattern from the disk checkpoint
       }
       // All segments committed: close the pattern with a disk checkpoint.
-      if (!ctx.expose(params.costs.disk_checkpoint)) {
+      if (!ctx.expose_op(params.costs.disk_checkpoint)) {
         ctx.recover_from_fail_stop();
         continue;
       }

@@ -39,6 +39,17 @@ class ErrorModelBase {
   /// Samples fail-stop exposure of an operation lasting `length` seconds.
   [[nodiscard]] virtual FailStopOutcome sample_fail_stop(double length) = 0;
 
+  /// Fail-stop exposure of a NON-computation operation (verification,
+  /// checkpoint, recovery). Identical to sample_fail_stop by default — the
+  /// paper's model draws no distinction — but overridable so ablations can
+  /// scale the error rate seen by operations alone (the "faulty operations"
+  /// axis of the simulate service): wrappers rescale the window, the base
+  /// model never notices, and the default path consumes the RNG stream
+  /// exactly as before.
+  [[nodiscard]] virtual FailStopOutcome sample_fail_stop_op(double length) {
+    return sample_fail_stop(length);
+  }
+
   /// Whether at least one silent error strikes a computation of `length`.
   [[nodiscard]] virtual bool sample_silent(double length) = 0;
 
@@ -97,6 +108,13 @@ class PoissonArrivalModel final {
     const FailStopOutcome outcome{true, until_fail_stop_};
     until_fail_stop_ = util::exponential(rng_, rates_.fail_stop);
     return outcome;
+  }
+
+  /// Operation-site exposure: the fast path draws no computation/operation
+  /// distinction (mirrors ErrorModelBase's default). Non-virtual — the
+  /// engine template binds it statically like every other sample_* call.
+  [[nodiscard]] FailStopOutcome sample_fail_stop_op(double length) noexcept {
+    return sample_fail_stop(length);
   }
 
   /// Whether at least one silent error strikes a completed computation of

@@ -26,6 +26,11 @@ struct MonteCarloConfig {
   std::uint64_t runs = 1000;          ///< independent runs
   std::uint64_t patterns_per_run = 1000;  ///< patterns per run
   std::uint64_t seed = 0x5eedULL;     ///< base seed; run i uses sub-stream i
+  /// Global index of the first run: run i of this campaign uses sub-stream
+  /// first_run + i. Lets adaptive batching grow a campaign incrementally —
+  /// batch [0,64) then [64,128) draws the same streams a single [0,128)
+  /// campaign would — without replaying earlier runs.
+  std::uint64_t first_run = 0;
   util::ThreadPool* pool = nullptr;   ///< defaults to the global pool
   /// Optional non-Poisson injection (e.g. a RenewalErrorModel); by default
   /// each run uses the arrival-driven Poisson fast path with the params'

@@ -41,6 +41,11 @@ class CliParser {
   [[nodiscard]] std::optional<std::int64_t> checked_int(
       const std::string& name, std::int64_t min_value,
       std::int64_t max_value = INT64_MAX) const;
+  /// Unsigned variant for full-range seed flags (a 64-bit seed has no
+  /// meaningful sign, and checked_int would reject the upper half).
+  [[nodiscard]] std::optional<std::uint64_t> checked_uint64(
+      const std::string& name, std::uint64_t min_value = 0,
+      std::uint64_t max_value = UINT64_MAX) const;
   [[nodiscard]] std::optional<double> checked_double(
       const std::string& name, double min_value, double max_value) const;
 

@@ -11,6 +11,7 @@
 #include "resilience/net/resilient_client.hpp"
 #include "resilience/service/jsonl_session.hpp"  // is_request_line
 #include "resilience/service/serialize.hpp"
+#include "resilience/service/sim_table.hpp"
 
 namespace resilience::net {
 
@@ -18,6 +19,19 @@ namespace {
 
 std::string default_shard_id(const ShardConfig& config) {
   return config.host + ":" + std::to_string(config.port);
+}
+
+/// Index of `value` in a simulate axis, -1 when absent. Exact double
+/// comparison is correct here: canonical JSON round-trips doubles
+/// bit-exactly, so a shard's cell echoes the very axis values the
+/// router's sub-request carried.
+int axis_index(const std::vector<double>& axis, double value) {
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (axis[i] == value) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
 }
 
 }  // namespace
@@ -464,8 +478,13 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
 
   std::vector<core::ScenarioPoint> points = core::resolve_points(grid);
   const std::vector<core::PatternKind> kinds = grid.resolved_kinds();
+  // Simulate requests shard exactly like analytic ones — by grid chains
+  // — but identify and merge as a SimTable: per-cell RNG streams are
+  // content-addressed (sim_cell_seed), so a shard computing one slice
+  // emits the same cell bytes a whole-grid compute would.
   const core::GridSignature signature =
-      core::grid_signature(points, kinds, sweep);
+      request.simulate ? service::sim_signature(points, kinds, request.sim)
+                       : core::grid_signature(points, kinds, sweep);
   const std::vector<core::GridChain> chains = core::grid_chains(grid, sweep);
 
   const std::size_t nodes_n = std::max<std::size_t>(1, grid.node_counts.size());
@@ -483,9 +502,27 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
   core::SweepTable table;
   table.points = std::move(points);
   table.kinds = kinds;
-  table.cells.assign(table.points.size() * kinds.size(), core::SweepCell{});
+  if (!request.simulate) {
+    table.cells.assign(table.points.size() * kinds.size(), core::SweepCell{});
+  }
   table.index_kinds();
-  std::vector<unsigned char> filled(table.cells.size(), 0);
+
+  // The simulate counterpart: the SweepTable above stays an empty
+  // skeleton (its kind_slot index is still the family lookup) and the
+  // merge target is a SimTable spanning the two extra sim axes.
+  const std::vector<double>& shape_axis = request.sim.weibull_shape;
+  const std::vector<double>& ops_axis = request.sim.faulty_ops;
+  service::SimTable sim_table;
+  if (request.simulate) {
+    sim_table.points = table.points;
+    sim_table.kinds = kinds;
+    sim_table.params = request.sim;
+    sim_table.cells.assign(sim_table.cell_count(), service::SimCell{});
+  }
+  const std::size_t cells_per_point =
+      request.simulate ? shape_axis.size() * ops_axis.size() : 1;
+  std::vector<unsigned char> filled(
+      request.simulate ? sim_table.cells.size() : table.cells.size(), 0);
 
   // Work units: chains grouped by (owning shard, platform, cost
   // override) — one sub-request per unit, so a shard parallelizes the
@@ -503,6 +540,11 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
   std::string error_message;
   bool all_cache_hit = true;
   bool all_joined = true;
+  /// Per-shard "stats" blocks harvested from sub-response done lines
+  /// (only when the parent asked for stats). A shard's block is a
+  /// service-GLOBAL snapshot, so the latest one seen wins — summing
+  /// across units or replay rounds would double-count.
+  std::unordered_map<std::string, util::JsonValue> shard_stats;
   bool round_overload = false;       ///< some unit was shed this round
   std::int64_t overload_hint_ms = 0; ///< largest retry_after_ms seen
 
@@ -634,8 +676,14 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
         }
         sub.numeric_optimum = request.numeric_optimum;
         sub.reuse_seeds = request.reuse_seeds;
-        sub.include_stats = false;
+        // Per-shard stats blocks ride along when the parent asked for
+        // them; the merged done line carries them as a "shards" array.
+        sub.include_stats = request.include_stats;
         sub.deadline_ms = request.deadline_ms;
+        // Simulate mode travels verbatim: every sim field (budgets AND
+        // axes) is result-affecting and enters the sub-signature.
+        sub.simulate = request.simulate;
+        sub.sim = request.sim;
         // Explicit id: resilient retries land on fresh connections where
         // default line numbering restarts. The id never reaches the
         // merged output (cells re-emit under the parent id).
@@ -645,8 +693,13 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
         // What the shard must answer with — a mismatch means the shard
         // runs different result-affecting options than the router
         // assumes, and wrong bytes must fail loudly, not merge quietly.
-        const core::GridSignature sub_signature = core::grid_signature(
-            core::resolve_points(sub.grid), sub.grid.resolved_kinds(), sweep);
+        const core::GridSignature sub_signature =
+            request.simulate
+                ? service::sim_signature(core::resolve_points(sub.grid),
+                                         sub.grid.resolved_kinds(),
+                                         request.sim)
+                : core::grid_signature(core::resolve_points(sub.grid),
+                                       sub.grid.resolved_kinds(), sweep);
 
         Client::Response response;
         try {
@@ -683,7 +736,10 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
         std::string unit_error_message;
         bool unit_cache_hit = false;
         bool unit_joined = false;
+        bool unit_has_stats = false;
+        util::JsonValue unit_stats;
         std::vector<core::SweepCell> cells;
+        std::vector<service::SimCell> sim_cells;
         try {
           for (const std::string& response_line : response.lines) {
             const util::JsonValue response_json =
@@ -699,7 +755,12 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
                 malformed = true;
                 break;
               }
-              cells.push_back(service::cell_from_json(response_json));
+              if (request.simulate) {
+                sim_cells.push_back(
+                    service::sim_cell_from_json(response_json));
+              } else {
+                cells.push_back(service::cell_from_json(response_json));
+              }
             } else if (type_name == "done") {
               const util::JsonValue* done_signature =
                   response_json.find("signature");
@@ -713,6 +774,11 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
               unit_joined =
                   response_json.find("joined_in_flight") != nullptr &&
                   response_json.find("joined_in_flight")->as_bool();
+              if (const util::JsonValue* stats_field =
+                      response_json.find("stats")) {
+                unit_stats = *stats_field;
+                unit_has_stats = true;
+              }
               done_seen = true;
             } else if (type_name == "error") {
               const util::JsonValue* field = response_json.find("field");
@@ -734,6 +800,9 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
         }
 
         const std::lock_guard<std::mutex> lock(merge_mutex);
+        if (unit_has_stats) {
+          shard_stats[shard_work.shard] = std::move(unit_stats);
+        }
         if (unit_error) {
           // A protocol-level answer (deadline expiry, shard-side engine
           // failure): the parent request fails with the shard's own
@@ -746,8 +815,11 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
           }
           continue;
         }
+        const std::size_t unit_cells =
+            request.simulate ? sim_cells.size() : cells.size();
         if (malformed || !done_seen ||
-            cells.size() != chain_len * unit.chain_indices.size()) {
+            unit_cells !=
+                chain_len * cells_per_point * unit.chain_indices.size()) {
           if (!any_error) {
             any_error = true;
             error_field = "";
@@ -756,31 +828,69 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
           }
           continue;
         }
-        for (core::SweepCell& cell : cells) {
-          const std::size_t sub_index = cell.point_index;
-          const std::size_t slot_index = static_cast<std::size_t>(cell.kind);
-          const int slot = table.kind_slot[slot_index];
-          if (sub_index >= chain_len || slot < 0) {
-            if (!any_error) {
-              any_error = true;
-              error_field = "";
-              error_message = "internal error: shard " + shard_work.shard +
-                              " returned an out-of-grid cell for " + sub.id;
+        // Remap every sub-cell into the parent table. The sub-grid
+        // shares the node/rate axes (and, for simulate, the sim axes),
+        // so only the point index changes; sim cells additionally
+        // locate their (shape, ops) slot by the echoed axis values.
+        if (request.simulate) {
+          for (service::SimCell& cell : sim_cells) {
+            const std::size_t sub_index = cell.point_index;
+            const int slot =
+                table.kind_slot[static_cast<std::size_t>(cell.kind)];
+            const int shape_slot = axis_index(shape_axis, cell.weibull_shape);
+            const int ops_slot = axis_index(ops_axis, cell.faulty_ops);
+            if (sub_index >= chain_len || slot < 0 || shape_slot < 0 ||
+                ops_slot < 0) {
+              if (!any_error) {
+                any_error = true;
+                error_field = "";
+                error_message = "internal error: shard " + shard_work.shard +
+                                " returned an out-of-grid cell for " + sub.id;
+              }
+              break;
             }
-            break;
+            const std::size_t node_index = sub_index / rates_n;
+            const std::size_t rate_index = sub_index % rates_n;
+            const std::size_t parent_index =
+                ((unit.platform_index * nodes_n + node_index) * rates_n +
+                 rate_index) *
+                    costs_n +
+                unit.cost_index;
+            cell.point_index = parent_index;
+            const std::size_t position = sim_table.cell_index(
+                parent_index, static_cast<std::size_t>(slot),
+                static_cast<std::size_t>(shape_slot),
+                static_cast<std::size_t>(ops_slot));
+            sim_table.cells[position] = cell;
+            filled[position] = 1;
           }
-          const std::size_t node_index = sub_index / rates_n;
-          const std::size_t rate_index = sub_index % rates_n;
-          const std::size_t parent_index =
-              ((unit.platform_index * nodes_n + node_index) * rates_n +
-               rate_index) *
-                  costs_n +
-              unit.cost_index;
-          cell.point_index = parent_index;
-          const std::size_t position =
-              parent_index * kinds.size() + static_cast<std::size_t>(slot);
-          table.cells[position] = cell;
-          filled[position] = 1;
+        } else {
+          for (core::SweepCell& cell : cells) {
+            const std::size_t sub_index = cell.point_index;
+            const std::size_t slot_index = static_cast<std::size_t>(cell.kind);
+            const int slot = table.kind_slot[slot_index];
+            if (sub_index >= chain_len || slot < 0) {
+              if (!any_error) {
+                any_error = true;
+                error_field = "";
+                error_message = "internal error: shard " + shard_work.shard +
+                                " returned an out-of-grid cell for " + sub.id;
+              }
+              break;
+            }
+            const std::size_t node_index = sub_index / rates_n;
+            const std::size_t rate_index = sub_index % rates_n;
+            const std::size_t parent_index =
+                ((unit.platform_index * nodes_n + node_index) * rates_n +
+                 rate_index) *
+                    costs_n +
+                unit.cost_index;
+            cell.point_index = parent_index;
+            const std::size_t position =
+                parent_index * kinds.size() + static_cast<std::size_t>(slot);
+            table.cells[position] = cell;
+            filled[position] = 1;
+          }
         }
         all_cache_hit = all_cache_hit && unit_cache_hit;
         all_joined = all_joined && unit_joined;
@@ -848,14 +958,48 @@ void RouterSession::serve_scenario(const service::ScenarioRequest& request) {
     }
   }
 
-  // The merged stream: every cell in table order (point-major,
-  // family-minor — the warm replay order), then the done summary whose
-  // reuse flags are the AND over the sub-responses.
+  // The merged stream: every cell in table order (the warm replay
+  // order), then the done summary whose reuse flags are the AND over
+  // the sub-responses. When the parent asked for stats, the harvested
+  // per-shard blocks merge into one {"shards": [...]} stats block in
+  // fleet configuration order (shards that served no unit are absent).
+  util::JsonValue stats_block;
+  if (request.include_stats) {
+    util::JsonValue shard_array = util::JsonValue::array();
+    for (const std::string& shard_id : fleet_.shard_ids()) {
+      const auto it = shard_stats.find(shard_id);
+      if (it == shard_stats.end()) {
+        continue;
+      }
+      util::JsonValue entry = util::JsonValue::object();
+      entry.set("id", shard_id);
+      entry.set("stats", it->second);
+      shard_array.push_back(std::move(entry));
+    }
+    stats_block = util::JsonValue::object();
+    stats_block.set("shards", std::move(shard_array));
+  }
+
+  if (request.simulate) {
+    for (const service::SimCell& cell : sim_table.cells) {
+      emit(service::sim_cell_line(request.id, signature, cell), false);
+    }
+    emit(request.include_stats
+             ? service::sim_done_line(request.id, signature, sim_table,
+                                      all_cache_hit, stats_block)
+             : service::sim_done_line(request.id, signature, sim_table,
+                                      all_cache_hit),
+         true);
+    return;
+  }
   for (const core::SweepCell& cell : table.cells) {
     emit(service::cell_line(request.id, signature, cell), false);
   }
-  emit(service::done_line(request.id, signature, table, all_cache_hit,
-                          all_joined, nullptr),
+  emit(request.include_stats
+           ? service::done_line(request.id, signature, table, all_cache_hit,
+                                all_joined, stats_block)
+           : service::done_line(request.id, signature, table, all_cache_hit,
+                                all_joined, nullptr),
        true);
 }
 

@@ -192,6 +192,7 @@ struct NetServer::Impl {
         session_options.stream = true;
         session_options.collect = false;
         session_options.default_deadline_ms = options.default_deadline_ms;
+        session_options.sim_max_runs = options.sim_max_runs;
         // The daemon's stats answers carry the scheduler snapshot; the
         // stdin path never sets this, so its bytes are unchanged.
         session_options.transport_stats = [this] {

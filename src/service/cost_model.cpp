@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "resilience/service/sim_service.hpp"
 #include "resilience/service/sweep_service.hpp"
 
 namespace resilience::service {
@@ -10,6 +11,29 @@ CostEstimate estimate_cost(const ScenarioRequest& request,
                            const SweepService* service) {
   CostEstimate estimate;
   const core::ScenarioGrid& grid = request.grid;
+
+  if (request.simulate) {
+    // Simulate requests are priced from their run budget — the cost the
+    // admission controller/fair queue must bound is Monte Carlo draws,
+    // not (n, m, W) searches. max_runs is the upper bound; target_ci can
+    // only make cells cheaper.
+    estimate.cells = grid.cell_count() * request.sim.weibull_shape.size() *
+                     request.sim.faulty_ops.size();
+    if (service != nullptr &&
+        service->cache().contains_sim(service->sim().signature_for(request))) {
+      estimate.identity_hit = true;
+      estimate.units = static_cast<double>(estimate.cells) * kCostReplayCell;
+      return estimate;
+    }
+    const double per_cell =
+        std::max(kCostFirstOrderCell,
+                 static_cast<double>(request.sim.max_runs) *
+                     static_cast<double>(request.sim.patterns_per_run) /
+                     kCostSimDrawsPerUnit);
+    estimate.units = static_cast<double>(estimate.cells) * per_cell;
+    return estimate;
+  }
+
   estimate.cells = grid.cell_count();
   const double per_cell =
       request.numeric_optimum ? kCostColdCell : kCostFirstOrderCell;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "resilience/service/cost_model.hpp"
+#include "resilience/service/sim_service.hpp"
 
 namespace resilience::service {
 
@@ -162,6 +163,42 @@ void JsonlSession::handle_line(std::string_view line) {
   }
 
   try {
+    if (request.simulate) {
+      // Server-side budget cap: refused at admission, before any compute
+      // — the error names the field so clients can lower their ask.
+      if (options_.sim_max_runs > 0 &&
+          request.sim.max_runs > options_.sim_max_runs) {
+        errors_ = true;
+        emit(error_line(request.id, "sim.max_runs",
+                        "exceeds the server cap of " +
+                            std::to_string(options_.sim_max_runs) +
+                            " runs per cell"),
+             true);
+        return;
+      }
+      const core::GridSignature signature = service_.sim().signature_for(request);
+      const CostEstimate cost = request.include_stats
+                                    ? estimate_cost(request, &service_)
+                                    : CostEstimate{};
+      SimCellFn sink;
+      if (options_.stream) {
+        sink = [this, &request, signature](const SimCell& cell) {
+          if (!cancelled()) {
+            emit_(sim_cell_line(request.id, signature, cell), false);
+          }
+        };
+      }
+      const SimSubmitResult result =
+          service_.sim().submit(request, sink, cancel);
+      const ServiceStats stats =
+          request.include_stats ? service_.stats() : ServiceStats{};
+      emit(sim_done_line(request.id, result.signature, *result.table,
+                         result.cache_hit,
+                         request.include_stats ? &stats : nullptr,
+                         request.include_stats ? &cost : nullptr),
+           true);
+      return;
+    }
     const core::GridSignature signature = service_.signature_for(request);
     // Price the request BEFORE submitting: the estimate must reflect the
     // cache state an admission controller saw, not the state after this

@@ -159,6 +159,78 @@ core::CostOverride parse_cost_override(const JsonValue& value,
   return override_value;
 }
 
+/// The `sim` block of a simulate request. Budgets are capped like every
+/// other request-supplied integer (1e15: exact in a double); axis values
+/// must be finite and positive (weibull_shape) / non-negative (faulty_ops).
+SimParams parse_sim_params(const JsonValue& value) {
+  if (!value.is_object()) {
+    throw RequestError("sim", "expected an object");
+  }
+  reject_unknown_fields(value, "sim",
+                        {"seed", "target_ci", "max_runs", "min_runs",
+                         "patterns_per_run", "weibull_shape", "faulty_ops"});
+  SimParams sim;
+  if (const JsonValue* seed = value.find("seed")) {
+    const double number = as_number(*seed, "sim.seed");
+    if (!(number >= 0.0) || number != std::floor(number) || number > 1e15) {
+      throw RequestError("sim.seed", "expected a non-negative integer");
+    }
+    sim.seed = static_cast<std::uint64_t>(number);
+  }
+  if (const JsonValue* target = value.find("target_ci")) {
+    const double number = finite_number(*target, "sim.target_ci");
+    if (!(number >= 0.0) || number >= 1.0) {
+      throw RequestError("sim.target_ci",
+                         "expected a relative CI in [0, 1) (0 = run to "
+                         "max_runs)");
+    }
+    sim.target_ci = number;
+  }
+  if (const JsonValue* max_runs = value.find("max_runs")) {
+    sim.max_runs = positive_integer(*max_runs, "sim.max_runs");
+  }
+  if (const JsonValue* min_runs = value.find("min_runs")) {
+    sim.min_runs = positive_integer(*min_runs, "sim.min_runs");
+  }
+  if (sim.min_runs > sim.max_runs) {
+    throw RequestError("sim.min_runs", "must be <= sim.max_runs");
+  }
+  if (const JsonValue* patterns = value.find("patterns_per_run")) {
+    sim.patterns_per_run = positive_integer(*patterns, "sim.patterns_per_run");
+  }
+  if (const JsonValue* shapes = value.find("weibull_shape")) {
+    const auto& axis = as_axis_array(*shapes, "sim.weibull_shape");
+    if (axis.empty()) {
+      throw RequestError("sim.weibull_shape", "need at least one value");
+    }
+    sim.weibull_shape.clear();
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+      const std::string path = elem("sim.weibull_shape", i);
+      const double shape = finite_number(axis[i], path);
+      if (!(shape > 0.0)) {
+        throw RequestError(path, "shape must be positive");
+      }
+      sim.weibull_shape.push_back(shape);
+    }
+  }
+  if (const JsonValue* ops = value.find("faulty_ops")) {
+    const auto& axis = as_axis_array(*ops, "sim.faulty_ops");
+    if (axis.empty()) {
+      throw RequestError("sim.faulty_ops", "need at least one value");
+    }
+    sim.faulty_ops.clear();
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+      const std::string path = elem("sim.faulty_ops", i);
+      const double factor = finite_number(axis[i], path);
+      if (!(factor >= 0.0)) {
+        throw RequestError(path, "factor must be >= 0");
+      }
+      sim.faulty_ops.push_back(factor);
+    }
+  }
+  return sim;
+}
+
 }  // namespace
 
 RequestError::RequestError(std::string field_path, const std::string& message)
@@ -173,7 +245,8 @@ ScenarioRequest ScenarioRequest::from_json(const JsonValue& json) {
   reject_unknown_fields(json, "",
                         {"id", "platforms", "node_counts", "rate_factors",
                          "cost_overrides", "kinds", "numeric_optimum",
-                         "reuse_seeds", "stats", "deadline_ms"});
+                         "reuse_seeds", "stats", "deadline_ms", "mode",
+                         "sim"});
 
   ScenarioRequest request;
   if (const JsonValue* id = json.find("id")) {
@@ -258,6 +331,26 @@ ScenarioRequest ScenarioRequest::from_json(const JsonValue& json) {
     }
     request.deadline_ms = static_cast<int>(number);
   }
+  if (const JsonValue* mode = json.find("mode")) {
+    if (!mode->is_string()) {
+      throw RequestError("mode", "expected a string");
+    }
+    const std::string& name = mode->as_string();
+    if (name == "simulate") {
+      request.simulate = true;
+    } else if (name != "sweep") {
+      throw RequestError("mode",
+                         "unknown mode '" + name +
+                             "' (expected \"sweep\" or \"simulate\")");
+    }
+  }
+  if (const JsonValue* sim = json.find("sim")) {
+    if (!request.simulate) {
+      throw RequestError("sim",
+                         "only valid with \"mode\": \"simulate\"");
+    }
+    request.sim = parse_sim_params(*sim);
+  }
 
   // Axis semantics (positivity, override sentinels) and the resolved
   // parameter combinations: surface every problem at parse time, not when
@@ -337,6 +430,30 @@ JsonValue ScenarioRequest::to_json() const {
   }
   if (deadline_ms > 0) {  // the 0 default stays absent too
     out.set("deadline_ms", deadline_ms);
+  }
+  if (simulate) {
+    out.set("mode", "simulate");
+    // Every sim field is emitted explicitly (defaults included): the
+    // router round-trips sub-requests through this serialization, and a
+    // budget that silently fell back to a shard-side default would break
+    // the byte-identity contract.
+    JsonValue sim_json = JsonValue::object();
+    sim_json.set("seed", sim.seed);
+    sim_json.set("target_ci", sim.target_ci);
+    sim_json.set("max_runs", sim.max_runs);
+    sim_json.set("min_runs", sim.min_runs);
+    sim_json.set("patterns_per_run", sim.patterns_per_run);
+    JsonValue shapes = JsonValue::array();
+    for (const double shape : sim.weibull_shape) {
+      shapes.push_back(shape);
+    }
+    sim_json.set("weibull_shape", std::move(shapes));
+    JsonValue ops = JsonValue::array();
+    for (const double factor : sim.faulty_ops) {
+      ops.push_back(factor);
+    }
+    sim_json.set("faulty_ops", std::move(ops));
+    out.set("sim", std::move(sim_json));
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "resilience/service/cost_model.hpp"
+#include "resilience/service/sim_table.hpp"
 #include "resilience/service/sweep_service.hpp"
 
 namespace resilience::service {
@@ -238,6 +239,131 @@ std::string cell_line(const std::string& request_id,
   return line.dump();
 }
 
+JsonValue to_json(const SimCell& cell) {
+  JsonValue out = JsonValue::object();
+  out.set("point", cell.point_index);
+  out.set("kind", core::pattern_name(cell.kind));
+  out.set("weibull_shape", cell.weibull_shape);
+  out.set("faulty_ops", cell.faulty_ops);
+  out.set("mean", cell.mean);
+  out.set("ci_low", cell.ci_low);
+  out.set("ci_high", cell.ci_high);
+  out.set("runs", cell.runs);
+  out.set("early_stopped", cell.early_stopped);
+  return out;
+}
+
+SimCell sim_cell_from_json(const JsonValue& json) {
+  SimCell cell;
+  cell.point_index = require_index(json, "point");
+  cell.kind = core::pattern_kind_from_name(require(json, "kind").as_string());
+  cell.weibull_shape = require_double(json, "weibull_shape");
+  cell.faulty_ops = require_double(json, "faulty_ops");
+  cell.mean = require_double(json, "mean");
+  cell.ci_low = require_double(json, "ci_low");
+  cell.ci_high = require_double(json, "ci_high");
+  cell.runs = static_cast<std::uint64_t>(require_index(json, "runs"));
+  cell.early_stopped = require(json, "early_stopped").as_bool();
+  return cell;
+}
+
+JsonValue to_json(const SimTable& table) {
+  JsonValue kinds = JsonValue::array();
+  for (const core::PatternKind kind : table.kinds) {
+    kinds.push_back(core::pattern_name(kind));
+  }
+  JsonValue points = JsonValue::array();
+  for (const core::ScenarioPoint& point : table.points) {
+    points.push_back(to_json(point));
+  }
+  JsonValue shapes = JsonValue::array();
+  for (const double shape : table.params.weibull_shape) {
+    shapes.push_back(shape);
+  }
+  JsonValue ops = JsonValue::array();
+  for (const double factor : table.params.faulty_ops) {
+    ops.push_back(factor);
+  }
+  JsonValue sim = JsonValue::object();
+  sim.set("seed", table.params.seed);
+  sim.set("target_ci", table.params.target_ci);
+  sim.set("max_runs", table.params.max_runs);
+  sim.set("min_runs", table.params.min_runs);
+  sim.set("patterns_per_run", table.params.patterns_per_run);
+  sim.set("weibull_shape", std::move(shapes));
+  sim.set("faulty_ops", std::move(ops));
+  JsonValue cells = JsonValue::array();
+  for (const SimCell& cell : table.cells) {
+    cells.push_back(to_json(cell));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("type", "sim_table");
+  out.set("kinds", std::move(kinds));
+  out.set("points", std::move(points));
+  out.set("sim", std::move(sim));
+  out.set("cells", std::move(cells));
+  return out;
+}
+
+SimTable sim_table_from_json(const JsonValue& json) {
+  SimTable table;
+  for (const JsonValue& kind : require(json, "kinds").as_array()) {
+    table.kinds.push_back(core::pattern_kind_from_name(kind.as_string()));
+  }
+  for (const JsonValue& point : require(json, "points").as_array()) {
+    table.points.push_back(point_from_json(point));
+  }
+  const JsonValue& sim = require(json, "sim");
+  table.params.seed =
+      static_cast<std::uint64_t>(require_index(sim, "seed"));
+  table.params.target_ci = require_double(sim, "target_ci");
+  table.params.max_runs =
+      static_cast<std::uint64_t>(require_index(sim, "max_runs"));
+  table.params.min_runs =
+      static_cast<std::uint64_t>(require_index(sim, "min_runs"));
+  table.params.patterns_per_run =
+      static_cast<std::uint64_t>(require_index(sim, "patterns_per_run"));
+  table.params.weibull_shape.clear();
+  for (const JsonValue& shape : require(sim, "weibull_shape").as_array()) {
+    table.params.weibull_shape.push_back(shape.as_double());
+  }
+  table.params.faulty_ops.clear();
+  for (const JsonValue& factor : require(sim, "faulty_ops").as_array()) {
+    table.params.faulty_ops.push_back(factor.as_double());
+  }
+  for (const JsonValue& cell : require(json, "cells").as_array()) {
+    table.cells.push_back(sim_cell_from_json(cell));
+  }
+  if (table.kinds.empty() || table.params.weibull_shape.empty() ||
+      table.params.faulty_ops.empty() ||
+      table.cells.size() != table.cell_count()) {
+    throw std::runtime_error(
+        "serialize: sim cell count does not match points x kinds x axes");
+  }
+  // Each cell must sit in its canonical point/family/shape/ops slot, or
+  // cell_index() arithmetic would return the wrong cell on permuted
+  // (e.g. stream-reassembled) input.
+  const std::size_t shapes_n = table.params.weibull_shape.size();
+  const std::size_t ops_n = table.params.faulty_ops.size();
+  for (std::size_t i = 0; i < table.cells.size(); ++i) {
+    const SimCell& cell = table.cells[i];
+    const std::size_t ops_index = i % ops_n;
+    const std::size_t shape_index = (i / ops_n) % shapes_n;
+    const std::size_t kind_index = (i / (ops_n * shapes_n)) % table.kinds.size();
+    const std::size_t point_index = i / (ops_n * shapes_n * table.kinds.size());
+    if (cell.point_index != point_index ||
+        cell.kind != table.kinds[kind_index] ||
+        cell.weibull_shape != table.params.weibull_shape[shape_index] ||
+        cell.faulty_ops != table.params.faulty_ops[ops_index]) {
+      throw std::runtime_error("serialize: sim cell " + std::to_string(i) +
+                               " is out of canonical order (point " +
+                               std::to_string(cell.point_index) + ", kind " +
+                               core::pattern_name(cell.kind) + ")");
+    }
+  }
+  return table;
+}
+
 JsonValue to_json(const ServiceStats& stats) {
   JsonValue service = JsonValue::object();
   service.set("submits", stats.submits);
@@ -255,9 +381,18 @@ JsonValue to_json(const ServiceStats& stats) {
   cache.set("seed_hits", stats.seed_hits);
   cache.set("disk_loads", stats.disk_loads);
   cache.set("disk_rejects", stats.disk_rejects);
+  JsonValue sim = JsonValue::object();
+  sim.set("submits", stats.sim_submits);
+  sim.set("cache_hits", stats.sim_cache_hits);
+  sim.set("disk_hits", stats.sim_disk_hits);
+  sim.set("cells", stats.sim_cells);
+  sim.set("runs", stats.sim_runs);
+  sim.set("early_stops", stats.sim_early_stops);
+  sim.set("runs_per_second", stats.sim_runs_per_second);
   JsonValue out = JsonValue::object();
   out.set("service", std::move(service));
   out.set("cache", std::move(cache));
+  out.set("sim", std::move(sim));
   return out;
 }
 
@@ -313,6 +448,92 @@ std::string done_line(const std::string& request_id,
     }
     line.set("stats", std::move(stats_json));
   }
+  return line.dump();
+}
+
+std::string done_line(const std::string& request_id,
+                      core::GridSignature signature,
+                      const core::SweepTable& table, bool cache_hit,
+                      bool joined_in_flight,
+                      const util::JsonValue& stats_block) {
+  JsonValue kinds = JsonValue::array();
+  for (const core::PatternKind kind : table.kinds) {
+    kinds.push_back(core::pattern_name(kind));
+  }
+  JsonValue line = JsonValue::object();
+  line.set("type", "done");
+  line.set("request", request_id);
+  line.set("signature", signature.hex());
+  line.set("points", table.points.size());
+  line.set("kinds", std::move(kinds));
+  line.set("cells", table.cells.size());
+  line.set("cache_hit", cache_hit);
+  line.set("joined_in_flight", joined_in_flight);
+  line.set("stats", stats_block);
+  return line.dump();
+}
+
+std::string sim_cell_line(const std::string& request_id,
+                          core::GridSignature signature, const SimCell& cell) {
+  JsonValue line = JsonValue::object();
+  line.set("type", "cell");
+  line.set("request", request_id);
+  line.set("signature", signature.hex());
+  const JsonValue cell_json = to_json(cell);
+  for (const auto& [key, value] : cell_json.as_object()) {
+    line.set(key, value);
+  }
+  return line.dump();
+}
+
+namespace {
+
+JsonValue sim_done_json(const std::string& request_id,
+                        core::GridSignature signature, const SimTable& table,
+                        bool cache_hit) {
+  JsonValue kinds = JsonValue::array();
+  for (const core::PatternKind kind : table.kinds) {
+    kinds.push_back(core::pattern_name(kind));
+  }
+  std::uint64_t total_runs = 0;
+  for (const SimCell& cell : table.cells) {
+    total_runs += cell.runs;
+  }
+  JsonValue line = JsonValue::object();
+  line.set("type", "done");
+  line.set("request", request_id);
+  line.set("signature", signature.hex());
+  line.set("mode", "simulate");
+  line.set("points", table.points.size());
+  line.set("kinds", std::move(kinds));
+  line.set("cells", table.cells.size());
+  line.set("runs", total_runs);
+  line.set("cache_hit", cache_hit);
+  return line;
+}
+
+}  // namespace
+
+std::string sim_done_line(const std::string& request_id,
+                          core::GridSignature signature, const SimTable& table,
+                          bool cache_hit, const ServiceStats* stats,
+                          const CostEstimate* cost) {
+  JsonValue line = sim_done_json(request_id, signature, table, cache_hit);
+  if (stats != nullptr) {
+    JsonValue stats_json = to_json(*stats);
+    if (cost != nullptr) {
+      stats_json.set("cost", to_json(*cost));
+    }
+    line.set("stats", std::move(stats_json));
+  }
+  return line.dump();
+}
+
+std::string sim_done_line(const std::string& request_id,
+                          core::GridSignature signature, const SimTable& table,
+                          bool cache_hit, const util::JsonValue& stats_block) {
+  JsonValue line = sim_done_json(request_id, signature, table, cache_hit);
+  line.set("stats", stats_block);
   return line.dump();
 }
 

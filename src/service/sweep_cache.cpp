@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "resilience/service/serialize.hpp"
+#include "resilience/service/sim_table.hpp"
 #include "resilience/util/atomic_file.hpp"
 #include "resilience/util/json.hpp"
 
@@ -20,9 +21,14 @@ namespace fs = std::filesystem;
 
 constexpr const char* kSidecarName = "seed_index.json";
 constexpr const char* kSpillFormat = "sweep-table-spill-v1";
+constexpr const char* kSimSpillFormat = "sim-table-spill-v1";
 
 fs::path table_path(const std::string& dir, core::GridSignature signature) {
   return fs::path(dir) / (signature.hex() + ".json");
+}
+
+fs::path sim_table_path(const std::string& dir, core::GridSignature signature) {
+  return fs::path(dir) / (signature.hex() + ".sim.json");
 }
 
 void warn(const char* what, const std::string& detail) {
@@ -51,6 +57,13 @@ std::string spill_document(const core::SweepTable& table) {
   const std::string payload = to_json(table).dump();
   return std::string("{\"format\":\"") + kSpillFormat + "\",\"payload_fnv\":\"" +
          payload_checksum(payload).hex() + "\",\"table\":" + payload + "}";
+}
+
+std::string sim_spill_document(const SimTable& table) {
+  const std::string payload = to_json(table).dump();
+  return std::string("{\"format\":\"") + kSimSpillFormat +
+         "\",\"payload_fnv\":\"" + payload_checksum(payload).hex() +
+         "\",\"table\":" + payload + "}";
 }
 
 /// Writes one spill file atomically (util::write_file_atomic: unique
@@ -303,12 +316,20 @@ void SweepCache::persist_now() {
     spill_locked(entry);
   }
   write_sidecar_locked();
+  for (const SimEntry& entry : sim_lru_) {
+    if (sim_disk_index_.count(entry.signature.value) != 0) {
+      continue;  // already spilled; content is a pure function of the key
+    }
+    spill_sim_locked(entry);
+  }
 }
 
 void SweepCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  sim_lru_.clear();
+  sim_index_.clear();
   // The seed index keeps only what the disk tier still backs.
   seed_index_.clear();
   for (const auto& [signature_value, chains] : disk_chains_) {
@@ -462,8 +483,15 @@ void SweepCache::load_disk_index_locked() {
     if (!file.is_regular_file() || file.path().extension() != ".json") {
       continue;
     }
-    if (const auto signature =
-            core::GridSignature::from_hex(file.path().stem().string())) {
+    const fs::path stem = file.path().stem();  // "<hex>" or "<hex>.sim"
+    if (stem.extension() == ".sim") {
+      if (const auto signature =
+              core::GridSignature::from_hex(stem.stem().string())) {
+        sim_disk_index_.insert(signature->value);
+      }
+      continue;
+    }
+    if (const auto signature = core::GridSignature::from_hex(stem.string())) {
       disk_index_.insert(signature->value);
     }
   }
@@ -606,6 +634,164 @@ std::shared_ptr<const core::SweepTable> SweepCache::load_from_disk_locked(
   index_chains_locked(signature, lru_.front().chains);
   while (lru_.size() > capacity_) {
     evict_one_locked();
+  }
+  return table;
+}
+
+std::shared_ptr<const SimTable> SweepCache::find_sim(
+    core::GridSignature signature, bool* loaded_from_disk) {
+  if (loaded_from_disk != nullptr) {
+    *loaded_from_disk = false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sim_index_.find(signature.value);
+  if (it != sim_index_.end()) {
+    ++hits_;
+    sim_lru_.splice(sim_lru_.begin(), sim_lru_, it->second);
+    return it->second->table;
+  }
+  if (std::shared_ptr<const SimTable> table =
+          load_sim_from_disk_locked(signature)) {
+    ++hits_;
+    if (loaded_from_disk != nullptr) {
+      *loaded_from_disk = true;
+    }
+    return table;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void SweepCache::insert_sim(core::GridSignature signature,
+                            std::shared_ptr<const SimTable> table) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::vector<SimEntry> victims;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sim_index_.find(signature.value);
+    if (it != sim_index_.end()) {
+      it->second->table = std::move(table);
+      sim_lru_.splice(sim_lru_.begin(), sim_lru_, it->second);
+      return;
+    }
+    sim_lru_.push_front(SimEntry{signature, std::move(table)});
+    sim_index_[signature.value] = sim_lru_.begin();
+    while (sim_lru_.size() > capacity_) {
+      SimEntry& victim = sim_lru_.back();
+      sim_index_.erase(victim.signature.value);
+      if (!cache_dir_.empty() &&
+          sim_disk_index_.count(victim.signature.value) == 0) {
+        victims.push_back(std::move(victim));  // spilled below, unlocked
+      }
+      sim_lru_.pop_back();
+    }
+  }
+  if (victims.empty()) {
+    return;
+  }
+  // Spill without the lock, like spill_evicted: serialization + IO are
+  // the expensive part of an eviction.
+  std::vector<bool> spilled(victims.size());
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    spilled[i] =
+        write_spill_file(sim_table_path(cache_dir_, victims[i].signature),
+                         sim_spill_document(*victims[i].table));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    if (spilled[i]) {
+      sim_disk_index_.insert(victims[i].signature.value);
+    }
+  }
+}
+
+bool SweepCache::contains_sim(core::GridSignature signature) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sim_index_.find(signature.value) != sim_index_.end() ||
+         sim_disk_index_.count(signature.value) != 0;
+}
+
+void SweepCache::spill_sim_locked(const SimEntry& entry) {
+  if (!write_spill_file(sim_table_path(cache_dir_, entry.signature),
+                        sim_spill_document(*entry.table))) {
+    return;
+  }
+  sim_disk_index_.insert(entry.signature.value);
+}
+
+std::shared_ptr<const SimTable> SweepCache::load_sim_from_disk_locked(
+    core::GridSignature signature) {
+  if (cache_dir_.empty() || sim_disk_index_.count(signature.value) == 0) {
+    return nullptr;
+  }
+  const fs::path path = sim_table_path(cache_dir_, signature);
+  const auto reject = [&](const char* why, const std::string& detail) {
+    warn(why, detail);
+    ++disk_rejects_;
+    sim_disk_index_.erase(signature.value);
+  };
+
+  SimTable loaded;
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      reject("cannot open sim spill file", path.string());
+      return nullptr;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const util::JsonValue document = util::JsonValue::parse(buffer.str());
+    const util::JsonValue* format = document.find("format");
+    const util::JsonValue* checksum = document.find("payload_fnv");
+    const util::JsonValue* table_json = document.find("table");
+    if (format == nullptr || format->as_string() != kSimSpillFormat ||
+        checksum == nullptr || table_json == nullptr) {
+      reject("rejecting sim spill file with unknown format", path.string());
+      return nullptr;
+    }
+    const auto stored = core::GridSignature::from_hex(checksum->as_string());
+    if (!stored || payload_checksum(table_json->dump()) != *stored) {
+      reject("rejecting sim spill file whose payload checksum does not match",
+             path.string());
+      return nullptr;
+    }
+    loaded = sim_table_from_json(*table_json);
+  } catch (const std::exception& error) {
+    reject("rejecting unparseable sim spill file",
+           path.string() + ": " + error.what());
+    return nullptr;
+  }
+
+  // Content must hash back to the filename: a corrupt or foreign spill is
+  // recomputed, never served. Sim signatures have no caller-provided
+  // options — the SimParams travel inside the table.
+  const core::GridSignature recomputed =
+      sim_signature(loaded.points, loaded.kinds, loaded.params);
+  if (recomputed != signature) {
+    reject("rejecting sim spill file whose content does not match its signature",
+           path.string() + ": content hashes to " + recomputed.hex());
+    return nullptr;
+  }
+
+  ++disk_loads_;
+  auto table = std::make_shared<const SimTable>(std::move(loaded));
+  if (capacity_ == 0) {
+    return table;
+  }
+  sim_lru_.push_front(SimEntry{signature, table});
+  sim_index_[signature.value] = sim_lru_.begin();
+  while (sim_lru_.size() > capacity_) {
+    // Locked re-eviction (rare: once per reloaded entry). The victim is
+    // usually disk-resident already, making this a pure in-memory pop.
+    SimEntry& victim = sim_lru_.back();
+    if (!cache_dir_.empty() &&
+        sim_disk_index_.count(victim.signature.value) == 0) {
+      spill_sim_locked(victim);
+    }
+    sim_index_.erase(victim.signature.value);
+    sim_lru_.pop_back();
   }
   return table;
 }

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "resilience/service/sim_service.hpp"
+
 namespace resilience::service {
 
 namespace {
@@ -78,7 +80,10 @@ class CacheSeedSource final : public core::SeedSource {
 
 SweepService::SweepService(ServiceOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_capacity, options_.cache_dir) {}
+      cache_(options_.cache_capacity, options_.cache_dir),
+      sim_(std::make_unique<SimService>(&cache_, options_.sweep.pool)) {}
+
+SweepService::~SweepService() = default;
 
 SubmitResult SweepService::submit(const ScenarioRequest& request,
                                   core::CellSink* sink,
@@ -117,6 +122,13 @@ ServiceStats SweepService::stats() const {
   stats.disk_rejects = cache_.disk_rejects();
   stats.cache_size = cache_.size();
   stats.cache_capacity = cache_.capacity();
+  stats.sim_submits = sim_->submits();
+  stats.sim_cache_hits = sim_->cache_hits();
+  stats.sim_disk_hits = sim_->disk_hits();
+  stats.sim_cells = sim_->cells_computed();
+  stats.sim_runs = sim_->runs_executed();
+  stats.sim_early_stops = sim_->early_stops();
+  stats.sim_runs_per_second = sim_->runs_per_second();
   return stats;
 }
 

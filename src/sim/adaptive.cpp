@@ -1,0 +1,60 @@
+#include "resilience/sim/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resilience::sim {
+
+AdaptiveResult run_adaptive_monte_carlo(const core::PatternSpec& pattern,
+                                        const core::ModelParams& params,
+                                        const AdaptiveConfig& config) {
+  if (config.max_runs == 0) {
+    throw std::invalid_argument("run_adaptive_monte_carlo: max_runs == 0");
+  }
+  const std::uint64_t min_runs =
+      std::min(std::max<std::uint64_t>(1, config.min_runs), config.max_runs);
+
+  AdaptiveResult result;
+  while (result.runs < config.max_runs) {
+    if (config.check_cancel) {
+      config.check_cancel();
+    }
+    // Doubling schedule: 64, 64, 128, 256, ... (cumulative 64, 128, 256,
+    // 512, ...). Boundaries depend only on min_runs, so max_runs can
+    // truncate the FINAL batch but never move an earlier boundary.
+    const std::uint64_t planned = result.runs == 0 ? min_runs : result.runs;
+    const std::uint64_t batch =
+        std::min(planned, config.max_runs - result.runs);
+
+    MonteCarloConfig mc;
+    mc.runs = batch;
+    mc.patterns_per_run = config.patterns_per_run;
+    mc.seed = config.seed;
+    mc.first_run = result.runs;  // global run indexing: batches continue
+    mc.pool = config.pool;
+    mc.model_factory = config.model_factory;
+    const MonteCarloResult step = run_monte_carlo(pattern, params, mc);
+
+    // Sequential fold in schedule order: Chan's merge is deterministic for
+    // a fixed batch sequence, so the aggregate is pool-size independent.
+    result.aggregate.merge(step.aggregate);
+    result.totals.merge(step.totals);
+    result.runs += step.runs;
+
+    if (config.target_ci > 0.0 && result.runs >= min_runs) {
+      const double mean = std::fabs(result.aggregate.overhead.mean());
+      const double half = result.aggregate.overhead.ci_halfwidth();
+      // Guard the denominator: a zero-overhead cell stops on an absolute
+      // test instead of dividing by zero.
+      const double relative = half / std::max(mean, 1e-300);
+      if (relative <= config.target_ci) {
+        result.early_stopped = result.runs < config.max_runs;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace resilience::sim

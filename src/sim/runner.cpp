@@ -39,7 +39,8 @@ MonteCarloResult run_monte_carlo(const core::PatternSpec& pattern,
   // the campaign is bit-identical across thread counts and grains.
   pool.parallel_for_ranges(
       config.runs, [&](std::size_t begin, std::size_t end) {
-        util::Xoshiro256 stream_rng = util::Xoshiro256::stream(config.seed, begin);
+        util::Xoshiro256 stream_rng =
+            util::Xoshiro256::stream(config.seed, config.first_run + begin);
         for (std::size_t run_index = begin; run_index < end; ++run_index) {
           util::Xoshiro256 run_rng = stream_rng;
           stream_rng.jump();

@@ -113,6 +113,37 @@ std::optional<std::int64_t> CliParser::checked_int(
   return value;
 }
 
+std::optional<std::uint64_t> CliParser::checked_uint64(
+    const std::string& name, std::uint64_t min_value,
+    std::uint64_t max_value) const {
+  const std::string text = get_string(name);
+  std::uint64_t value = 0;
+  const char* const end = text.data() + text.size();
+  const std::from_chars_result result =
+      std::from_chars(text.data(), end, value, 10);
+  if (text.empty() || result.ec != std::errc() || result.ptr != end) {
+    std::fprintf(stderr, "%s: --%s expects an unsigned integer, got '%s'\n",
+                 program_.c_str(), name.c_str(), text.c_str());
+    return std::nullopt;
+  }
+  if (value < min_value || value > max_value) {
+    if (max_value == UINT64_MAX) {
+      std::fprintf(stderr, "%s: --%s must be >= %llu, got %llu\n",
+                   program_.c_str(), name.c_str(),
+                   static_cast<unsigned long long>(min_value),
+                   static_cast<unsigned long long>(value));
+    } else {
+      std::fprintf(stderr, "%s: --%s must be in [%llu, %llu], got %llu\n",
+                   program_.c_str(), name.c_str(),
+                   static_cast<unsigned long long>(min_value),
+                   static_cast<unsigned long long>(max_value),
+                   static_cast<unsigned long long>(value));
+    }
+    return std::nullopt;
+  }
+  return value;
+}
+
 std::optional<double> CliParser::checked_double(const std::string& name,
                                                 double min_value,
                                                 double max_value) const {

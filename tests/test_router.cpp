@@ -401,6 +401,82 @@ TEST(Router, RejoinRestoresTheShardAndItsAssignment) {
   }
 }
 
+TEST(Router, SimulateMergeIsByteIdenticalToASingleDaemonEvenCold) {
+  if (!rn::transport_supported()) {
+    GTEST_SKIP() << "transport requires Linux";
+  }
+  // Simulate cells stream sequentially in canonical table order even on
+  // a cold compute (parallelism lives inside a cell's campaign), and the
+  // router merges into the same order — so unlike the analytic cold
+  // comparison above, no per-line sort is needed: exact bytes, cold AND
+  // warm, through a 3-shard split.
+  const Lines workload = {
+      "{\"id\": \"m1\", \"platforms\": [\"hera\", \"atlas\"], "
+      "\"node_counts\": [256, 1024], \"kinds\": [\"PD\", \"PDMV\"], "
+      "\"mode\": \"simulate\", \"sim\": {\"seed\": 7, \"target_ci\": 0.1, "
+      "\"min_runs\": 16, \"max_runs\": 48, \"patterns_per_run\": 20, "
+      "\"weibull_shape\": [1.0, 0.7], \"faulty_ops\": [1.0, 0.0]}}",
+      "{\"id\": \"m2\", \"platforms\": [\"coastal\"], "
+      "\"node_counts\": [512], \"kinds\": [\"PD\"], "
+      "\"mode\": \"simulate\", \"sim\": {\"seed\": 7, \"min_runs\": 16, "
+      "\"max_runs\": 32, \"patterns_per_run\": 20}}",
+  };
+  TestDaemon reference_daemon;
+  TestDaemon s1, s2, s3;
+  const std::vector<Lines> cold_reference =
+      run_reference(reference_daemon.port(), workload);
+  const std::vector<Lines> warm_reference =
+      run_reference(reference_daemon.port(), workload);
+
+  rn::ShardFleet fleet{fleet_options({s1.port(), s2.port(), s3.port()})};
+  EXPECT_EQ(run_router(fleet, workload), cold_reference);
+  EXPECT_EQ(run_router(fleet, workload), warm_reference);
+}
+
+TEST(Router, StatsOptInMergesPerShardBlocksOnTheDoneLine) {
+  if (!rn::transport_supported()) {
+    GTEST_SKIP() << "transport requires Linux";
+  }
+  TestDaemon s1, s2, s3;
+  rn::ShardFleet fleet{fleet_options({s1.port(), s2.port(), s3.port()})};
+  Collector collector;
+  rn::RouterSession session(fleet, collector.fn());
+  // Multi-chain grid so the fan-out touches more than one shard.
+  session.handle_line(
+      "{\"id\": \"st\", \"platforms\": [\"hera\", \"atlas\", \"coastal\"], "
+      "\"node_counts\": [256, 1024], \"kinds\": [\"PD\"], \"stats\": true}");
+  ASSERT_EQ(collector.responses.size(), 1u);
+  const std::string& done = collector.responses[0].back();
+  ASSERT_NE(done.find("\"type\":\"done\""), std::string::npos) << done;
+  // The merged block is {"shards":[{"id":...,"stats":{...}},...]} in
+  // fleet configuration order, each entry a shard's service-global
+  // snapshot (service/cache/sim blocks).
+  const auto shards_at = done.find("\"stats\":{\"shards\":[");
+  ASSERT_NE(shards_at, std::string::npos) << done;
+  // Entries appear in fleet configuration order; a shard that served no
+  // unit of this request is skipped, so check the present ones form a
+  // subsequence of the configured order and at least one shard reported.
+  std::size_t cursor = shards_at;
+  std::size_t present = 0;
+  for (const std::string& id : fleet.shard_ids()) {
+    const auto at = done.find("\"id\":\"" + id + "\"", cursor);
+    if (at != std::string::npos) {
+      ++present;
+      cursor = at;
+    }
+  }
+  EXPECT_GE(present, 1u) << done;
+  EXPECT_NE(done.find("\"tables_computed\":"), std::string::npos) << done;
+
+  // Without the opt-in the done line stays stats-free (byte determinism).
+  session.handle_line(
+      "{\"id\": \"st2\", \"platforms\": [\"hera\"], \"node_counts\": [256], "
+      "\"kinds\": [\"PD\"]}");
+  ASSERT_EQ(collector.responses.size(), 2u);
+  EXPECT_EQ(collector.responses[1].back().find("\"stats\":"),
+            std::string::npos);
+}
+
 TEST(Router, CancelledSessionStopsDispatchingSilently) {
   if (!rn::transport_supported()) {
     GTEST_SKIP() << "transport requires Linux";
